@@ -1,0 +1,175 @@
+// Ablations for the design choices called out in DESIGN.md §7:
+//
+//  A. Bit-vector commitments (§3.3: k separate hash commitments b_1..b_L)
+//     vs a single flat MHT over the bit leaves. The paper chose separate
+//     commitments; the MHT trades commitment size for per-bit proof size.
+//  B. Blinded sparse MHT (occupancy-hiding, §3.6) vs a flat MHT over the
+//     instantiated vertices only. The flat tree's proofs are log(n)·32 B
+//     but leak how many vertices exist and where; the sparse tree pays a
+//     fixed 256·32 B per proof for structural privacy.
+//  C. Ring signature (link-state variant of §3.2) vs plain RSA signature:
+//     the cost of hiding *which* neighbor signed.
+#include <benchmark/benchmark.h>
+
+#include "crypto/commitment.h"
+#include "crypto/merkle.h"
+#include "crypto/ring_signature.h"
+#include "crypto/sparse_merkle.h"
+
+namespace pvr::crypto {
+namespace {
+
+// --- Ablation A ---
+
+void BM_AblationA_SeparateBitCommitments(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  Drbg rng(1, "ablation-a1");
+  std::size_t commitment_bytes = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < bits; ++i) {
+      benchmark::DoNotOptimize(commit_bit(i % 2 == 0, rng));
+    }
+    commitment_bytes = bits * kSha256DigestSize;
+  }
+  // Publishing: L digests; revealing one bit: 1 opening (33 bytes).
+  state.counters["publish_bytes"] = static_cast<double>(commitment_bytes);
+  state.counters["reveal_one_bytes"] = 1.0 + kCommitNonceSize;
+}
+BENCHMARK(BM_AblationA_SeparateBitCommitments)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_AblationA_MhtOverBits(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  Drbg rng(2, "ablation-a2");
+  std::vector<std::vector<std::uint8_t>> leaves(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    leaves[i] = {static_cast<std::uint8_t>(i % 2)};
+    const auto nonce = rng.bytes(kCommitNonceSize);
+    leaves[i].insert(leaves[i].end(), nonce.begin(), nonce.end());
+  }
+  std::size_t reveal_bytes = 0;
+  for (auto _ : state) {
+    const MerkleTree tree = MerkleTree::build(leaves);
+    benchmark::DoNotOptimize(tree.root());
+    const MerkleProof proof = tree.prove(bits / 2);
+    reveal_bytes = leaves[bits / 2].size() +
+                   proof.siblings.size() * kSha256DigestSize;
+  }
+  // Publishing: one digest; revealing one bit: leaf + log(L) siblings.
+  state.counters["publish_bytes"] = kSha256DigestSize;
+  state.counters["reveal_one_bytes"] = static_cast<double>(reveal_bytes);
+}
+BENCHMARK(BM_AblationA_MhtOverBits)->Arg(8)->Arg(32)->Arg(128);
+
+// --- Ablation B ---
+
+void BM_AblationB_FlatTreeProof(benchmark::State& state) {
+  const std::size_t vertices = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<std::uint8_t>> leaves(vertices);
+  for (std::size_t i = 0; i < vertices; ++i) {
+    const Digest digest = sha256("vertex:" + std::to_string(i));
+    leaves[i].assign(digest.begin(), digest.end());
+  }
+  const MerkleTree tree = MerkleTree::build(leaves);
+  std::size_t proof_bytes = 0;
+  for (auto _ : state) {
+    const MerkleProof proof = tree.prove(0);
+    benchmark::DoNotOptimize(proof);
+    proof_bytes = proof.siblings.size() * kSha256DigestSize;
+  }
+  state.counters["proof_bytes"] = static_cast<double>(proof_bytes);
+  state.counters["hides_occupancy"] = 0;
+}
+BENCHMARK(BM_AblationB_FlatTreeProof)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_AblationB_SparseBlindedProof(benchmark::State& state) {
+  const std::size_t vertices = static_cast<std::size_t>(state.range(0));
+  Drbg rng(3, "ablation-b");
+  SparseMerkleTree tree(rng.bytes(32));
+  for (std::size_t i = 0; i < vertices; ++i) {
+    tree.insert(SparseMerkleTree::key_for_label("vertex:" + std::to_string(i)),
+                sha256("p"));
+  }
+  const Digest key = SparseMerkleTree::key_for_label("vertex:0");
+  std::size_t proof_bytes = 0;
+  for (auto _ : state) {
+    const SparseDisclosureProof proof = tree.prove(key);
+    benchmark::DoNotOptimize(proof);
+    proof_bytes = proof.byte_size();
+  }
+  state.counters["proof_bytes"] = static_cast<double>(proof_bytes);
+  state.counters["hides_occupancy"] = 1;
+}
+BENCHMARK(BM_AblationB_SparseBlindedProof)
+    ->Arg(8)->Arg(64)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+// --- Ablation C ---
+
+struct RingFixture {
+  std::vector<RsaKeyPair> keys;
+  std::vector<RsaPublicKey> ring;
+};
+
+const RingFixture& ring_fixture(std::size_t members) {
+  static std::map<std::size_t, RingFixture> cache;
+  const auto it = cache.find(members);
+  if (it != cache.end()) return it->second;
+  RingFixture fixture;
+  Drbg rng(members, "ablation-c-keys");
+  for (std::size_t i = 0; i < members; ++i) {
+    fixture.keys.push_back(generate_rsa_keypair(1024, rng));
+    fixture.ring.push_back(fixture.keys.back().pub);
+  }
+  return cache.emplace(members, std::move(fixture)).first->second;
+}
+
+void BM_AblationC_PlainSignature(benchmark::State& state) {
+  const RingFixture& fixture = ring_fixture(2);
+  Drbg rng(4, "ablation-c1");
+  const std::vector<std::uint8_t> message = {'a', ' ', 'r', 'o', 'u', 't',
+                                             'e', ' ', 'e', 'x', 'i', 's',
+                                             't', 's'};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rsa_sign(fixture.keys[0].priv, message));
+  }
+  state.counters["sig_bytes"] = 128;
+  state.counters["signer_hidden"] = 0;
+}
+BENCHMARK(BM_AblationC_PlainSignature)->Unit(benchmark::kMillisecond);
+
+void BM_AblationC_RingSignature(benchmark::State& state) {
+  const std::size_t members = static_cast<std::size_t>(state.range(0));
+  const RingFixture& fixture = ring_fixture(members);
+  Drbg rng(5, "ablation-c2");
+  const std::vector<std::uint8_t> message = {'a', ' ', 'r', 'o', 'u', 't',
+                                             'e', ' ', 'e', 'x', 'i', 's',
+                                             't', 's'};
+  std::size_t sig_bytes = 0;
+  for (auto _ : state) {
+    const RingSignature sig =
+        ring_sign(fixture.ring, 0, fixture.keys[0].priv, message, rng);
+    benchmark::DoNotOptimize(sig);
+    sig_bytes = sig.byte_size();
+  }
+  state.counters["sig_bytes"] = static_cast<double>(sig_bytes);
+  state.counters["signer_hidden"] = 1;
+}
+BENCHMARK(BM_AblationC_RingSignature)
+    ->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AblationC_RingVerify(benchmark::State& state) {
+  const std::size_t members = static_cast<std::size_t>(state.range(0));
+  const RingFixture& fixture = ring_fixture(members);
+  Drbg rng(6, "ablation-c3");
+  const std::vector<std::uint8_t> message = {'x'};
+  const RingSignature sig =
+      ring_sign(fixture.ring, 0, fixture.keys[0].priv, message, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring_verify(fixture.ring, message, sig));
+  }
+}
+BENCHMARK(BM_AblationC_RingVerify)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pvr::crypto

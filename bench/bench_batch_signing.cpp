@@ -1,0 +1,100 @@
+// Experiment E5 (paper §3.8): "This overhead can be burdensome during BGP
+// message bursts, but it seems feasible to sign messages in batches,
+// perhaps using a small MHT to reveal batched routes individually."
+//
+// Compares per-update RSA signatures against one signature over a Merkle
+// root with per-update inclusion proofs, across burst sizes.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "crypto/merkle.h"
+#include "crypto/rsa.h"
+
+namespace pvr::bench {
+namespace {
+
+const crypto::RsaKeyPair& signer_key() {
+  static const crypto::RsaKeyPair key = [] {
+    crypto::Drbg rng(55, "bench-batch-keys");
+    return crypto::generate_rsa_keypair(1024, rng);
+  }();
+  return key;
+}
+
+[[nodiscard]] std::vector<std::vector<std::uint8_t>> make_burst(std::size_t n) {
+  std::vector<std::vector<std::uint8_t>> updates;
+  updates.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    updates.push_back(route_len(1 + i % 12,
+                                static_cast<bgp::AsNumber>(100 + i))
+                          .canonical_bytes());
+  }
+  return updates;
+}
+
+// Baseline: one RSA signature per BGP update in the burst.
+void BM_Burst_PerUpdateSigning(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto burst = make_burst(n);
+  for (auto _ : state) {
+    for (const auto& update : burst) {
+      benchmark::DoNotOptimize(crypto::rsa_sign(signer_key().priv, update));
+    }
+  }
+  state.counters["per_update_ms"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * n),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_Burst_PerUpdateSigning)
+    ->Arg(1)->Arg(8)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+// PVR batching: hash every update into a small MHT, sign only the root.
+void BM_Burst_BatchedSigning(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto burst = make_burst(n);
+  std::size_t proof_bytes = 0;
+  for (auto _ : state) {
+    const crypto::MerkleTree tree = crypto::MerkleTree::build(burst);
+    const auto root = tree.root();
+    benchmark::DoNotOptimize(crypto::rsa_sign(
+        signer_key().priv, std::vector<std::uint8_t>(root.begin(), root.end())));
+    // Each update still ships an individual inclusion proof.
+    const crypto::MerkleProof proof = tree.prove(n / 2);
+    benchmark::DoNotOptimize(proof);
+    proof_bytes = proof.siblings.size() * crypto::kSha256DigestSize;
+  }
+  state.counters["proof_bytes"] = static_cast<double>(proof_bytes);
+  state.counters["per_update_ms"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * n),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_Burst_BatchedSigning)
+    ->Arg(1)->Arg(8)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+// Receiver side: verifying a batched update = one signature check per burst
+// plus one log-size Merkle path per update.
+void BM_Burst_BatchedVerification(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto burst = make_burst(n);
+  const crypto::MerkleTree tree = crypto::MerkleTree::build(burst);
+  const auto root = tree.root();
+  const auto signature = crypto::rsa_sign(
+      signer_key().priv, std::vector<std::uint8_t>(root.begin(), root.end()));
+  const crypto::MerkleProof proof = tree.prove(n / 2);
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_verify(
+        signer_key().pub, std::vector<std::uint8_t>(root.begin(), root.end()),
+        signature));
+    benchmark::DoNotOptimize(
+        crypto::MerkleTree::verify(root, burst[n / 2], proof));
+  }
+}
+BENCHMARK(BM_Burst_BatchedVerification)
+    ->Arg(8)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace pvr::bench

@@ -1,0 +1,76 @@
+// Shared helpers for the experiment harnesses.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/keys.h"
+#include "core/min_protocol.h"
+
+namespace pvr::bench {
+
+[[nodiscard]] inline bgp::Route route_len(std::size_t length,
+                                          bgp::AsNumber origin_as) {
+  std::vector<bgp::AsNumber> hops;
+  hops.push_back(origin_as);
+  for (std::size_t i = 1; i < length; ++i) {
+    hops.push_back(static_cast<bgp::AsNumber>(50000 + i));
+  }
+  return bgp::Route{.prefix = bgp::Ipv4Prefix::parse("203.0.113.0/24"),
+                    .path = bgp::AsPath(std::move(hops)),
+                    .next_hop = origin_as,
+                    .local_pref = 100,
+                    .med = 0,
+                    .origin = bgp::Origin::kIgp,
+                    .communities = {}};
+}
+
+// A cached Figure-1 protocol instance: prover AS 1, providers 1001..1000+k,
+// recipient 2. Key generation is expensive, so instances are memoized per
+// (provider count, key bits).
+struct Fig1Instance {
+  core::AsKeyPairs keys;
+  core::ProtocolId id;
+  std::vector<bgp::AsNumber> providers;
+  std::map<bgp::AsNumber, std::optional<core::SignedMessage>> inputs;
+  std::map<bgp::AsNumber, core::InputAnnouncement> announcements;
+};
+
+[[nodiscard]] inline const Fig1Instance& fig1_instance(std::size_t provider_count,
+                                                       std::size_t key_bits,
+                                                       std::uint32_t max_len) {
+  static std::map<std::tuple<std::size_t, std::size_t, std::uint32_t>,
+                  Fig1Instance>
+      cache;
+  const auto key = std::tuple{provider_count, key_bits, max_len};
+  const auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+
+  Fig1Instance instance;
+  std::vector<bgp::AsNumber> all = {1, 2};
+  for (std::size_t i = 0; i < provider_count; ++i) {
+    instance.providers.push_back(1001 + static_cast<bgp::AsNumber>(i));
+    all.push_back(instance.providers.back());
+  }
+  crypto::Drbg key_rng(provider_count * 131 + key_bits, "bench-fig1-keys");
+  instance.keys = core::generate_keys(all, key_rng, key_bits);
+  instance.id = {.prover = 1,
+                 .prefix = bgp::Ipv4Prefix::parse("203.0.113.0/24"),
+                 .epoch = 1};
+
+  crypto::Drbg len_rng(7, "bench-fig1-lengths");
+  for (const bgp::AsNumber provider : instance.providers) {
+    const std::size_t length = 1 + len_rng.uniform(max_len);
+    const core::InputAnnouncement announcement{
+        .id = instance.id, .provider = provider, .route = route_len(length, provider)};
+    instance.announcements.emplace(provider, announcement);
+    instance.inputs[provider] = core::sign_message(
+        provider, instance.keys.private_keys.at(provider).priv,
+        announcement.encode());
+  }
+  return cache.emplace(key, std::move(instance)).first->second;
+}
+
+}  // namespace pvr::bench

@@ -1,0 +1,123 @@
+// Experiment E2 (paper Figure 2 + §3.5–3.7): commitment, selective
+// disclosure, and structural verification of multi-operator route-flow
+// graphs, as the graph grows.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/graph_commitment.h"
+
+namespace pvr::bench {
+namespace {
+
+struct Fig2Bench {
+  rfg::RouteFlowGraph graph;
+  std::map<rfg::VertexId, rfg::Value> values;
+  core::Promise promise;
+  rfg::AccessPolicy policy;  // recipient 99: structure + operators + output
+};
+
+[[nodiscard]] Fig2Bench make_fig2(std::size_t fallbacks) {
+  Fig2Bench out;
+  std::vector<bgp::AsNumber> fallback_asns;
+  for (std::size_t i = 0; i < fallbacks; ++i) {
+    fallback_asns.push_back(2 + static_cast<bgp::AsNumber>(i));
+  }
+  out.graph = rfg::make_figure2_graph(1, fallback_asns, 99);
+
+  std::map<rfg::VertexId, rfg::Value> inputs;
+  crypto::Drbg rng(fallbacks, "fig2-values");
+  inputs[rfg::input_variable_id(1)] = route_len(2 + rng.uniform(8), 1);
+  for (const bgp::AsNumber asn : fallback_asns) {
+    inputs[rfg::input_variable_id(asn)] = route_len(2 + rng.uniform(8), asn);
+  }
+  out.values = out.graph.evaluate(inputs);
+
+  out.promise = {.type = core::PromiseType::kFallbackUnlessPrimaryShorter,
+                 .subset = {fallback_asns.begin(), fallback_asns.end()},
+                 .primary = 1};
+  for (const rfg::VertexId& id : out.graph.variable_ids()) {
+    out.policy.grant(99, id, rfg::Component::kPredecessors);
+    out.policy.grant(99, id, rfg::Component::kSuccessors);
+  }
+  for (const rfg::VertexId& id : out.graph.operator_ids()) {
+    out.policy.grant_all(99, id);
+  }
+  out.policy.grant(99, rfg::kOutputVariableId, rfg::Component::kPayload);
+  return out;
+}
+
+void BM_Fig2_CommitGraph(benchmark::State& state) {
+  const Fig2Bench bench = make_fig2(static_cast<std::size_t>(state.range(0)));
+  crypto::Drbg rng(1, "fig2-commit");
+  for (auto _ : state) {
+    const core::GraphCommitment commitment(bench.graph, bench.values, rng);
+    benchmark::DoNotOptimize(commitment.root());
+  }
+  state.counters["vertices"] = static_cast<double>(bench.graph.vertex_count());
+}
+BENCHMARK(BM_Fig2_CommitGraph)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig2_DiscloseVertex(benchmark::State& state) {
+  const Fig2Bench bench = make_fig2(static_cast<std::size_t>(state.range(0)));
+  crypto::Drbg rng(2, "fig2-disclose");
+  const core::GraphCommitment commitment(bench.graph, bench.values, rng);
+  std::size_t proof_bytes = 0;
+  for (auto _ : state) {
+    const auto disclosure = commitment.disclose("op:min", 99, bench.policy);
+    benchmark::DoNotOptimize(disclosure);
+    proof_bytes = disclosure.proof.byte_size();
+  }
+  state.counters["proof_bytes"] = static_cast<double>(proof_bytes);
+}
+BENCHMARK(BM_Fig2_DiscloseVertex)
+    ->Arg(2)->Arg(8)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig2_VerifyDisclosure(benchmark::State& state) {
+  const Fig2Bench bench = make_fig2(static_cast<std::size_t>(state.range(0)));
+  crypto::Drbg rng(3, "fig2-verify");
+  const core::GraphCommitment commitment(bench.graph, bench.values, rng);
+  const auto disclosure = commitment.disclose("op:min", 99, bench.policy);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::verify_vertex_disclosure(commitment.root(), disclosure));
+  }
+}
+BENCHMARK(BM_Fig2_VerifyDisclosure)
+    ->Arg(2)->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+// The recipient's full workflow: verify all disclosures, rebuild the
+// visible graph, statically check the promise.
+void BM_Fig2_FullStructuralCheck(benchmark::State& state) {
+  const Fig2Bench bench = make_fig2(static_cast<std::size_t>(state.range(0)));
+  crypto::Drbg rng(4, "fig2-full");
+  const core::GraphCommitment commitment(bench.graph, bench.values, rng);
+  std::vector<core::VertexDisclosure> disclosures;
+  for (const rfg::VertexId& id : bench.graph.variable_ids()) {
+    disclosures.push_back(commitment.disclose(id, 99, bench.policy));
+  }
+  for (const rfg::VertexId& id : bench.graph.operator_ids()) {
+    disclosures.push_back(commitment.disclose(id, 99, bench.policy));
+  }
+
+  for (auto _ : state) {
+    core::DisclosedGraph view;
+    for (const auto& disclosure : disclosures) {
+      if (!view.add(commitment.root(), disclosure)) {
+        state.SkipWithError("disclosure verification failed");
+        return;
+      }
+    }
+    benchmark::DoNotOptimize(view.implements_promise(bench.promise, 99));
+  }
+  state.counters["disclosures"] = static_cast<double>(disclosures.size());
+}
+BENCHMARK(BM_Fig2_FullStructuralCheck)
+    ->Arg(2)->Arg(8)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pvr::bench

@@ -1,0 +1,149 @@
+// Experiment E8 (paper §1, §3.8, §4): end-to-end feasibility at AS scale.
+//
+// For growing Gao–Rexford topologies: run BGP to convergence on the
+// simulated network, then have EVERY transit AS (one with >= 2 candidate
+// routes for the monitored prefix) execute one PVR minimum round over its
+// real Adj-RIB-In and its neighbors verify. Reports BGP convergence cost,
+// total/mean PVR crypto time, and PVR wire overhead relative to BGP.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "bgp/speaker.h"
+
+namespace pvr::bench {
+namespace {
+
+struct ScaleRow {
+  std::size_t as_count = 0;
+  std::size_t links = 0;
+  std::uint64_t bgp_updates = 0;
+  std::uint64_t bgp_bytes = 0;
+  std::size_t provers = 0;
+  double pvr_total_ms = 0;
+  double pvr_mean_ms = 0;
+  std::size_t pvr_bytes = 0;
+  double verify_total_ms = 0;
+  std::size_t violations = 0;
+};
+
+[[nodiscard]] ScaleRow run_scale(std::size_t as_count, std::size_t key_bits) {
+  ScaleRow row;
+  row.as_count = as_count;
+  const auto prefix = bgp::Ipv4Prefix::parse("203.0.113.0/24");
+
+  crypto::Drbg topo_rng(as_count, "scale-topo");
+  const bgp::AsGraph graph = bgp::generate_gao_rexford(
+      {.as_count = as_count, .tier1_count = 5, .extra_provider_probability = 0.3},
+      topo_rng);
+  row.links = graph.link_count();
+
+  net::Simulator sim(1);
+  const bgp::AsNumber origin = static_cast<bgp::AsNumber>(as_count);
+  for (const bgp::AsNumber asn : graph.as_numbers()) {
+    bgp::SpeakerConfig config{.asn = asn, .graph = &graph};
+    if (asn == origin) config.originated = {prefix};
+    sim.add_node(asn, std::make_unique<bgp::BgpSpeaker>(std::move(config)));
+  }
+  for (const bgp::AsNumber asn : graph.as_numbers()) {
+    for (const bgp::AsNumber neighbor : graph.neighbors(asn)) {
+      if (asn < neighbor) sim.connect(asn, neighbor, {.latency = 2000});
+    }
+  }
+  sim.run();
+  row.bgp_updates = sim.stats().messages_sent;
+  row.bgp_bytes = sim.stats().bytes_sent;
+
+  crypto::Drbg key_rng(11, "scale-keys");
+  const core::AsKeyPairs keys =
+      core::generate_keys(graph.as_numbers(), key_rng, key_bits);
+
+  crypto::Drbg round_rng(13, "scale-rounds");
+  for (const bgp::AsNumber prover : graph.as_numbers()) {
+    auto& speaker = dynamic_cast<bgp::BgpSpeaker&>(sim.node(prover));
+    const std::vector<bgp::Route> candidates = speaker.candidates(prefix);
+    if (candidates.size() < 2) continue;  // nothing to promise about
+    row.provers += 1;
+
+    const core::ProtocolId id{.prover = prover, .prefix = prefix, .epoch = 1};
+    std::map<bgp::AsNumber, std::optional<core::SignedMessage>> inputs;
+    std::map<bgp::AsNumber, core::InputAnnouncement> announcements;
+    for (const bgp::Route& route : candidates) {
+      if (route.path.length() > 16) continue;
+      const core::InputAnnouncement announcement{
+          .id = id, .provider = route.next_hop, .route = route};
+      announcements.emplace(route.next_hop, announcement);
+      inputs[route.next_hop] = core::sign_message(
+          route.next_hop, keys.private_keys.at(route.next_hop).priv,
+          announcement.encode());
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::ProverResult result =
+        core::run_prover(id, core::OperatorKind::kMinimum, inputs, 16,
+                         keys.private_keys.at(prover).priv, round_rng, {});
+    row.pvr_total_ms += std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+
+    row.pvr_bytes += result.signed_bundle.encode().size() +
+                     result.recipient_reveal.encode().size() +
+                     result.export_statement.encode().size();
+    for (const auto& [provider, reveal] : result.provider_reveals) {
+      row.pvr_bytes += reveal.encode().size();
+    }
+
+    const auto t1 = std::chrono::steady_clock::now();
+    for (const auto& [provider, announcement] : announcements) {
+      const auto it = result.provider_reveals.find(provider);
+      row.violations +=
+          core::verify_as_provider(keys.directory, provider, announcement,
+                                   result.signed_bundle,
+                                   it == result.provider_reveals.end()
+                                       ? nullptr
+                                       : &it->second)
+              .size();
+    }
+    for (const bgp::AsNumber customer : graph.customers_of(prover)) {
+      row.violations += core::verify_as_recipient(keys.directory, customer,
+                                                  result.signed_bundle,
+                                                  &result.recipient_reveal,
+                                                  &result.export_statement)
+                            .size();
+    }
+    row.verify_total_ms += std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t1)
+                               .count();
+  }
+  if (row.provers > 0) row.pvr_mean_ms = row.pvr_total_ms / row.provers;
+  return row;
+}
+
+}  // namespace
+}  // namespace pvr::bench
+
+int main() {
+  using namespace pvr;
+  using namespace pvr::bench;
+  std::printf("E8: PVR piggybacked on BGP over Gao-Rexford topologies "
+              "(RSA-1024)\n\n");
+  std::printf("%-8s %-7s %-12s %-11s %-8s %-13s %-12s %-11s %-11s %-6s\n",
+              "ASes", "links", "bgp_updates", "bgp_bytes", "provers",
+              "pvr_total_ms", "pvr_mean_ms", "pvr_bytes", "verify_ms", "viol");
+  for (const std::size_t n : {50u, 100u, 200u, 400u}) {
+    const ScaleRow row = run_scale(n, 1024);
+    std::printf("%-8zu %-7zu %-12llu %-11llu %-8zu %-13.1f %-12.2f %-11zu "
+                "%-11.1f %-6zu\n",
+                row.as_count, row.links,
+                static_cast<unsigned long long>(row.bgp_updates),
+                static_cast<unsigned long long>(row.bgp_bytes), row.provers,
+                row.pvr_total_ms, row.pvr_mean_ms, row.pvr_bytes,
+                row.verify_total_ms, row.violations);
+  }
+  std::printf("\nexpected shape: per-AS PVR cost stays a few ms (a handful of\n"
+              "signatures, §3.8) independent of topology size; wire overhead\n"
+              "grows linearly with the number of verifying neighborhoods;\n"
+              "0 violations with honest speakers.\n");
+  return 0;
+}

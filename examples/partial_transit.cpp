@@ -1,0 +1,134 @@
+// Partial transit: the paper's motivating contract (§1).
+//
+// "Network A might enter into a 'partial transit' relationship with network
+// B and promise to deliver routes from, e.g., European peers in preference
+// to other routes." We express that as the Figure-2 route-flow graph — the
+// cheap domestic peer N1 is preferred only when strictly shorter, otherwise
+// the best of the European peers N2..N4 is exported — and show both halves
+// of PVR working on it:
+//
+//   1. the *structural* half (§3.5–3.7): A commits to the graph in a
+//      blinded sparse Merkle tree; B receives structure-only disclosures,
+//      rebuilds the visible graph, and statically checks it implements the
+//      promise — without learning any input route;
+//   2. the *value* half: A evaluates the graph and B checks the exported
+//      route against the promise semantics.
+#include <cstdio>
+
+#include "core/graph_commitment.h"
+
+namespace {
+
+using namespace pvr;
+
+bgp::Route route_len(std::size_t length, bgp::AsNumber next_hop) {
+  std::vector<bgp::AsNumber> hops;
+  hops.push_back(next_hop);
+  for (std::size_t i = 1; i < length; ++i) {
+    hops.push_back(static_cast<bgp::AsNumber>(7000 + i));
+  }
+  return bgp::Route{.prefix = bgp::Ipv4Prefix::parse("198.51.100.0/24"),
+                    .path = bgp::AsPath(std::move(hops)),
+                    .next_hop = next_hop,
+                    .local_pref = 100,
+                    .med = 0,
+                    .origin = bgp::Origin::kIgp,
+                    .communities = {}};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("PVR partial-transit example (Figure 2 of the paper)\n\n");
+
+  const bgp::AsNumber primary = 1;                  // domestic peer N1
+  const std::vector<bgp::AsNumber> europeans = {2, 3, 4};  // N2..N4
+  const bgp::AsNumber customer = 99;                // B
+
+  // A's committed policy: "some route via N2..N4 unless N1 is shorter".
+  const rfg::RouteFlowGraph graph =
+      rfg::make_figure2_graph(primary, europeans, customer);
+  graph.validate();
+  std::printf("route-flow graph: %zu vertices (%zu variables, %zu operators)\n",
+              graph.vertex_count(), graph.variable_ids().size(),
+              graph.operator_ids().size());
+
+  const core::Promise promise{
+      .type = core::PromiseType::kFallbackUnlessPrimaryShorter,
+      .subset = {europeans.begin(), europeans.end()},
+      .primary = primary};
+  std::printf("promise to AS%u: %s\n\n", customer, promise.to_string().c_str());
+
+  // This epoch's inputs: N1 has a 4-hop route; N2 has 3 hops (wins).
+  const std::map<rfg::VertexId, rfg::Value> inputs = {
+      {rfg::input_variable_id(1), route_len(4, 1)},
+      {rfg::input_variable_id(2), route_len(3, 2)},
+      {rfg::input_variable_id(3), route_len(5, 3)},
+      {rfg::input_variable_id(4), route_len(6, 4)},
+  };
+  const auto values = graph.evaluate(inputs);
+  const rfg::Value& exported = values.at(rfg::kOutputVariableId);
+  std::printf("A evaluates: exported route = %s\n",
+              exported ? exported->to_string().c_str() : "(none)");
+
+  // Commit: one blinded sparse-MHT root covers the whole graph + values.
+  crypto::Drbg rng(7, "partial-transit");
+  const core::GraphCommitment commitment(graph, values, rng);
+  std::printf("commitment root: %s...\n",
+              crypto::digest_hex(commitment.root()).substr(0, 16).c_str());
+
+  // Access policy for B: structure everywhere, operator types, the output
+  // value — but NOT the input route values.
+  rfg::AccessPolicy policy;
+  for (const rfg::VertexId& id : graph.variable_ids()) {
+    policy.grant(customer, id, rfg::Component::kPredecessors);
+    policy.grant(customer, id, rfg::Component::kSuccessors);
+  }
+  for (const rfg::VertexId& id : graph.operator_ids()) {
+    policy.grant_all(customer, id);
+  }
+  policy.grant(customer, rfg::kOutputVariableId, rfg::Component::kPayload);
+
+  // B pulls disclosures and rebuilds what it may see.
+  core::DisclosedGraph view;
+  std::size_t disclosure_bytes = 0;
+  for (const rfg::VertexId& id : graph.variable_ids()) {
+    const auto disclosure = commitment.disclose(id, customer, policy);
+    disclosure_bytes += disclosure.proof.byte_size();
+    if (!view.add(commitment.root(), disclosure)) {
+      std::printf("  disclosure for %s FAILED verification!\n", id.c_str());
+      return 1;
+    }
+  }
+  for (const rfg::VertexId& id : graph.operator_ids()) {
+    const auto disclosure = commitment.disclose(id, customer, policy);
+    disclosure_bytes += disclosure.proof.byte_size();
+    if (!view.add(commitment.root(), disclosure)) {
+      std::printf("  disclosure for %s FAILED verification!\n", id.c_str());
+      return 1;
+    }
+  }
+  std::printf("B verified %zu disclosures (%zu proof bytes total)\n",
+              view.size(), disclosure_bytes);
+
+  // Structural check: does the committed policy implement the promise?
+  std::printf("structural check (promise implemented by committed graph): %s\n",
+              view.implements_promise(promise, customer) ? "PASS" : "FAIL");
+
+  // Confidentiality: B cannot read the hidden inputs.
+  const bool leak = view.variable_value(rfg::input_variable_id(1)).has_value() ||
+                    view.variable_value(rfg::input_variable_id(2)).has_value();
+  std::printf("input route values visible to B: %s\n", leak ? "YES (BUG)" : "no");
+
+  // Value check: the disclosed output matches the promise semantics.
+  const auto output_view = view.variable_value(rfg::kOutputVariableId);
+  core::Promise::Inputs semantic_inputs;
+  for (const auto& [id, value] : inputs) {
+    semantic_inputs[graph.variable(id).neighbor] = value;
+  }
+  const bool kept = output_view.has_value() &&
+                    promise.holds(semantic_inputs, *output_view);
+  std::printf("promise semantics on the disclosed output: %s\n",
+              kept ? "KEPT" : "VIOLATED");
+  return kept && !leak ? 0 : 1;
+}

@@ -1,0 +1,18 @@
+#include "baseline/full_disclosure.h"
+
+namespace pvr::baseline {
+
+FullDisclosureReport full_disclosure_audit(
+    const core::Promise& promise, const core::Promise::Inputs& inputs,
+    const std::optional<bgp::Route>& output, std::size_t verifier_count) {
+  FullDisclosureReport report;
+  report.promise_kept = promise.holds(inputs, output);
+  for (const auto& [neighbor, route] : inputs) {
+    if (!route.has_value()) continue;
+    report.routes_revealed += verifier_count;
+    report.bytes_revealed += verifier_count * route->canonical_bytes().size();
+  }
+  return report;
+}
+
+}  // namespace pvr::baseline

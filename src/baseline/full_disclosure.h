@@ -1,0 +1,33 @@
+// The full-disclosure baseline (paper §1: "We could enable complete
+// verification by revealing all routing tables, similar to [NetReview],
+// but then everything is revealed").
+//
+// The checker is trivially complete — it sees every input and the output,
+// so it can check any promise semantically — and maximally leaky. The
+// `leakage` accounting quantifies the privacy cost that PVR avoids:
+// every neighbor learns every other neighbor's route.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "core/promise.h"
+
+namespace pvr::baseline {
+
+struct FullDisclosureReport {
+  bool promise_kept = false;
+  // Number of (viewer, route) pairs revealed beyond what BGP itself sends:
+  // each of the n verifying neighbors sees all k input routes.
+  std::size_t routes_revealed = 0;
+  std::size_t bytes_revealed = 0;
+};
+
+// Publishes all inputs and the output to `verifier_count` neighbors and
+// checks the promise directly.
+[[nodiscard]] FullDisclosureReport full_disclosure_audit(
+    const core::Promise& promise, const core::Promise::Inputs& inputs,
+    const std::optional<bgp::Route>& output, std::size_t verifier_count);
+
+}  // namespace pvr::baseline

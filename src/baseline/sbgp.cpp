@@ -1,0 +1,102 @@
+#include "baseline/sbgp.h"
+
+#include <stdexcept>
+
+#include "crypto/encoding.h"
+
+namespace pvr::baseline {
+
+std::vector<std::uint8_t> Attestation::encode() const {
+  crypto::ByteWriter writer;
+  writer.put_string("sbgp.attestation");
+  prefix.encode(writer);
+  writer.put_u32(signer);
+  writer.put_u32(to);
+  writer.put_u16(static_cast<std::uint16_t>(suffix.size()));
+  for (const bgp::AsNumber asn : suffix) writer.put_u32(asn);
+  return writer.take();
+}
+
+Attestation Attestation::decode(std::span<const std::uint8_t> data) {
+  crypto::ByteReader reader(data);
+  if (reader.get_string() != "sbgp.attestation") {
+    throw std::out_of_range("Attestation: bad tag");
+  }
+  Attestation out;
+  out.prefix = bgp::Ipv4Prefix::decode(reader);
+  out.signer = reader.get_u32();
+  out.to = reader.get_u32();
+  const std::uint16_t count = reader.get_u16();
+  out.suffix.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) out.suffix.push_back(reader.get_u32());
+  return out;
+}
+
+SbgpAnnouncement sbgp_originate(const bgp::Ipv4Prefix& prefix,
+                                bgp::AsNumber origin, bgp::AsNumber next,
+                                const crypto::RsaPrivateKey& key) {
+  const Attestation attestation{
+      .prefix = prefix, .signer = origin, .to = next, .suffix = {origin}};
+  return SbgpAnnouncement{
+      .prefix = prefix,
+      .path = bgp::AsPath{origin},
+      .attestations = {core::sign_message(origin, key, attestation.encode())},
+  };
+}
+
+SbgpAnnouncement sbgp_extend(const SbgpAnnouncement& received,
+                             bgp::AsNumber self, bgp::AsNumber next,
+                             const crypto::RsaPrivateKey& key) {
+  SbgpAnnouncement out = received;
+  out.path = received.path.prepended(self);
+  const Attestation attestation{.prefix = received.prefix,
+                                .signer = self,
+                                .to = next,
+                                .suffix = out.path.hops()};
+  out.attestations.push_back(core::sign_message(self, key, attestation.encode()));
+  return out;
+}
+
+bool sbgp_verify(const core::KeyDirectory& directory,
+                 const SbgpAnnouncement& announcement, bgp::AsNumber receiver) {
+  const std::vector<bgp::AsNumber>& hops = announcement.path.hops();
+  if (hops.empty() || announcement.attestations.size() != hops.size()) {
+    return false;
+  }
+  // hops = [A_k, ..., A_1, origin]; attestations[i] belongs to
+  // hops[hops.size()-1-i] (origin first).
+  for (std::size_t i = 0; i < announcement.attestations.size(); ++i) {
+    const core::SignedMessage& message = announcement.attestations[i];
+    if (!core::verify_message(directory, message)) return false;
+    Attestation attestation;
+    try {
+      attestation = Attestation::decode(message.payload);
+    } catch (const std::out_of_range&) {
+      return false;
+    }
+    const std::size_t hop_index = hops.size() - 1 - i;
+    if (attestation.signer != hops[hop_index]) return false;
+    if (attestation.signer != message.signer) return false;
+    if (attestation.prefix != announcement.prefix) return false;
+    // The signed suffix must equal the path from this hop down to origin.
+    const std::vector<bgp::AsNumber> expected(hops.begin() +
+                                                  static_cast<std::ptrdiff_t>(hop_index),
+                                              hops.end());
+    if (attestation.suffix != expected) return false;
+    // Addressed to the next hop up the chain (or the final receiver).
+    const bgp::AsNumber expected_to =
+        hop_index == 0 ? receiver : hops[hop_index - 1];
+    if (attestation.to != expected_to) return false;
+  }
+  return true;
+}
+
+std::size_t sbgp_wire_size(const SbgpAnnouncement& announcement) {
+  std::size_t total = announcement.path.hops().size() * 4 + 5;
+  for (const core::SignedMessage& message : announcement.attestations) {
+    total += message.encode().size();
+  }
+  return total;
+}
+
+}  // namespace pvr::baseline

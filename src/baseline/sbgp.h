@@ -1,0 +1,59 @@
+// S-BGP-style route attestations (Kent, Lynn, Seo 2000; paper §1–2).
+//
+// The comparison system the paper positions PVR against: nested signatures
+// prove that "a routing announcement does correspond to the claimed path
+// and destination", i.e. each AS on the path authorized the announcement to
+// the next AS. What S-BGP cannot do — and what the sbgp tests demonstrate —
+// is say anything about the *decision process*: an AS that received a
+// shorter route and exported a longer one still produces a perfectly valid
+// attestation chain.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bgp/route.h"
+#include "core/keys.h"
+
+namespace pvr::baseline {
+
+// One hop's route attestation: `signer` authorizes the announcement of
+// `prefix` with the path suffix it saw, to the named next AS.
+struct Attestation {
+  bgp::Ipv4Prefix prefix;
+  bgp::AsNumber signer = 0;
+  bgp::AsNumber to = 0;               // the AS this announcement is sent to
+  std::vector<bgp::AsNumber> suffix;  // path from signer to origin, inclusive
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static Attestation decode(std::span<const std::uint8_t> data);
+};
+
+struct SbgpAnnouncement {
+  bgp::Ipv4Prefix prefix;
+  bgp::AsPath path;  // [A_k, ..., A_1, origin]
+  // attestations[0] is the origin's, attestations.back() the latest hop's.
+  std::vector<core::SignedMessage> attestations;
+};
+
+// Originates `prefix` at `origin`, addressed to `next`.
+[[nodiscard]] SbgpAnnouncement sbgp_originate(const bgp::Ipv4Prefix& prefix,
+                                              bgp::AsNumber origin,
+                                              bgp::AsNumber next,
+                                              const crypto::RsaPrivateKey& key);
+
+// Extends a received announcement at `self`, addressed to `next`.
+[[nodiscard]] SbgpAnnouncement sbgp_extend(const SbgpAnnouncement& received,
+                                           bgp::AsNumber self, bgp::AsNumber next,
+                                           const crypto::RsaPrivateKey& key);
+
+// Full chain validation at `receiver`: every hop signed, suffixes nest,
+// every attestation addressed to the following hop, final one to receiver.
+[[nodiscard]] bool sbgp_verify(const core::KeyDirectory& directory,
+                               const SbgpAnnouncement& announcement,
+                               bgp::AsNumber receiver);
+
+// Total attestation bytes (for the overhead comparison benches).
+[[nodiscard]] std::size_t sbgp_wire_size(const SbgpAnnouncement& announcement);
+
+}  // namespace pvr::baseline

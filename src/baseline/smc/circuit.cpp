@@ -1,0 +1,153 @@
+#include "baseline/smc/circuit.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pvr::baseline::smc {
+
+Wire Circuit::push(Gate gate) {
+  gates_.push_back(gate);
+  max_layer_ = std::max(max_layer_, gate.layer);
+  return static_cast<Wire>(gates_.size() - 1);
+}
+
+Wire Circuit::add_input() {
+  ++input_count_;
+  return push({.type = GateType::kInput});
+}
+
+Wire Circuit::add_constant(bool value) {
+  return push({.type = GateType::kConstant, .constant = value});
+}
+
+Wire Circuit::add_xor(Wire a, Wire b) {
+  if (a >= gates_.size() || b >= gates_.size()) {
+    throw std::out_of_range("Circuit::add_xor: bad wire");
+  }
+  return push({.type = GateType::kXor,
+               .a = a,
+               .b = b,
+               .layer = std::max(gates_[a].layer, gates_[b].layer)});
+}
+
+Wire Circuit::add_and(Wire a, Wire b) {
+  if (a >= gates_.size() || b >= gates_.size()) {
+    throw std::out_of_range("Circuit::add_and: bad wire");
+  }
+  ++and_count_;
+  return push({.type = GateType::kAnd,
+               .a = a,
+               .b = b,
+               .layer = std::max(gates_[a].layer, gates_[b].layer) + 1});
+}
+
+Wire Circuit::add_not(Wire a) {
+  if (a >= gates_.size()) throw std::out_of_range("Circuit::add_not: bad wire");
+  return push({.type = GateType::kNot, .a = a, .layer = gates_[a].layer});
+}
+
+std::vector<bool> Circuit::evaluate(const std::vector<bool>& inputs) const {
+  if (inputs.size() != input_count_) {
+    throw std::invalid_argument("Circuit::evaluate: wrong input count");
+  }
+  std::vector<bool> values(gates_.size(), false);
+  std::size_t next_input = 0;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& gate = gates_[i];
+    switch (gate.type) {
+      case GateType::kInput: values[i] = inputs[next_input++]; break;
+      case GateType::kConstant: values[i] = gate.constant; break;
+      case GateType::kXor: values[i] = values[gate.a] ^ values[gate.b]; break;
+      case GateType::kAnd: values[i] = values[gate.a] && values[gate.b]; break;
+      case GateType::kNot: values[i] = !values[gate.a]; break;
+    }
+  }
+  std::vector<bool> out;
+  out.reserve(outputs_.size());
+  for (const Wire w : outputs_) out.push_back(values[w]);
+  return out;
+}
+
+std::vector<Wire> Circuit::add_input_word(std::size_t width) {
+  std::vector<Wire> word(width);
+  for (Wire& w : word) w = add_input();
+  return word;
+}
+
+Wire Circuit::less_than(const std::vector<Wire>& a, const std::vector<Wire>& b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("Circuit::less_than: width mismatch");
+  }
+  // Ripple from LSB: lt_i = (~a_i & b_i) | (eq_i & lt_{i-1})
+  //                        = (~a_i & b_i) ^ (~(a_i^b_i) & lt_{i-1})
+  // (the two terms are disjoint, so XOR == OR).
+  Wire lt = add_constant(false);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Wire ai = a[i];
+    const Wire bi = b[i];
+    const Wire not_ai = add_not(ai);
+    const Wire strictly = add_and(not_ai, bi);
+    const Wire eq = add_not(add_xor(ai, bi));
+    const Wire carry = add_and(eq, lt);
+    lt = add_xor(strictly, carry);
+  }
+  return lt;
+}
+
+std::vector<Wire> Circuit::mux(Wire sel, const std::vector<Wire>& a,
+                               const std::vector<Wire>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("Circuit::mux: width");
+  // out = b ^ (sel & (a ^ b))
+  std::vector<Wire> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = add_xor(b[i], add_and(sel, add_xor(a[i], b[i])));
+  }
+  return out;
+}
+
+Circuit build_minimum_circuit(std::size_t parties, std::size_t width) {
+  if (parties == 0 || width == 0) {
+    throw std::invalid_argument("build_minimum_circuit: bad params");
+  }
+  Circuit circuit;
+  std::vector<std::vector<Wire>> words;
+  words.reserve(parties);
+  for (std::size_t p = 0; p < parties; ++p) {
+    words.push_back(circuit.add_input_word(width));
+  }
+  // Tournament reduction.
+  while (words.size() > 1) {
+    std::vector<std::vector<Wire>> next;
+    for (std::size_t i = 0; i + 1 < words.size(); i += 2) {
+      const Wire less = circuit.less_than(words[i], words[i + 1]);
+      next.push_back(circuit.mux(less, words[i], words[i + 1]));
+    }
+    if (words.size() % 2 == 1) next.push_back(words.back());
+    words = std::move(next);
+  }
+  for (const Wire w : words.front()) circuit.mark_output(w);
+  return circuit;
+}
+
+Circuit build_existential_circuit(std::size_t parties, std::size_t width) {
+  if (parties == 0 || width == 0) {
+    throw std::invalid_argument("build_existential_circuit: bad params");
+  }
+  Circuit circuit;
+  Wire any = circuit.add_constant(false);
+  for (std::size_t p = 0; p < parties; ++p) {
+    const std::vector<Wire> word = circuit.add_input_word(width);
+    // nonzero = OR over bits; OR(a,b) = a ^ b ^ (a & b).
+    Wire nonzero = circuit.add_constant(false);
+    for (const Wire bit : word) {
+      const Wire conj = circuit.add_and(nonzero, bit);
+      nonzero = circuit.add_xor(circuit.add_xor(nonzero, bit), conj);
+    }
+    const Wire conj = circuit.add_and(any, nonzero);
+    any = circuit.add_xor(circuit.add_xor(any, nonzero), conj);
+  }
+  circuit.mark_output(any);
+  return circuit;
+}
+
+}  // namespace pvr::baseline::smc

@@ -1,0 +1,76 @@
+// Boolean circuits for the SMC strawman (paper §3.1).
+//
+// The strawman computes the same minimum-of-k-path-lengths function as the
+// PVR minimum protocol, but inside a generic secure multiparty computation.
+// Circuits are layered DAGs of XOR / AND / NOT gates over single-bit wires;
+// XOR and NOT are free in GMW, each AND layer costs one communication
+// round, so the builder tracks layers explicitly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pvr::baseline::smc {
+
+enum class GateType : std::uint8_t { kInput, kConstant, kXor, kAnd, kNot };
+
+struct Gate {
+  GateType type = GateType::kInput;
+  std::uint32_t a = 0;  // operand wire (unused for inputs/constants)
+  std::uint32_t b = 0;  // second operand (kXor / kAnd only)
+  bool constant = false;
+  std::uint32_t layer = 0;  // AND-depth of this wire
+};
+
+using Wire = std::uint32_t;
+
+class Circuit {
+ public:
+  [[nodiscard]] Wire add_input();
+  [[nodiscard]] Wire add_constant(bool value);
+  [[nodiscard]] Wire add_xor(Wire a, Wire b);
+  [[nodiscard]] Wire add_and(Wire a, Wire b);
+  [[nodiscard]] Wire add_not(Wire a);
+
+  void mark_output(Wire w) { outputs_.push_back(w); }
+
+  [[nodiscard]] const std::vector<Gate>& gates() const noexcept { return gates_; }
+  [[nodiscard]] const std::vector<Wire>& outputs() const noexcept { return outputs_; }
+  [[nodiscard]] std::size_t input_count() const noexcept { return input_count_; }
+  [[nodiscard]] std::size_t and_count() const noexcept { return and_count_; }
+  // Number of AND layers == GMW communication rounds.
+  [[nodiscard]] std::uint32_t and_depth() const noexcept { return max_layer_; }
+
+  // Plaintext evaluation (reference semantics for tests).
+  [[nodiscard]] std::vector<bool> evaluate(const std::vector<bool>& inputs) const;
+
+  // ---- Multi-bit helpers (little-endian wire vectors) ----
+
+  // `width` fresh input wires forming one party's integer input.
+  [[nodiscard]] std::vector<Wire> add_input_word(std::size_t width);
+  // Comparator: 1 iff word a < word b (unsigned).
+  [[nodiscard]] Wire less_than(const std::vector<Wire>& a,
+                               const std::vector<Wire>& b);
+  // Selector: sel ? a : b, bitwise.
+  [[nodiscard]] std::vector<Wire> mux(Wire sel, const std::vector<Wire>& a,
+                                      const std::vector<Wire>& b);
+
+ private:
+  [[nodiscard]] Wire push(Gate gate);
+
+  std::vector<Gate> gates_;
+  std::vector<Wire> outputs_;
+  std::size_t input_count_ = 0;
+  std::size_t and_count_ = 0;
+  std::uint32_t max_layer_ = 0;
+};
+
+// The strawman's workload: min over `parties` unsigned `width`-bit inputs.
+// Tournament of comparator+mux stages; outputs the minimum value's bits.
+[[nodiscard]] Circuit build_minimum_circuit(std::size_t parties, std::size_t width);
+
+// Existential variant: OR over "input != 0" bits.
+[[nodiscard]] Circuit build_existential_circuit(std::size_t parties,
+                                                std::size_t width);
+
+}  // namespace pvr::baseline::smc

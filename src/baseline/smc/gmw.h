@@ -1,0 +1,49 @@
+// GMW-style secure multiparty evaluation over XOR secret shares
+// (Goldreich–Micali–Wigderson 1987, cited as [9] in the paper).
+//
+// This is the §3.1 strawman: the same min-of-k computation PVR verifies
+// with a handful of hashes costs, under SMC, one Beaver-triple-assisted
+// reconstruction round per AND layer with n*(n-1) messages each. The
+// implementation is a faithful semi-honest n-party GMW with a trusted
+// dealer for triples (standard in benchmarking setups); the cost model
+// (rounds, messages, bytes) is what experiment E3 reports alongside
+// measured CPU time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/smc/circuit.h"
+#include "crypto/drbg.h"
+
+namespace pvr::baseline::smc {
+
+struct GmwStats {
+  std::size_t parties = 0;
+  std::size_t and_gates = 0;
+  std::size_t rounds = 0;          // AND layers (communication rounds)
+  std::size_t messages = 0;        // point-to-point messages exchanged
+  std::size_t bytes = 0;           // payload bytes exchanged
+  double cpu_seconds = 0.0;        // measured share-arithmetic time
+
+  // Modeled wall-clock: CPU + rounds * RTT (the dominant term for WAN SMC).
+  [[nodiscard]] double modeled_seconds(double rtt_seconds) const {
+    return cpu_seconds + static_cast<double>(rounds) * rtt_seconds;
+  }
+};
+
+struct GmwResult {
+  std::vector<bool> outputs;
+  GmwStats stats;
+};
+
+// Evaluates `circuit` among `parties` players. `inputs` assigns each input
+// wire its plaintext bit together with the owning party (inputs are split
+// round-robin by word: input wire i belongs to party (i / word_width) when
+// built via build_minimum_circuit). For generality the owner is simply
+// (input_index * parties) / input_count — contiguous blocks.
+[[nodiscard]] GmwResult gmw_evaluate(const Circuit& circuit,
+                                     const std::vector<bool>& inputs,
+                                     std::size_t parties, crypto::Drbg& rng);
+
+}  // namespace pvr::baseline::smc

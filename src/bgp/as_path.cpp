@@ -1,0 +1,52 @@
+#include "bgp/as_path.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pvr::bgp {
+
+AsPath AsPath::prepended(AsNumber asn) const {
+  std::vector<AsNumber> hops;
+  hops.reserve(hops_.size() + 1);
+  hops.push_back(asn);
+  hops.insert(hops.end(), hops_.begin(), hops_.end());
+  return AsPath(std::move(hops));
+}
+
+bool AsPath::contains(AsNumber asn) const noexcept {
+  return std::find(hops_.begin(), hops_.end(), asn) != hops_.end();
+}
+
+AsNumber AsPath::first() const {
+  if (hops_.empty()) throw std::logic_error("AsPath::first: empty path");
+  return hops_.front();
+}
+
+AsNumber AsPath::origin() const {
+  if (hops_.empty()) throw std::logic_error("AsPath::origin: empty path");
+  return hops_.back();
+}
+
+std::string AsPath::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    if (i != 0) out.push_back(' ');
+    out += std::to_string(hops_[i]);
+  }
+  return out;
+}
+
+void AsPath::encode(crypto::ByteWriter& writer) const {
+  writer.put_u16(static_cast<std::uint16_t>(hops_.size()));
+  for (const AsNumber hop : hops_) writer.put_u32(hop);
+}
+
+AsPath AsPath::decode(crypto::ByteReader& reader) {
+  const std::uint16_t count = reader.get_u16();
+  std::vector<AsNumber> hops;
+  hops.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) hops.push_back(reader.get_u32());
+  return AsPath(std::move(hops));
+}
+
+}  // namespace pvr::bgp

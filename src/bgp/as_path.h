@@ -1,0 +1,47 @@
+// AS paths: the sequence of autonomous systems a route announcement has
+// traversed. Path length drives both the BGP decision process and the
+// "shortest route" promises PVR verifies (paper §2, §3.3).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "crypto/encoding.h"
+
+namespace pvr::bgp {
+
+using AsNumber = std::uint32_t;
+
+class AsPath {
+ public:
+  AsPath() = default;
+  AsPath(std::initializer_list<AsNumber> hops) : hops_(hops) {}
+  explicit AsPath(std::vector<AsNumber> hops) : hops_(std::move(hops)) {}
+
+  // Returns a copy with `asn` prepended (the BGP export operation).
+  [[nodiscard]] AsPath prepended(AsNumber asn) const;
+
+  [[nodiscard]] std::size_t length() const noexcept { return hops_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return hops_.empty(); }
+  [[nodiscard]] bool contains(AsNumber asn) const noexcept;
+  // First hop = the neighbor that sent the announcement.
+  [[nodiscard]] AsNumber first() const;
+  // Last hop = the origin AS.
+  [[nodiscard]] AsNumber origin() const;
+  [[nodiscard]] const std::vector<AsNumber>& hops() const noexcept { return hops_; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] auto operator<=>(const AsPath&) const noexcept = default;
+
+  void encode(crypto::ByteWriter& writer) const;
+  [[nodiscard]] static AsPath decode(crypto::ByteReader& reader);
+
+ private:
+  std::vector<AsNumber> hops_;
+};
+
+}  // namespace pvr::bgp

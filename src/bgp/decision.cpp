@@ -1,0 +1,28 @@
+#include "bgp/decision.h"
+
+namespace pvr::bgp {
+
+bool better_route(const Route& a, const Route& b) noexcept {
+  if (a.local_pref != b.local_pref) return a.local_pref > b.local_pref;
+  if (a.path.length() != b.path.length()) return a.path.length() < b.path.length();
+  if (a.origin != b.origin) return a.origin < b.origin;
+  if (a.med != b.med) return a.med < b.med;
+  return a.next_hop < b.next_hop;
+}
+
+std::optional<std::size_t> best_route_index(std::span<const Route> candidates) {
+  if (candidates.empty()) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    if (better_route(candidates[i], candidates[best])) best = i;
+  }
+  return best;
+}
+
+std::optional<Route> best_route(std::span<const Route> candidates) {
+  const auto index = best_route_index(candidates);
+  if (!index) return std::nullopt;
+  return candidates[*index];
+}
+
+}  // namespace pvr::bgp

@@ -1,0 +1,32 @@
+// The standard BGP decision process.
+//
+// Paper §2.1 models route selection as a pipeline of operators, "one for
+// each attribute"; this module is the reference (unverified) pipeline that
+// a speaker actually runs, and the thing PVR promises are judged against.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "bgp/route.h"
+
+namespace pvr::bgp {
+
+// Total preference order used to pick the best route:
+//   1. highest local_pref
+//   2. shortest AS path
+//   3. lowest origin (IGP < EGP < INCOMPLETE)
+//   4. lowest MED (compared across all candidates here; the simulator has
+//      no IGP metric, so always-compare-MED is the deterministic choice)
+//   5. lowest next_hop AS number (final deterministic tiebreak)
+// Returns true if `a` is strictly preferred over `b`.
+[[nodiscard]] bool better_route(const Route& a, const Route& b) noexcept;
+
+// Applies the decision process to a candidate set. Empty input -> nullopt.
+[[nodiscard]] std::optional<Route> best_route(std::span<const Route> candidates);
+
+// The index of the winner (for verification code that needs provenance).
+[[nodiscard]] std::optional<std::size_t> best_route_index(
+    std::span<const Route> candidates);
+
+}  // namespace pvr::bgp

@@ -1,0 +1,27 @@
+#include "bgp/messages.h"
+
+#include <stdexcept>
+
+namespace pvr::bgp {
+
+std::vector<std::uint8_t> BgpUpdate::encode() const {
+  if (!withdraw && !route) {
+    throw std::logic_error("BgpUpdate::encode: announcement without route");
+  }
+  crypto::ByteWriter writer;
+  writer.put_bool(withdraw);
+  prefix.encode(writer);
+  if (!withdraw) route->encode(writer);
+  return writer.take();
+}
+
+BgpUpdate BgpUpdate::decode(std::span<const std::uint8_t> payload) {
+  crypto::ByteReader reader(payload);
+  BgpUpdate update;
+  update.withdraw = reader.get_bool();
+  update.prefix = Ipv4Prefix::decode(reader);
+  if (!update.withdraw) update.route = Route::decode(reader);
+  return update;
+}
+
+}  // namespace pvr::bgp

@@ -1,0 +1,25 @@
+// BGP wire messages exchanged over the simulated network.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bgp/route.h"
+#include "crypto/encoding.h"
+
+namespace pvr::bgp {
+
+inline constexpr const char* kUpdateChannel = "bgp.update";
+
+// A single-prefix UPDATE: either an announcement carrying a route or a
+// withdrawal of a previously announced prefix.
+struct BgpUpdate {
+  bool withdraw = false;
+  Ipv4Prefix prefix;            // always set
+  std::optional<Route> route;   // set iff !withdraw
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static BgpUpdate decode(std::span<const std::uint8_t> payload);
+};
+
+}  // namespace pvr::bgp

@@ -1,0 +1,42 @@
+#include "bgp/policy.h"
+
+#include <algorithm>
+
+namespace pvr::bgp {
+
+bool PolicyMatch::matches(const Route& route, AsNumber session_peer) const {
+  if (prefix && !prefix->covers(route.prefix)) return false;
+  if (neighbor && *neighbor != session_peer) return false;
+  if (as_in_path && !route.path.contains(*as_in_path)) return false;
+  if (community && !route.has_community(*community)) return false;
+  if (max_path_length && route.path.length() > *max_path_length) return false;
+  return true;
+}
+
+Route PolicyAction::apply(Route route) const {
+  if (set_local_pref) route.local_pref = *set_local_pref;
+  if (set_med) route.med = *set_med;
+  for (const Community c : add_communities) {
+    if (!route.has_community(c)) route.communities.push_back(c);
+  }
+  for (const Community c : strip_communities) {
+    route.communities.erase(
+        std::remove(route.communities.begin(), route.communities.end(), c),
+        route.communities.end());
+  }
+  return route;
+}
+
+std::optional<Route> RoutePolicy::evaluate(const Route& route,
+                                           AsNumber session_peer) const {
+  for (const PolicyRule& rule : rules_) {
+    if (rule.match.matches(route, session_peer)) {
+      if (rule.action.verdict == PolicyVerdict::kReject) return std::nullopt;
+      return rule.action.apply(route);
+    }
+  }
+  if (default_verdict_ == PolicyVerdict::kReject) return std::nullopt;
+  return route;
+}
+
+}  // namespace pvr::bgp

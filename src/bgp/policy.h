@@ -1,0 +1,70 @@
+// Router configuration policy: match/action rules applied on import and
+// export. This is the concrete "language of router configurations" the
+// paper contrasts with promises (§2): an AS has a single configuration but
+// may make different (over-approximating) promises about it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/route.h"
+
+namespace pvr::bgp {
+
+// Which routes a rule applies to. All set fields must match (conjunction).
+struct PolicyMatch {
+  std::optional<Ipv4Prefix> prefix;          // exact-or-covered match
+  std::optional<AsNumber> neighbor;          // session peer the route crosses
+  std::optional<AsNumber> as_in_path;        // AS appears anywhere in path
+  std::optional<Community> community;        // community present
+  std::optional<std::size_t> max_path_length;
+
+  [[nodiscard]] bool matches(const Route& route, AsNumber session_peer) const;
+};
+
+enum class PolicyVerdict : std::uint8_t { kAccept, kReject };
+
+struct PolicyAction {
+  PolicyVerdict verdict = PolicyVerdict::kAccept;
+  std::optional<std::uint32_t> set_local_pref;
+  std::optional<std::uint32_t> set_med;
+  std::vector<Community> add_communities;
+  std::vector<Community> strip_communities;
+
+  // Applies attribute rewrites (only meaningful for kAccept).
+  [[nodiscard]] Route apply(Route route) const;
+};
+
+struct PolicyRule {
+  std::string name;  // for diagnostics and route-flow-graph labels
+  PolicyMatch match;
+  PolicyAction action;
+};
+
+// An ordered rule list with first-match semantics and a default verdict.
+class RoutePolicy {
+ public:
+  RoutePolicy() = default;
+  explicit RoutePolicy(std::vector<PolicyRule> rules,
+                       PolicyVerdict default_verdict = PolicyVerdict::kAccept)
+      : rules_(std::move(rules)), default_verdict_(default_verdict) {}
+
+  // Returns the transformed route, or nullopt if rejected.
+  [[nodiscard]] std::optional<Route> evaluate(const Route& route,
+                                              AsNumber session_peer) const;
+
+  [[nodiscard]] const std::vector<PolicyRule>& rules() const noexcept {
+    return rules_;
+  }
+  [[nodiscard]] PolicyVerdict default_verdict() const noexcept {
+    return default_verdict_;
+  }
+
+ private:
+  std::vector<PolicyRule> rules_;
+  PolicyVerdict default_verdict_ = PolicyVerdict::kAccept;
+};
+
+}  // namespace pvr::bgp

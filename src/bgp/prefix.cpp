@@ -1,0 +1,88 @@
+#include "bgp/prefix.h"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace pvr::bgp {
+
+namespace {
+
+[[nodiscard]] std::uint32_t mask_for(std::uint8_t length) noexcept {
+  return length == 0 ? 0u : ~std::uint32_t{0} << (32 - length);
+}
+
+[[nodiscard]] std::uint32_t parse_octet(std::string_view text) {
+  std::uint32_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size() || value > 255) {
+    throw std::invalid_argument("Ipv4Prefix: bad octet '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Ipv4Prefix::Ipv4Prefix(std::uint32_t address, std::uint8_t length)
+    : address_(address & mask_for(length)), length_(length) {
+  if (length > 32) throw std::invalid_argument("Ipv4Prefix: length > 32");
+}
+
+Ipv4Prefix Ipv4Prefix::parse(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    throw std::invalid_argument("Ipv4Prefix: missing '/'");
+  }
+  std::string_view addr_part = text.substr(0, slash);
+  std::string_view len_part = text.substr(slash + 1);
+
+  std::uint32_t address = 0;
+  for (int i = 0; i < 4; ++i) {
+    const std::size_t dot = addr_part.find('.');
+    const bool last = i == 3;
+    if (last != (dot == std::string_view::npos)) {
+      throw std::invalid_argument("Ipv4Prefix: malformed address");
+    }
+    const std::string_view octet = last ? addr_part : addr_part.substr(0, dot);
+    address = (address << 8) | parse_octet(octet);
+    if (!last) addr_part.remove_prefix(dot + 1);
+  }
+
+  const std::uint32_t length = parse_octet(len_part);
+  if (length > 32) throw std::invalid_argument("Ipv4Prefix: length > 32");
+  return Ipv4Prefix(address, static_cast<std::uint8_t>(length));
+}
+
+bool Ipv4Prefix::covers(const Ipv4Prefix& other) const noexcept {
+  return other.length_ >= length_ &&
+         (other.address_ & mask_for(length_)) == address_;
+}
+
+bool Ipv4Prefix::contains_address(std::uint32_t address) const noexcept {
+  return (address & mask_for(length_)) == address_;
+}
+
+std::string Ipv4Prefix::to_string() const {
+  std::string out;
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out += std::to_string((address_ >> shift) & 0xff);
+    if (shift != 0) out.push_back('.');
+  }
+  out.push_back('/');
+  out += std::to_string(length_);
+  return out;
+}
+
+void Ipv4Prefix::encode(crypto::ByteWriter& writer) const {
+  writer.put_u32(address_);
+  writer.put_u8(length_);
+}
+
+Ipv4Prefix Ipv4Prefix::decode(crypto::ByteReader& reader) {
+  const std::uint32_t address = reader.get_u32();
+  const std::uint8_t length = reader.get_u8();
+  if (length > 32) throw std::out_of_range("Ipv4Prefix::decode: bad length");
+  return Ipv4Prefix(address, length);
+}
+
+}  // namespace pvr::bgp

@@ -1,0 +1,43 @@
+// IPv4 prefixes (the destinations that BGP routes and PVR promises are
+// about).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "crypto/encoding.h"
+
+namespace pvr::bgp {
+
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+  // Throws std::invalid_argument if length > 32; host bits below the mask
+  // are cleared so equal prefixes always compare equal.
+  Ipv4Prefix(std::uint32_t address, std::uint8_t length);
+
+  // Parses dotted-quad/len, e.g. "10.1.0.0/16". Throws std::invalid_argument.
+  [[nodiscard]] static Ipv4Prefix parse(std::string_view text);
+
+  [[nodiscard]] std::uint32_t address() const noexcept { return address_; }
+  [[nodiscard]] std::uint8_t length() const noexcept { return length_; }
+
+  // True if `other` is equal to or more specific than *this.
+  [[nodiscard]] bool covers(const Ipv4Prefix& other) const noexcept;
+  [[nodiscard]] bool contains_address(std::uint32_t address) const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] auto operator<=>(const Ipv4Prefix&) const noexcept = default;
+
+  void encode(crypto::ByteWriter& writer) const;
+  [[nodiscard]] static Ipv4Prefix decode(crypto::ByteReader& reader);
+
+ private:
+  std::uint32_t address_ = 0;
+  std::uint8_t length_ = 0;
+};
+
+}  // namespace pvr::bgp

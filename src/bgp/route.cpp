@@ -1,0 +1,61 @@
+#include "bgp/route.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pvr::bgp {
+
+bool Route::has_community(Community c) const noexcept {
+  return std::find(communities.begin(), communities.end(), c) !=
+         communities.end();
+}
+
+std::string Route::to_string() const {
+  std::string out = prefix.to_string();
+  out += " via [";
+  out += path.to_string();
+  out += "] lp=";
+  out += std::to_string(local_pref);
+  return out;
+}
+
+void Route::encode(crypto::ByteWriter& writer) const {
+  prefix.encode(writer);
+  path.encode(writer);
+  writer.put_u32(next_hop);
+  writer.put_u32(local_pref);
+  writer.put_u32(med);
+  writer.put_u8(static_cast<std::uint8_t>(origin));
+  writer.put_u16(static_cast<std::uint16_t>(communities.size()));
+  for (const Community c : communities) writer.put_u32(c);
+}
+
+Route Route::decode(crypto::ByteReader& reader) {
+  Route route;
+  route.prefix = Ipv4Prefix::decode(reader);
+  route.path = AsPath::decode(reader);
+  route.next_hop = reader.get_u32();
+  route.local_pref = reader.get_u32();
+  route.med = reader.get_u32();
+  const std::uint8_t origin = reader.get_u8();
+  if (origin > 2) throw std::out_of_range("Route::decode: bad origin");
+  route.origin = static_cast<Origin>(origin);
+  const std::uint16_t n_communities = reader.get_u16();
+  route.communities.reserve(n_communities);
+  for (std::uint16_t i = 0; i < n_communities; ++i) {
+    route.communities.push_back(reader.get_u32());
+  }
+  return route;
+}
+
+std::vector<std::uint8_t> Route::canonical_bytes() const {
+  crypto::ByteWriter writer;
+  encode(writer);
+  return writer.take();
+}
+
+crypto::Digest Route::digest() const {
+  return crypto::sha256(canonical_bytes());
+}
+
+}  // namespace pvr::bgp

@@ -1,0 +1,48 @@
+// BGP routes and their standard attributes.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgp/as_path.h"
+#include "bgp/prefix.h"
+#include "crypto/encoding.h"
+#include "crypto/sha256.h"
+
+namespace pvr::bgp {
+
+enum class Origin : std::uint8_t { kIgp = 0, kEgp = 1, kIncomplete = 2 };
+
+// BGP community value (RFC 1997): conventionally "ASN:tag" packed in 32 bits.
+using Community = std::uint32_t;
+
+[[nodiscard]] constexpr Community make_community(std::uint16_t asn,
+                                                 std::uint16_t tag) noexcept {
+  return (static_cast<Community>(asn) << 16) | tag;
+}
+
+struct Route {
+  Ipv4Prefix prefix;
+  AsPath path;
+  AsNumber next_hop = 0;  // the neighbor AS the route was learned from
+  std::uint32_t local_pref = 100;
+  std::uint32_t med = 0;
+  Origin origin = Origin::kIgp;
+  std::vector<Community> communities;
+
+  [[nodiscard]] bool has_community(Community c) const noexcept;
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool operator==(const Route&) const = default;
+
+  void encode(crypto::ByteWriter& writer) const;
+  [[nodiscard]] static Route decode(crypto::ByteReader& reader);
+
+  // Canonical bytes / digest (what gets signed and committed to).
+  [[nodiscard]] std::vector<std::uint8_t> canonical_bytes() const;
+  [[nodiscard]] crypto::Digest digest() const;
+};
+
+}  // namespace pvr::bgp

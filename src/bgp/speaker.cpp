@@ -1,0 +1,182 @@
+#include "bgp/speaker.h"
+
+#include <stdexcept>
+
+namespace pvr::bgp {
+
+BgpSpeaker::BgpSpeaker(SpeakerConfig config) : config_(std::move(config)) {
+  if (config_.graph == nullptr) {
+    throw std::invalid_argument("BgpSpeaker: null topology");
+  }
+  if (!config_.graph->has_as(config_.asn)) {
+    throw std::invalid_argument("BgpSpeaker: ASN not in topology");
+  }
+}
+
+std::uint32_t BgpSpeaker::local_pref_for(AsNumber neighbor) const {
+  const auto rel = config_.graph->relationship(config_.asn, neighbor);
+  if (!rel) return config_.provider_local_pref;
+  switch (*rel) {
+    case Relationship::kCustomer: return config_.customer_local_pref;
+    case Relationship::kPeer: return config_.peer_local_pref;
+    case Relationship::kProvider: return config_.provider_local_pref;
+  }
+  return config_.provider_local_pref;
+}
+
+void BgpSpeaker::on_start(net::Simulator& sim) {
+  for (const Ipv4Prefix& prefix : config_.originated) {
+    Route route{
+        .prefix = prefix,
+        .path = AsPath{},  // empty at origin; prepended on export
+        .next_hop = config_.asn,
+        .local_pref = 0,
+        .med = 0,
+        .origin = Origin::kIgp,
+        .communities = {},
+    };
+    loc_rib_[prefix] = route;
+    export_route(sim, prefix, route, /*learned_from=*/config_.asn);
+  }
+}
+
+void BgpSpeaker::on_message(net::Simulator& sim, const net::Message& message) {
+  if (message.channel != kUpdateChannel) return;  // not ours (PVR channels)
+  ++updates_received_;
+  const BgpUpdate update = BgpUpdate::decode(message.payload);
+  handle_update(sim, message.from, update);
+}
+
+void BgpSpeaker::handle_update(net::Simulator& sim, AsNumber from,
+                               const BgpUpdate& update) {
+  if (update.withdraw) {
+    auto it = rib_in_.find(update.prefix);
+    if (it == rib_in_.end() || it->second.erase(from) == 0) return;
+    run_decision(sim, update.prefix);
+    return;
+  }
+
+  Route route = *update.route;
+  // Loop prevention: discard routes that already carry our ASN.
+  if (route.path.contains(config_.asn)) return;
+  // Sanity: the first hop must be the sending neighbor.
+  if (route.path.empty() || route.path.first() != from) return;
+
+  route.next_hop = from;
+  route.local_pref = local_pref_for(from);
+
+  const auto imported = config_.import_policy.evaluate(route, from);
+  if (!imported) {
+    // Rejected by policy: an implicit withdraw of any previous route.
+    auto it = rib_in_.find(update.prefix);
+    if (it != rib_in_.end() && it->second.erase(from) > 0) {
+      run_decision(sim, update.prefix);
+    }
+    return;
+  }
+
+  rib_in_[update.prefix][from] = *imported;
+  run_decision(sim, update.prefix);
+}
+
+void BgpSpeaker::run_decision(net::Simulator& sim, const Ipv4Prefix& prefix) {
+  // Originated prefixes never change their loc-RIB entry.
+  for (const Ipv4Prefix& originated : config_.originated) {
+    if (originated == prefix) return;
+  }
+
+  const std::vector<Route> candidate_routes = candidates(prefix);
+  const std::optional<Route> chosen = best_route(candidate_routes);
+
+  const auto current = loc_rib_.find(prefix);
+  const bool unchanged =
+      (chosen.has_value() && current != loc_rib_.end() &&
+       current->second == *chosen) ||
+      (!chosen.has_value() && current == loc_rib_.end());
+
+  after_decision(sim, prefix, candidate_routes, chosen);
+
+  if (unchanged) return;
+  AsNumber learned_from = config_.asn;
+  if (chosen) {
+    loc_rib_[prefix] = *chosen;
+    learned_from = chosen->next_hop;
+  } else {
+    loc_rib_.erase(prefix);
+  }
+  export_route(sim, prefix, chosen, learned_from);
+}
+
+void BgpSpeaker::export_route(net::Simulator& sim, const Ipv4Prefix& prefix,
+                              const std::optional<Route>& chosen,
+                              AsNumber learned_from) {
+  const bool originated_here = learned_from == config_.asn;
+  const auto rel_learned = originated_here
+                               ? Relationship::kCustomer  // own prefix: export to all
+                               : config_.graph->relationship(config_.asn, learned_from)
+                                     .value_or(Relationship::kProvider);
+
+  for (const AsNumber neighbor : config_.graph->neighbors(config_.asn)) {
+    if (neighbor == learned_from) continue;  // split horizon
+    const auto rel_to =
+        config_.graph->relationship(config_.asn, neighbor).value();
+
+    std::optional<Route> to_send;
+    if (chosen && valley_free_exportable(rel_learned, rel_to)) {
+      Route exported = *chosen;
+      exported.path = exported.path.prepended(config_.asn);
+      exported.next_hop = config_.asn;
+      exported.local_pref = 0;  // local-pref is not carried across eBGP
+      const auto filtered = config_.export_policy.evaluate(exported, neighbor);
+      if (filtered) to_send = transform_export(neighbor, *filtered);
+    }
+
+    const auto key = std::pair{neighbor, prefix};
+    const auto previous = adj_rib_out_.find(key);
+    const bool had_previous =
+        previous != adj_rib_out_.end() && previous->second.has_value();
+
+    if (to_send) {
+      if (had_previous && *previous->second == *to_send) continue;
+      adj_rib_out_[key] = to_send;
+      send_update(sim, neighbor,
+                  BgpUpdate{.withdraw = false, .prefix = prefix, .route = to_send});
+    } else if (had_previous) {
+      adj_rib_out_[key] = std::nullopt;
+      send_update(sim, neighbor,
+                  BgpUpdate{.withdraw = true, .prefix = prefix, .route = {}});
+    }
+  }
+}
+
+void BgpSpeaker::send_update(net::Simulator& sim, AsNumber to,
+                             const BgpUpdate& update) {
+  ++updates_sent_;
+  sim.send({.from = config_.asn,
+            .to = to,
+            .channel = kUpdateChannel,
+            .payload = update.encode()});
+}
+
+std::optional<Route> BgpSpeaker::best(const Ipv4Prefix& prefix) const {
+  const auto it = loc_rib_.find(prefix);
+  if (it == loc_rib_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Route> BgpSpeaker::candidates(const Ipv4Prefix& prefix) const {
+  std::vector<Route> out;
+  const auto it = rib_in_.find(prefix);
+  if (it == rib_in_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [neighbor, route] : it->second) out.push_back(route);
+  return out;
+}
+
+std::vector<Ipv4Prefix> BgpSpeaker::known_prefixes() const {
+  std::vector<Ipv4Prefix> out;
+  for (const auto& [prefix, route] : loc_rib_) out.push_back(prefix);
+  return out;
+}
+
+}  // namespace pvr::bgp

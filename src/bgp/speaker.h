@@ -1,0 +1,90 @@
+// A BGP speaker: one per AS, running on the simulated network.
+//
+// Implements the path-vector protocol with per-neighbor Adj-RIB-In, the
+// standard decision process, Gao–Rexford local-pref assignment by business
+// relationship, valley-free export filtering, and import/export policies.
+// Subclasses (the PVR speaker) hook `after_decision` / `transform_export`
+// to piggyback commitments and evidence on the routing protocol.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "bgp/decision.h"
+#include "bgp/messages.h"
+#include "bgp/policy.h"
+#include "bgp/topology.h"
+#include "net/simulator.h"
+
+namespace pvr::bgp {
+
+struct SpeakerConfig {
+  AsNumber asn = 0;
+  const AsGraph* graph = nullptr;  // not owned; must outlive the speaker
+  RoutePolicy import_policy;
+  RoutePolicy export_policy;
+  std::vector<Ipv4Prefix> originated;
+  // Gao–Rexford import preferences by relationship.
+  std::uint32_t customer_local_pref = 200;
+  std::uint32_t peer_local_pref = 150;
+  std::uint32_t provider_local_pref = 100;
+};
+
+class BgpSpeaker : public net::Node {
+ public:
+  explicit BgpSpeaker(SpeakerConfig config);
+
+  void on_start(net::Simulator& sim) override;
+  void on_message(net::Simulator& sim, const net::Message& message) override;
+
+  [[nodiscard]] AsNumber asn() const noexcept { return config_.asn; }
+  // Current best route for a prefix, if any.
+  [[nodiscard]] std::optional<Route> best(const Ipv4Prefix& prefix) const;
+  // All candidate routes currently in Adj-RIB-In for a prefix.
+  [[nodiscard]] std::vector<Route> candidates(const Ipv4Prefix& prefix) const;
+  [[nodiscard]] std::vector<Ipv4Prefix> known_prefixes() const;
+  [[nodiscard]] std::uint64_t updates_received() const noexcept {
+    return updates_received_;
+  }
+  [[nodiscard]] std::uint64_t updates_sent() const noexcept {
+    return updates_sent_;
+  }
+
+ protected:
+  // Hook: called after the decision process ran for `prefix`.
+  virtual void after_decision(net::Simulator& sim, const Ipv4Prefix& prefix,
+                              const std::vector<Route>& candidates,
+                              const std::optional<Route>& chosen) {
+    (void)sim; (void)prefix; (void)candidates; (void)chosen;
+  }
+  // Hook: last-chance rewrite of an outgoing route (Byzantine subclasses
+  // use this to violate promises). Returning nullopt suppresses the export.
+  virtual std::optional<Route> transform_export(AsNumber to, Route route) {
+    (void)to;
+    return route;
+  }
+
+  [[nodiscard]] const SpeakerConfig& config() const noexcept { return config_; }
+
+ private:
+  void handle_update(net::Simulator& sim, AsNumber from, const BgpUpdate& update);
+  void run_decision(net::Simulator& sim, const Ipv4Prefix& prefix);
+  void export_route(net::Simulator& sim, const Ipv4Prefix& prefix,
+                    const std::optional<Route>& chosen, AsNumber learned_from);
+  void send_update(net::Simulator& sim, AsNumber to, const BgpUpdate& update);
+  [[nodiscard]] std::uint32_t local_pref_for(AsNumber neighbor) const;
+
+  SpeakerConfig config_;
+  // Adj-RIB-In: prefix -> (neighbor -> route as imported).
+  std::map<Ipv4Prefix, std::map<AsNumber, Route>> rib_in_;
+  // Loc-RIB: chosen route per prefix (absent = no route).
+  std::map<Ipv4Prefix, Route> loc_rib_;
+  // What we last advertised to each neighbor, to suppress duplicate updates.
+  std::map<std::pair<AsNumber, Ipv4Prefix>, std::optional<Route>> adj_rib_out_;
+  std::uint64_t updates_received_ = 0;
+  std::uint64_t updates_sent_ = 0;
+};
+
+}  // namespace pvr::bgp

@@ -1,0 +1,165 @@
+#include "bgp/topology.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pvr::bgp {
+
+void AsGraph::add_as(AsNumber asn) { adjacency_.try_emplace(asn); }
+
+void AsGraph::add_link(AsNumber a, AsNumber b, Relationship relationship) {
+  if (a == b) throw std::invalid_argument("AsGraph::add_link: self link");
+  if (!has_as(a) || !has_as(b)) {
+    throw std::invalid_argument("AsGraph::add_link: unknown AS");
+  }
+  adjacency_[a][b] = relationship;
+  adjacency_[b][a] = reverse(relationship);
+}
+
+bool AsGraph::has_as(AsNumber asn) const noexcept {
+  return adjacency_.contains(asn);
+}
+
+std::size_t AsGraph::link_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [asn, neighbors] : adjacency_) total += neighbors.size();
+  return total / 2;
+}
+
+std::vector<AsNumber> AsGraph::as_numbers() const {
+  std::vector<AsNumber> out;
+  out.reserve(adjacency_.size());
+  for (const auto& [asn, neighbors] : adjacency_) out.push_back(asn);
+  return out;
+}
+
+std::vector<AsNumber> AsGraph::neighbors(AsNumber asn) const {
+  std::vector<AsNumber> out;
+  const auto it = adjacency_.find(asn);
+  if (it == adjacency_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [neighbor, rel] : it->second) out.push_back(neighbor);
+  return out;
+}
+
+std::optional<Relationship> AsGraph::relationship(AsNumber asn,
+                                                  AsNumber neighbor) const {
+  const auto it = adjacency_.find(asn);
+  if (it == adjacency_.end()) return std::nullopt;
+  const auto jt = it->second.find(neighbor);
+  if (jt == it->second.end()) return std::nullopt;
+  return jt->second;
+}
+
+namespace {
+
+[[nodiscard]] std::vector<AsNumber> neighbors_with(const AsGraph& graph,
+                                                   AsNumber asn,
+                                                   Relationship wanted) {
+  std::vector<AsNumber> out;
+  for (const AsNumber neighbor : graph.neighbors(asn)) {
+    if (graph.relationship(asn, neighbor) == wanted) out.push_back(neighbor);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<AsNumber> AsGraph::customers_of(AsNumber asn) const {
+  return neighbors_with(*this, asn, Relationship::kCustomer);
+}
+
+std::vector<AsNumber> AsGraph::providers_of(AsNumber asn) const {
+  return neighbors_with(*this, asn, Relationship::kProvider);
+}
+
+std::vector<AsNumber> AsGraph::peers_of(AsNumber asn) const {
+  return neighbors_with(*this, asn, Relationship::kPeer);
+}
+
+AsGraph generate_gao_rexford(const GaoRexfordParams& params, crypto::Drbg& rng) {
+  if (params.tier1_count == 0 || params.as_count < params.tier1_count) {
+    throw std::invalid_argument("generate_gao_rexford: bad tier sizes");
+  }
+  AsGraph graph;
+  std::vector<AsNumber> order;         // insertion order: AS 1..n
+  std::vector<std::size_t> degree;     // degree per index, for pref. attachment
+
+  for (std::size_t i = 0; i < params.as_count; ++i) {
+    const AsNumber asn = static_cast<AsNumber>(i + 1);
+    graph.add_as(asn);
+    order.push_back(asn);
+    degree.push_back(0);
+  }
+
+  // Tier-1 clique: mutual peering.
+  for (std::size_t i = 0; i < params.tier1_count; ++i) {
+    for (std::size_t j = i + 1; j < params.tier1_count; ++j) {
+      graph.add_link(order[i], order[j], Relationship::kPeer);
+      ++degree[i];
+      ++degree[j];
+    }
+  }
+
+  // Every later AS picks providers among earlier ASes, weighted by degree
+  // (rich get richer, like the real AS graph's heavy tail).
+  auto pick_earlier = [&](std::size_t upto) -> std::size_t {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < upto; ++i) total += degree[i] + 1;
+    std::uint64_t ball = rng.uniform(total);
+    for (std::size_t i = 0; i < upto; ++i) {
+      const std::size_t weight = degree[i] + 1;
+      if (ball < weight) return i;
+      ball -= weight;
+    }
+    return upto - 1;
+  };
+
+  for (std::size_t i = params.tier1_count; i < params.as_count; ++i) {
+    // First provider is mandatory: keeps the graph connected.
+    std::size_t provider = pick_earlier(i);
+    graph.add_link(order[i], order[provider], Relationship::kProvider);
+    ++degree[i];
+    ++degree[provider];
+
+    while (rng.coin(params.extra_provider_probability)) {
+      const std::size_t extra = pick_earlier(i);
+      if (extra == provider ||
+          graph.relationship(order[i], order[extra]).has_value()) {
+        break;
+      }
+      graph.add_link(order[i], order[extra], Relationship::kProvider);
+      ++degree[i];
+      ++degree[extra];
+    }
+
+    // Lateral peering with a random earlier non-neighbor.
+    if (i > params.tier1_count && rng.coin(params.peer_probability)) {
+      const std::size_t peer = params.tier1_count +
+          rng.uniform(i - params.tier1_count);
+      if (peer != i && !graph.relationship(order[i], order[peer]).has_value()) {
+        graph.add_link(order[i], order[peer], Relationship::kPeer);
+        ++degree[i];
+        ++degree[peer];
+      }
+    }
+  }
+  return graph;
+}
+
+AsGraph make_star_topology(AsNumber center, AsNumber b, AsNumber n_base,
+                           std::size_t k) {
+  AsGraph graph;
+  graph.add_as(center);
+  graph.add_as(b);
+  // B is center's customer: center must export its best route to B.
+  graph.add_link(center, b, Relationship::kCustomer);
+  for (std::size_t i = 0; i < k; ++i) {
+    const AsNumber ni = n_base + static_cast<AsNumber>(i);
+    graph.add_as(ni);
+    graph.add_link(center, ni, Relationship::kProvider);
+  }
+  return graph;
+}
+
+}  // namespace pvr::bgp

@@ -1,0 +1,87 @@
+// AS-level topologies with business relationships.
+//
+// PVR promises ("partial transit", "shortest route from these peers") only
+// make sense against the customer/provider/peer structure of the Internet;
+// we generate synthetic Gao–Rexford topologies (DESIGN.md §5) plus the star
+// topology of the paper's Figure 1.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "bgp/as_path.h"
+#include "crypto/drbg.h"
+
+namespace pvr::bgp {
+
+// Relationship of an AS to a specific neighbor, from the AS's viewpoint.
+enum class Relationship : std::uint8_t {
+  kCustomer = 0,  // the neighbor pays us
+  kProvider = 1,  // we pay the neighbor
+  kPeer = 2,      // settlement-free
+};
+
+[[nodiscard]] constexpr Relationship reverse(Relationship r) noexcept {
+  switch (r) {
+    case Relationship::kCustomer: return Relationship::kProvider;
+    case Relationship::kProvider: return Relationship::kCustomer;
+    case Relationship::kPeer: return Relationship::kPeer;
+  }
+  return Relationship::kPeer;
+}
+
+// Gao–Rexford export rule: a route learned from `learned_from` may be
+// exported to `to` iff at least one of the two is a customer. (Routes from
+// providers/peers go only to customers; customer routes go to everyone.)
+[[nodiscard]] constexpr bool valley_free_exportable(Relationship learned_from,
+                                                    Relationship to) noexcept {
+  return learned_from == Relationship::kCustomer || to == Relationship::kCustomer;
+}
+
+class AsGraph {
+ public:
+  void add_as(AsNumber asn);
+  // Adds a link; `relationship` is from a's viewpoint (e.g. kCustomer means
+  // b is a's customer). Throws std::invalid_argument on self-links or
+  // unknown ASes.
+  void add_link(AsNumber a, AsNumber b, Relationship relationship);
+
+  [[nodiscard]] bool has_as(AsNumber asn) const noexcept;
+  [[nodiscard]] std::size_t as_count() const noexcept { return adjacency_.size(); }
+  [[nodiscard]] std::size_t link_count() const noexcept;
+  [[nodiscard]] std::vector<AsNumber> as_numbers() const;
+  [[nodiscard]] std::vector<AsNumber> neighbors(AsNumber asn) const;
+  // Relationship of `asn` to `neighbor` (from asn's viewpoint).
+  [[nodiscard]] std::optional<Relationship> relationship(AsNumber asn,
+                                                         AsNumber neighbor) const;
+  [[nodiscard]] std::vector<AsNumber> customers_of(AsNumber asn) const;
+  [[nodiscard]] std::vector<AsNumber> providers_of(AsNumber asn) const;
+  [[nodiscard]] std::vector<AsNumber> peers_of(AsNumber asn) const;
+
+ private:
+  std::map<AsNumber, std::map<AsNumber, Relationship>> adjacency_;
+};
+
+struct GaoRexfordParams {
+  std::size_t as_count = 100;
+  std::size_t tier1_count = 5;          // fully-meshed clique of peers
+  double extra_provider_probability = 0.3;  // multihoming knob
+  double peer_probability = 0.05;       // lateral peering between same tier
+};
+
+// Generates a connected hierarchy: tier-1 clique, then each subsequent AS
+// attaches to 1+ providers chosen among earlier ASes (preferential by
+// degree), with optional lateral peering. Deterministic in (params, rng).
+[[nodiscard]] AsGraph generate_gao_rexford(const GaoRexfordParams& params,
+                                           crypto::Drbg& rng);
+
+// The paper's Figure 1: AS `center` with provider-of-record neighbors
+// N1..Nk (customers of center in the transit sense) and customer B.
+// Returned graph: center has k neighbors n_base..n_base+k-1 (center's
+// providers) and one customer b.
+[[nodiscard]] AsGraph make_star_topology(AsNumber center, AsNumber b,
+                                         AsNumber n_base, std::size_t k);
+
+}  // namespace pvr::bgp

@@ -1,0 +1,231 @@
+#include "core/evidence.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/min_protocol.h"
+
+namespace pvr::core {
+
+std::string to_string(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kEquivocation: return "equivocation";
+    case ViolationKind::kBadOpening: return "bad-opening";
+    case ViolationKind::kBitNotSet: return "bit-not-set";
+    case ViolationKind::kMissingReveal: return "missing-reveal";
+    case ViolationKind::kNonMonotoneBits: return "non-monotone-bits";
+    case ViolationKind::kOutputNotMinimal: return "output-not-minimal";
+    case ViolationKind::kOutputWithoutInput: return "output-without-input";
+    case ViolationKind::kSuppressedOutput: return "suppressed-output";
+    case ViolationKind::kBadSignature: return "bad-signature";
+    case ViolationKind::kStructuralMismatch: return "structural-mismatch";
+  }
+  return "unknown";
+}
+
+std::string Evidence::to_string() const {
+  return core::to_string(kind) + " against AS" + std::to_string(accused) +
+         " (reported by AS" + std::to_string(reporter) + "): " + detail;
+}
+
+Auditor::Auditor(const KeyDirectory* directory) : directory_(directory) {
+  if (directory_ == nullptr) {
+    throw std::invalid_argument("Auditor: null key directory");
+  }
+}
+
+namespace {
+
+// All decode helpers return nullopt instead of throwing: malformed evidence
+// must never crash the auditor, only fail to convince it.
+
+template <typename T>
+[[nodiscard]] std::optional<T> try_decode(const SignedMessage& message) {
+  try {
+    return T::decode(message.payload);
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+[[nodiscard]] std::optional<std::vector<bool>> open_all_bits(
+    const CommitmentBundle& bundle, const RevealToRecipient& reveal) {
+  if (reveal.openings.size() != bundle.bits.size()) return std::nullopt;
+  std::vector<bool> bits(bundle.bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (!crypto::verify_commitment(bundle.bits[i], reveal.openings[i])) {
+      return std::nullopt;
+    }
+    if (reveal.openings[i].value.size() != 1 ||
+        reveal.openings[i].value[0] > 1) {
+      return std::nullopt;
+    }
+    bits[i] = reveal.openings[i].value[0] == 1;
+  }
+  return bits;
+}
+
+}  // namespace
+
+bool Auditor::validate(const Evidence& evidence) const {
+  // Every message in valid evidence must carry the accused's (or, for
+  // provenance, another directory member's) verifiable signature.
+  const auto verified = [&](std::size_t index,
+                            bgp::AsNumber expected_signer) -> const SignedMessage* {
+    if (index >= evidence.messages.size()) return nullptr;
+    const SignedMessage& message = evidence.messages[index];
+    if (message.signer != expected_signer) return nullptr;
+    if (!verify_message(*directory_, message)) return nullptr;
+    return &message;
+  };
+
+  switch (evidence.kind) {
+    case ViolationKind::kEquivocation: {
+      const SignedMessage* first = verified(0, evidence.accused);
+      const SignedMessage* second = verified(1, evidence.accused);
+      if (first == nullptr || second == nullptr) return false;
+      const auto a = try_decode<CommitmentBundle>(*first);
+      const auto b = try_decode<CommitmentBundle>(*second);
+      if (!a || !b) return false;
+      return a->id == b->id && a->id.prover == evidence.accused &&
+             first->payload != second->payload;
+    }
+
+    case ViolationKind::kBadOpening: {
+      const SignedMessage* bundle_msg = verified(0, evidence.accused);
+      const SignedMessage* reveal_msg = verified(1, evidence.accused);
+      if (bundle_msg == nullptr || reveal_msg == nullptr) return false;
+      const auto bundle = try_decode<CommitmentBundle>(*bundle_msg);
+      if (!bundle || bundle->id.prover != evidence.accused) return false;
+      // The reveal may be either flavor; the claim is "the accused signed
+      // an opening for bit `index` that does not match its own commitment".
+      if (evidence.index == 0 || evidence.index > bundle->bits.size()) {
+        return false;
+      }
+      if (const auto provider = try_decode<RevealToProvider>(*reveal_msg)) {
+        return provider->id == bundle->id &&
+               provider->bit_index == evidence.index &&
+               !crypto::verify_commitment(bundle->bits[evidence.index - 1],
+                                          provider->opening);
+      }
+      if (const auto recipient = try_decode<RevealToRecipient>(*reveal_msg)) {
+        return recipient->id == bundle->id &&
+               recipient->openings.size() == bundle->bits.size() &&
+               !crypto::verify_commitment(bundle->bits[evidence.index - 1],
+                                          recipient->openings[evidence.index - 1]);
+      }
+      return false;
+    }
+
+    case ViolationKind::kBitNotSet: {
+      // The accused's signed reveal for bit index l acknowledges an input
+      // of length l while opening the bit to 0.
+      const SignedMessage* bundle_msg = verified(0, evidence.accused);
+      const SignedMessage* reveal_msg = verified(1, evidence.accused);
+      if (bundle_msg == nullptr || reveal_msg == nullptr) return false;
+      const auto bundle = try_decode<CommitmentBundle>(*bundle_msg);
+      const auto reveal = try_decode<RevealToProvider>(*reveal_msg);
+      if (!bundle || !reveal) return false;
+      if (!(reveal->id == bundle->id) || bundle->id.prover != evidence.accused) {
+        return false;
+      }
+      if (reveal->bit_index == 0 || reveal->bit_index > bundle->bits.size()) {
+        return false;
+      }
+      if (!crypto::verify_commitment(bundle->bits[reveal->bit_index - 1],
+                                     reveal->opening)) {
+        return false;
+      }
+      return reveal->opening.value == std::vector<std::uint8_t>{0};
+    }
+
+    case ViolationKind::kNonMonotoneBits: {
+      const SignedMessage* bundle_msg = verified(0, evidence.accused);
+      const SignedMessage* reveal_msg = verified(1, evidence.accused);
+      if (bundle_msg == nullptr || reveal_msg == nullptr) return false;
+      const auto bundle = try_decode<CommitmentBundle>(*bundle_msg);
+      const auto reveal = try_decode<RevealToRecipient>(*reveal_msg);
+      if (!bundle || !reveal || !(reveal->id == bundle->id)) return false;
+      if (bundle->op != OperatorKind::kMinimum) return false;
+      const auto bits = open_all_bits(*bundle, *reveal);
+      if (!bits) return false;
+      bool seen_set = false;
+      for (const bool bit : *bits) {
+        if (bit) {
+          seen_set = true;
+        } else if (seen_set) {
+          return true;
+        }
+      }
+      return false;
+    }
+
+    case ViolationKind::kOutputNotMinimal:
+    case ViolationKind::kOutputWithoutInput:
+    case ViolationKind::kSuppressedOutput: {
+      const SignedMessage* bundle_msg = verified(0, evidence.accused);
+      const SignedMessage* reveal_msg = verified(1, evidence.accused);
+      const SignedMessage* export_msg = verified(2, evidence.accused);
+      if (bundle_msg == nullptr || reveal_msg == nullptr || export_msg == nullptr) {
+        return false;
+      }
+      const auto bundle = try_decode<CommitmentBundle>(*bundle_msg);
+      const auto reveal = try_decode<RevealToRecipient>(*reveal_msg);
+      const auto statement = try_decode<ExportStatement>(*export_msg);
+      if (!bundle || !reveal || !statement) return false;
+      if (!(reveal->id == bundle->id) || !(statement->id == bundle->id)) {
+        return false;
+      }
+      const auto bits = open_all_bits(*bundle, *reveal);
+      if (!bits) return false;
+      const bool any_set =
+          std::any_of(bits->begin(), bits->end(), [](bool b) { return b; });
+
+      if (evidence.kind == ViolationKind::kSuppressedOutput) {
+        return !statement->has_route && any_set;
+      }
+
+      if (!statement->has_route) return false;
+      // Re-derive provenance validity exactly as the recipient verifier did.
+      const auto provenance_length = [&]() -> std::optional<std::size_t> {
+        if (!statement->provenance.has_value()) return std::nullopt;
+        if (!verify_message(*directory_, *statement->provenance)) {
+          return std::nullopt;
+        }
+        const auto input = try_decode<InputAnnouncement>(*statement->provenance);
+        if (!input || !(input->id == bundle->id)) return std::nullopt;
+        if (input->provider != statement->provenance->signer) return std::nullopt;
+        if (statement->route.path !=
+            input->route.path.prepended(bundle->id.prover)) {
+          return std::nullopt;
+        }
+        if (statement->route.prefix != input->route.prefix) return std::nullopt;
+        return input->route.path.length();
+      }();
+
+      if (evidence.kind == ViolationKind::kOutputWithoutInput) {
+        return !provenance_length.has_value() || !any_set;
+      }
+      // kOutputNotMinimal:
+      if (!provenance_length.has_value() || !any_set) return false;
+      if (bundle->op != OperatorKind::kMinimum) return false;
+      const std::size_t min_set = static_cast<std::size_t>(
+          std::find(bits->begin(), bits->end(), true) - bits->begin()) + 1;
+      return *provenance_length != min_set;
+    }
+
+    case ViolationKind::kMissingReveal:
+    case ViolationKind::kBadSignature:
+      // Liveness / transport faults: detectable, not third-party provable.
+      return false;
+
+    case ViolationKind::kStructuralMismatch:
+      // Graph-protocol evidence is validated by the graph layer
+      // (core::verify_vertex_disclosure); the generic auditor cannot
+      // reconstruct the tree without the disclosures, so it rejects.
+      return false;
+  }
+  return false;
+}
+
+}  // namespace pvr::core

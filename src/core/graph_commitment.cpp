@@ -1,0 +1,321 @@
+#include "core/graph_commitment.h"
+
+#include <stdexcept>
+
+#include "crypto/encoding.h"
+
+namespace pvr::core {
+
+crypto::Digest VertexRecord::leaf_value() const {
+  crypto::Sha256 hasher;
+  const std::uint8_t tag = 0x10;
+  hasher.update(std::span(&tag, 1));
+  hasher.update(std::span(predecessors.digest.data(), predecessors.digest.size()));
+  hasher.update(std::span(successors.digest.data(), successors.digest.size()));
+  hasher.update(std::span(payload.digest.data(), payload.digest.size()));
+  return hasher.finalize();
+}
+
+std::vector<std::uint8_t> encode_variable_payload(const rfg::Value& value) {
+  crypto::ByteWriter writer;
+  writer.put_string("payload.var");
+  writer.put_bool(value.has_value());
+  if (value.has_value()) value->encode(writer);
+  return writer.take();
+}
+
+std::optional<rfg::Value> decode_variable_payload(
+    std::span<const std::uint8_t> data) {
+  try {
+    crypto::ByteReader reader(data);
+    if (reader.get_string() != "payload.var") return std::nullopt;
+    if (!reader.get_bool()) return rfg::Value{};
+    return rfg::Value{bgp::Route::decode(reader)};
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<std::uint8_t> encode_operator_payload(const rfg::Operator& op) {
+  crypto::ByteWriter writer;
+  writer.put_string("payload.op");
+  writer.put_string(op.descriptor());
+  return writer.take();
+}
+
+std::optional<std::string> decode_operator_payload(
+    std::span<const std::uint8_t> data) {
+  try {
+    crypto::ByteReader reader(data);
+    if (reader.get_string() != "payload.op") return std::nullopt;
+    return reader.get_string();
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<std::uint8_t> encode_id_list(const std::vector<rfg::VertexId>& ids) {
+  crypto::ByteWriter writer;
+  writer.put_u32(static_cast<std::uint32_t>(ids.size()));
+  for (const rfg::VertexId& id : ids) writer.put_string(id);
+  return writer.take();
+}
+
+std::optional<std::vector<rfg::VertexId>> decode_id_list(
+    std::span<const std::uint8_t> data) {
+  try {
+    crypto::ByteReader reader(data);
+    const std::uint32_t count = reader.get_u32();
+    if (count > 65536) return std::nullopt;
+    std::vector<rfg::VertexId> out;
+    out.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) out.push_back(reader.get_string());
+    return out;
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+GraphCommitment::GraphCommitment(
+    const rfg::RouteFlowGraph& graph,
+    const std::map<rfg::VertexId, rfg::Value>& values, crypto::Drbg& rng)
+    : tree_(rng.bytes(32)) {
+  auto commit_vertex = [&](const rfg::VertexId& id,
+                           std::vector<std::uint8_t> payload_bytes) {
+    const auto pred_bytes = encode_id_list(graph.predecessors(id));
+    const auto succ_bytes = encode_id_list(graph.successors(id));
+    auto [pred_c, pred_o] = crypto::commit(pred_bytes, rng);
+    auto [succ_c, succ_o] = crypto::commit(succ_bytes, rng);
+    auto [payload_c, payload_o] = crypto::commit(payload_bytes, rng);
+    VertexSecrets secrets{
+        .record = {.predecessors = pred_c, .successors = succ_c, .payload = payload_c},
+        .predecessors = std::move(pred_o),
+        .successors = std::move(succ_o),
+        .payload = std::move(payload_o),
+    };
+    tree_.insert(crypto::SparseMerkleTree::key_for_label(id),
+                 secrets.record.leaf_value());
+    secrets_.emplace(id, std::move(secrets));
+  };
+
+  for (const rfg::VertexId& id : graph.variable_ids()) {
+    const auto it = values.find(id);
+    commit_vertex(id, encode_variable_payload(
+                          it == values.end() ? rfg::Value{} : it->second));
+  }
+  for (const rfg::VertexId& id : graph.operator_ids()) {
+    commit_vertex(id, encode_operator_payload(*graph.operator_vertex(id).op));
+  }
+  root_ = tree_.root();
+}
+
+VertexDisclosure GraphCommitment::disclose(const rfg::VertexId& id,
+                                           bgp::AsNumber viewer,
+                                           const rfg::AccessPolicy& policy) const {
+  const auto it = secrets_.find(id);
+  if (it == secrets_.end()) {
+    throw std::out_of_range("GraphCommitment::disclose: unknown vertex " + id);
+  }
+  VertexDisclosure out{
+      .vertex = id,
+      .record = it->second.record,
+      .proof = tree_.prove(crypto::SparseMerkleTree::key_for_label(id)),
+      .predecessors_opening = {},
+      .successors_opening = {},
+      .payload_opening = {},
+  };
+  if (policy.allowed(viewer, id, rfg::Component::kPredecessors)) {
+    out.predecessors_opening = it->second.predecessors;
+  }
+  if (policy.allowed(viewer, id, rfg::Component::kSuccessors)) {
+    out.successors_opening = it->second.successors;
+  }
+  if (policy.allowed(viewer, id, rfg::Component::kPayload)) {
+    out.payload_opening = it->second.payload;
+  }
+  return out;
+}
+
+VertexDisclosure GraphCommitment::disclose_full(const rfg::VertexId& id) const {
+  const auto it = secrets_.find(id);
+  if (it == secrets_.end()) {
+    throw std::out_of_range("GraphCommitment::disclose_full: unknown vertex " + id);
+  }
+  return VertexDisclosure{
+      .vertex = id,
+      .record = it->second.record,
+      .proof = tree_.prove(crypto::SparseMerkleTree::key_for_label(id)),
+      .predecessors_opening = it->second.predecessors,
+      .successors_opening = it->second.successors,
+      .payload_opening = it->second.payload,
+  };
+}
+
+bool verify_vertex_disclosure(const crypto::Digest& root,
+                              const VertexDisclosure& disclosure) {
+  // The proof's key must be the hash of the claimed vertex label.
+  if (disclosure.proof.key !=
+      crypto::SparseMerkleTree::key_for_label(disclosure.vertex)) {
+    return false;
+  }
+  if (!crypto::SparseMerkleTree::verify(root, disclosure.record.leaf_value(),
+                                        disclosure.proof)) {
+    return false;
+  }
+  if (disclosure.predecessors_opening &&
+      !crypto::verify_commitment(disclosure.record.predecessors,
+                                 *disclosure.predecessors_opening)) {
+    return false;
+  }
+  if (disclosure.successors_opening &&
+      !crypto::verify_commitment(disclosure.record.successors,
+                                 *disclosure.successors_opening)) {
+    return false;
+  }
+  if (disclosure.payload_opening &&
+      !crypto::verify_commitment(disclosure.record.payload,
+                                 *disclosure.payload_opening)) {
+    return false;
+  }
+  return true;
+}
+
+bool DisclosedGraph::add(const crypto::Digest& root,
+                         const VertexDisclosure& disclosure) {
+  if (!verify_vertex_disclosure(root, disclosure)) return false;
+  vertices_[disclosure.vertex] = Disclosed{.disclosure = disclosure};
+  return true;
+}
+
+bool DisclosedGraph::has(const rfg::VertexId& id) const {
+  return vertices_.contains(id);
+}
+
+std::optional<rfg::Value> DisclosedGraph::variable_value(
+    const rfg::VertexId& id) const {
+  const auto it = vertices_.find(id);
+  if (it == vertices_.end() || !it->second.disclosure.payload_opening) {
+    return std::nullopt;
+  }
+  return decode_variable_payload(it->second.disclosure.payload_opening->value);
+}
+
+std::optional<std::string> DisclosedGraph::operator_descriptor(
+    const rfg::VertexId& id) const {
+  const auto it = vertices_.find(id);
+  if (it == vertices_.end() || !it->second.disclosure.payload_opening) {
+    return std::nullopt;
+  }
+  return decode_operator_payload(it->second.disclosure.payload_opening->value);
+}
+
+std::optional<std::vector<rfg::VertexId>> DisclosedGraph::predecessors(
+    const rfg::VertexId& id) const {
+  const auto it = vertices_.find(id);
+  if (it == vertices_.end() || !it->second.disclosure.predecessors_opening) {
+    return std::nullopt;
+  }
+  return decode_id_list(it->second.disclosure.predecessors_opening->value);
+}
+
+namespace {
+
+// Reconstructs a variable vertex from the canonical label conventions.
+[[nodiscard]] std::optional<rfg::VariableVertex> variable_from_label(
+    const rfg::VertexId& id) {
+  if (id == rfg::kOutputVariableId) {
+    return rfg::VariableVertex{
+        .id = id, .role = rfg::VariableRole::kOutput, .neighbor = 0};
+  }
+  constexpr std::string_view kInputPrefix = "var:r";
+  if (id.starts_with(kInputPrefix) && id.size() > kInputPrefix.size()) {
+    bgp::AsNumber neighbor = 0;
+    for (std::size_t i = kInputPrefix.size(); i < id.size(); ++i) {
+      if (id[i] < '0' || id[i] > '9') {
+        return rfg::VariableVertex{.id = id, .role = rfg::VariableRole::kInternal};
+      }
+      neighbor = neighbor * 10 + static_cast<bgp::AsNumber>(id[i] - '0');
+    }
+    return rfg::VariableVertex{
+        .id = id, .role = rfg::VariableRole::kInput, .neighbor = neighbor};
+  }
+  if (id.starts_with("var:")) {
+    return rfg::VariableVertex{.id = id, .role = rfg::VariableRole::kInternal};
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool DisclosedGraph::implements_promise(const Promise& promise,
+                                        bgp::AsNumber recipient) const {
+  (void)recipient;
+  // Rebuild the visible structure as an rfg graph. Everything referenced
+  // must have been disclosed with at least structure + operator payloads.
+  rfg::RouteFlowGraph rebuilt;
+  std::vector<std::pair<rfg::VertexId, rfg::OperatorVertex>> pending_ops;
+
+  for (const auto& [id, entry] : vertices_) {
+    const auto& disclosure = entry.disclosure;
+    if (const auto variable = variable_from_label(id)) {
+      rebuilt.add_variable(*variable);
+      continue;
+    }
+    // Operator vertex: needs payload (descriptor) + predecessor/successor
+    // structure to rebuild the wiring.
+    if (!disclosure.payload_opening || !disclosure.predecessors_opening ||
+        !disclosure.successors_opening) {
+      return false;
+    }
+    const auto descriptor =
+        decode_operator_payload(disclosure.payload_opening->value);
+    const auto operands = decode_id_list(disclosure.predecessors_opening->value);
+    const auto results = decode_id_list(disclosure.successors_opening->value);
+    if (!descriptor || !operands || !results || results->size() != 1) {
+      return false;
+    }
+    auto op = rfg::operator_from_descriptor(*descriptor);
+    if (op == nullptr) return false;  // opaque rule: unverifiable (§4)
+    pending_ops.emplace_back(
+        id, rfg::OperatorVertex{.id = id,
+                                .op = std::shared_ptr<const rfg::Operator>(std::move(op)),
+                                .operands = *operands,
+                                .result = results->front()});
+  }
+  for (auto& [id, op] : pending_ops) {
+    for (const rfg::VertexId& operand : op.operands) {
+      if (!rebuilt.has_variable(operand)) return false;
+    }
+    if (!rebuilt.has_variable(op.result)) return false;
+    rebuilt.add_operator(std::move(op));
+  }
+  try {
+    rebuilt.validate();
+  } catch (const std::logic_error&) {
+    return false;
+  }
+  return graph_implements_promise(rebuilt, promise);
+}
+
+std::vector<std::uint8_t> GraphRootAnnouncement::encode() const {
+  crypto::ByteWriter writer;
+  writer.put_string("pvr.graph-root");
+  id.encode(writer);
+  writer.put_raw(std::span(root.data(), root.size()));
+  return writer.take();
+}
+
+GraphRootAnnouncement GraphRootAnnouncement::decode(
+    std::span<const std::uint8_t> data) {
+  crypto::ByteReader reader(data);
+  if (reader.get_string() != "pvr.graph-root") {
+    throw std::out_of_range("GraphRootAnnouncement: bad tag");
+  }
+  GraphRootAnnouncement out;
+  out.id = ProtocolId::decode(reader);
+  const auto raw = reader.get_raw(crypto::kSha256DigestSize);
+  std::copy(raw.begin(), raw.end(), out.root.begin());
+  return out;
+}
+
+}  // namespace pvr::core

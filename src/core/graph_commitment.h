@@ -1,0 +1,150 @@
+// Commitment and selective disclosure over whole route-flow graphs
+// (paper §3.5–3.7).
+//
+// Each vertex x stores I(x) = (c(pred), c(succ), c(payload)): separate hash
+// commitments to the predecessor list, successor list, and payload (route
+// value for variables, operator type for operators), "so the three types of
+// information can be revealed independently, depending on the authorization
+// of the querying neighbor" (§3.7). The leaf value H(I(x)) is stored in a
+// blinded sparse Merkle tree keyed by the vertex's prefix-free bitstring
+// (§3.6); the signed tree root is the only thing published, and neighbors
+// gossip it to rule out equivocation.
+//
+// A verifier holding disclosures for the vertices α lets it see can
+// reconstruct the visible part of the graph (DisclosedGraph) and statically
+// check that the structure implements the promise (§2.2) without learning
+// anything about undisclosed vertices — the sparse-tree sibling hashes are
+// indistinguishable from the blinded empty-subtree hashes.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/keys.h"
+#include "core/min_protocol.h"
+#include "core/promise.h"
+#include "crypto/commitment.h"
+#include "crypto/sparse_merkle.h"
+#include "rfg/access_control.h"
+#include "rfg/graph.h"
+
+namespace pvr::core {
+
+// The three commitments of I(x).
+struct VertexRecord {
+  crypto::Commitment predecessors;
+  crypto::Commitment successors;
+  crypto::Commitment payload;
+
+  [[nodiscard]] crypto::Digest leaf_value() const;
+};
+
+// One vertex's disclosure to one neighbor: always carries the record and
+// the tree proof (structure of the commitment itself); the three openings
+// are present per the access policy.
+struct VertexDisclosure {
+  rfg::VertexId vertex;
+  VertexRecord record;
+  crypto::SparseDisclosureProof proof;
+  std::optional<crypto::CommitmentOpening> predecessors_opening;
+  std::optional<crypto::CommitmentOpening> successors_opening;
+  std::optional<crypto::CommitmentOpening> payload_opening;
+};
+
+// Canonical payload encodings committed to by c(payload).
+[[nodiscard]] std::vector<std::uint8_t> encode_variable_payload(
+    const rfg::Value& value);
+[[nodiscard]] std::optional<rfg::Value> decode_variable_payload(
+    std::span<const std::uint8_t> data);
+[[nodiscard]] std::vector<std::uint8_t> encode_operator_payload(
+    const rfg::Operator& op);
+[[nodiscard]] std::optional<std::string> decode_operator_payload(
+    std::span<const std::uint8_t> data);
+[[nodiscard]] std::vector<std::uint8_t> encode_id_list(
+    const std::vector<rfg::VertexId>& ids);
+[[nodiscard]] std::optional<std::vector<rfg::VertexId>> decode_id_list(
+    std::span<const std::uint8_t> data);
+
+// Prover-side: commits to a graph plus its current evaluation.
+class GraphCommitment {
+ public:
+  // `values` is the full evaluation (rfg::RouteFlowGraph::evaluate output).
+  GraphCommitment(const rfg::RouteFlowGraph& graph,
+                  const std::map<rfg::VertexId, rfg::Value>& values,
+                  crypto::Drbg& rng);
+
+  [[nodiscard]] crypto::Digest root() const { return root_; }
+
+  // Discloses vertex `id` to a neighbor, opening exactly the components the
+  // access policy grants to `viewer`. Throws std::out_of_range on unknown id.
+  [[nodiscard]] VertexDisclosure disclose(const rfg::VertexId& id,
+                                          bgp::AsNumber viewer,
+                                          const rfg::AccessPolicy& policy) const;
+
+  // Unrestricted disclosure (for the prover's own bookkeeping and tests).
+  [[nodiscard]] VertexDisclosure disclose_full(const rfg::VertexId& id) const;
+
+ private:
+  struct VertexSecrets {
+    VertexRecord record;
+    crypto::CommitmentOpening predecessors;
+    crypto::CommitmentOpening successors;
+    crypto::CommitmentOpening payload;
+  };
+
+  crypto::SparseMerkleTree tree_;
+  std::map<rfg::VertexId, VertexSecrets> secrets_;
+  crypto::Digest root_{};
+};
+
+// Verifier-side check of a single disclosure against a committed root:
+// tree membership plus consistency of every provided opening.
+[[nodiscard]] bool verify_vertex_disclosure(const crypto::Digest& root,
+                                            const VertexDisclosure& disclosure);
+
+// Verifier-side reconstruction of the visible subgraph.
+class DisclosedGraph {
+ public:
+  // Adds a disclosure after verifying it against `root`. Returns false (and
+  // ignores the disclosure) if verification fails.
+  bool add(const crypto::Digest& root, const VertexDisclosure& disclosure);
+
+  [[nodiscard]] std::size_t size() const noexcept { return vertices_.size(); }
+  [[nodiscard]] bool has(const rfg::VertexId& id) const;
+
+  // Disclosed route value of a variable (nullopt if not disclosed or not a
+  // variable).
+  [[nodiscard]] std::optional<rfg::Value> variable_value(
+      const rfg::VertexId& id) const;
+  [[nodiscard]] std::optional<std::string> operator_descriptor(
+      const rfg::VertexId& id) const;
+  [[nodiscard]] std::optional<std::vector<rfg::VertexId>> predecessors(
+      const rfg::VertexId& id) const;
+
+  // Rebuilds an rfg::RouteFlowGraph from the disclosed structure (vertex
+  // labels follow the canonical conventions: "var:r<asn>", "var:ro",
+  // operators reconstructed from descriptors) and runs the §2.2 static
+  // check. Returns false if anything needed is missing or inconsistent.
+  [[nodiscard]] bool implements_promise(const Promise& promise,
+                                        bgp::AsNumber recipient) const;
+
+ private:
+  struct Disclosed {
+    VertexDisclosure disclosure;
+  };
+  std::map<rfg::VertexId, Disclosed> vertices_;
+};
+
+// Signed root announcement payload (gossiped for equivocation detection).
+struct GraphRootAnnouncement {
+  ProtocolId id;
+  crypto::Digest root{};
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static GraphRootAnnouncement decode(
+      std::span<const std::uint8_t> data);
+};
+
+}  // namespace pvr::core

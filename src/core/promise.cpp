@@ -1,0 +1,223 @@
+#include "core/promise.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace pvr::core {
+
+namespace {
+
+// Shortest input length over the given neighbors; nullopt if none provided.
+[[nodiscard]] std::optional<std::size_t> shortest_length(
+    const Promise::Inputs& inputs, const std::set<bgp::AsNumber>* subset) {
+  std::optional<std::size_t> best;
+  for (const auto& [neighbor, route] : inputs) {
+    if (!route.has_value()) continue;
+    if (subset != nullptr && !subset->contains(neighbor)) continue;
+    if (!best || route->path.length() < *best) best = route->path.length();
+  }
+  return best;
+}
+
+}  // namespace
+
+bool Promise::holds(
+    const Inputs& inputs, const std::optional<bgp::Route>& output,
+    const std::map<bgp::AsNumber, std::optional<bgp::Route>>& other_outputs)
+    const {
+  switch (type) {
+    case PromiseType::kShortestOfAll: {
+      const auto best = shortest_length(inputs, nullptr);
+      if (!best) return !output.has_value();
+      return output.has_value() && output->path.length() <= *best;
+    }
+    case PromiseType::kShortestOfSubset: {
+      const auto best = shortest_length(inputs, &subset);
+      if (!best) return !output.has_value();
+      return output.has_value() && output->path.length() <= *best;
+    }
+    case PromiseType::kWithinSlackOfBest: {
+      const auto best = shortest_length(inputs, nullptr);
+      if (!best) return !output.has_value();
+      return output.has_value() && output->path.length() <= *best + slack;
+    }
+    case PromiseType::kNoLongerThanOthers: {
+      if (!output.has_value()) {
+        // Vacuous only if nothing was told to anybody else either.
+        return std::all_of(other_outputs.begin(), other_outputs.end(),
+                           [](const auto& kv) { return !kv.second.has_value(); });
+      }
+      for (const auto& [neighbor, other] : other_outputs) {
+        if (other.has_value() && other->path.length() < output->path.length()) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case PromiseType::kExistentialFromSubset: {
+      const bool any_input = std::any_of(
+          inputs.begin(), inputs.end(), [&](const auto& kv) {
+            return kv.second.has_value() && subset.contains(kv.first);
+          });
+      return any_input == output.has_value();
+    }
+    case PromiseType::kFallbackUnlessPrimaryShorter: {
+      std::optional<std::size_t> primary_len;
+      if (const auto it = inputs.find(primary);
+          it != inputs.end() && it->second.has_value()) {
+        primary_len = it->second->path.length();
+      }
+      const auto fallback_len = shortest_length(inputs, &subset);
+      const bool primary_wins =
+          primary_len.has_value() &&
+          (!fallback_len.has_value() || *primary_len < *fallback_len);
+      if (primary_wins) {
+        return output.has_value() && output->path.length() <= *primary_len;
+      }
+      if (!fallback_len) return !output.has_value();
+      return output.has_value() && output->path.length() <= *fallback_len;
+    }
+  }
+  return false;
+}
+
+std::string Promise::to_string() const {
+  auto subset_text = [this] {
+    std::string out = "{";
+    bool first = true;
+    for (const bgp::AsNumber asn : subset) {
+      if (!first) out += ",";
+      out += std::to_string(asn);
+      first = false;
+    }
+    return out + "}";
+  };
+  switch (type) {
+    case PromiseType::kShortestOfAll:
+      return "shortest-of-all";
+    case PromiseType::kShortestOfSubset:
+      return "shortest-of" + subset_text();
+    case PromiseType::kWithinSlackOfBest:
+      return "within-" + std::to_string(slack) + "-of-best";
+    case PromiseType::kNoLongerThanOthers:
+      return "no-longer-than-others";
+    case PromiseType::kExistentialFromSubset:
+      return "exists-from" + subset_text();
+    case PromiseType::kFallbackUnlessPrimaryShorter:
+      return "fallback" + subset_text() + "-unless-" + std::to_string(primary) +
+             "-shorter";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// The set of neighbors whose input variables feed operator `op_id`.
+[[nodiscard]] std::set<bgp::AsNumber> operand_neighbors(
+    const rfg::RouteFlowGraph& graph, const rfg::VertexId& op_id) {
+  std::set<bgp::AsNumber> out;
+  for (const rfg::VertexId& operand : graph.operator_vertex(op_id).operands) {
+    if (!graph.has_variable(operand)) continue;
+    const auto& var = graph.variable(operand);
+    if (var.role == rfg::VariableRole::kInput) out.insert(var.neighbor);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool graph_implements_promise(const rfg::RouteFlowGraph& graph,
+                              const Promise& promise) {
+  const auto outputs = graph.output_variables();
+  if (outputs.size() != 1) return false;
+  const auto producer = graph.producer_of(outputs.front());
+  if (!producer) return false;
+  const rfg::OperatorVertex& op = graph.operator_vertex(*producer);
+  const std::string descriptor = op.op->descriptor();
+
+  switch (promise.type) {
+    case PromiseType::kShortestOfAll: {
+      // All inputs of the graph must flow into one minimum operator.
+      if (descriptor != "min") return false;
+      const auto all_inputs = graph.input_variables();
+      std::set<rfg::VertexId> operand_set(op.operands.begin(), op.operands.end());
+      return std::all_of(all_inputs.begin(), all_inputs.end(),
+                         [&](const rfg::VertexId& v) {
+                           return operand_set.contains(v);
+                         });
+    }
+    case PromiseType::kShortestOfSubset: {
+      if (descriptor != "min") return false;
+      return operand_neighbors(graph, *producer) == promise.subset;
+    }
+    case PromiseType::kExistentialFromSubset: {
+      if (descriptor != "exists") return false;
+      return operand_neighbors(graph, *producer) == promise.subset;
+    }
+    case PromiseType::kFallbackUnlessPrimaryShorter: {
+      if (descriptor != "prefer-if-shorter" || op.operands.size() != 2) {
+        return false;
+      }
+      // Operand 0 must be the primary's input variable.
+      if (!graph.has_variable(op.operands[0])) return false;
+      const auto& primary_var = graph.variable(op.operands[0]);
+      if (primary_var.role != rfg::VariableRole::kInput ||
+          primary_var.neighbor != promise.primary) {
+        return false;
+      }
+      // Operand 1 must be produced by a minimum over exactly the subset.
+      const auto fallback_producer = graph.producer_of(op.operands[1]);
+      if (!fallback_producer) return false;
+      const rfg::OperatorVertex& min_op = graph.operator_vertex(*fallback_producer);
+      if (min_op.op->descriptor() != "min") return false;
+      return operand_neighbors(graph, *fallback_producer) == promise.subset;
+    }
+    case PromiseType::kWithinSlackOfBest:
+    case PromiseType::kNoLongerThanOthers:
+      // No canonical single-operator shape recognizable; conservative "no".
+      return false;
+  }
+  return false;
+}
+
+bool access_sufficient_for(const rfg::RouteFlowGraph& graph,
+                           const rfg::AccessPolicy& policy,
+                           const Promise& promise, bgp::AsNumber recipient) {
+  const auto outputs = graph.output_variables();
+  if (outputs.size() != 1) return false;
+  const rfg::VertexId& output = outputs.front();
+
+  // The recipient must be able to see the output it receives.
+  if (!policy.allowed(recipient, output, rfg::Component::kPayload)) return false;
+
+  // Every provider in the promise's range must see its own input variable
+  // (otherwise it cannot check reveals against what it actually sent).
+  std::set<bgp::AsNumber> range = promise.subset;
+  if (promise.type == PromiseType::kShortestOfAll) {
+    range.clear();
+    for (const rfg::VertexId& id : graph.input_variables()) {
+      range.insert(graph.variable(id).neighbor);
+    }
+  }
+  if (promise.type == PromiseType::kFallbackUnlessPrimaryShorter) {
+    range.insert(promise.primary);
+  }
+  for (const bgp::AsNumber provider : range) {
+    if (!policy.allowed(provider, rfg::input_variable_id(provider),
+                        rfg::Component::kPayload)) {
+      return false;
+    }
+  }
+
+  // Everyone in the protocol must be able to see the deciding operator's
+  // type and wiring (a promise about an invisible rule is unverifiable —
+  // the paper's "trivial example" of insufficient access).
+  const auto producer = graph.producer_of(output);
+  if (!producer) return false;
+  for (const bgp::AsNumber network : range) {
+    if (!policy.allowed(network, *producer, rfg::Component::kPayload)) return false;
+  }
+  return policy.allowed(recipient, *producer, rfg::Component::kPayload);
+}
+
+}  // namespace pvr::core

@@ -1,0 +1,86 @@
+// Promises (paper §2): contracts about the route decision process.
+//
+// "These promises can be understood as specifying, for each set of input
+// routes the AS might receive, some set of permissible routes that its
+// output must be drawn from. A violation occurs whenever an AS emits a
+// route that was not in its permitted set, given the inputs it had
+// received."
+//
+// This module gives promises a semantic definition (`holds`, the ground
+// truth used by tests and by the detection-rate experiment E7) and a static
+// structural check against a route-flow graph (§2.2: "a network may be able
+// to tell, given the rules to which it has access, whether particular
+// promises made to it will be kept").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "bgp/route.h"
+#include "rfg/access_control.h"
+#include "rfg/graph.h"
+
+namespace pvr::core {
+
+enum class PromiseType : std::uint8_t {
+  // §2 promise 1: "I will give you the shortest route I receive."
+  kShortestOfAll = 0,
+  // §2 promise 2: "...out of those received from a specific subset."
+  kShortestOfSubset = 1,
+  // §2 promise 3: "a route no more than k hops longer than my best route."
+  kWithinSlackOfBest = 2,
+  // §2 promise 4: "The route you get is no longer than what I tell
+  // anybody else."
+  kNoLongerThanOthers = 3,
+  // §3.2: "I will export a route whenever at least one of the Ni provides
+  // one" (the existential promise).
+  kExistentialFromSubset = 4,
+  // §3.5 / Fig. 2: "I will export some route via N2..Nk unless N1 provides
+  // a shorter route."
+  kFallbackUnlessPrimaryShorter = 5,
+};
+
+struct Promise {
+  PromiseType type = PromiseType::kShortestOfAll;
+  // Providers the promise ranges over (all promises except kShortestOfAll).
+  std::set<bgp::AsNumber> subset;
+  // kFallbackUnlessPrimaryShorter: the preferred neighbor (N1 in Fig. 2).
+  bgp::AsNumber primary = 0;
+  // kWithinSlackOfBest: the allowed extra hops.
+  std::size_t slack = 0;
+
+  // Inputs an AS received, keyed by providing neighbor (absent optional =
+  // the neighbor provided nothing this epoch).
+  using Inputs = std::map<bgp::AsNumber, std::optional<bgp::Route>>;
+
+  // Semantic ground truth: does exporting `output` honor this promise given
+  // `inputs`? For kNoLongerThanOthers, `other_outputs` carries what was
+  // exported to every other neighbor.
+  [[nodiscard]] bool holds(
+      const Inputs& inputs, const std::optional<bgp::Route>& output,
+      const std::map<bgp::AsNumber, std::optional<bgp::Route>>& other_outputs = {})
+      const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+// §2.2 static inspection: would this route-flow graph, if evaluated
+// faithfully, satisfy the promise? Conservative: returns true only for
+// graph shapes it can positively recognize.
+[[nodiscard]] bool graph_implements_promise(const rfg::RouteFlowGraph& graph,
+                                            const Promise& promise);
+
+// §4 "Minimum access": are the access rights granted to the verifying
+// neighbors sufficient to verify the promise? For the protocols in this
+// repo that means: every provider in the promise's range can see its own
+// input variable, the output recipient can see the output variable, and
+// all of them can see the deciding operator.
+[[nodiscard]] bool access_sufficient_for(const rfg::RouteFlowGraph& graph,
+                                         const rfg::AccessPolicy& policy,
+                                         const Promise& promise,
+                                         bgp::AsNumber recipient);
+
+}  // namespace pvr::core

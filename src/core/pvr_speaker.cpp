@@ -1,0 +1,303 @@
+#include "core/pvr_speaker.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pvr::core {
+
+PvrNode::PvrNode(PvrConfig config)
+    : config_(std::move(config)),
+      rng_(config_.rng_seed ^ config_.asn, "pvr-node") {
+  if (config_.directory == nullptr || config_.private_key == nullptr) {
+    throw std::invalid_argument("PvrNode: missing keys");
+  }
+}
+
+void PvrNode::send(net::Simulator& sim, bgp::AsNumber to, const char* channel,
+                   std::vector<std::uint8_t> payload) {
+  net::Message message{.from = config_.asn,
+                       .to = to,
+                       .channel = channel,
+                       .payload = std::move(payload)};
+  bytes_sent_ += message.wire_size();
+  sim.send(std::move(message));
+}
+
+std::vector<bgp::AsNumber> PvrNode::gossip_peers() const {
+  std::vector<bgp::AsNumber> peers;
+  for (const bgp::AsNumber provider : config_.providers) {
+    if (provider != config_.asn) peers.push_back(provider);
+  }
+  if (config_.recipient != 0 && config_.recipient != config_.asn) {
+    peers.push_back(config_.recipient);
+  }
+  return peers;
+}
+
+void PvrNode::provide_input(net::Simulator& sim, std::uint64_t epoch,
+                            const bgp::Ipv4Prefix& prefix,
+                            const std::optional<bgp::Route>& route) {
+  if (config_.role != PvrRole::kProvider) {
+    throw std::logic_error("provide_input: not a provider");
+  }
+  if (!route.has_value()) {
+    rounds_[epoch].own_input = std::nullopt;
+    return;
+  }
+  const InputAnnouncement announcement{
+      .id = {.prover = config_.prover, .prefix = prefix, .epoch = epoch},
+      .provider = config_.asn,
+      .route = *route,
+  };
+  rounds_[epoch].own_input = announcement;
+  const SignedMessage signed_input =
+      sign_message(config_.asn, *config_.private_key, announcement.encode());
+  send(sim, config_.prover, kInputChannel, signed_input.encode());
+}
+
+void PvrNode::start_round(net::Simulator& sim, std::uint64_t epoch,
+                          const bgp::Ipv4Prefix& prefix) {
+  if (config_.role != PvrRole::kProver) {
+    throw std::logic_error("start_round: not the prover");
+  }
+  collected_inputs_.try_emplace(epoch);
+  sim.schedule_after(config_.collect_window, [this, &sim, epoch, prefix] {
+    run_prover_now(sim, epoch, prefix);
+  });
+}
+
+void PvrNode::run_prover_now(net::Simulator& sim, std::uint64_t epoch,
+                             const bgp::Ipv4Prefix& prefix) {
+  const ProtocolId id{.prover = config_.asn, .prefix = prefix, .epoch = epoch};
+
+  // Normalize the collected inputs: one entry per configured provider.
+  std::map<bgp::AsNumber, std::optional<SignedMessage>> inputs;
+  const auto& collected = collected_inputs_[epoch];
+  for (const bgp::AsNumber provider : config_.providers) {
+    const auto it = collected.find(provider);
+    inputs[provider] =
+        it == collected.end() ? std::nullopt : it->second;
+  }
+
+  const ProverResult result =
+      run_prover(id, config_.op, inputs, config_.max_len, *config_.private_key,
+                 rng_, config_.misbehavior);
+
+  // Publish the bundle. When equivocating, the first half of the providers
+  // get the conflicting bundle.
+  const std::size_t half = config_.providers.size() / 2;
+  for (std::size_t i = 0; i < config_.providers.size(); ++i) {
+    const SignedMessage& bundle =
+        (result.equivocating_bundle.has_value() && i < half)
+            ? *result.equivocating_bundle
+            : result.signed_bundle;
+    send(sim, config_.providers[i], kBundleChannel, bundle.encode());
+  }
+  send(sim, config_.recipient, kBundleChannel, result.signed_bundle.encode());
+
+  // Reveals.
+  for (const auto& [provider, reveal] : result.provider_reveals) {
+    send(sim, provider, kRevealProviderChannel, reveal.encode());
+  }
+  send(sim, config_.recipient, kRevealRecipientChannel,
+       result.recipient_reveal.encode());
+  send(sim, config_.recipient, kExportChannel, result.export_statement.encode());
+}
+
+void PvrNode::observe_bundle(net::Simulator& sim, const SignedMessage& bundle) {
+  CommitmentBundle decoded;
+  try {
+    decoded = CommitmentBundle::decode(bundle.payload);
+  } catch (const std::out_of_range&) {
+    return;  // malformed; the round verifier will flag it if it was for us
+  }
+  RoundState& round = rounds_[decoded.id.epoch];
+  const bool is_new =
+      std::none_of(round.observed_bundles.begin(), round.observed_bundles.end(),
+                   [&](const SignedMessage& seen) {
+                     return seen.payload == bundle.payload;
+                   });
+  if (!is_new) return;
+  round.observed_bundles.push_back(bundle);
+  if (!round.bundle.has_value()) round.bundle = bundle;
+  // Gossip the (signed) bundle to the other verifiers so everyone converges
+  // on the same view (§3.2: "A's neighbors can gossip about c").
+  for (const bgp::AsNumber peer : gossip_peers()) {
+    if (sim.connected(config_.asn, peer)) {
+      send(sim, peer, kGossipChannel, bundle.encode());
+    }
+  }
+}
+
+void PvrNode::on_message(net::Simulator& sim, const net::Message& message) {
+  if (message.channel == kInputChannel && config_.role == PvrRole::kProver) {
+    SignedMessage envelope;
+    try {
+      envelope = SignedMessage::decode(message.payload);
+    } catch (const std::out_of_range&) {
+      return;
+    }
+    if (!verify_message(*config_.directory, envelope) ||
+        envelope.signer != message.from) {
+      return;  // unauthenticated input: ignored
+    }
+    try {
+      const InputAnnouncement announcement =
+          InputAnnouncement::decode(envelope.payload);
+      if (announcement.provider != message.from) return;
+      collected_inputs_[announcement.id.epoch][message.from] = envelope;
+    } catch (const std::out_of_range&) {
+    }
+    return;
+  }
+
+  if (message.channel == kBundleChannel || message.channel == kGossipChannel) {
+    try {
+      observe_bundle(sim, SignedMessage::decode(message.payload));
+    } catch (const std::out_of_range&) {
+    }
+    return;
+  }
+
+  auto stash = [&](std::optional<SignedMessage> RoundState::*slot,
+                   auto decode_id) {
+    try {
+      SignedMessage envelope = SignedMessage::decode(message.payload);
+      const std::uint64_t epoch = decode_id(envelope);
+      rounds_[epoch].*slot = std::move(envelope);
+    } catch (const std::out_of_range&) {
+    }
+  };
+
+  if (message.channel == kRevealProviderChannel) {
+    stash(&RoundState::provider_reveal, [](const SignedMessage& envelope) {
+      return RevealToProvider::decode(envelope.payload).id.epoch;
+    });
+  } else if (message.channel == kRevealRecipientChannel) {
+    stash(&RoundState::recipient_reveal, [](const SignedMessage& envelope) {
+      return RevealToRecipient::decode(envelope.payload).id.epoch;
+    });
+  } else if (message.channel == kExportChannel) {
+    stash(&RoundState::export_statement, [](const SignedMessage& envelope) {
+      return ExportStatement::decode(envelope.payload).id.epoch;
+    });
+  }
+}
+
+void PvrNode::finalize_round(std::uint64_t epoch) {
+  RoundState& round = rounds_[epoch];
+  if (round.finalized) return;
+  round.finalized = true;
+
+  // Equivocation check over everything gossip delivered.
+  for (std::size_t i = 0; i + 1 < round.observed_bundles.size(); ++i) {
+    for (std::size_t j = i + 1; j < round.observed_bundles.size(); ++j) {
+      if (auto conflict = check_equivocation(*config_.directory, config_.asn,
+                                             round.observed_bundles[i],
+                                             round.observed_bundles[j])) {
+        evidence_.push_back(std::move(*conflict));
+      }
+    }
+  }
+
+  if (!round.bundle.has_value()) {
+    // Nothing to verify: with an honest prover this only happens when the
+    // node neither provided input nor expected output.
+    if (round.own_input.has_value()) {
+      evidence_.push_back(Evidence{.kind = ViolationKind::kMissingReveal,
+                                   .accused = config_.prover,
+                                   .reporter = config_.asn,
+                                   .index = 0,
+                                   .messages = {},
+                                   .detail = "no commitment bundle received"});
+    }
+    return;
+  }
+
+  if (config_.role == PvrRole::kProvider) {
+    auto found = verify_as_provider(
+        *config_.directory, config_.asn, round.own_input, *round.bundle,
+        round.provider_reveal.has_value() ? &*round.provider_reveal : nullptr);
+    evidence_.insert(evidence_.end(), found.begin(), found.end());
+  } else if (config_.role == PvrRole::kRecipient) {
+    auto found = verify_as_recipient(
+        *config_.directory, config_.asn, *round.bundle,
+        round.recipient_reveal.has_value() ? &*round.recipient_reveal : nullptr,
+        round.export_statement.has_value() ? &*round.export_statement : nullptr);
+    evidence_.insert(evidence_.end(), found.begin(), found.end());
+    // Accept the exported route only when every check passed.
+    if (found.empty() && round.export_statement.has_value()) {
+      try {
+        const ExportStatement statement =
+            ExportStatement::decode(round.export_statement->payload);
+        if (statement.has_route) accepted_[epoch] = statement.route;
+      } catch (const std::out_of_range&) {
+      }
+    }
+  }
+}
+
+std::optional<bgp::Route> PvrNode::accepted_route(std::uint64_t epoch) const {
+  const auto it = accepted_.find(epoch);
+  if (it == accepted_.end()) return std::nullopt;
+  return it->second;
+}
+
+Figure1Handles make_figure1_world(const Figure1Setup& setup) {
+  Figure1Handles handles;
+  handles.world = std::make_unique<Figure1World>(setup.seed);
+  handles.prefix = bgp::Ipv4Prefix::parse("203.0.113.0/24");
+
+  Figure1World& world = *handles.world;
+  world.prover = 100;
+  world.recipient = 200;
+  for (std::size_t i = 0; i < setup.provider_count; ++i) {
+    world.providers.push_back(300 + static_cast<bgp::AsNumber>(i));
+  }
+
+  std::vector<bgp::AsNumber> all = {world.prover, world.recipient};
+  all.insert(all.end(), world.providers.begin(), world.providers.end());
+  crypto::Drbg key_rng(setup.seed, "fig1-keys");
+  handles.keys =
+      std::make_unique<AsKeyPairs>(generate_keys(all, key_rng, setup.key_bits));
+
+  auto make_node = [&](bgp::AsNumber asn, PvrRole role) {
+    PvrConfig config{
+        .asn = asn,
+        .role = role,
+        .directory = &handles.keys->directory,
+        .private_key = &handles.keys->private_keys.at(asn).priv,
+        .op = setup.op,
+        .max_len = setup.max_len,
+        .prover = world.prover,
+        .providers = world.providers,
+        .recipient = world.recipient,
+        .collect_window = 10'000,
+        .misbehavior = role == PvrRole::kProver ? setup.misbehavior
+                                                : ProverMisbehavior{},
+        .rng_seed = setup.seed,
+    };
+    world.sim.add_node(asn, std::make_unique<PvrNode>(std::move(config)));
+  };
+
+  make_node(world.prover, PvrRole::kProver);
+  make_node(world.recipient, PvrRole::kRecipient);
+  for (const bgp::AsNumber provider : world.providers) {
+    make_node(provider, PvrRole::kProvider);
+  }
+
+  // Star links to the prover plus a verifier mesh for gossip.
+  std::vector<bgp::AsNumber> verifiers = world.providers;
+  verifiers.push_back(world.recipient);
+  for (const bgp::AsNumber verifier : verifiers) {
+    world.sim.connect(world.prover, verifier, {.latency = 1000});
+  }
+  for (std::size_t i = 0; i < verifiers.size(); ++i) {
+    for (std::size_t j = i + 1; j < verifiers.size(); ++j) {
+      world.sim.connect(verifiers[i], verifiers[j], {.latency = 1000});
+    }
+  }
+  return handles;
+}
+
+}  // namespace pvr::core

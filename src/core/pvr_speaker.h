@@ -1,0 +1,145 @@
+// PVR protocol endpoints on the simulated network.
+//
+// One PvrNode per AS in the Figure-1 scenario: the prover A, the providers
+// N1..Nk, and the recipient B. The harness drives rounds:
+//
+//   1. providers call provide_input() (their signed route for this epoch),
+//   2. the prover's start_round() opens a collection window, then runs the
+//      prover (run_prover) and fans out bundle / reveals / export,
+//   3. verifiers gossip bundles among themselves ("pvr.gossip"),
+//   4. after the simulator quiesces, finalize_round() on each verifier runs
+//      the §3.2/3.3 checks and records Evidence.
+//
+// Byzantine behavior is injected via PvrConfig::misbehavior on the prover.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/min_protocol.h"
+#include "net/gossip.h"
+#include "net/simulator.h"
+
+namespace pvr::core {
+
+inline constexpr const char* kInputChannel = "pvr.input";
+inline constexpr const char* kBundleChannel = "pvr.bundle";
+inline constexpr const char* kRevealProviderChannel = "pvr.reveal.n";
+inline constexpr const char* kRevealRecipientChannel = "pvr.reveal.b";
+inline constexpr const char* kExportChannel = "pvr.export";
+inline constexpr const char* kGossipChannel = "pvr.gossip";
+
+enum class PvrRole : std::uint8_t { kProver, kProvider, kRecipient };
+
+struct PvrConfig {
+  bgp::AsNumber asn = 0;
+  PvrRole role = PvrRole::kProvider;
+  const KeyDirectory* directory = nullptr;        // not owned
+  const crypto::RsaPrivateKey* private_key = nullptr;  // not owned
+  OperatorKind op = OperatorKind::kMinimum;
+  std::uint32_t max_len = 16;
+  bgp::AsNumber prover = 0;                 // A (verifiers need to know it)
+  std::vector<bgp::AsNumber> providers;     // N1..Nk
+  bgp::AsNumber recipient = 0;              // B
+  net::SimTime collect_window = 10'000;     // µs the prover waits for inputs
+  ProverMisbehavior misbehavior;            // prover only
+  std::uint64_t rng_seed = 1;
+};
+
+class PvrNode : public net::Node {
+ public:
+  explicit PvrNode(PvrConfig config);
+
+  void on_message(net::Simulator& sim, const net::Message& message) override;
+
+  // Provider-side: sign and send `route` to the prover for round `epoch`.
+  // Pass nullopt to explicitly provide nothing (bookkeeping only).
+  void provide_input(net::Simulator& sim, std::uint64_t epoch,
+                     const bgp::Ipv4Prefix& prefix,
+                     const std::optional<bgp::Route>& route);
+
+  // Prover-side: opens round `epoch`; after collect_window elapses, runs
+  // the prover over whatever inputs arrived and fans out the results.
+  void start_round(net::Simulator& sim, std::uint64_t epoch,
+                   const bgp::Ipv4Prefix& prefix);
+
+  // Verifier-side: runs all checks for `epoch` over the messages received
+  // so far. Call after the simulator has quiesced.
+  void finalize_round(std::uint64_t epoch);
+
+  [[nodiscard]] const std::vector<Evidence>& evidence() const noexcept {
+    return evidence_;
+  }
+  // The route B accepted in `epoch` (nullopt if none / not recipient).
+  [[nodiscard]] std::optional<bgp::Route> accepted_route(std::uint64_t epoch) const;
+  [[nodiscard]] bgp::AsNumber asn() const noexcept { return config_.asn; }
+  // Messages and bytes this node pushed onto the wire (for experiments).
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+
+ private:
+  struct RoundState {
+    std::optional<SignedMessage> bundle;             // first bundle seen
+    std::optional<SignedMessage> provider_reveal;    // reveal addressed to us
+    std::optional<SignedMessage> recipient_reveal;
+    std::optional<SignedMessage> export_statement;
+    std::optional<InputAnnouncement> own_input;      // what we provided
+    // All distinct signed bundles observed (directly or via gossip).
+    std::vector<SignedMessage> observed_bundles;
+    bool finalized = false;
+  };
+
+  void send(net::Simulator& sim, bgp::AsNumber to, const char* channel,
+            std::vector<std::uint8_t> payload);
+  void observe_bundle(net::Simulator& sim, const SignedMessage& bundle);
+  void run_prover_now(net::Simulator& sim, std::uint64_t epoch,
+                      const bgp::Ipv4Prefix& prefix);
+  [[nodiscard]] std::vector<bgp::AsNumber> gossip_peers() const;
+
+  PvrConfig config_;
+  crypto::Drbg rng_;
+  std::map<std::uint64_t, RoundState> rounds_;
+  // Prover-side: inputs collected per epoch.
+  std::map<std::uint64_t, std::map<bgp::AsNumber, std::optional<SignedMessage>>>
+      collected_inputs_;
+  std::vector<Evidence> evidence_;
+  std::map<std::uint64_t, bgp::Route> accepted_;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+// Convenience: builds the full Figure-1 world (star topology links between
+// every participant and the prover, plus a verifier mesh for gossip).
+struct Figure1World {
+  net::Simulator sim;
+  bgp::AsNumber prover;
+  std::vector<bgp::AsNumber> providers;
+  bgp::AsNumber recipient;
+
+  explicit Figure1World(std::uint64_t seed) : sim(seed), prover(0), recipient(0) {}
+
+  [[nodiscard]] PvrNode& node(bgp::AsNumber asn) {
+    return dynamic_cast<PvrNode&>(sim.node(asn));
+  }
+};
+
+// Assembles the world: prover AS `prover_asn`, providers n_base..n_base+k-1,
+// recipient B. All keys are generated from `seed`.
+struct Figure1Setup {
+  std::uint64_t seed = 1;
+  std::size_t provider_count = 3;
+  OperatorKind op = OperatorKind::kMinimum;
+  std::uint32_t max_len = 16;
+  ProverMisbehavior misbehavior;
+  std::size_t key_bits = 512;  // small keys keep tests fast; benches use 1024
+};
+
+struct Figure1Handles {
+  std::unique_ptr<Figure1World> world;
+  std::unique_ptr<AsKeyPairs> keys;
+  bgp::Ipv4Prefix prefix;
+};
+
+[[nodiscard]] Figure1Handles make_figure1_world(const Figure1Setup& setup);
+
+}  // namespace pvr::core

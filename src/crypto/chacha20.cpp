@@ -1,0 +1,76 @@
+#include "crypto/chacha20.h"
+
+#include <bit>
+
+namespace pvr::crypto {
+
+namespace {
+
+[[nodiscard]] std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                   std::uint32_t& d) noexcept {
+  a += b; d ^= a; d = std::rotl(d, 16);
+  c += d; b ^= c; b = std::rotl(b, 12);
+  a += b; d ^= a; d = std::rotl(d, 8);
+  c += d; b ^= c; b = std::rotl(b, 7);
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(std::span<const std::uint8_t, kKeySize> key,
+                   std::span<const std::uint8_t, kNonceSize> nonce,
+                   std::uint32_t initial_counter) noexcept
+    : block_{} {
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state_[4 + i] = load_le32(key.data() + i * 4);
+  state_[12] = initial_counter;
+  for (int i = 0; i < 3; ++i) state_[13 + i] = load_le32(nonce.data() + i * 4);
+}
+
+void ChaCha20::refill() noexcept {
+  std::array<std::uint32_t, 16> x = state_;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t word = x[i] + state_[i];
+    block_[i * 4] = static_cast<std::uint8_t>(word);
+    block_[i * 4 + 1] = static_cast<std::uint8_t>(word >> 8);
+    block_[i * 4 + 2] = static_cast<std::uint8_t>(word >> 16);
+    block_[i * 4 + 3] = static_cast<std::uint8_t>(word >> 24);
+  }
+  state_[12] += 1;  // 32-bit counter; 256 GiB per nonce is ample here
+  block_pos_ = 0;
+}
+
+void ChaCha20::keystream(std::span<std::uint8_t> out) noexcept {
+  for (std::uint8_t& byte : out) {
+    if (block_pos_ == kBlockSize) refill();
+    byte = block_[block_pos_++];
+  }
+}
+
+void ChaCha20::xor_inplace(std::span<std::uint8_t> data) noexcept {
+  for (std::uint8_t& byte : data) {
+    if (block_pos_ == kBlockSize) refill();
+    byte ^= block_[block_pos_++];
+  }
+}
+
+}  // namespace pvr::crypto

@@ -1,0 +1,38 @@
+// ChaCha20 block function and stream (RFC 8439).
+//
+// Used purely as the keystream generator inside the deterministic random
+// bit generator (drbg.h); PVR experiments must be reproducible, so all
+// randomness flows from seeded ChaCha20 streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace pvr::crypto {
+
+class ChaCha20 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kNonceSize = 12;
+  static constexpr std::size_t kBlockSize = 64;
+
+  ChaCha20(std::span<const std::uint8_t, kKeySize> key,
+           std::span<const std::uint8_t, kNonceSize> nonce,
+           std::uint32_t initial_counter = 0) noexcept;
+
+  // Fills `out` with keystream bytes, advancing the block counter.
+  void keystream(std::span<std::uint8_t> out) noexcept;
+
+  // XORs `data` in place with the keystream (encrypt == decrypt).
+  void xor_inplace(std::span<std::uint8_t> data) noexcept;
+
+ private:
+  void refill() noexcept;
+
+  std::array<std::uint32_t, 16> state_;
+  std::array<std::uint8_t, kBlockSize> block_;
+  std::size_t block_pos_ = kBlockSize;  // forces refill on first use
+};
+
+}  // namespace pvr::crypto

@@ -1,0 +1,36 @@
+#include "crypto/commitment.h"
+
+#include "crypto/encoding.h"
+
+namespace pvr::crypto {
+
+Commitment compute_commitment(std::span<const std::uint8_t> value,
+                              std::span<const std::uint8_t> nonce) {
+  ByteWriter writer;
+  writer.put_bytes(value);
+  writer.put_raw(nonce);
+  return {.digest = sha256(writer.data())};
+}
+
+std::pair<Commitment, CommitmentOpening> commit(
+    std::span<const std::uint8_t> value, Drbg& rng) {
+  CommitmentOpening opening{
+      .value = {value.begin(), value.end()},
+      .nonce = rng.bytes(kCommitNonceSize),
+  };
+  Commitment commitment = compute_commitment(opening.value, opening.nonce);
+  return {commitment, std::move(opening)};
+}
+
+std::pair<Commitment, CommitmentOpening> commit_bit(bool bit, Drbg& rng) {
+  const std::uint8_t byte = bit ? 1 : 0;
+  return commit(std::span(&byte, 1), rng);
+}
+
+bool verify_commitment(const Commitment& commitment,
+                       const CommitmentOpening& opening) {
+  if (opening.nonce.size() != kCommitNonceSize) return false;
+  return compute_commitment(opening.value, opening.nonce) == commitment;
+}
+
+}  // namespace pvr::crypto

@@ -1,0 +1,46 @@
+// Hash commitments c = H(value || nonce) (paper §3.2).
+//
+// The nonce is essential: footnote 2 of the paper notes that without it a
+// neighbor could test c against H(0) and H(1) and learn the committed bit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/drbg.h"
+#include "crypto/sha256.h"
+
+namespace pvr::crypto {
+
+inline constexpr std::size_t kCommitNonceSize = 32;
+
+struct CommitmentOpening {
+  std::vector<std::uint8_t> value;
+  std::vector<std::uint8_t> nonce;  // kCommitNonceSize bytes
+};
+
+struct Commitment {
+  Digest digest{};
+
+  [[nodiscard]] bool operator==(const Commitment&) const = default;
+};
+
+// Computes H(len(value) || value || nonce). The length prefix makes the
+// (value, nonce) split unambiguous.
+[[nodiscard]] Commitment compute_commitment(std::span<const std::uint8_t> value,
+                                            std::span<const std::uint8_t> nonce);
+
+// Commits to `value` with a fresh random nonce from `rng`.
+[[nodiscard]] std::pair<Commitment, CommitmentOpening> commit(
+    std::span<const std::uint8_t> value, Drbg& rng);
+
+// Convenience overload for single-bit commitments (the b / b_i bits of
+// §3.2–3.3).
+[[nodiscard]] std::pair<Commitment, CommitmentOpening> commit_bit(bool bit,
+                                                                  Drbg& rng);
+
+[[nodiscard]] bool verify_commitment(const Commitment& commitment,
+                                     const CommitmentOpening& opening);
+
+}  // namespace pvr::crypto

@@ -1,0 +1,98 @@
+#include "crypto/drbg.h"
+
+#include <array>
+#include <cmath>
+
+#include "crypto/sha256.h"
+
+namespace pvr::crypto {
+
+namespace {
+
+[[nodiscard]] ChaCha20 make_stream(std::uint64_t seed, std::string_view label) {
+  Sha256 hasher;
+  hasher.update(label);
+  std::array<std::uint8_t, 8> seed_bytes;
+  for (int i = 0; i < 8; ++i) {
+    seed_bytes[i] = static_cast<std::uint8_t>(seed >> (8 * i));
+  }
+  hasher.update(std::span(seed_bytes.data(), seed_bytes.size()));
+  const Digest key = hasher.finalize();
+
+  std::array<std::uint8_t, ChaCha20::kNonceSize> nonce{};
+  return ChaCha20(std::span<const std::uint8_t, ChaCha20::kKeySize>(key),
+                  std::span<const std::uint8_t, ChaCha20::kNonceSize>(nonce));
+}
+
+}  // namespace
+
+Drbg::Drbg(std::uint64_t seed, std::string_view label)
+    : stream_(make_stream(seed, label)) {}
+
+void Drbg::fill(std::span<std::uint8_t> out) noexcept { stream_.keystream(out); }
+
+std::vector<std::uint8_t> Drbg::bytes(std::size_t count) {
+  std::vector<std::uint8_t> out(count);
+  fill(out);
+  return out;
+}
+
+std::uint64_t Drbg::next_u64() noexcept {
+  std::array<std::uint8_t, 8> buf;
+  fill(buf);
+  std::uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) out |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  return out;
+}
+
+std::uint64_t Drbg::uniform(std::uint64_t bound) noexcept {
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = bound == 0 ? 0 : (~std::uint64_t{0}) - (~std::uint64_t{0}) % bound;
+  std::uint64_t value;
+  do {
+    value = next_u64();
+  } while (bound != 0 && value >= limit);
+  return bound == 0 ? value : value % bound;
+}
+
+double Drbg::uniform_unit() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Drbg::coin(double probability_true) noexcept {
+  return uniform_unit() < probability_true;
+}
+
+Bignum Drbg::random_bits(std::size_t bits) {
+  if (bits == 0) return {};
+  std::vector<std::uint8_t> buf((bits + 7) / 8);
+  fill(buf);
+  // Clear excess high bits, then force the top bit so the width is exact.
+  const std::size_t excess = buf.size() * 8 - bits;
+  buf[0] &= static_cast<std::uint8_t>(0xff >> excess);
+  buf[0] |= static_cast<std::uint8_t>(0x80 >> excess);
+  return Bignum::from_bytes_be(buf);
+}
+
+Bignum Drbg::random_below(const Bignum& bound) {
+  if (bound.is_zero()) return {};
+  const std::size_t bits = bound.bit_length();
+  const std::size_t nbytes = (bits + 7) / 8;
+  const std::size_t excess = nbytes * 8 - bits;
+  while (true) {
+    std::vector<std::uint8_t> buf(nbytes);
+    fill(buf);
+    buf[0] &= static_cast<std::uint8_t>(0xff >> excess);
+    Bignum candidate = Bignum::from_bytes_be(buf);
+    if (candidate < bound) return candidate;
+  }
+}
+
+Drbg Drbg::fork(std::string_view label) {
+  const std::uint64_t child_seed = next_u64();
+  std::string child_label = "fork:";
+  child_label.append(label);
+  return Drbg(child_seed, child_label);
+}
+
+}  // namespace pvr::crypto

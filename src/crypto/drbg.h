@@ -1,0 +1,46 @@
+// Deterministic random bit generator (ChaCha20-based).
+//
+// All nondeterminism in the repository — key generation, commitment nonces,
+// topology generation, Byzantine strategy sampling — is drawn from seeded
+// Drbg instances so every experiment is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "crypto/bignum.h"
+#include "crypto/chacha20.h"
+
+namespace pvr::crypto {
+
+class Drbg {
+ public:
+  // Domain-separated seeding: two Drbgs with different labels never share a
+  // keystream even under the same numeric seed.
+  explicit Drbg(std::uint64_t seed, std::string_view label = "pvr-drbg");
+
+  void fill(std::span<std::uint8_t> out) noexcept;
+  [[nodiscard]] std::vector<std::uint8_t> bytes(std::size_t count);
+
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+  // Uniform in [0, bound); bound must be nonzero.
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t bound) noexcept;
+  // Uniform double in [0, 1).
+  [[nodiscard]] double uniform_unit() noexcept;
+  [[nodiscard]] bool coin(double probability_true) noexcept;
+
+  // Uniform Bignum with exactly `bits` significant bits (top bit set).
+  [[nodiscard]] Bignum random_bits(std::size_t bits);
+  // Uniform Bignum in [0, bound).
+  [[nodiscard]] Bignum random_below(const Bignum& bound);
+
+  // Spawns an independent child generator (for per-node streams).
+  [[nodiscard]] Drbg fork(std::string_view label);
+
+ private:
+  ChaCha20 stream_;
+};
+
+}  // namespace pvr::crypto

@@ -1,0 +1,37 @@
+#include "crypto/hmac.h"
+
+#include <array>
+
+namespace pvr::crypto {
+
+Digest hmac_sha256(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> message) noexcept {
+  constexpr std::size_t kBlockSize = 64;
+
+  std::array<std::uint8_t, kBlockSize> key_block{};
+  if (key.size() > kBlockSize) {
+    const Digest hashed = sha256(key);
+    std::copy(hashed.begin(), hashed.end(), key_block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), key_block.begin());
+  }
+
+  std::array<std::uint8_t, kBlockSize> ipad;
+  std::array<std::uint8_t, kBlockSize> opad;
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(std::span(ipad.data(), ipad.size()));
+  inner.update(message);
+  const Digest inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(std::span(opad.data(), opad.size()));
+  outer.update(std::span(inner_digest.data(), inner_digest.size()));
+  return outer.finalize();
+}
+
+}  // namespace pvr::crypto

@@ -1,0 +1,17 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+//
+// Used to key the gossip-layer message authenticators between neighbors and
+// to derive per-session nonces in the PVR protocol runner.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/sha256.h"
+
+namespace pvr::crypto {
+
+[[nodiscard]] Digest hmac_sha256(std::span<const std::uint8_t> key,
+                                 std::span<const std::uint8_t> message) noexcept;
+
+}  // namespace pvr::crypto

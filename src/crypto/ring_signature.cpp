@@ -1,0 +1,193 @@
+#include "crypto/ring_signature.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "crypto/chacha20.h"
+#include "crypto/encoding.h"
+#include "crypto/sha256.h"
+
+namespace pvr::crypto {
+
+namespace {
+
+// Extended trapdoor permutation g_i over {0,1}^b (RST §3.1): write
+// x = q*n + r; if (q+1)*n fits in the domain, apply f to r, else identity.
+[[nodiscard]] Bignum extend_forward(const RsaPublicKey& key, const Bignum& x,
+                                    std::size_t domain_bits) {
+  const Bignum::DivMod qr = x.divmod(key.n);
+  const Bignum limit = (qr.quotient + Bignum(1)) * key.n;
+  if (limit.bit_length() <= domain_bits) {
+    return qr.quotient * key.n + rsa_public_apply(key, qr.remainder);
+  }
+  return x;
+}
+
+[[nodiscard]] Bignum extend_backward(const RsaPrivateKey& key, const Bignum& y,
+                                     std::size_t domain_bits) {
+  const Bignum::DivMod qr = y.divmod(key.n);
+  const Bignum limit = (qr.quotient + Bignum(1)) * key.n;
+  if (limit.bit_length() <= domain_bits) {
+    return qr.quotient * key.n + rsa_private_apply(key, qr.remainder);
+  }
+  return y;
+}
+
+// Keyed pseudorandom function for the Feistel rounds: expands
+// (k, round, half) to `bits` pseudorandom bits.
+[[nodiscard]] Bignum feistel_round_function(const Digest& k, int round,
+                                            const Bignum& half,
+                                            std::size_t bits) {
+  ByteWriter writer;
+  writer.put_string("pvr-ring-feistel");
+  writer.put_raw(std::span(k.data(), k.size()));
+  writer.put_u8(static_cast<std::uint8_t>(round));
+  const auto half_bytes = half.to_bytes_be();
+  writer.put_bytes(half_bytes);
+  const Digest round_key = sha256(writer.data());
+
+  const std::size_t nbytes = (bits + 7) / 8;
+  std::vector<std::uint8_t> pad(nbytes);
+  std::array<std::uint8_t, ChaCha20::kNonceSize> nonce{};
+  ChaCha20 stream{std::span<const std::uint8_t, ChaCha20::kKeySize>(round_key),
+                  std::span<const std::uint8_t, ChaCha20::kNonceSize>(nonce)};
+  stream.keystream(pad);
+  if (nbytes > 0) {
+    pad[0] &= static_cast<std::uint8_t>(0xff >> (nbytes * 8 - bits));
+  }
+  return Bignum::from_bytes_be(pad);
+}
+
+[[nodiscard]] Bignum bits_xor(const Bignum& lhs, const Bignum& rhs,
+                              std::size_t bits) {
+  const std::size_t nbytes = (bits + 7) / 8;
+  std::vector<std::uint8_t> lb = lhs.to_bytes_be(nbytes);
+  const std::vector<std::uint8_t> rb = rhs.to_bytes_be(nbytes);
+  for (std::size_t i = 0; i < nbytes; ++i) lb[i] ^= rb[i];
+  return Bignum::from_bytes_be(lb);
+}
+
+constexpr int kFeistelRounds = 4;  // Luby–Rackoff: 4 rounds give a strong PRP
+
+// E_k: a keyed permutation of {0,1}^b realized as a balanced Feistel
+// network (b is always even, see domain_bits_for). A plain XOR pad would
+// be linear — pads cancel around even-size rings and verification would
+// become message-independent — so a genuinely nonlinear PRP is required.
+[[nodiscard]] Bignum feistel_encrypt(const Digest& k, const Bignum& value,
+                                     std::size_t domain_bits) {
+  const std::size_t half_bits = domain_bits / 2;
+  const Bignum mask_mod = Bignum(1) << half_bits;
+  Bignum left = value >> half_bits;
+  Bignum right = value % mask_mod;
+  for (int round = 0; round < kFeistelRounds; ++round) {
+    Bignum next_right =
+        bits_xor(left, feistel_round_function(k, round, right, half_bits), half_bits);
+    left = std::move(right);
+    right = std::move(next_right);
+  }
+  return (left << half_bits) + right;
+}
+
+[[nodiscard]] Bignum feistel_decrypt(const Digest& k, const Bignum& value,
+                                     std::size_t domain_bits) {
+  const std::size_t half_bits = domain_bits / 2;
+  const Bignum mask_mod = Bignum(1) << half_bits;
+  Bignum left = value >> half_bits;
+  Bignum right = value % mask_mod;
+  for (int round = kFeistelRounds - 1; round >= 0; --round) {
+    Bignum prev_left =
+        bits_xor(right, feistel_round_function(k, round, left, half_bits), half_bits);
+    right = std::move(left);
+    left = std::move(prev_left);
+  }
+  return (left << half_bits) + right;
+}
+
+[[nodiscard]] std::size_t domain_bits_for(std::span<const RsaPublicKey> ring) {
+  std::size_t max_bits = 0;
+  for (const RsaPublicKey& key : ring) {
+    max_bits = std::max(max_bits, key.n.bit_length());
+  }
+  std::size_t b = max_bits + 64;
+  if (b % 2 != 0) ++b;  // the Feistel halves must be equal width
+  return b;
+}
+
+}  // namespace
+
+std::size_t RingSignature::byte_size() const {
+  const std::size_t per_value = (domain_bits + 7) / 8;
+  return per_value * (x.size() + 1);
+}
+
+RingSignature ring_sign(std::span<const RsaPublicKey> ring,
+                        std::size_t signer_index,
+                        const RsaPrivateKey& signer_key,
+                        std::span<const std::uint8_t> message, Drbg& rng) {
+  if (ring.empty()) throw std::invalid_argument("ring_sign: empty ring");
+  if (signer_index >= ring.size()) {
+    throw std::invalid_argument("ring_sign: signer index out of range");
+  }
+  if (!(ring[signer_index] == signer_key.public_key())) {
+    throw std::invalid_argument("ring_sign: key mismatch at signer index");
+  }
+
+  const std::size_t b = domain_bits_for(ring);
+  const Digest k = sha256(message);
+  const Bignum domain_bound = Bignum(1) << b;
+
+  // Random x_i (and thus y_i = g_i(x_i)) for all non-signers.
+  const std::size_t r = ring.size();
+  std::vector<Bignum> x(r);
+  std::vector<Bignum> y(r);
+  for (std::size_t i = 0; i < r; ++i) {
+    if (i == signer_index) continue;
+    x[i] = rng.random_below(domain_bound);
+    y[i] = extend_forward(ring[i], x[i], b);
+  }
+
+  const Bignum v = rng.random_below(domain_bound);
+
+  // Ring equation with state_0 = v and state_{i+1} = E_k(state_i XOR y_i);
+  // a valid signature satisfies state_r = v.
+  // Forward pass up to the signer's slot:
+  Bignum state = v;
+  for (std::size_t i = 0; i < signer_index; ++i) {
+    state = feistel_encrypt(k, bits_xor(state, y[i], b), b);
+  }
+  const Bignum state_before_signer = state;
+
+  // Backward pass from state_r = v down to state_{signer+1}:
+  Bignum after = v;
+  for (std::size_t i = r; i-- > signer_index + 1;) {
+    after = bits_xor(feistel_decrypt(k, after, b), y[i], b);
+  }
+
+  // Solve state_{s+1} = E_k(state_s XOR y_s) for y_s, then invert g_s.
+  y[signer_index] = bits_xor(feistel_decrypt(k, after, b), state_before_signer, b);
+  x[signer_index] = extend_backward(signer_key, y[signer_index], b);
+
+  return {.glue = v, .x = std::move(x), .domain_bits = b};
+}
+
+bool ring_verify(std::span<const RsaPublicKey> ring,
+                 std::span<const std::uint8_t> message,
+                 const RingSignature& signature) {
+  if (ring.empty() || signature.x.size() != ring.size()) return false;
+  const std::size_t b = domain_bits_for(ring);
+  if (signature.domain_bits != b) return false;
+  const Bignum domain_bound = Bignum(1) << b;
+  if (signature.glue >= domain_bound) return false;
+
+  const Digest k = sha256(message);
+
+  Bignum state = signature.glue;
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    if (signature.x[i] >= domain_bound) return false;
+    const Bignum y = extend_forward(ring[i], signature.x[i], b);
+    state = feistel_encrypt(k, bits_xor(state, y, b), b);
+  }
+  return state == signature.glue;
+}
+
+}  // namespace pvr::crypto

@@ -1,0 +1,49 @@
+// Rivest–Shamir–Tauman ring signatures ("How to leak a secret", ASIACRYPT
+// 2001) over this repository's RSA.
+//
+// Paper §3.2: when PVR is applied to a link-state-style protocol that only
+// exports "a route exists", the providing neighbors N_i sign that statement
+// with a ring signature, so the verifier B learns that *some* N_i provided
+// a route without learning which one.
+//
+// Construction: each ring member i has an RSA trapdoor permutation f_i over
+// Z_{n_i}, extended to a common domain {0,1}^b (b >= max modulus bits + 64)
+// by applying f_i blockwise below the largest multiple of n_i. The ring
+// equation C_{k,v}(y_1..y_r) = v is glued with a keyed XOR-pad permutation
+// E_k derived from ChaCha20 with k = SHA-256(message). The XOR pad keeps
+// the combining function a bijection, which is what the proof of anonymity
+// requires; a production deployment would use a full block cipher here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/bignum.h"
+#include "crypto/drbg.h"
+#include "crypto/rsa.h"
+
+namespace pvr::crypto {
+
+struct RingSignature {
+  Bignum glue;                // v
+  std::vector<Bignum> x;      // one per ring member, in ring order
+  std::size_t domain_bits = 0;  // b
+
+  [[nodiscard]] std::size_t byte_size() const;
+};
+
+// Signs `message` as ring member `signer_index` (an index into `ring`).
+// Throws std::invalid_argument if the ring is empty, the index is out of
+// range, or the signer's public key does not match `signer_key`.
+[[nodiscard]] RingSignature ring_sign(std::span<const RsaPublicKey> ring,
+                                      std::size_t signer_index,
+                                      const RsaPrivateKey& signer_key,
+                                      std::span<const std::uint8_t> message,
+                                      Drbg& rng);
+
+[[nodiscard]] bool ring_verify(std::span<const RsaPublicKey> ring,
+                               std::span<const std::uint8_t> message,
+                               const RingSignature& signature);
+
+}  // namespace pvr::crypto

@@ -1,0 +1,76 @@
+// RSA key generation and PKCS#1 v1.5 signatures (RFC 8017) over SHA-256.
+//
+// The paper's overhead analysis (§3.8) is phrased in terms of RSA-1024
+// signatures (~2 ms on 2011 hardware); route announcements, commitments,
+// and evidence objects in this repo are all signed with this module.
+// Signing uses the CRT; verification uses the public exponent directly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "crypto/bignum.h"
+#include "crypto/drbg.h"
+#include "crypto/sha256.h"
+
+namespace pvr::crypto {
+
+struct RsaPublicKey {
+  Bignum n;  // modulus
+  Bignum e;  // public exponent
+
+  [[nodiscard]] std::size_t modulus_bytes() const {
+    return (n.bit_length() + 7) / 8;
+  }
+  [[nodiscard]] bool operator==(const RsaPublicKey&) const = default;
+
+  // Canonical encoding (for hashing into node identities and gossip).
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static RsaPublicKey decode(std::span<const std::uint8_t> data);
+};
+
+struct RsaPrivateKey {
+  Bignum n;
+  Bignum e;
+  Bignum d;
+  // CRT components.
+  Bignum p;
+  Bignum q;
+  Bignum d_p;    // d mod (p-1)
+  Bignum d_q;    // d mod (q-1)
+  Bignum q_inv;  // q^{-1} mod p
+
+  [[nodiscard]] RsaPublicKey public_key() const { return {.n = n, .e = e}; }
+};
+
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  RsaPrivateKey priv;
+};
+
+// Miller–Rabin with `rounds` random bases (error < 4^-rounds).
+[[nodiscard]] bool is_probable_prime(const Bignum& n, Drbg& rng, int rounds = 24);
+
+// Generates a random prime with exactly `bits` bits (top two bits set, so
+// products of two such primes have exactly 2*bits bits).
+[[nodiscard]] Bignum generate_prime(std::size_t bits, Drbg& rng);
+
+// Generates an RSA key pair with a modulus of `modulus_bits` bits, e = 65537.
+[[nodiscard]] RsaKeyPair generate_rsa_keypair(std::size_t modulus_bits, Drbg& rng);
+
+// PKCS#1 v1.5 signature over SHA-256(message). The result has exactly
+// modulus_bytes() bytes.
+[[nodiscard]] std::vector<std::uint8_t> rsa_sign(
+    const RsaPrivateKey& key, std::span<const std::uint8_t> message);
+
+[[nodiscard]] bool rsa_verify(const RsaPublicKey& key,
+                              std::span<const std::uint8_t> message,
+                              std::span<const std::uint8_t> signature);
+
+// Raw RSA trapdoor permutation (used by the ring-signature scheme).
+[[nodiscard]] Bignum rsa_public_apply(const RsaPublicKey& key, const Bignum& x);
+[[nodiscard]] Bignum rsa_private_apply(const RsaPrivateKey& key, const Bignum& y);
+
+}  // namespace pvr::crypto

@@ -1,0 +1,147 @@
+#include "crypto/sparse_merkle.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "crypto/encoding.h"
+#include "crypto/hmac.h"
+
+namespace pvr::crypto {
+
+SparseMerkleTree::SparseMerkleTree(std::vector<std::uint8_t> blinding_key)
+    : blinding_key_(std::move(blinding_key)) {}
+
+Digest SparseMerkleTree::key_for_label(std::string_view label) {
+  return sha256(label);
+}
+
+bool SparseMerkleTree::key_bit(const Digest& key, std::size_t depth) noexcept {
+  // Bit 0 is the most significant bit of key[0]: the tree descends MSB-first.
+  return (key[depth / 8] >> (7 - depth % 8)) & 1u;
+}
+
+void SparseMerkleTree::insert(const Digest& key, const Digest& value_hash) {
+  leaves_[key] = value_hash;
+}
+
+void SparseMerkleTree::erase(const Digest& key) { leaves_.erase(key); }
+
+bool SparseMerkleTree::contains(const Digest& key) const {
+  return leaves_.contains(key);
+}
+
+Digest SparseMerkleTree::hash_leaf(const Digest& key, const Digest& value_hash) {
+  Sha256 hasher;
+  const std::uint8_t tag = 0x02;
+  hasher.update(std::span(&tag, 1));
+  hasher.update(std::span(key.data(), key.size()));
+  hasher.update(std::span(value_hash.data(), value_hash.size()));
+  return hasher.finalize();
+}
+
+Digest SparseMerkleTree::hash_interior(const Digest& left, const Digest& right) {
+  Sha256 hasher;
+  const std::uint8_t tag = 0x03;
+  hasher.update(std::span(&tag, 1));
+  hasher.update(std::span(left.data(), left.size()));
+  hasher.update(std::span(right.data(), right.size()));
+  return hasher.finalize();
+}
+
+Digest SparseMerkleTree::empty_hash(std::size_t depth,
+                                    const Digest& path_prefix) const {
+  // HMAC over (depth, packed path bits). Without blinding_key_ this value is
+  // indistinguishable from a genuine subtree hash.
+  ByteWriter writer;
+  writer.put_string("pvr-smt-empty");
+  writer.put_u32(static_cast<std::uint32_t>(depth));
+  writer.put_raw(std::span(path_prefix.data(), path_prefix.size()));
+  const Digest mac = hmac_sha256(blinding_key_, writer.data());
+  return mac;
+}
+
+std::vector<SparseMerkleTree::Entry> SparseMerkleTree::sorted_entries() const {
+  std::vector<Entry> entries;
+  entries.reserve(leaves_.size());
+  for (const auto& [key, value] : leaves_) {
+    Digest key_digest;
+    std::copy(key.begin(), key.end(), key_digest.begin());
+    entries.push_back({.key = key_digest, .value = value});
+  }
+  // std::map iterates keys in lexicographic byte order, which equals the
+  // MSB-first path order the recursion expects.
+  return entries;
+}
+
+Digest SparseMerkleTree::subtree_hash(std::span<const Entry> entries,
+                                      std::size_t depth,
+                                      Digest path_prefix) const {
+  if (entries.empty()) return empty_hash(depth, path_prefix);
+  if (depth == kSparseTreeDepth) {
+    // Keys are unique, so exactly one entry can remain at full depth.
+    return hash_leaf(entries.front().key, entries.front().value);
+  }
+  const auto split = std::partition_point(
+      entries.begin(), entries.end(),
+      [depth](const Entry& e) { return !key_bit(e.key, depth); });
+  const std::span<const Entry> left(entries.begin(), split);
+  const std::span<const Entry> right(split, entries.end());
+
+  Digest right_prefix = path_prefix;
+  right_prefix[depth / 8] |= static_cast<std::uint8_t>(1u << (7 - depth % 8));
+
+  return hash_interior(subtree_hash(left, depth + 1, path_prefix),
+                       subtree_hash(right, depth + 1, right_prefix));
+}
+
+Digest SparseMerkleTree::root() const {
+  const std::vector<Entry> entries = sorted_entries();
+  return subtree_hash(entries, 0, Digest{});
+}
+
+SparseDisclosureProof SparseMerkleTree::prove(const Digest& key) const {
+  if (!leaves_.contains(key)) {
+    throw std::out_of_range("SparseMerkleTree::prove: key not present");
+  }
+  SparseDisclosureProof proof{.key = key, .siblings = {}};
+  proof.siblings.reserve(kSparseTreeDepth);
+
+  std::vector<Entry> entries = sorted_entries();
+  std::span<const Entry> current(entries);
+  Digest path_prefix{};
+
+  for (std::size_t depth = 0; depth < kSparseTreeDepth; ++depth) {
+    const auto split = std::partition_point(
+        current.begin(), current.end(),
+        [depth](const Entry& e) { return !key_bit(e.key, depth); });
+    const std::span<const Entry> left(current.begin(), split);
+    const std::span<const Entry> right(split, current.end());
+
+    Digest right_prefix = path_prefix;
+    right_prefix[depth / 8] |= static_cast<std::uint8_t>(1u << (7 - depth % 8));
+
+    if (key_bit(key, depth)) {
+      proof.siblings.push_back(subtree_hash(left, depth + 1, path_prefix));
+      current = right;
+      path_prefix = right_prefix;
+    } else {
+      proof.siblings.push_back(subtree_hash(right, depth + 1, right_prefix));
+      current = left;
+    }
+  }
+  return proof;
+}
+
+bool SparseMerkleTree::verify(const Digest& root, const Digest& value_hash,
+                              const SparseDisclosureProof& proof) {
+  if (proof.siblings.size() != kSparseTreeDepth) return false;
+  Digest current = hash_leaf(proof.key, value_hash);
+  for (std::size_t depth = kSparseTreeDepth; depth-- > 0;) {
+    const Digest& sibling = proof.siblings[depth];
+    current = key_bit(proof.key, depth) ? hash_interior(sibling, current)
+                                        : hash_interior(current, sibling);
+  }
+  return current == root;
+}
+
+}  // namespace pvr::crypto

@@ -1,0 +1,89 @@
+// Sparse Merkle hash tree over prefix-free bitstring keys (paper §3.6).
+//
+// The paper keys each route-flow-graph vertex by a prefix-free bitstring and
+// builds a conceptual MHT with one leaf per possible bitstring, only
+// materializing instantiated leaves, their root paths, and the immediate
+// children of on-path inner nodes. We realize the prefix-free keyspace by
+// hashing each vertex label to a fixed 256-bit path (fixed-length strings
+// are trivially prefix-free; the paper notes "more efficient representations"
+// than literal label encoding exist — this is one).
+//
+// Privacy property (paper: "Since the neighbor does not know whether the
+// hash values are random bitstrings or hashes of 'real' interior nodes,
+// this does not reveal the presence or absence of any vertices other than
+// x"): empty subtrees hash to HMAC(blinding_key, position), which is
+// indistinguishable from a real subtree hash without the tree owner's
+// blinding key. A conventional sparse MHT with public all-zero empty hashes
+// would leak absence; this one does not.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace pvr::crypto {
+
+inline constexpr std::size_t kSparseTreeDepth = 256;
+
+struct SparseDisclosureProof {
+  Digest key{};
+  // siblings[d] is the sibling hash of the on-path node at depth d+1
+  // (i.e. the hash combined at depth d), ordered root-to-leaf.
+  std::vector<Digest> siblings;
+
+  [[nodiscard]] std::size_t byte_size() const noexcept {
+    return key.size() + siblings.size() * kSha256DigestSize;
+  }
+};
+
+class SparseMerkleTree {
+ public:
+  // The blinding key is secret to the tree owner; it randomizes the hashes
+  // of empty subtrees so disclosure proofs do not reveal tree occupancy.
+  explicit SparseMerkleTree(std::vector<std::uint8_t> blinding_key);
+
+  // Maps a vertex label to its 256-bit tree path.
+  [[nodiscard]] static Digest key_for_label(std::string_view label);
+
+  // Inserts or overwrites the value hash stored at `key`.
+  void insert(const Digest& key, const Digest& value_hash);
+  void erase(const Digest& key);
+  [[nodiscard]] bool contains(const Digest& key) const;
+  [[nodiscard]] std::size_t size() const noexcept { return leaves_.size(); }
+
+  // Root hash over the (conceptual) full tree. O(n log n) in leaves.
+  [[nodiscard]] Digest root() const;
+
+  // Disclosure proof for `key`. Throws std::out_of_range if absent.
+  [[nodiscard]] SparseDisclosureProof prove(const Digest& key) const;
+
+  // Verifies that `value_hash` is stored at proof.key under `root`.
+  [[nodiscard]] static bool verify(const Digest& root, const Digest& value_hash,
+                                   const SparseDisclosureProof& proof);
+
+  [[nodiscard]] static Digest hash_leaf(const Digest& key, const Digest& value_hash);
+  [[nodiscard]] static Digest hash_interior(const Digest& left, const Digest& right);
+
+ private:
+  struct Entry {
+    Digest key;
+    Digest value;
+  };
+
+  [[nodiscard]] static bool key_bit(const Digest& key, std::size_t depth) noexcept;
+  [[nodiscard]] Digest empty_hash(std::size_t depth,
+                                  const Digest& path_prefix) const;
+  [[nodiscard]] Digest subtree_hash(std::span<const Entry> entries,
+                                    std::size_t depth, Digest path_prefix) const;
+  [[nodiscard]] std::vector<Entry> sorted_entries() const;
+
+  std::vector<std::uint8_t> blinding_key_;
+  std::map<std::array<std::uint8_t, kSha256DigestSize>, Digest> leaves_;
+};
+
+}  // namespace pvr::crypto

@@ -1,0 +1,54 @@
+#include "net/gossip.h"
+
+#include "crypto/encoding.h"
+
+namespace pvr::net {
+
+bool GossipState::observe(const std::string& topic, std::vector<std::uint8_t> value) {
+  return by_topic_[topic].insert(std::move(value)).second;
+}
+
+const std::set<std::vector<std::uint8_t>>& GossipState::values(
+    const std::string& topic) const {
+  static const std::set<std::vector<std::uint8_t>> kEmpty;
+  const auto it = by_topic_.find(topic);
+  return it == by_topic_.end() ? kEmpty : it->second;
+}
+
+std::optional<GossipState::Conflict> GossipState::conflict_for(
+    const std::string& topic) const {
+  const auto it = by_topic_.find(topic);
+  if (it == by_topic_.end() || it->second.size() < 2) return std::nullopt;
+  Conflict conflict{.topic = topic, .values = {}};
+  conflict.values.assign(it->second.begin(), it->second.end());
+  return conflict;
+}
+
+std::vector<GossipState::Conflict> GossipState::all_conflicts() const {
+  std::vector<Conflict> out;
+  for (const auto& [topic, values] : by_topic_) {
+    if (values.size() >= 2) {
+      out.push_back({.topic = topic,
+                     .values = {values.begin(), values.end()}});
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_gossip(const std::string& topic,
+                                        const std::vector<std::uint8_t>& value) {
+  crypto::ByteWriter writer;
+  writer.put_string(topic);
+  writer.put_bytes(value);
+  return writer.take();
+}
+
+GossipAnnouncement decode_gossip(const std::vector<std::uint8_t>& payload) {
+  crypto::ByteReader reader(payload);
+  GossipAnnouncement out;
+  out.topic = reader.get_string();
+  out.value = reader.get_bytes();
+  return out;
+}
+
+}  // namespace pvr::net

@@ -1,0 +1,117 @@
+#include "net/simulator.h"
+
+#include <stdexcept>
+
+namespace pvr::net {
+
+namespace {
+
+[[nodiscard]] std::pair<NodeId, NodeId> link_key(NodeId a, NodeId b) noexcept {
+  return a < b ? std::pair{a, b} : std::pair{b, a};
+}
+
+}  // namespace
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed, "pvr-net-simulator") {}
+
+void Simulator::add_node(NodeId id, std::unique_ptr<Node> node) {
+  if (!node) throw std::invalid_argument("Simulator::add_node: null node");
+  const auto [it, inserted] = nodes_.emplace(id, std::move(node));
+  (void)it;
+  if (!inserted) {
+    throw std::invalid_argument("Simulator::add_node: duplicate node id");
+  }
+}
+
+Node& Simulator::node(NodeId id) {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) throw std::out_of_range("Simulator::node: unknown id");
+  return *it->second;
+}
+
+bool Simulator::has_node(NodeId id) const noexcept { return nodes_.contains(id); }
+
+std::vector<NodeId> Simulator::node_ids() const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, node] : nodes_) out.push_back(id);
+  return out;
+}
+
+void Simulator::connect(NodeId a, NodeId b, LinkConfig config) {
+  if (a == b) throw std::invalid_argument("Simulator::connect: self link");
+  links_[link_key(a, b)] = config;
+}
+
+void Simulator::disconnect(NodeId a, NodeId b) { links_.erase(link_key(a, b)); }
+
+bool Simulator::connected(NodeId a, NodeId b) const noexcept {
+  return links_.contains(link_key(a, b));
+}
+
+std::vector<NodeId> Simulator::neighbors_of(NodeId id) const {
+  std::vector<NodeId> out;
+  for (const auto& [key, config] : links_) {
+    if (key.first == id) out.push_back(key.second);
+    if (key.second == id) out.push_back(key.first);
+  }
+  return out;
+}
+
+const LinkConfig* Simulator::link_between(NodeId a, NodeId b) const noexcept {
+  const auto it = links_.find(link_key(a, b));
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+void Simulator::send(Message message) {
+  const LinkConfig* link = link_between(message.from, message.to);
+  if (link == nullptr) {
+    throw std::logic_error("Simulator::send: no link between nodes");
+  }
+  stats_.messages_sent += 1;
+  stats_.bytes_sent += message.wire_size();
+  if (link->drop_probability > 0.0 && rng_.coin(link->drop_probability)) {
+    stats_.messages_dropped += 1;
+    return;
+  }
+  const NodeId to = message.to;
+  schedule(now_ + link->latency,
+           [this, to, msg = std::move(message)]() mutable {
+             const auto it = nodes_.find(to);
+             if (it == nodes_.end()) return;  // node removed mid-flight
+             stats_.messages_delivered += 1;
+             it->second->on_message(*this, msg);
+           });
+}
+
+void Simulator::schedule(SimTime at, std::function<void()> fn) {
+  if (at < now_) throw std::invalid_argument("Simulator::schedule: time in the past");
+  queue_.push(Event{.at = at, .sequence = next_sequence_++, .action = std::move(fn)});
+}
+
+void Simulator::schedule_after(SimTime delay, std::function<void()> fn) {
+  schedule(now_ + delay, std::move(fn));
+}
+
+void Simulator::start_pending_nodes() {
+  if (started_) return;
+  started_ = true;
+  for (auto& [id, node] : nodes_) node->on_start(*this);
+}
+
+void Simulator::run() { run_until(~SimTime{0}); }
+
+void Simulator::run_until(SimTime until) {
+  start_pending_nodes();
+  while (!queue_.empty() && queue_.top().at <= until) {
+    // priority_queue::top() is const; the event is copied out so the action
+    // can run after pop (handlers may schedule new events).
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.at;
+    event.action();
+  }
+  if (queue_.empty() && until != ~SimTime{0}) now_ = until;
+}
+
+}  // namespace pvr::net

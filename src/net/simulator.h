@@ -1,0 +1,120 @@
+// Deterministic discrete-event network simulator.
+//
+// This is the substrate on which the BGP speakers and the PVR protocol run
+// (DESIGN.md §2.2). Nodes exchange messages over point-to-point links with
+// configurable latency and drop probability; all randomness is drawn from a
+// seeded DRBG, so a (seed, topology, workload) triple always replays the
+// exact same execution.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "crypto/drbg.h"
+
+namespace pvr::net {
+
+using NodeId = std::uint32_t;
+using SimTime = std::uint64_t;  // microseconds
+
+struct Message {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::string channel;  // protocol multiplexing key, e.g. "bgp.update"
+  std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] std::size_t wire_size() const noexcept {
+    // 8 bytes addressing + 2 length fields + channel + payload; close enough
+    // for the byte-overhead experiments.
+    return 16 + channel.size() + payload.size();
+  }
+};
+
+class Simulator;
+
+// Base class for protocol endpoints. Handlers run inside Simulator::run().
+class Node {
+ public:
+  virtual ~Node() = default;
+  // Called once before the first event is dispatched.
+  virtual void on_start(Simulator& sim) { (void)sim; }
+  virtual void on_message(Simulator& sim, const Message& message) = 0;
+};
+
+struct LinkConfig {
+  SimTime latency = 1000;  // one-way, microseconds
+  double drop_probability = 0.0;
+};
+
+struct SimStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed);
+
+  // Registers a node. Throws std::invalid_argument on duplicate id.
+  void add_node(NodeId id, std::unique_ptr<Node> node);
+  [[nodiscard]] Node& node(NodeId id);
+  [[nodiscard]] bool has_node(NodeId id) const noexcept;
+  [[nodiscard]] std::vector<NodeId> node_ids() const;
+
+  // Creates a bidirectional link. Replaces the config if already linked.
+  void connect(NodeId a, NodeId b, LinkConfig config = {});
+  void disconnect(NodeId a, NodeId b);
+  [[nodiscard]] bool connected(NodeId a, NodeId b) const noexcept;
+  [[nodiscard]] std::vector<NodeId> neighbors_of(NodeId id) const;
+
+  // Sends over an existing link; throws std::logic_error if none exists.
+  // Delivery happens at now + latency unless the link drops the message.
+  void send(Message message);
+
+  // Runs `fn` at absolute simulated time `at` (>= now).
+  void schedule(SimTime at, std::function<void()> fn);
+  void schedule_after(SimTime delay, std::function<void()> fn);
+
+  // Dispatches events until the queue is empty or `until` is reached.
+  void run();
+  void run_until(SimTime until);
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] const SimStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] crypto::Drbg& rng() noexcept { return rng_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t sequence;  // FIFO tiebreak for same-time events
+    std::function<void()> action;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  void start_pending_nodes();
+  [[nodiscard]] const LinkConfig* link_between(NodeId a, NodeId b) const noexcept;
+
+  crypto::Drbg rng_;
+  SimTime now_ = 0;
+  std::uint64_t next_sequence_ = 0;
+  bool started_ = false;
+  std::map<NodeId, std::unique_ptr<Node>> nodes_;
+  std::map<std::pair<NodeId, NodeId>, LinkConfig> links_;  // key: minmax order
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  SimStats stats_;
+};
+
+}  // namespace pvr::net

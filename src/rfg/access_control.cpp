@@ -1,0 +1,68 @@
+#include "rfg/access_control.h"
+
+namespace pvr::rfg {
+
+namespace {
+[[nodiscard]] constexpr std::uint8_t bit_for(Component component) noexcept {
+  return static_cast<std::uint8_t>(1u << static_cast<std::uint8_t>(component));
+}
+}  // namespace
+
+void AccessPolicy::grant(bgp::AsNumber network, const VertexId& id,
+                         Component component) {
+  grants_[{network, id}] |= bit_for(component);
+}
+
+void AccessPolicy::grant_all(bgp::AsNumber network, const VertexId& id) {
+  grant(network, id, Component::kPredecessors);
+  grant(network, id, Component::kSuccessors);
+  grant(network, id, Component::kPayload);
+}
+
+void AccessPolicy::revoke(bgp::AsNumber network, const VertexId& id,
+                          Component component) {
+  const auto it = grants_.find({network, id});
+  if (it == grants_.end()) return;
+  it->second &= static_cast<std::uint8_t>(~bit_for(component));
+  if (it->second == 0) grants_.erase(it);
+}
+
+bool AccessPolicy::allowed(bgp::AsNumber network, const VertexId& id,
+                           Component component) const {
+  const auto it = grants_.find({network, id});
+  return it != grants_.end() && (it->second & bit_for(component)) != 0;
+}
+
+bool AccessPolicy::allowed(bgp::AsNumber network, const VertexId& id) const {
+  return allowed(network, id, Component::kPayload);
+}
+
+std::set<VertexId> AccessPolicy::visible_vertices(bgp::AsNumber network) const {
+  std::set<VertexId> out;
+  for (const auto& [key, mask] : grants_) {
+    if (key.first == network && mask != 0) out.insert(key.second);
+  }
+  return out;
+}
+
+AccessPolicy AccessPolicy::figure1_policy(
+    const RouteFlowGraph& graph, const std::vector<bgp::AsNumber>& providers,
+    bgp::AsNumber b, const VertexId& operator_id) {
+  AccessPolicy policy;
+  // α(Ni, ri) = TRUE: each provider sees its own input variable.
+  for (const bgp::AsNumber provider : providers) {
+    policy.grant_all(provider, input_variable_id(provider));
+  }
+  // α(B, r0) = TRUE.
+  policy.grant_all(b, kOutputVariableId);
+  // α(n, min) = TRUE for all participating networks (the operator's type
+  // and wiring are public so everyone can check the promise structurally).
+  for (const bgp::AsNumber provider : providers) {
+    policy.grant_all(provider, operator_id);
+  }
+  policy.grant_all(b, operator_id);
+  (void)graph;
+  return policy;
+}
+
+}  // namespace pvr::rfg

@@ -1,0 +1,54 @@
+// Access-control policy α (paper §2.2, refined per §3.7).
+//
+// α : N × V → {TRUE, FALSE} says which networks may see which parts of the
+// route-flow graph. §3.7 splits each vertex's information I(x) into three
+// independently-disclosable components — predecessor edges, successor
+// edges, and the payload (route value / operator type) — so the policy here
+// is per-(network, vertex, component).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "bgp/as_path.h"
+#include "rfg/graph.h"
+
+namespace pvr::rfg {
+
+enum class Component : std::uint8_t {
+  kPredecessors = 0,
+  kSuccessors = 1,
+  kPayload = 2,
+};
+
+class AccessPolicy {
+ public:
+  // Grants `network` access to one component of vertex `id`.
+  void grant(bgp::AsNumber network, const VertexId& id, Component component);
+  // Grants all three components.
+  void grant_all(bgp::AsNumber network, const VertexId& id);
+  void revoke(bgp::AsNumber network, const VertexId& id, Component component);
+
+  [[nodiscard]] bool allowed(bgp::AsNumber network, const VertexId& id,
+                             Component component) const;
+  // α(n, v) for the whole vertex: true iff the payload is visible (the
+  // paper's coarse-grained α; structure-only access is strictly weaker).
+  [[nodiscard]] bool allowed(bgp::AsNumber network, const VertexId& id) const;
+
+  [[nodiscard]] std::set<VertexId> visible_vertices(bgp::AsNumber network) const;
+
+  // The canonical policy of the Figure 1 scenario (§3): each provider Ni
+  // sees its own input variable; B sees the output; everyone sees the
+  // operator; nothing else.
+  [[nodiscard]] static AccessPolicy figure1_policy(
+      const RouteFlowGraph& graph, const std::vector<bgp::AsNumber>& providers,
+      bgp::AsNumber b, const VertexId& operator_id);
+
+ private:
+  // (network, vertex) -> component bitmask.
+  std::map<std::pair<bgp::AsNumber, VertexId>, std::uint8_t> grants_;
+};
+
+}  // namespace pvr::rfg

@@ -1,0 +1,178 @@
+#include "rfg/compiler.h"
+
+#include <memory>
+#include <optional>
+
+#include "bgp/decision.h"
+
+namespace pvr::rfg {
+
+namespace {
+
+// One compiled unary stage.
+struct Stage {
+  std::shared_ptr<const Operator> op;
+};
+
+// Translates a policy rule into the stage it contributes to `neighbor`'s
+// chain, or nullopt if the rule does not apply to this neighbor. Throws
+// UnsupportedPolicyError outside the filter-chain fragment.
+[[nodiscard]] std::optional<Stage> stage_for(const bgp::PolicyRule& rule,
+                                             bgp::AsNumber neighbor) {
+  const bgp::PolicyMatch& match = rule.match;
+  if (match.neighbor.has_value() && *match.neighbor != neighbor) {
+    return std::nullopt;
+  }
+  if (match.prefix.has_value()) {
+    throw UnsupportedPolicyError(
+        "rule '" + rule.name + "': per-prefix matches are not compilable "
+        "(route-flow graphs are per-prefix already)");
+  }
+
+  // Count the single-condition constraint.
+  const int conditions = (match.as_in_path.has_value() ? 1 : 0) +
+                         (match.community.has_value() ? 1 : 0) +
+                         (match.max_path_length.has_value() ? 1 : 0);
+
+  if (rule.action.verdict == bgp::PolicyVerdict::kReject) {
+    if (conditions != 1) {
+      throw UnsupportedPolicyError(
+          "rule '" + rule.name +
+          "': reject rules must test exactly one condition");
+    }
+    if (match.as_in_path.has_value()) {
+      return Stage{std::make_shared<AsPathFilterOperator>(*match.as_in_path)};
+    }
+    if (match.community.has_value()) {
+      return Stage{std::make_shared<CommunityFilterOperator>(
+          *match.community, CommunityFilterOperator::Mode::kForbid)};
+    }
+    // Reject "length <= m" is not monotone in the way filters compose;
+    // the expressible form is the ACCEPT-bounded variant below.
+    throw UnsupportedPolicyError(
+        "rule '" + rule.name +
+        "': reject-by-max-path-length is not expressible; use an accept "
+        "rule with max_path_length instead");
+  }
+
+  // Accept rules: either a pure local-pref rewrite (terminal), or a
+  // max-length bound (filter that drops longer routes), or a require-
+  // community accept (drops routes lacking it) — each a single stage.
+  if (!rule.action.add_communities.empty() ||
+      !rule.action.strip_communities.empty() || rule.action.set_med) {
+    throw UnsupportedPolicyError(
+        "rule '" + rule.name +
+        "': community/MED rewrites are outside the compilable fragment");
+  }
+  if (rule.action.set_local_pref.has_value()) {
+    if (conditions != 0) {
+      throw UnsupportedPolicyError(
+          "rule '" + rule.name +
+          "': conditional local-pref is outside the compilable fragment");
+    }
+    // Unconditional accept: under first-match semantics nothing after this
+    // rule can fire, so the stage is terminal (the caller stops compiling
+    // further stages for this neighbor).
+    return Stage{
+        std::make_shared<SetLocalPrefOperator>(*rule.action.set_local_pref)};
+  }
+  // Conditional ACCEPT rules (require-community, max-length) short-circuit
+  // later rejects under first-match semantics, which a filter *chain*
+  // cannot express — refuse rather than mis-compile.
+  throw UnsupportedPolicyError("rule '" + rule.name +
+                               "': conditional accept rules are outside the "
+                               "compilable fragment");
+}
+
+}  // namespace
+
+RouteFlowGraph compile_policy(const CompilerInput& input) {
+  if (input.neighbors.empty()) {
+    throw UnsupportedPolicyError("compile_policy: no neighbors");
+  }
+  if (input.import_policy.default_verdict() == bgp::PolicyVerdict::kReject) {
+    throw UnsupportedPolicyError(
+        "compile_policy: default-reject policies need explicit accept rules "
+        "outside the compilable fragment");
+  }
+
+  RouteFlowGraph graph;
+  std::vector<VertexId> selection_operands;
+
+  for (const bgp::AsNumber neighbor : input.neighbors) {
+    const VertexId input_id = input_variable_id(neighbor);
+    graph.add_variable(
+        {.id = input_id, .role = VariableRole::kInput, .neighbor = neighbor});
+
+    VertexId current = input_id;
+    std::size_t stage_index = 0;
+    for (const bgp::PolicyRule& rule : input.import_policy.rules()) {
+      const auto stage = stage_for(rule, neighbor);
+      if (!stage) continue;
+      const std::string suffix =
+          std::to_string(neighbor) + "." + std::to_string(stage_index++);
+      const VertexId out_id = "var:s" + suffix;
+      graph.add_variable({.id = out_id, .role = VariableRole::kInternal});
+      graph.add_operator({.id = "op:s" + suffix,
+                          .op = stage->op,
+                          .operands = {current},
+                          .result = out_id});
+      current = out_id;
+      // An unconditional accept (set-lp) ends this neighbor's chain: under
+      // first-match semantics no later rule can apply.
+      if (rule.action.verdict == bgp::PolicyVerdict::kAccept &&
+          rule.action.set_local_pref.has_value() && !rule.match.as_in_path &&
+          !rule.match.community && !rule.match.max_path_length) {
+        break;
+      }
+    }
+    selection_operands.push_back(current);
+  }
+
+  graph.add_variable({.id = kOutputVariableId,
+                      .role = VariableRole::kOutput,
+                      .neighbor = input.exported_to});
+  std::shared_ptr<const Operator> selector;
+  switch (input.selection) {
+    case SelectionKind::kMinimum:
+      selector = std::make_shared<MinimumOperator>();
+      break;
+    case SelectionKind::kBgpBest:
+      selector = std::make_shared<BgpBestOperator>();
+      break;
+    case SelectionKind::kExistential:
+      selector = std::make_shared<ExistentialOperator>();
+      break;
+  }
+  graph.add_operator({.id = "op:select",
+                      .op = std::move(selector),
+                      .operands = std::move(selection_operands),
+                      .result = kOutputVariableId});
+  graph.validate();
+  return graph;
+}
+
+Value reference_semantics(const CompilerInput& input,
+                          const std::map<bgp::AsNumber, Value>& routes_by_neighbor) {
+  std::vector<Value> filtered;
+  for (const bgp::AsNumber neighbor : input.neighbors) {
+    const auto it = routes_by_neighbor.find(neighbor);
+    if (it == routes_by_neighbor.end() || !it->second.has_value()) {
+      filtered.emplace_back(std::nullopt);
+      continue;
+    }
+    const auto result = input.import_policy.evaluate(*it->second, neighbor);
+    filtered.emplace_back(result.has_value() ? Value{*result} : Value{});
+  }
+  switch (input.selection) {
+    case SelectionKind::kMinimum:
+      return MinimumOperator{}.apply(filtered);
+    case SelectionKind::kBgpBest:
+      return BgpBestOperator{}.apply(filtered);
+    case SelectionKind::kExistential:
+      return ExistentialOperator{}.apply(filtered);
+  }
+  return std::nullopt;
+}
+
+}  // namespace pvr::rfg

@@ -1,0 +1,56 @@
+// Policy-to-graph compiler (paper §4, "More operators": "such a system
+// should have language support for compiling a high-level policy
+// description (or router configuration file) into a compact route-flow
+// graph").
+//
+// Compiles a router-configuration-style import policy (bgp::RoutePolicy)
+// plus a selection step into the operator graph that PVR commits to. The
+// supported policy fragment is filter-chain shaped — the common case in
+// practice and the one our operator library can express exactly:
+//
+//   * any number of REJECT rules whose match is a single condition on
+//     community presence, AS-in-path, or maximum path length (these become
+//     unary filter operators), optionally scoped to one neighbor;
+//   * at most one terminal ACCEPT rule per neighbor that sets local-pref
+//     (becomes a set.local-pref operator);
+//   * a selection step: minimum-by-length, full BGP best, or existential.
+//
+// Policies outside this fragment throw UnsupportedPolicyError — an honest
+// "cannot verify this promise with the current operator set" rather than a
+// silent approximation.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "bgp/policy.h"
+#include "rfg/graph.h"
+
+namespace pvr::rfg {
+
+class UnsupportedPolicyError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class SelectionKind : std::uint8_t { kMinimum, kBgpBest, kExistential };
+
+struct CompilerInput {
+  std::vector<bgp::AsNumber> neighbors;  // import sources, in order
+  bgp::RoutePolicy import_policy;        // the filter-chain fragment
+  SelectionKind selection = SelectionKind::kMinimum;
+  bgp::AsNumber exported_to = 0;         // the recipient of var:ro
+};
+
+// Compiles to a validated route-flow graph. Vertex naming follows the
+// canonical conventions (var:r<asn> inputs, var:ro output) so the result
+// plugs directly into core::GraphCommitment and the static promise checker.
+[[nodiscard]] RouteFlowGraph compile_policy(const CompilerInput& input);
+
+// Reference semantics the compiler is tested against: apply the policy to
+// each neighbor's route, then select.
+[[nodiscard]] Value reference_semantics(
+    const CompilerInput& input,
+    const std::map<bgp::AsNumber, Value>& routes_by_neighbor);
+
+}  // namespace pvr::rfg

@@ -1,0 +1,262 @@
+#include "rfg/graph.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace pvr::rfg {
+
+void RouteFlowGraph::add_variable(VariableVertex vertex) {
+  if (vertex.id.empty()) throw std::logic_error("add_variable: empty id");
+  if (variables_.contains(vertex.id) || operators_.contains(vertex.id)) {
+    throw std::logic_error("add_variable: duplicate id " + vertex.id);
+  }
+  variables_.emplace(vertex.id, std::move(vertex));
+}
+
+void RouteFlowGraph::add_operator(OperatorVertex vertex) {
+  if (vertex.id.empty()) throw std::logic_error("add_operator: empty id");
+  if (!vertex.op) throw std::logic_error("add_operator: null operator");
+  if (variables_.contains(vertex.id) || operators_.contains(vertex.id)) {
+    throw std::logic_error("add_operator: duplicate id " + vertex.id);
+  }
+  operators_.emplace(vertex.id, std::move(vertex));
+}
+
+bool RouteFlowGraph::has_variable(const VertexId& id) const {
+  return variables_.contains(id);
+}
+
+bool RouteFlowGraph::has_operator(const VertexId& id) const {
+  return operators_.contains(id);
+}
+
+const VariableVertex& RouteFlowGraph::variable(const VertexId& id) const {
+  const auto it = variables_.find(id);
+  if (it == variables_.end()) throw std::out_of_range("unknown variable " + id);
+  return it->second;
+}
+
+const OperatorVertex& RouteFlowGraph::operator_vertex(const VertexId& id) const {
+  const auto it = operators_.find(id);
+  if (it == operators_.end()) throw std::out_of_range("unknown operator " + id);
+  return it->second;
+}
+
+std::vector<VertexId> RouteFlowGraph::variable_ids() const {
+  std::vector<VertexId> out;
+  out.reserve(variables_.size());
+  for (const auto& [id, v] : variables_) out.push_back(id);
+  return out;
+}
+
+std::vector<VertexId> RouteFlowGraph::operator_ids() const {
+  std::vector<VertexId> out;
+  out.reserve(operators_.size());
+  for (const auto& [id, v] : operators_) out.push_back(id);
+  return out;
+}
+
+std::vector<VertexId> RouteFlowGraph::input_variables() const {
+  std::vector<VertexId> out;
+  for (const auto& [id, v] : variables_) {
+    if (v.role == VariableRole::kInput) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<VertexId> RouteFlowGraph::output_variables() const {
+  std::vector<VertexId> out;
+  for (const auto& [id, v] : variables_) {
+    if (v.role == VariableRole::kOutput) out.push_back(id);
+  }
+  return out;
+}
+
+std::optional<VertexId> RouteFlowGraph::producer_of(const VertexId& id) const {
+  for (const auto& [op_id, op] : operators_) {
+    if (op.result == id) return op_id;
+  }
+  return std::nullopt;
+}
+
+std::vector<VertexId> RouteFlowGraph::consumers_of(const VertexId& id) const {
+  std::vector<VertexId> out;
+  for (const auto& [op_id, op] : operators_) {
+    if (std::find(op.operands.begin(), op.operands.end(), id) !=
+        op.operands.end()) {
+      out.push_back(op_id);
+    }
+  }
+  return out;
+}
+
+void RouteFlowGraph::validate() const {
+  std::set<VertexId> produced;
+  for (const auto& [op_id, op] : operators_) {
+    for (const VertexId& operand : op.operands) {
+      if (!variables_.contains(operand)) {
+        throw std::logic_error("operator " + op_id + " reads unknown variable " +
+                               operand);
+      }
+    }
+    if (!variables_.contains(op.result)) {
+      throw std::logic_error("operator " + op_id + " writes unknown variable " +
+                             op.result);
+    }
+    if (variable(op.result).role == VariableRole::kInput) {
+      throw std::logic_error("operator " + op_id + " writes input variable " +
+                             op.result);
+    }
+    if (!produced.insert(op.result).second) {
+      throw std::logic_error("variable " + op.result +
+                             " computed by more than one operator");
+    }
+  }
+  for (const auto& [id, v] : variables_) {
+    if (v.role != VariableRole::kInput && !produced.contains(id)) {
+      throw std::logic_error("non-input variable " + id + " has no producer");
+    }
+  }
+  (void)topo_order();  // throws on cycles
+}
+
+std::vector<VertexId> RouteFlowGraph::topo_order() const {
+  // Kahn's algorithm over operator vertices: an operator is ready when all
+  // its operand variables are inputs or already-computed results.
+  std::set<VertexId> ready_vars;
+  for (const auto& [id, v] : variables_) {
+    if (v.role == VariableRole::kInput) ready_vars.insert(id);
+  }
+  std::vector<VertexId> order;
+  std::set<VertexId> emitted;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const auto& [op_id, op] : operators_) {
+      if (emitted.contains(op_id)) continue;
+      const bool ready = std::all_of(
+          op.operands.begin(), op.operands.end(),
+          [&](const VertexId& v) { return ready_vars.contains(v); });
+      if (ready) {
+        order.push_back(op_id);
+        emitted.insert(op_id);
+        ready_vars.insert(op.result);
+        progress = true;
+      }
+    }
+  }
+  if (emitted.size() != operators_.size()) {
+    throw std::logic_error("route-flow graph contains a cycle");
+  }
+  return order;
+}
+
+std::map<VertexId, Value> RouteFlowGraph::evaluate(
+    const std::map<VertexId, Value>& inputs) const {
+  std::map<VertexId, Value> values;
+  for (const auto& [id, v] : variables_) {
+    if (v.role == VariableRole::kInput) {
+      const auto it = inputs.find(id);
+      values[id] = it == inputs.end() ? std::nullopt : it->second;
+    } else {
+      values[id] = std::nullopt;
+    }
+  }
+  for (const VertexId& op_id : topo_order()) {
+    const OperatorVertex& op = operators_.at(op_id);
+    std::vector<Value> operand_values;
+    operand_values.reserve(op.operands.size());
+    for (const VertexId& operand : op.operands) {
+      operand_values.push_back(values.at(operand));
+    }
+    values[op.result] = op.op->apply(operand_values);
+  }
+  return values;
+}
+
+std::vector<VertexId> RouteFlowGraph::predecessors(const VertexId& id) const {
+  if (const auto it = operators_.find(id); it != operators_.end()) {
+    return it->second.operands;
+  }
+  const auto producer = producer_of(id);
+  return producer ? std::vector<VertexId>{*producer} : std::vector<VertexId>{};
+}
+
+std::vector<VertexId> RouteFlowGraph::successors(const VertexId& id) const {
+  if (const auto it = operators_.find(id); it != operators_.end()) {
+    return {it->second.result};
+  }
+  return consumers_of(id);
+}
+
+VertexId input_variable_id(bgp::AsNumber neighbor) {
+  return "var:r" + std::to_string(neighbor);
+}
+
+namespace {
+
+[[nodiscard]] RouteFlowGraph make_single_operator_graph(
+    const std::vector<bgp::AsNumber>& providers, bgp::AsNumber b,
+    const VertexId& op_id, std::shared_ptr<const Operator> op) {
+  RouteFlowGraph graph;
+  std::vector<VertexId> operands;
+  for (const bgp::AsNumber provider : providers) {
+    const VertexId id = input_variable_id(provider);
+    graph.add_variable({.id = id, .role = VariableRole::kInput, .neighbor = provider});
+    operands.push_back(id);
+  }
+  graph.add_variable(
+      {.id = kOutputVariableId, .role = VariableRole::kOutput, .neighbor = b});
+  graph.add_operator({.id = op_id,
+                      .op = std::move(op),
+                      .operands = std::move(operands),
+                      .result = kOutputVariableId});
+  return graph;
+}
+
+}  // namespace
+
+RouteFlowGraph make_figure1_graph(const std::vector<bgp::AsNumber>& providers,
+                                  bgp::AsNumber b) {
+  return make_single_operator_graph(providers, b, "op:min",
+                                    std::make_shared<MinimumOperator>());
+}
+
+RouteFlowGraph make_existential_graph(
+    const std::vector<bgp::AsNumber>& providers, bgp::AsNumber b) {
+  return make_single_operator_graph(providers, b, "op:exists",
+                                    std::make_shared<ExistentialOperator>());
+}
+
+RouteFlowGraph make_figure2_graph(bgp::AsNumber primary,
+                                  const std::vector<bgp::AsNumber>& fallbacks,
+                                  bgp::AsNumber b) {
+  RouteFlowGraph graph;
+  const VertexId primary_id = input_variable_id(primary);
+  graph.add_variable(
+      {.id = primary_id, .role = VariableRole::kInput, .neighbor = primary});
+
+  std::vector<VertexId> fallback_ids;
+  for (const bgp::AsNumber fallback : fallbacks) {
+    const VertexId id = input_variable_id(fallback);
+    graph.add_variable({.id = id, .role = VariableRole::kInput, .neighbor = fallback});
+    fallback_ids.push_back(id);
+  }
+
+  graph.add_variable({.id = "var:v", .role = VariableRole::kInternal});
+  graph.add_variable(
+      {.id = kOutputVariableId, .role = VariableRole::kOutput, .neighbor = b});
+
+  graph.add_operator({.id = "op:min",
+                      .op = std::make_shared<MinimumOperator>(),
+                      .operands = std::move(fallback_ids),
+                      .result = "var:v"});
+  graph.add_operator({.id = "op:prefer",
+                      .op = std::make_shared<PreferIfShorterOperator>(),
+                      .operands = {primary_id, "var:v"},
+                      .result = kOutputVariableId});
+  return graph;
+}
+
+}  // namespace pvr::rfg

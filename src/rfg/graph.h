@@ -1,0 +1,111 @@
+// The route-flow graph itself (paper §2.1, Figures 1 and 2).
+//
+// Vertices are variables (routes) and operators (rules); edges wire
+// variables into operators and operators to the variable they compute.
+// The graph supports trusted reference evaluation (what an honest AS runs),
+// structural validation, and canonical per-vertex encodings that the PVR
+// commitment layer (src/core) commits to.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/route.h"
+#include "rfg/operators.h"
+
+namespace pvr::rfg {
+
+using VertexId = std::string;
+
+enum class VariableRole : std::uint8_t {
+  kInput,     // an incoming route announcement (r1..rk in Fig. 1)
+  kInternal,  // intermediate value (v in Fig. 2)
+  kOutput,    // an exported route (r0 in Fig. 1)
+};
+
+struct VariableVertex {
+  VertexId id;
+  VariableRole role = VariableRole::kInternal;
+  // For inputs: which neighbor AS supplies the value. For outputs: which
+  // neighbor the value is exported to. Unused for internal variables.
+  bgp::AsNumber neighbor = 0;
+};
+
+struct OperatorVertex {
+  VertexId id;
+  std::shared_ptr<const Operator> op;
+  std::vector<VertexId> operands;  // ordered variable inputs
+  VertexId result;                 // the variable this operator computes
+};
+
+class RouteFlowGraph {
+ public:
+  void add_variable(VariableVertex vertex);
+  void add_operator(OperatorVertex vertex);
+
+  [[nodiscard]] bool has_variable(const VertexId& id) const;
+  [[nodiscard]] bool has_operator(const VertexId& id) const;
+  [[nodiscard]] const VariableVertex& variable(const VertexId& id) const;
+  [[nodiscard]] const OperatorVertex& operator_vertex(const VertexId& id) const;
+  [[nodiscard]] std::vector<VertexId> variable_ids() const;
+  [[nodiscard]] std::vector<VertexId> operator_ids() const;
+  [[nodiscard]] std::vector<VertexId> input_variables() const;
+  [[nodiscard]] std::vector<VertexId> output_variables() const;
+  // The operator (if any) whose result is `id`.
+  [[nodiscard]] std::optional<VertexId> producer_of(const VertexId& id) const;
+  // Operators consuming variable `id`.
+  [[nodiscard]] std::vector<VertexId> consumers_of(const VertexId& id) const;
+
+  // Checks: ids unique, operands/results resolve, each variable computed by
+  // at most one operator, inputs are not computed, graph is acyclic.
+  // Throws std::logic_error describing the first problem found.
+  void validate() const;
+
+  // Trusted reference evaluation: assigns `inputs` to the input variables
+  // (missing entries mean "no route") and computes every internal/output
+  // variable in topological order. Requires validate() to pass.
+  [[nodiscard]] std::map<VertexId, Value> evaluate(
+      const std::map<VertexId, Value>& inputs) const;
+
+  // Structural neighbors of a vertex in the bipartite graph, as committed
+  // to by I(x) = (predecessors, successors, payload) in paper §3.7.
+  [[nodiscard]] std::vector<VertexId> predecessors(const VertexId& id) const;
+  [[nodiscard]] std::vector<VertexId> successors(const VertexId& id) const;
+
+  [[nodiscard]] std::size_t vertex_count() const {
+    return variables_.size() + operators_.size();
+  }
+
+ private:
+  [[nodiscard]] std::vector<VertexId> topo_order() const;
+
+  std::map<VertexId, VariableVertex> variables_;
+  std::map<VertexId, OperatorVertex> operators_;
+};
+
+// --- Canonical graph shapes used throughout the paper ---
+
+// Figure 1: inputs r(Ni) for each neighbor, one "min" operator, output r0
+// exported to `b`. Variable ids: "var:r" + ASN, operator "op:min",
+// output "var:ro".
+[[nodiscard]] RouteFlowGraph make_figure1_graph(
+    const std::vector<bgp::AsNumber>& providers, bgp::AsNumber b);
+
+// Same shape with the existential operator of §3.2 ("op:exists").
+[[nodiscard]] RouteFlowGraph make_existential_graph(
+    const std::vector<bgp::AsNumber>& providers, bgp::AsNumber b);
+
+// Figure 2: r1 is preferred only if strictly shorter than the best of
+// r2..rk ("op:min" -> "var:v", then "op:prefer" -> "var:ro").
+[[nodiscard]] RouteFlowGraph make_figure2_graph(
+    bgp::AsNumber primary, const std::vector<bgp::AsNumber>& fallbacks,
+    bgp::AsNumber b);
+
+// Conventional ids for the canonical graphs.
+[[nodiscard]] VertexId input_variable_id(bgp::AsNumber neighbor);
+inline const VertexId kOutputVariableId = "var:ro";
+
+}  // namespace pvr::rfg

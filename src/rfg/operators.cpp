@@ -1,0 +1,157 @@
+#include "rfg/operators.h"
+
+#include <charconv>
+
+#include "bgp/decision.h"
+#include "crypto/encoding.h"
+
+namespace pvr::rfg {
+
+std::vector<std::uint8_t> Operator::canonical_bytes() const {
+  crypto::ByteWriter writer;
+  writer.put_string("pvr-operator");
+  writer.put_string(descriptor());
+  return writer.take();
+}
+
+Value ExistentialOperator::apply(std::span<const Value> inputs) const {
+  for (const Value& input : inputs) {
+    if (input.has_value()) return input;
+  }
+  return std::nullopt;
+}
+
+Value MinimumOperator::apply(std::span<const Value> inputs) const {
+  const Value* best = nullptr;
+  for (const Value& input : inputs) {
+    if (!input.has_value()) continue;
+    if (best == nullptr ||
+        input->path.length() < (*best)->path.length() ||
+        (input->path.length() == (*best)->path.length() &&
+         input->next_hop < (*best)->next_hop)) {
+      best = &input;
+    }
+  }
+  return best == nullptr ? std::nullopt : *best;
+}
+
+Value BgpBestOperator::apply(std::span<const Value> inputs) const {
+  std::vector<bgp::Route> present;
+  for (const Value& input : inputs) {
+    if (input.has_value()) present.push_back(*input);
+  }
+  return bgp::best_route(present);
+}
+
+Value PreferIfShorterOperator::apply(std::span<const Value> inputs) const {
+  if (inputs.size() != 2) return std::nullopt;
+  const Value& primary = inputs[0];
+  const Value& fallback = inputs[1];
+  if (primary.has_value() &&
+      (!fallback.has_value() ||
+       primary->path.length() < fallback->path.length())) {
+    return primary;
+  }
+  return fallback;
+}
+
+std::string CommunityFilterOperator::descriptor() const {
+  return std::string("filter.community(") +
+         (mode_ == Mode::kRequire ? '+' : '-') + std::to_string(community_) + ")";
+}
+
+Value CommunityFilterOperator::apply(std::span<const Value> inputs) const {
+  if (inputs.size() != 1 || !inputs[0].has_value()) return std::nullopt;
+  const bool has = inputs[0]->has_community(community_);
+  const bool pass = mode_ == Mode::kRequire ? has : !has;
+  return pass ? inputs[0] : std::nullopt;
+}
+
+std::string AsPathFilterOperator::descriptor() const {
+  return "filter.as-path(!" + std::to_string(banned_) + ")";
+}
+
+Value AsPathFilterOperator::apply(std::span<const Value> inputs) const {
+  if (inputs.size() != 1 || !inputs[0].has_value()) return std::nullopt;
+  return inputs[0]->path.contains(banned_) ? std::nullopt : inputs[0];
+}
+
+std::string MaxLengthFilterOperator::descriptor() const {
+  return "filter.max-length(" + std::to_string(max_) + ")";
+}
+
+Value MaxLengthFilterOperator::apply(std::span<const Value> inputs) const {
+  if (inputs.size() != 1 || !inputs[0].has_value()) return std::nullopt;
+  return inputs[0]->path.length() <= max_ ? inputs[0] : std::nullopt;
+}
+
+std::string SetLocalPrefOperator::descriptor() const {
+  return "set.local-pref(" + std::to_string(local_pref_) + ")";
+}
+
+Value SetLocalPrefOperator::apply(std::span<const Value> inputs) const {
+  if (inputs.size() != 1 || !inputs[0].has_value()) return std::nullopt;
+  bgp::Route route = *inputs[0];
+  route.local_pref = local_pref_;
+  return route;
+}
+
+namespace {
+
+// Parses "name(arg)" shapes; returns true and fills `arg` when the
+// descriptor is `name` + "(" + arg + ")".
+[[nodiscard]] bool match_call(const std::string& descriptor,
+                              std::string_view name, std::string& arg) {
+  if (descriptor.size() < name.size() + 2) return false;
+  if (descriptor.compare(0, name.size(), name) != 0) return false;
+  if (descriptor[name.size()] != '(' || descriptor.back() != ')') return false;
+  arg = descriptor.substr(name.size() + 1,
+                          descriptor.size() - name.size() - 2);
+  return true;
+}
+
+template <typename T>
+[[nodiscard]] bool parse_number(std::string_view text, T& out) {
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+}  // namespace
+
+std::unique_ptr<Operator> operator_from_descriptor(const std::string& descriptor) {
+  if (descriptor == "exists") return std::make_unique<ExistentialOperator>();
+  if (descriptor == "min") return std::make_unique<MinimumOperator>();
+  if (descriptor == "bgp-best") return std::make_unique<BgpBestOperator>();
+  if (descriptor == "prefer-if-shorter") {
+    return std::make_unique<PreferIfShorterOperator>();
+  }
+
+  std::string arg;
+  if (match_call(descriptor, "filter.community", arg) && arg.size() > 1) {
+    const auto mode = arg[0] == '+' ? CommunityFilterOperator::Mode::kRequire
+                                    : CommunityFilterOperator::Mode::kForbid;
+    if (arg[0] != '+' && arg[0] != '-') return nullptr;
+    bgp::Community community = 0;
+    if (!parse_number(std::string_view(arg).substr(1), community)) return nullptr;
+    return std::make_unique<CommunityFilterOperator>(community, mode);
+  }
+  if (match_call(descriptor, "filter.as-path", arg) && arg.size() > 1 &&
+      arg[0] == '!') {
+    bgp::AsNumber banned = 0;
+    if (!parse_number(std::string_view(arg).substr(1), banned)) return nullptr;
+    return std::make_unique<AsPathFilterOperator>(banned);
+  }
+  if (match_call(descriptor, "filter.max-length", arg)) {
+    std::size_t max = 0;
+    if (!parse_number(arg, max)) return nullptr;
+    return std::make_unique<MaxLengthFilterOperator>(max);
+  }
+  if (match_call(descriptor, "set.local-pref", arg)) {
+    std::uint32_t local_pref = 0;
+    if (!parse_number(arg, local_pref)) return nullptr;
+    return std::make_unique<SetLocalPrefOperator>(local_pref);
+  }
+  return nullptr;
+}
+
+}  // namespace pvr::rfg

@@ -1,0 +1,128 @@
+// Route-flow-graph operators (paper §2.1).
+//
+// "A rule is an operation that takes some set of input routes and emits a
+// set of output routes (which may be a single route, or no route at all)."
+// Each operator is a pure function over optional routes; the evaluation
+// engine wires them together through variables. The operator *type* string
+// is what gets committed to and selectively disclosed (§3.6–3.7).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/route.h"
+
+namespace pvr::rfg {
+
+// A variable's current value: a route, or "no route".
+using Value = std::optional<bgp::Route>;
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  // Canonical type descriptor, e.g. "min", "exists", "filter.community(+x)".
+  // Committed to and revealed under access control; two operators with the
+  // same descriptor must compute the same function.
+  [[nodiscard]] virtual std::string descriptor() const = 0;
+
+  // Pure evaluation over the (ordered) operand values.
+  [[nodiscard]] virtual Value apply(std::span<const Value> inputs) const = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> canonical_bytes() const;
+};
+
+// §3.2: emits a route whenever at least one input provides one (the first
+// present input, deterministically).
+class ExistentialOperator final : public Operator {
+ public:
+  [[nodiscard]] std::string descriptor() const override { return "exists"; }
+  [[nodiscard]] Value apply(std::span<const Value> inputs) const override;
+};
+
+// §3.3: emits the input route with minimal AS-path length; ties broken by
+// lowest next-hop AS (deterministic, matching the BGP tiebreak).
+class MinimumOperator final : public Operator {
+ public:
+  [[nodiscard]] std::string descriptor() const override { return "min"; }
+  [[nodiscard]] Value apply(std::span<const Value> inputs) const override;
+};
+
+// The full standard BGP decision process (local-pref, length, origin, MED,
+// next-hop) as a single operator.
+class BgpBestOperator final : public Operator {
+ public:
+  [[nodiscard]] std::string descriptor() const override { return "bgp-best"; }
+  [[nodiscard]] Value apply(std::span<const Value> inputs) const override;
+};
+
+// Fig. 2 / §3.5: "export some route via the fallback inputs unless the
+// primary provides a shorter route". Operand 0 is the primary; operand 1 is
+// the (already aggregated) fallback.
+class PreferIfShorterOperator final : public Operator {
+ public:
+  [[nodiscard]] std::string descriptor() const override { return "prefer-if-shorter"; }
+  [[nodiscard]] Value apply(std::span<const Value> inputs) const override;
+};
+
+// Unary filter: passes the route iff a community is present (require) or
+// absent (forbid). §4 "operators that evaluate communities".
+class CommunityFilterOperator final : public Operator {
+ public:
+  enum class Mode : std::uint8_t { kRequire, kForbid };
+  CommunityFilterOperator(bgp::Community community, Mode mode)
+      : community_(community), mode_(mode) {}
+  [[nodiscard]] std::string descriptor() const override;
+  [[nodiscard]] Value apply(std::span<const Value> inputs) const override;
+
+ private:
+  bgp::Community community_;
+  Mode mode_;
+};
+
+// Unary filter: drops the route if a given AS appears in its path.
+// §4 "check for the presence of particular ASes on the path".
+class AsPathFilterOperator final : public Operator {
+ public:
+  explicit AsPathFilterOperator(bgp::AsNumber banned) : banned_(banned) {}
+  [[nodiscard]] std::string descriptor() const override;
+  [[nodiscard]] Value apply(std::span<const Value> inputs) const override;
+
+ private:
+  bgp::AsNumber banned_;
+};
+
+// Unary filter: drops routes with AS-path length above a bound (used to
+// express promise #3, "no more than k hops longer").
+class MaxLengthFilterOperator final : public Operator {
+ public:
+  explicit MaxLengthFilterOperator(std::size_t max_length) : max_(max_length) {}
+  [[nodiscard]] std::string descriptor() const override;
+  [[nodiscard]] Value apply(std::span<const Value> inputs) const override;
+
+ private:
+  std::size_t max_;
+};
+
+// Unary attribute rewrite: sets local-pref (models import policy steps).
+class SetLocalPrefOperator final : public Operator {
+ public:
+  explicit SetLocalPrefOperator(std::uint32_t local_pref) : local_pref_(local_pref) {}
+  [[nodiscard]] std::string descriptor() const override;
+  [[nodiscard]] Value apply(std::span<const Value> inputs) const override;
+
+ private:
+  std::uint32_t local_pref_;
+};
+
+// Reconstructs an operator from its descriptor (inverse of descriptor()).
+// Returns nullptr for unknown descriptors — verifiers treat that as a
+// violation, never as a silently-accepted opaque rule.
+[[nodiscard]] std::unique_ptr<Operator> operator_from_descriptor(
+    const std::string& descriptor);
+
+}  // namespace pvr::rfg

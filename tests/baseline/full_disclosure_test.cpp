@@ -1,0 +1,72 @@
+#include "baseline/full_disclosure.h"
+
+#include <gtest/gtest.h>
+
+namespace pvr::baseline {
+namespace {
+
+[[nodiscard]] bgp::Route route_len(std::size_t length, bgp::AsNumber next_hop) {
+  std::vector<bgp::AsNumber> hops;
+  hops.push_back(next_hop);
+  for (std::size_t i = 1; i < length; ++i) {
+    hops.push_back(static_cast<bgp::AsNumber>(1000 + i));
+  }
+  return bgp::Route{
+      .prefix = bgp::Ipv4Prefix::parse("203.0.113.0/24"),
+      .path = bgp::AsPath(std::move(hops)),
+      .next_hop = next_hop,
+      .local_pref = 100,
+      .med = 0,
+      .origin = bgp::Origin::kIgp,
+      .communities = {},
+  };
+}
+
+TEST(FullDisclosureTest, CompleteVerification) {
+  const core::Promise promise{.type = core::PromiseType::kShortestOfAll};
+  const core::Promise::Inputs inputs = {{1, route_len(3, 1)},
+                                        {2, route_len(2, 2)}};
+  EXPECT_TRUE(
+      full_disclosure_audit(promise, inputs, route_len(2, 2), 3).promise_kept);
+  EXPECT_FALSE(
+      full_disclosure_audit(promise, inputs, route_len(3, 1), 3).promise_kept);
+}
+
+// It can even check promises PVR's simple protocols cannot (slack), which
+// is the completeness end of the tradeoff.
+TEST(FullDisclosureTest, ChecksSlackPromises) {
+  const core::Promise promise{.type = core::PromiseType::kWithinSlackOfBest,
+                              .slack = 1};
+  const core::Promise::Inputs inputs = {{1, route_len(3, 1)},
+                                        {2, route_len(2, 2)}};
+  EXPECT_TRUE(
+      full_disclosure_audit(promise, inputs, route_len(3, 1), 3).promise_kept);
+}
+
+TEST(FullDisclosureTest, LeakageScalesWithVerifiersAndRoutes) {
+  const core::Promise promise{.type = core::PromiseType::kShortestOfAll};
+  const core::Promise::Inputs inputs = {
+      {1, route_len(3, 1)}, {2, route_len(2, 2)}, {3, std::nullopt}};
+  const FullDisclosureReport report =
+      full_disclosure_audit(promise, inputs, route_len(2, 2), 4);
+  // 2 real routes x 4 verifiers.
+  EXPECT_EQ(report.routes_revealed, 8u);
+  EXPECT_GT(report.bytes_revealed, 0u);
+
+  const FullDisclosureReport fewer =
+      full_disclosure_audit(promise, inputs, route_len(2, 2), 2);
+  EXPECT_EQ(fewer.routes_revealed, 4u);
+  EXPECT_LT(fewer.bytes_revealed, report.bytes_revealed);
+}
+
+TEST(FullDisclosureTest, NoInputsNoLeakage) {
+  const core::Promise promise{.type = core::PromiseType::kShortestOfAll};
+  const FullDisclosureReport report =
+      full_disclosure_audit(promise, {}, std::nullopt, 5);
+  EXPECT_TRUE(report.promise_kept);
+  EXPECT_EQ(report.routes_revealed, 0u);
+  EXPECT_EQ(report.bytes_revealed, 0u);
+}
+
+}  // namespace
+}  // namespace pvr::baseline

@@ -1,0 +1,115 @@
+#include "baseline/sbgp.h"
+
+#include <gtest/gtest.h>
+
+namespace pvr::baseline {
+namespace {
+
+// Path: origin 1 -> 2 -> 3 -> receiver 4.
+class SbgpTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    crypto::Drbg rng(21, "sbgp-keys");
+    keys_ = new core::AsKeyPairs(core::generate_keys({1, 2, 3, 4}, rng, 512));
+  }
+  static void TearDownTestSuite() {
+    delete keys_;
+    keys_ = nullptr;
+  }
+  static const core::KeyDirectory& directory() { return keys_->directory; }
+  static const crypto::RsaPrivateKey& key_of(bgp::AsNumber asn) {
+    return keys_->private_keys.at(asn).priv;
+  }
+
+  [[nodiscard]] static SbgpAnnouncement chain_to_4() {
+    const auto prefix = bgp::Ipv4Prefix::parse("203.0.113.0/24");
+    SbgpAnnouncement a = sbgp_originate(prefix, 1, 2, key_of(1));
+    a = sbgp_extend(a, 2, 3, key_of(2));
+    return sbgp_extend(a, 3, 4, key_of(3));
+  }
+
+ private:
+  static core::AsKeyPairs* keys_;
+};
+
+core::AsKeyPairs* SbgpTest::keys_ = nullptr;
+
+TEST_F(SbgpTest, ValidChainVerifies) {
+  const SbgpAnnouncement announcement = chain_to_4();
+  EXPECT_EQ(announcement.path.hops(), (std::vector<bgp::AsNumber>{3, 2, 1}));
+  EXPECT_TRUE(sbgp_verify(directory(), announcement, 4));
+}
+
+TEST_F(SbgpTest, WrongReceiverRejected) {
+  // The last attestation is addressed to 4; AS 9 must not accept it.
+  EXPECT_FALSE(sbgp_verify(directory(), chain_to_4(), 9));
+}
+
+TEST_F(SbgpTest, PathShorteningDetected) {
+  // AS 3 tries to hide AS 2 from the path (path forgery).
+  SbgpAnnouncement forged = chain_to_4();
+  forged.path = bgp::AsPath{3, 1};
+  forged.attestations.erase(forged.attestations.begin() + 1);
+  EXPECT_FALSE(sbgp_verify(directory(), forged, 4));
+}
+
+TEST_F(SbgpTest, PathInsertionDetected) {
+  SbgpAnnouncement forged = chain_to_4();
+  forged.path = bgp::AsPath{3, 2, 9, 1};
+  EXPECT_FALSE(sbgp_verify(directory(), forged, 4));
+}
+
+TEST_F(SbgpTest, TamperedSignatureDetected) {
+  SbgpAnnouncement forged = chain_to_4();
+  forged.attestations[1].signature[5] ^= 1;
+  EXPECT_FALSE(sbgp_verify(directory(), forged, 4));
+}
+
+TEST_F(SbgpTest, ReplayToDifferentNeighborRejected) {
+  // 3 attests "to 4"; relaying the same chain to 2 fails the `to` check.
+  EXPECT_FALSE(sbgp_verify(directory(), chain_to_4(), 2));
+}
+
+TEST_F(SbgpTest, EmptyAnnouncementRejected) {
+  EXPECT_FALSE(sbgp_verify(directory(), SbgpAnnouncement{}, 4));
+}
+
+TEST_F(SbgpTest, AttestationRoundTrip) {
+  const Attestation attestation{
+      .prefix = bgp::Ipv4Prefix::parse("10.0.0.0/8"),
+      .signer = 7,
+      .to = 8,
+      .suffix = {7, 6, 5},
+  };
+  const Attestation decoded = Attestation::decode(attestation.encode());
+  EXPECT_EQ(decoded.prefix, attestation.prefix);
+  EXPECT_EQ(decoded.signer, attestation.signer);
+  EXPECT_EQ(decoded.to, attestation.to);
+  EXPECT_EQ(decoded.suffix, attestation.suffix);
+}
+
+// The paper's central observation: S-BGP validates the *path*, not the
+// *decision*. An AS that received a 1-hop route and exports a 3-hop one
+// still produces a chain S-BGP accepts — exactly the gap PVR closes.
+TEST_F(SbgpTest, DecisionViolationsPassSbgp) {
+  const auto prefix = bgp::Ipv4Prefix::parse("203.0.113.0/24");
+  // AS 3 receives a direct route from origin 1...
+  const SbgpAnnouncement direct =
+      sbgp_extend(sbgp_originate(prefix, 1, 3, key_of(1)), 3, 4, key_of(3));
+  // ...and also the long way around via 2; it exports the LONG one.
+  const SbgpAnnouncement longer = chain_to_4();
+  EXPECT_TRUE(sbgp_verify(directory(), direct, 4));
+  EXPECT_TRUE(sbgp_verify(directory(), longer, 4));
+  // Both are path-valid: S-BGP gives AS 4 no way to tell that AS 3 broke a
+  // "shortest route" promise.
+  EXPECT_GT(longer.path.length(), direct.path.length());
+}
+
+TEST_F(SbgpTest, WireSizeGrowsWithPath) {
+  const auto prefix = bgp::Ipv4Prefix::parse("203.0.113.0/24");
+  const SbgpAnnouncement one_hop = sbgp_originate(prefix, 1, 2, key_of(1));
+  EXPECT_GT(sbgp_wire_size(chain_to_4()), sbgp_wire_size(one_hop));
+}
+
+}  // namespace
+}  // namespace pvr::baseline

@@ -1,0 +1,142 @@
+#include "baseline/smc/circuit.h"
+#include "baseline/smc/gmw.h"
+
+#include <gtest/gtest.h>
+
+namespace pvr::baseline::smc {
+namespace {
+
+[[nodiscard]] std::vector<bool> word_bits(std::uint64_t value, std::size_t width) {
+  std::vector<bool> bits(width);
+  for (std::size_t i = 0; i < width; ++i) bits[i] = (value >> i) & 1;
+  return bits;
+}
+
+[[nodiscard]] std::uint64_t bits_word(const std::vector<bool>& bits) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) value |= std::uint64_t{1} << i;
+  }
+  return value;
+}
+
+TEST(CircuitTest, BasicGates) {
+  Circuit circuit;
+  const Wire a = circuit.add_input();
+  const Wire b = circuit.add_input();
+  circuit.mark_output(circuit.add_xor(a, b));
+  circuit.mark_output(circuit.add_and(a, b));
+  circuit.mark_output(circuit.add_not(a));
+  for (const bool va : {false, true}) {
+    for (const bool vb : {false, true}) {
+      const auto out = circuit.evaluate({va, vb});
+      EXPECT_EQ(out[0], va ^ vb);
+      EXPECT_EQ(out[1], va && vb);
+      EXPECT_EQ(out[2], !va);
+    }
+  }
+}
+
+TEST(CircuitTest, WireValidation) {
+  Circuit circuit;
+  const Wire a = circuit.add_input();
+  EXPECT_THROW((void)circuit.add_xor(a, 99), std::out_of_range);
+  EXPECT_THROW((void)circuit.evaluate({true, true}), std::invalid_argument);
+}
+
+TEST(CircuitTest, LessThanExhaustive4Bit) {
+  Circuit circuit;
+  const auto a = circuit.add_input_word(4);
+  const auto b = circuit.add_input_word(4);
+  circuit.mark_output(circuit.less_than(a, b));
+  for (std::uint64_t x = 0; x < 16; ++x) {
+    for (std::uint64_t y = 0; y < 16; ++y) {
+      std::vector<bool> inputs = word_bits(x, 4);
+      const auto yb = word_bits(y, 4);
+      inputs.insert(inputs.end(), yb.begin(), yb.end());
+      EXPECT_EQ(circuit.evaluate(inputs)[0], x < y) << x << " < " << y;
+    }
+  }
+}
+
+TEST(CircuitTest, MinimumCircuitCorrect) {
+  const std::size_t width = 6;
+  for (const std::size_t parties : {2u, 3u, 5u}) {
+    const Circuit circuit = build_minimum_circuit(parties, width);
+    crypto::Drbg rng(parties, "min-circuit-test");
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<bool> inputs;
+      std::uint64_t expected = ~0ULL;
+      for (std::size_t p = 0; p < parties; ++p) {
+        const std::uint64_t value = rng.uniform(1u << width);
+        expected = std::min(expected, value);
+        const auto bits = word_bits(value, width);
+        inputs.insert(inputs.end(), bits.begin(), bits.end());
+      }
+      EXPECT_EQ(bits_word(circuit.evaluate(inputs)), expected);
+    }
+  }
+}
+
+TEST(CircuitTest, ExistentialCircuitCorrect) {
+  const Circuit circuit = build_existential_circuit(3, 4);
+  auto eval = [&](std::uint64_t a, std::uint64_t b, std::uint64_t c) -> bool {
+    std::vector<bool> inputs;
+    for (const std::uint64_t v : {a, b, c}) {
+      const auto bits = word_bits(v, 4);
+      inputs.insert(inputs.end(), bits.begin(), bits.end());
+    }
+    return circuit.evaluate(inputs)[0];
+  };
+  EXPECT_FALSE(eval(0, 0, 0));
+  EXPECT_TRUE(eval(0, 5, 0));
+  EXPECT_TRUE(eval(1, 2, 3));
+}
+
+TEST(CircuitTest, CostsScaleWithParties) {
+  const Circuit small = build_minimum_circuit(2, 16);
+  const Circuit large = build_minimum_circuit(8, 16);
+  EXPECT_GT(large.and_count(), small.and_count());
+  EXPECT_GT(large.and_depth(), small.and_depth());
+  EXPECT_GT(small.and_count(), 0u);
+}
+
+TEST(GmwTest, MatchesPlaintextEvaluation) {
+  const std::size_t width = 5;
+  const Circuit circuit = build_minimum_circuit(3, width);
+  crypto::Drbg rng(77, "gmw-test");
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<bool> inputs;
+    for (std::size_t p = 0; p < 3; ++p) {
+      const auto bits = word_bits(rng.uniform(1u << width), width);
+      inputs.insert(inputs.end(), bits.begin(), bits.end());
+    }
+    const GmwResult result = gmw_evaluate(circuit, inputs, 3, rng);
+    EXPECT_EQ(result.outputs, circuit.evaluate(inputs));
+  }
+}
+
+TEST(GmwTest, StatsAreAccounted) {
+  const Circuit circuit = build_minimum_circuit(5, 16);
+  crypto::Drbg rng(1, "gmw-stats");
+  std::vector<bool> inputs(circuit.input_count(), false);
+  const GmwResult result = gmw_evaluate(circuit, inputs, 5, rng);
+  EXPECT_EQ(result.stats.parties, 5u);
+  EXPECT_EQ(result.stats.and_gates, circuit.and_count());
+  EXPECT_GE(result.stats.rounds, circuit.and_depth());
+  EXPECT_GT(result.stats.messages, 0u);
+  EXPECT_GT(result.stats.bytes, 0u);
+  // Modeled latency dominates with WAN RTTs: the §3.1 "15 seconds" shape.
+  EXPECT_GT(result.stats.modeled_seconds(0.1), 1.0);
+}
+
+TEST(GmwTest, NeedsTwoParties) {
+  const Circuit circuit = build_minimum_circuit(2, 4);
+  crypto::Drbg rng(1, "gmw-val");
+  std::vector<bool> inputs(circuit.input_count(), false);
+  EXPECT_THROW((void)gmw_evaluate(circuit, inputs, 1, rng), std::invalid_argument);
+  EXPECT_THROW((void)gmw_evaluate(circuit, {true}, 2, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pvr::baseline::smc

@@ -1,0 +1,64 @@
+#include "bgp/as_path.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pvr::bgp {
+namespace {
+
+TEST(AsPathTest, EmptyPath) {
+  const AsPath path;
+  EXPECT_TRUE(path.empty());
+  EXPECT_EQ(path.length(), 0u);
+  EXPECT_THROW((void)path.first(), std::logic_error);
+  EXPECT_THROW((void)path.origin(), std::logic_error);
+}
+
+TEST(AsPathTest, PrependBuildsPathVector) {
+  AsPath path;
+  path = path.prepended(65001);  // origin announces
+  path = path.prepended(65002);  // transit prepends
+  path = path.prepended(65003);
+  EXPECT_EQ(path.length(), 3u);
+  EXPECT_EQ(path.first(), 65003u);
+  EXPECT_EQ(path.origin(), 65001u);
+  EXPECT_EQ(path.to_string(), "65003 65002 65001");
+}
+
+TEST(AsPathTest, PrependDoesNotMutate) {
+  const AsPath original{1, 2};
+  const AsPath longer = original.prepended(3);
+  EXPECT_EQ(original.length(), 2u);
+  EXPECT_EQ(longer.length(), 3u);
+}
+
+TEST(AsPathTest, Contains) {
+  const AsPath path{10, 20, 30};
+  EXPECT_TRUE(path.contains(20));
+  EXPECT_FALSE(path.contains(40));
+}
+
+TEST(AsPathTest, EncodeDecodeRoundTrip) {
+  const AsPath path{7018, 3356, 65001};
+  crypto::ByteWriter writer;
+  path.encode(writer);
+  crypto::ByteReader reader(writer.data());
+  EXPECT_EQ(AsPath::decode(reader), path);
+}
+
+TEST(AsPathTest, EncodeDecodeEmpty) {
+  const AsPath path;
+  crypto::ByteWriter writer;
+  path.encode(writer);
+  crypto::ByteReader reader(writer.data());
+  EXPECT_EQ(AsPath::decode(reader), path);
+}
+
+TEST(AsPathTest, OrderingIsLexicographic) {
+  EXPECT_LT((AsPath{1, 2}), (AsPath{1, 3}));
+  EXPECT_LT((AsPath{1}), (AsPath{1, 0}));
+}
+
+}  // namespace
+}  // namespace pvr::bgp

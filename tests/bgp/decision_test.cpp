@@ -1,0 +1,102 @@
+#include "bgp/decision.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pvr::bgp {
+namespace {
+
+[[nodiscard]] Route route_with(std::uint32_t local_pref, std::size_t path_len,
+                               Origin origin = Origin::kIgp,
+                               std::uint32_t med = 0, AsNumber next_hop = 1) {
+  std::vector<AsNumber> hops;
+  for (std::size_t i = 0; i < path_len; ++i) {
+    hops.push_back(static_cast<AsNumber>(100 + i));
+  }
+  return Route{
+      .prefix = Ipv4Prefix::parse("198.51.100.0/24"),
+      .path = AsPath(std::move(hops)),
+      .next_hop = next_hop,
+      .local_pref = local_pref,
+      .med = med,
+      .origin = origin,
+      .communities = {},
+  };
+}
+
+TEST(DecisionTest, EmptyCandidatesGiveNoRoute) {
+  EXPECT_FALSE(best_route({}).has_value());
+  EXPECT_FALSE(best_route_index({}).has_value());
+}
+
+TEST(DecisionTest, HighestLocalPrefWins) {
+  const std::vector<Route> candidates = {route_with(100, 1), route_with(200, 5)};
+  EXPECT_EQ(best_route(candidates)->local_pref, 200u);
+}
+
+TEST(DecisionTest, ShortestPathBreaksLocalPrefTie) {
+  const std::vector<Route> candidates = {route_with(100, 3), route_with(100, 2)};
+  EXPECT_EQ(best_route(candidates)->path.length(), 2u);
+}
+
+TEST(DecisionTest, OriginBreaksPathTie) {
+  const std::vector<Route> candidates = {
+      route_with(100, 2, Origin::kIncomplete),
+      route_with(100, 2, Origin::kEgp),
+      route_with(100, 2, Origin::kIgp),
+  };
+  EXPECT_EQ(best_route(candidates)->origin, Origin::kIgp);
+}
+
+TEST(DecisionTest, MedBreaksOriginTie) {
+  const std::vector<Route> candidates = {
+      route_with(100, 2, Origin::kIgp, 30),
+      route_with(100, 2, Origin::kIgp, 10),
+      route_with(100, 2, Origin::kIgp, 20),
+  };
+  EXPECT_EQ(best_route(candidates)->med, 10u);
+}
+
+TEST(DecisionTest, NextHopIsFinalTiebreak) {
+  const std::vector<Route> candidates = {
+      route_with(100, 2, Origin::kIgp, 0, 9),
+      route_with(100, 2, Origin::kIgp, 0, 4),
+  };
+  EXPECT_EQ(best_route(candidates)->next_hop, 4u);
+}
+
+TEST(DecisionTest, BetterRouteIsStrictAndAsymmetric) {
+  const Route a = route_with(200, 1);
+  const Route b = route_with(100, 1);
+  EXPECT_TRUE(better_route(a, b));
+  EXPECT_FALSE(better_route(b, a));
+  EXPECT_FALSE(better_route(a, a));
+}
+
+TEST(DecisionTest, IndexPointsAtWinner) {
+  const std::vector<Route> candidates = {route_with(100, 5), route_with(100, 1),
+                                         route_with(100, 3)};
+  EXPECT_EQ(best_route_index(candidates), 1u);
+}
+
+// Property: the winner is never strictly beaten by any other candidate
+// (i.e. best_route really is the maximum of the preference order).
+TEST(DecisionTest, WinnerDominatesAllCandidates) {
+  std::vector<Route> candidates;
+  for (std::uint32_t lp : {100u, 150u}) {
+    for (std::size_t len : {1u, 2u, 3u}) {
+      for (std::uint32_t med : {0u, 5u}) {
+        candidates.push_back(route_with(lp, len, Origin::kIgp, med,
+                                        static_cast<AsNumber>(candidates.size())));
+      }
+    }
+  }
+  const Route winner = *best_route(candidates);
+  for (const Route& candidate : candidates) {
+    EXPECT_FALSE(better_route(candidate, winner)) << candidate.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace pvr::bgp

@@ -1,0 +1,110 @@
+#include "bgp/policy.h"
+
+#include <gtest/gtest.h>
+
+namespace pvr::bgp {
+namespace {
+
+[[nodiscard]] Route make_route() {
+  return Route{
+      .prefix = Ipv4Prefix::parse("203.0.113.0/24"),
+      .path = AsPath{65010, 65001},
+      .next_hop = 65010,
+      .local_pref = 100,
+      .med = 0,
+      .origin = Origin::kIgp,
+      .communities = {make_community(65000, 1)},
+  };
+}
+
+TEST(PolicyMatchTest, EmptyMatchMatchesEverything) {
+  EXPECT_TRUE(PolicyMatch{}.matches(make_route(), 65010));
+}
+
+TEST(PolicyMatchTest, PrefixMatch) {
+  PolicyMatch match{.prefix = Ipv4Prefix::parse("203.0.0.0/16")};
+  EXPECT_TRUE(match.matches(make_route(), 65010));
+  match.prefix = Ipv4Prefix::parse("198.51.0.0/16");
+  EXPECT_FALSE(match.matches(make_route(), 65010));
+}
+
+TEST(PolicyMatchTest, NeighborMatch) {
+  PolicyMatch match{.neighbor = 65010};
+  EXPECT_TRUE(match.matches(make_route(), 65010));
+  EXPECT_FALSE(match.matches(make_route(), 65011));
+}
+
+TEST(PolicyMatchTest, AsInPathMatch) {
+  PolicyMatch match{.as_in_path = 65001};
+  EXPECT_TRUE(match.matches(make_route(), 65010));
+  match.as_in_path = 64999;
+  EXPECT_FALSE(match.matches(make_route(), 65010));
+}
+
+TEST(PolicyMatchTest, CommunityMatch) {
+  PolicyMatch match{.community = make_community(65000, 1)};
+  EXPECT_TRUE(match.matches(make_route(), 65010));
+  match.community = make_community(65000, 2);
+  EXPECT_FALSE(match.matches(make_route(), 65010));
+}
+
+TEST(PolicyMatchTest, MaxPathLengthMatch) {
+  PolicyMatch match{.max_path_length = 2};
+  EXPECT_TRUE(match.matches(make_route(), 65010));
+  match.max_path_length = 1;
+  EXPECT_FALSE(match.matches(make_route(), 65010));
+}
+
+TEST(PolicyActionTest, RewritesAttributes) {
+  PolicyAction action{
+      .verdict = PolicyVerdict::kAccept,
+      .set_local_pref = 300,
+      .set_med = 42,
+      .add_communities = {make_community(65000, 9)},
+      .strip_communities = {make_community(65000, 1)},
+  };
+  const Route rewritten = action.apply(make_route());
+  EXPECT_EQ(rewritten.local_pref, 300u);
+  EXPECT_EQ(rewritten.med, 42u);
+  EXPECT_TRUE(rewritten.has_community(make_community(65000, 9)));
+  EXPECT_FALSE(rewritten.has_community(make_community(65000, 1)));
+}
+
+TEST(PolicyActionTest, AddCommunityIsIdempotent) {
+  PolicyAction action{.add_communities = {make_community(65000, 1)}};
+  const Route rewritten = action.apply(make_route());
+  EXPECT_EQ(rewritten.communities.size(), 1u);
+}
+
+TEST(RoutePolicyTest, FirstMatchWins) {
+  RoutePolicy policy(
+      {PolicyRule{.name = "pin-lp",
+                  .match = {.neighbor = 65010},
+                  .action = {.set_local_pref = 250}},
+       PolicyRule{.name = "reject-rest",
+                  .match = {},
+                  .action = {.verdict = PolicyVerdict::kReject}}});
+  const auto accepted = policy.evaluate(make_route(), 65010);
+  ASSERT_TRUE(accepted.has_value());
+  EXPECT_EQ(accepted->local_pref, 250u);
+  EXPECT_FALSE(policy.evaluate(make_route(), 65099).has_value());
+}
+
+TEST(RoutePolicyTest, DefaultVerdictApplies) {
+  const RoutePolicy accept_all;
+  EXPECT_TRUE(accept_all.evaluate(make_route(), 1).has_value());
+  const RoutePolicy reject_all({}, PolicyVerdict::kReject);
+  EXPECT_FALSE(reject_all.evaluate(make_route(), 1).has_value());
+}
+
+TEST(RoutePolicyTest, RejectRuleStopsEvaluation) {
+  RoutePolicy policy(
+      {PolicyRule{.name = "block-as",
+                  .match = {.as_in_path = 65001},
+                  .action = {.verdict = PolicyVerdict::kReject}},
+       PolicyRule{.name = "boost", .match = {}, .action = {.set_local_pref = 999}}});
+  EXPECT_FALSE(policy.evaluate(make_route(), 65010).has_value());
+}
+
+}  // namespace
+}  // namespace pvr::bgp

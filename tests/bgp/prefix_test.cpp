@@ -1,0 +1,81 @@
+#include "bgp/prefix.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pvr::bgp {
+namespace {
+
+TEST(PrefixTest, ParseAndFormat) {
+  const Ipv4Prefix p = Ipv4Prefix::parse("10.1.0.0/16");
+  EXPECT_EQ(p.address(), 0x0a010000u);
+  EXPECT_EQ(p.length(), 16);
+  EXPECT_EQ(p.to_string(), "10.1.0.0/16");
+}
+
+TEST(PrefixTest, ParseZeroLength) {
+  const Ipv4Prefix p = Ipv4Prefix::parse("0.0.0.0/0");
+  EXPECT_EQ(p.length(), 0);
+  EXPECT_TRUE(p.contains_address(0xffffffff));
+}
+
+TEST(PrefixTest, ParseHostRoute) {
+  const Ipv4Prefix p = Ipv4Prefix::parse("192.168.1.1/32");
+  EXPECT_TRUE(p.contains_address(0xc0a80101));
+  EXPECT_FALSE(p.contains_address(0xc0a80102));
+}
+
+TEST(PrefixTest, HostBitsClearedOnConstruction) {
+  const Ipv4Prefix a = Ipv4Prefix::parse("10.1.2.3/16");
+  const Ipv4Prefix b = Ipv4Prefix::parse("10.1.0.0/16");
+  EXPECT_EQ(a, b);
+}
+
+TEST(PrefixTest, ParseRejectsMalformed) {
+  EXPECT_THROW((void)Ipv4Prefix::parse("10.0.0.0"), std::invalid_argument);
+  EXPECT_THROW((void)Ipv4Prefix::parse("10.0.0/8"), std::invalid_argument);
+  EXPECT_THROW((void)Ipv4Prefix::parse("10.0.0.0.0/8"), std::invalid_argument);
+  EXPECT_THROW((void)Ipv4Prefix::parse("256.0.0.0/8"), std::invalid_argument);
+  EXPECT_THROW((void)Ipv4Prefix::parse("10.0.0.0/33"), std::invalid_argument);
+  EXPECT_THROW((void)Ipv4Prefix::parse("a.b.c.d/8"), std::invalid_argument);
+}
+
+TEST(PrefixTest, Covers) {
+  const Ipv4Prefix slash8 = Ipv4Prefix::parse("10.0.0.0/8");
+  const Ipv4Prefix slash16 = Ipv4Prefix::parse("10.1.0.0/16");
+  const Ipv4Prefix other = Ipv4Prefix::parse("11.0.0.0/8");
+  EXPECT_TRUE(slash8.covers(slash16));
+  EXPECT_FALSE(slash16.covers(slash8));
+  EXPECT_TRUE(slash8.covers(slash8));
+  EXPECT_FALSE(slash8.covers(other));
+}
+
+TEST(PrefixTest, DefaultRouteCoversEverything) {
+  const Ipv4Prefix def = Ipv4Prefix::parse("0.0.0.0/0");
+  EXPECT_TRUE(def.covers(Ipv4Prefix::parse("203.0.113.0/24")));
+}
+
+TEST(PrefixTest, Ordering) {
+  EXPECT_LT(Ipv4Prefix::parse("10.0.0.0/8"), Ipv4Prefix::parse("11.0.0.0/8"));
+  EXPECT_LT(Ipv4Prefix::parse("10.0.0.0/8"), Ipv4Prefix::parse("10.0.0.0/9"));
+}
+
+TEST(PrefixTest, EncodeDecodeRoundTrip) {
+  const Ipv4Prefix p = Ipv4Prefix::parse("172.16.5.0/24");
+  crypto::ByteWriter writer;
+  p.encode(writer);
+  crypto::ByteReader reader(writer.data());
+  EXPECT_EQ(Ipv4Prefix::decode(reader), p);
+}
+
+TEST(PrefixTest, DecodeRejectsBadLength) {
+  crypto::ByteWriter writer;
+  writer.put_u32(0);
+  writer.put_u8(40);
+  crypto::ByteReader reader(writer.data());
+  EXPECT_THROW((void)Ipv4Prefix::decode(reader), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace pvr::bgp

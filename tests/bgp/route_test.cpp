@@ -1,0 +1,73 @@
+#include "bgp/route.h"
+
+#include <gtest/gtest.h>
+
+namespace pvr::bgp {
+namespace {
+
+[[nodiscard]] Route make_route() {
+  return Route{
+      .prefix = Ipv4Prefix::parse("203.0.113.0/24"),
+      .path = AsPath{65002, 65001},
+      .next_hop = 65002,
+      .local_pref = 150,
+      .med = 10,
+      .origin = Origin::kEgp,
+      .communities = {make_community(65000, 100), make_community(65000, 200)},
+  };
+}
+
+TEST(RouteTest, CommunityHelpers) {
+  const Route route = make_route();
+  EXPECT_TRUE(route.has_community(make_community(65000, 100)));
+  EXPECT_FALSE(route.has_community(make_community(65000, 300)));
+  EXPECT_EQ(make_community(65000, 100), 0xFDE80064u);
+}
+
+TEST(RouteTest, EncodeDecodeRoundTrip) {
+  const Route route = make_route();
+  crypto::ByteWriter writer;
+  route.encode(writer);
+  crypto::ByteReader reader(writer.data());
+  EXPECT_EQ(Route::decode(reader), route);
+}
+
+TEST(RouteTest, DecodeRejectsBadOrigin) {
+  Route route = make_route();
+  crypto::ByteWriter writer;
+  route.encode(writer);
+  auto bytes = writer.take();
+  // The origin byte sits right after prefix(5) + path(2+2*4) + next_hop(4) +
+  // local_pref(4) + med(4).
+  bytes[5 + 10 + 12] = 9;
+  crypto::ByteReader reader(bytes);
+  EXPECT_THROW((void)Route::decode(reader), std::out_of_range);
+}
+
+TEST(RouteTest, DigestChangesWithAnyField) {
+  const Route base = make_route();
+  Route changed = base;
+  changed.local_pref += 1;
+  EXPECT_NE(base.digest(), changed.digest());
+
+  changed = base;
+  changed.path = changed.path.prepended(65099);
+  EXPECT_NE(base.digest(), changed.digest());
+
+  changed = base;
+  changed.communities.clear();
+  EXPECT_NE(base.digest(), changed.digest());
+}
+
+TEST(RouteTest, DigestDeterministic) {
+  EXPECT_EQ(make_route().digest(), make_route().digest());
+}
+
+TEST(RouteTest, ToStringMentionsPrefixAndPath) {
+  const std::string text = make_route().to_string();
+  EXPECT_NE(text.find("203.0.113.0/24"), std::string::npos);
+  EXPECT_NE(text.find("65002 65001"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pvr::bgp

@@ -1,0 +1,244 @@
+#include "bgp/speaker.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace pvr::bgp {
+namespace {
+
+const Ipv4Prefix kPrefix = Ipv4Prefix::parse("203.0.113.0/24");
+
+// Builds a simulator with one BgpSpeaker per AS in `graph`; `origin`
+// originates kPrefix.
+struct World {
+  explicit World(const AsGraph& graph, AsNumber origin, std::uint64_t seed = 1)
+      : sim(seed) {
+    for (const AsNumber asn : graph.as_numbers()) {
+      SpeakerConfig config{.asn = asn, .graph = &graph};
+      if (asn == origin) config.originated = {kPrefix};
+      sim.add_node(asn, std::make_unique<BgpSpeaker>(std::move(config)));
+    }
+    for (const AsNumber asn : graph.as_numbers()) {
+      for (const AsNumber neighbor : graph.neighbors(asn)) {
+        if (asn < neighbor) sim.connect(asn, neighbor, {.latency = 1000});
+      }
+    }
+  }
+
+  [[nodiscard]] BgpSpeaker& speaker(AsNumber asn) {
+    return dynamic_cast<BgpSpeaker&>(sim.node(asn));
+  }
+
+  net::Simulator sim;
+};
+
+TEST(SpeakerTest, LinearChainPropagates) {
+  // 1 -- 2 -- 3, all provider->customer down the chain (1 is 2's customer,
+  // 2 is 3's customer): customer routes propagate everywhere.
+  AsGraph graph;
+  for (AsNumber asn = 1; asn <= 3; ++asn) graph.add_as(asn);
+  graph.add_link(1, 2, Relationship::kProvider);  // 2 is 1's provider
+  graph.add_link(2, 3, Relationship::kProvider);  // 3 is 2's provider
+
+  World world(graph, /*origin=*/1);
+  world.sim.run();
+
+  const auto at2 = world.speaker(2).best(kPrefix);
+  ASSERT_TRUE(at2.has_value());
+  EXPECT_EQ(at2->path.hops(), (std::vector<AsNumber>{1}));
+
+  const auto at3 = world.speaker(3).best(kPrefix);
+  ASSERT_TRUE(at3.has_value());
+  EXPECT_EQ(at3->path.hops(), (std::vector<AsNumber>{2, 1}));
+}
+
+TEST(SpeakerTest, ValleyFreeBlocksPeerToPeerTransit) {
+  // 2 and 3 are peers; 1 is 2's peer as well. A route learned from peer 2
+  // must not be re-exported to peer 3.
+  AsGraph graph;
+  for (AsNumber asn = 1; asn <= 3; ++asn) graph.add_as(asn);
+  graph.add_link(1, 2, Relationship::kPeer);
+  graph.add_link(2, 3, Relationship::kPeer);
+
+  World world(graph, /*origin=*/1);
+  world.sim.run();
+
+  EXPECT_TRUE(world.speaker(2).best(kPrefix).has_value());
+  EXPECT_FALSE(world.speaker(3).best(kPrefix).has_value());
+}
+
+TEST(SpeakerTest, CustomerRouteReachesPeersAndProviders) {
+  // 1 is 2's customer; 2 peers with 3 and has provider 4. The customer
+  // route must be exported to both.
+  AsGraph graph;
+  for (AsNumber asn = 1; asn <= 4; ++asn) graph.add_as(asn);
+  graph.add_link(2, 1, Relationship::kCustomer);
+  graph.add_link(2, 3, Relationship::kPeer);
+  graph.add_link(2, 4, Relationship::kProvider);
+
+  World world(graph, /*origin=*/1);
+  world.sim.run();
+
+  EXPECT_TRUE(world.speaker(3).best(kPrefix).has_value());
+  EXPECT_TRUE(world.speaker(4).best(kPrefix).has_value());
+}
+
+TEST(SpeakerTest, PrefersCustomerOverPeerOverProvider) {
+  // AS 10 can reach the origin 1 via customer 2, peer 3, or provider 4,
+  // all advertising equal-length paths.
+  AsGraph graph;
+  for (AsNumber asn : {1u, 2u, 3u, 4u, 10u}) graph.add_as(asn);
+  graph.add_link(2, 1, Relationship::kCustomer);
+  graph.add_link(3, 1, Relationship::kCustomer);
+  graph.add_link(4, 1, Relationship::kCustomer);
+  graph.add_link(10, 2, Relationship::kCustomer);  // 2 is 10's customer
+  graph.add_link(10, 3, Relationship::kPeer);
+  graph.add_link(10, 4, Relationship::kProvider);
+
+  World world(graph, /*origin=*/1);
+  world.sim.run();
+
+  const auto best = world.speaker(10).best(kPrefix);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->next_hop, 2u);          // via the customer
+  EXPECT_EQ(best->local_pref, 200u);      // customer local-pref
+}
+
+TEST(SpeakerTest, ShorterPathWinsWithinSameRelationship) {
+  // Origin 1; AS 5 hears from customers 2 (direct: path "2 1") and
+  // 4 (longer: "4 3 1").
+  AsGraph graph;
+  for (AsNumber asn = 1; asn <= 5; ++asn) graph.add_as(asn);
+  graph.add_link(2, 1, Relationship::kCustomer);
+  graph.add_link(3, 1, Relationship::kCustomer);
+  graph.add_link(4, 3, Relationship::kCustomer);
+  graph.add_link(5, 2, Relationship::kCustomer);
+  graph.add_link(5, 4, Relationship::kCustomer);
+
+  World world(graph, /*origin=*/1);
+  world.sim.run();
+
+  const auto best = world.speaker(5).best(kPrefix);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->path.length(), 2u);
+  EXPECT_EQ(best->next_hop, 2u);
+}
+
+TEST(SpeakerTest, LoopPreventionDiscardsOwnAsn) {
+  // Triangle of mutual customers would loop without path checking.
+  AsGraph graph;
+  for (AsNumber asn = 1; asn <= 3; ++asn) graph.add_as(asn);
+  graph.add_link(1, 2, Relationship::kProvider);
+  graph.add_link(2, 3, Relationship::kProvider);
+  graph.add_link(3, 1, Relationship::kProvider);
+
+  World world(graph, /*origin=*/1);
+  world.sim.run_until(10'000'000);
+  // Convergence (no infinite loop) is the assertion; plus no route at 1
+  // contains AS 1 in a received path.
+  for (const Route& route : world.speaker(1).candidates(kPrefix)) {
+    EXPECT_FALSE(route.path.contains(1));
+  }
+}
+
+TEST(SpeakerTest, WithdrawPropagates) {
+  AsGraph graph;
+  for (AsNumber asn = 1; asn <= 3; ++asn) graph.add_as(asn);
+  graph.add_link(1, 2, Relationship::kProvider);
+  graph.add_link(2, 3, Relationship::kProvider);
+
+  World world(graph, /*origin=*/1);
+  world.sim.run();
+  ASSERT_TRUE(world.speaker(3).best(kPrefix).has_value());
+
+  // AS 2 stops hearing the route: simulate by 1 sending an explicit
+  // withdraw to 2.
+  world.sim.schedule_after(1000, [&] {
+    world.sim.send({.from = 1,
+                    .to = 2,
+                    .channel = kUpdateChannel,
+                    .payload = BgpUpdate{.withdraw = true, .prefix = kPrefix}
+                                   .encode()});
+  });
+  world.sim.run();
+
+  EXPECT_FALSE(world.speaker(2).best(kPrefix).has_value());
+  EXPECT_FALSE(world.speaker(3).best(kPrefix).has_value());
+}
+
+TEST(SpeakerTest, ImportPolicyRejectionActsAsWithdraw) {
+  AsGraph graph;
+  for (AsNumber asn = 1; asn <= 2; ++asn) graph.add_as(asn);
+  graph.add_link(1, 2, Relationship::kProvider);
+
+  net::Simulator sim(1);
+  SpeakerConfig origin_config{.asn = 1, .graph = &graph, .originated = {kPrefix}};
+  sim.add_node(1, std::make_unique<BgpSpeaker>(std::move(origin_config)));
+
+  SpeakerConfig filter_config{.asn = 2, .graph = &graph};
+  filter_config.import_policy = RoutePolicy(
+      {PolicyRule{.name = "reject-origin-1",
+                  .match = {.as_in_path = 1},
+                  .action = {.verdict = PolicyVerdict::kReject}}});
+  sim.add_node(2, std::make_unique<BgpSpeaker>(std::move(filter_config)));
+  sim.connect(1, 2, {.latency = 1000});
+  sim.run();
+
+  EXPECT_FALSE(dynamic_cast<BgpSpeaker&>(sim.node(2)).best(kPrefix).has_value());
+}
+
+TEST(SpeakerTest, ExportPolicyFiltersPerNeighbor) {
+  // 2 learns from customer 1 but its export policy blocks neighbor 3.
+  AsGraph graph;
+  for (AsNumber asn = 1; asn <= 3; ++asn) graph.add_as(asn);
+  graph.add_link(2, 1, Relationship::kCustomer);
+  graph.add_link(2, 3, Relationship::kCustomer);
+
+  net::Simulator sim(1);
+  SpeakerConfig origin_config{.asn = 1, .graph = &graph, .originated = {kPrefix}};
+  sim.add_node(1, std::make_unique<BgpSpeaker>(std::move(origin_config)));
+
+  SpeakerConfig transit_config{.asn = 2, .graph = &graph};
+  transit_config.export_policy = RoutePolicy(
+      {PolicyRule{.name = "block-3",
+                  .match = {.neighbor = 3},
+                  .action = {.verdict = PolicyVerdict::kReject}}});
+  sim.add_node(2, std::make_unique<BgpSpeaker>(std::move(transit_config)));
+  sim.add_node(3, std::make_unique<BgpSpeaker>(SpeakerConfig{.asn = 3, .graph = &graph}));
+  sim.connect(1, 2, {.latency = 1000});
+  sim.connect(2, 3, {.latency = 1000});
+  sim.run();
+
+  EXPECT_TRUE(dynamic_cast<BgpSpeaker&>(sim.node(2)).best(kPrefix).has_value());
+  EXPECT_FALSE(dynamic_cast<BgpSpeaker&>(sim.node(3)).best(kPrefix).has_value());
+}
+
+TEST(SpeakerTest, GaoRexfordTopologyConverges) {
+  crypto::Drbg rng(3, "speaker-gr");
+  const AsGraph graph =
+      generate_gao_rexford({.as_count = 40, .tier1_count = 4}, rng);
+  World world(graph, /*origin=*/40);
+  world.sim.run();
+
+  // Every AS should have a route (the hierarchy is connected and the origin
+  // is a stub customer, so valley-free export reaches everyone).
+  std::size_t with_route = 0;
+  for (const AsNumber asn : graph.as_numbers()) {
+    if (asn == 40) continue;
+    if (world.speaker(asn).best(kPrefix).has_value()) ++with_route;
+  }
+  EXPECT_EQ(with_route, graph.as_count() - 1);
+}
+
+TEST(SpeakerTest, ConstructorValidation) {
+  AsGraph graph;
+  graph.add_as(1);
+  EXPECT_THROW(BgpSpeaker(SpeakerConfig{.asn = 1, .graph = nullptr}),
+               std::invalid_argument);
+  EXPECT_THROW(BgpSpeaker(SpeakerConfig{.asn = 2, .graph = &graph}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pvr::bgp

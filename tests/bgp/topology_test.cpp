@@ -1,0 +1,139 @@
+#include "bgp/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+namespace pvr::bgp {
+namespace {
+
+TEST(RelationshipTest, ReverseIsInvolution) {
+  for (Relationship r : {Relationship::kCustomer, Relationship::kProvider,
+                         Relationship::kPeer}) {
+    EXPECT_EQ(reverse(reverse(r)), r);
+  }
+  EXPECT_EQ(reverse(Relationship::kCustomer), Relationship::kProvider);
+  EXPECT_EQ(reverse(Relationship::kPeer), Relationship::kPeer);
+}
+
+TEST(RelationshipTest, ValleyFreeMatrix) {
+  using enum Relationship;
+  // Customer routes export everywhere.
+  EXPECT_TRUE(valley_free_exportable(kCustomer, kCustomer));
+  EXPECT_TRUE(valley_free_exportable(kCustomer, kPeer));
+  EXPECT_TRUE(valley_free_exportable(kCustomer, kProvider));
+  // Peer/provider routes export only to customers.
+  EXPECT_TRUE(valley_free_exportable(kPeer, kCustomer));
+  EXPECT_TRUE(valley_free_exportable(kProvider, kCustomer));
+  EXPECT_FALSE(valley_free_exportable(kPeer, kPeer));
+  EXPECT_FALSE(valley_free_exportable(kPeer, kProvider));
+  EXPECT_FALSE(valley_free_exportable(kProvider, kPeer));
+  EXPECT_FALSE(valley_free_exportable(kProvider, kProvider));
+}
+
+TEST(AsGraphTest, AddLinkSetsBothDirections) {
+  AsGraph graph;
+  graph.add_as(1);
+  graph.add_as(2);
+  graph.add_link(1, 2, Relationship::kCustomer);  // 2 is 1's customer
+  EXPECT_EQ(graph.relationship(1, 2), Relationship::kCustomer);
+  EXPECT_EQ(graph.relationship(2, 1), Relationship::kProvider);
+  EXPECT_EQ(graph.link_count(), 1u);
+}
+
+TEST(AsGraphTest, RejectsSelfAndUnknown) {
+  AsGraph graph;
+  graph.add_as(1);
+  EXPECT_THROW(graph.add_link(1, 1, Relationship::kPeer), std::invalid_argument);
+  EXPECT_THROW(graph.add_link(1, 99, Relationship::kPeer), std::invalid_argument);
+}
+
+TEST(AsGraphTest, NeighborQueries) {
+  AsGraph graph;
+  for (AsNumber asn = 1; asn <= 4; ++asn) graph.add_as(asn);
+  graph.add_link(1, 2, Relationship::kCustomer);
+  graph.add_link(1, 3, Relationship::kProvider);
+  graph.add_link(1, 4, Relationship::kPeer);
+  EXPECT_EQ(graph.customers_of(1), std::vector<AsNumber>{2});
+  EXPECT_EQ(graph.providers_of(1), std::vector<AsNumber>{3});
+  EXPECT_EQ(graph.peers_of(1), std::vector<AsNumber>{4});
+  EXPECT_EQ(graph.neighbors(1).size(), 3u);
+  EXPECT_TRUE(graph.neighbors(99).empty());
+  EXPECT_FALSE(graph.relationship(2, 3).has_value());
+}
+
+TEST(StarTopologyTest, MatchesFigure1) {
+  const AsGraph graph = make_star_topology(100, 200, 300, 5);
+  EXPECT_EQ(graph.as_count(), 7u);
+  EXPECT_EQ(graph.relationship(100, 200), Relationship::kCustomer);
+  for (AsNumber ni = 300; ni < 305; ++ni) {
+    EXPECT_EQ(graph.relationship(100, ni), Relationship::kProvider) << ni;
+  }
+  // B and the N_i are not directly connected.
+  EXPECT_FALSE(graph.relationship(200, 300).has_value());
+}
+
+class GaoRexfordTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GaoRexfordTest, GeneratesConnectedHierarchy) {
+  crypto::Drbg rng(GetParam(), "topo-test");
+  const GaoRexfordParams params{.as_count = GetParam(), .tier1_count = 4};
+  const AsGraph graph = generate_gao_rexford(params, rng);
+  EXPECT_EQ(graph.as_count(), GetParam());
+
+  // Connectivity via BFS over all links.
+  std::set<AsNumber> visited;
+  std::vector<AsNumber> frontier = {1};
+  visited.insert(1);
+  while (!frontier.empty()) {
+    const AsNumber current = frontier.back();
+    frontier.pop_back();
+    for (const AsNumber next : graph.neighbors(current)) {
+      if (visited.insert(next).second) frontier.push_back(next);
+    }
+  }
+  EXPECT_EQ(visited.size(), GetParam());
+}
+
+TEST_P(GaoRexfordTest, NoProviderCyclesAmongNonTier1) {
+  crypto::Drbg rng(GetParam() + 7, "topo-test");
+  const GaoRexfordParams params{.as_count = GetParam(), .tier1_count = 4};
+  const AsGraph graph = generate_gao_rexford(params, rng);
+
+  // Provider edges always point from a later AS to an earlier AS in
+  // generation order, so the customer->provider digraph is acyclic; verify
+  // by checking that every provider of AS i has a smaller AS number.
+  for (const AsNumber asn : graph.as_numbers()) {
+    for (const AsNumber provider : graph.providers_of(asn)) {
+      EXPECT_LT(provider, asn)
+          << "provider edge violates generation order (cycle risk)";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GaoRexfordTest,
+                         ::testing::Values(4, 10, 50, 200));
+
+TEST(GaoRexfordTest, DeterministicForSeed) {
+  const GaoRexfordParams params{.as_count = 30, .tier1_count = 3};
+  crypto::Drbg rng1(5, "topo");
+  crypto::Drbg rng2(5, "topo");
+  const AsGraph a = generate_gao_rexford(params, rng1);
+  const AsGraph b = generate_gao_rexford(params, rng2);
+  EXPECT_EQ(a.link_count(), b.link_count());
+  for (const AsNumber asn : a.as_numbers()) {
+    EXPECT_EQ(a.neighbors(asn), b.neighbors(asn));
+  }
+}
+
+TEST(GaoRexfordTest, RejectsBadParams) {
+  crypto::Drbg rng(1, "topo");
+  EXPECT_THROW((void)generate_gao_rexford({.as_count = 3, .tier1_count = 5}, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)generate_gao_rexford({.as_count = 3, .tier1_count = 0}, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pvr::bgp

@@ -1,0 +1,253 @@
+#include "core/graph_commitment.h"
+
+#include <gtest/gtest.h>
+
+namespace pvr::core {
+namespace {
+
+[[nodiscard]] bgp::Route route_len(std::size_t length, bgp::AsNumber next_hop) {
+  std::vector<bgp::AsNumber> hops;
+  hops.push_back(next_hop);
+  for (std::size_t i = 1; i < length; ++i) {
+    hops.push_back(static_cast<bgp::AsNumber>(7000 + i));
+  }
+  return bgp::Route{
+      .prefix = bgp::Ipv4Prefix::parse("198.51.100.0/24"),
+      .path = bgp::AsPath(std::move(hops)),
+      .next_hop = next_hop,
+      .local_pref = 100,
+      .med = 0,
+      .origin = bgp::Origin::kIgp,
+      .communities = {},
+  };
+}
+
+// Figure-2 setup: primary N1 (=1), fallbacks {2, 3}, recipient 99.
+struct Fig2Fixture {
+  rfg::RouteFlowGraph graph = rfg::make_figure2_graph(1, {2, 3}, 99);
+  std::map<rfg::VertexId, rfg::Value> values;
+  crypto::Drbg rng{11, "graph-commit-test"};
+
+  Fig2Fixture() {
+    values = graph.evaluate({
+        {rfg::input_variable_id(1), route_len(4, 1)},
+        {rfg::input_variable_id(2), route_len(3, 2)},
+        {rfg::input_variable_id(3), route_len(5, 3)},
+    });
+  }
+};
+
+TEST(PayloadEncodingTest, VariableRoundTrip) {
+  const rfg::Value present = route_len(3, 1);
+  const auto bytes = encode_variable_payload(present);
+  const auto decoded = decode_variable_payload(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->has_value());
+  EXPECT_EQ(**decoded, *present);
+
+  const auto empty = decode_variable_payload(encode_variable_payload(std::nullopt));
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_FALSE(empty->has_value());
+}
+
+TEST(PayloadEncodingTest, OperatorRoundTrip) {
+  const rfg::MinimumOperator op;
+  const auto decoded = decode_operator_payload(encode_operator_payload(op));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, "min");
+}
+
+TEST(PayloadEncodingTest, CrossDecodingFails) {
+  const rfg::MinimumOperator op;
+  EXPECT_FALSE(decode_variable_payload(encode_operator_payload(op)).has_value());
+  EXPECT_FALSE(
+      decode_operator_payload(encode_variable_payload(std::nullopt)).has_value());
+}
+
+TEST(PayloadEncodingTest, IdListRoundTrip) {
+  const std::vector<rfg::VertexId> ids = {"var:r1", "op:min", "var:ro"};
+  const auto decoded = decode_id_list(encode_id_list(ids));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, ids);
+  EXPECT_EQ(decode_id_list(encode_id_list({}))->size(), 0u);
+}
+
+TEST(GraphCommitmentTest, FullDisclosureVerifies) {
+  Fig2Fixture fixture;
+  const GraphCommitment commitment(fixture.graph, fixture.values, fixture.rng);
+  for (const rfg::VertexId& id : fixture.graph.variable_ids()) {
+    EXPECT_TRUE(verify_vertex_disclosure(commitment.root(),
+                                         commitment.disclose_full(id)))
+        << id;
+  }
+  for (const rfg::VertexId& id : fixture.graph.operator_ids()) {
+    EXPECT_TRUE(verify_vertex_disclosure(commitment.root(),
+                                         commitment.disclose_full(id)))
+        << id;
+  }
+}
+
+TEST(GraphCommitmentTest, UnknownVertexThrows) {
+  Fig2Fixture fixture;
+  const GraphCommitment commitment(fixture.graph, fixture.values, fixture.rng);
+  EXPECT_THROW((void)commitment.disclose_full("var:nope"), std::out_of_range);
+}
+
+TEST(GraphCommitmentTest, TamperedRecordRejected) {
+  Fig2Fixture fixture;
+  const GraphCommitment commitment(fixture.graph, fixture.values, fixture.rng);
+  VertexDisclosure disclosure = commitment.disclose_full("var:v");
+  disclosure.record.payload.digest[0] ^= 1;
+  EXPECT_FALSE(verify_vertex_disclosure(commitment.root(), disclosure));
+}
+
+TEST(GraphCommitmentTest, RelabeledVertexRejected) {
+  Fig2Fixture fixture;
+  const GraphCommitment commitment(fixture.graph, fixture.values, fixture.rng);
+  VertexDisclosure disclosure = commitment.disclose_full("var:v");
+  disclosure.vertex = "var:other";  // proof key no longer matches the label
+  EXPECT_FALSE(verify_vertex_disclosure(commitment.root(), disclosure));
+}
+
+TEST(GraphCommitmentTest, SwappedOpeningRejected) {
+  Fig2Fixture fixture;
+  const GraphCommitment commitment(fixture.graph, fixture.values, fixture.rng);
+  VertexDisclosure a = commitment.disclose_full("var:r1");
+  const VertexDisclosure b = commitment.disclose_full("var:r2");
+  a.payload_opening = b.payload_opening;  // someone else's route value
+  EXPECT_FALSE(verify_vertex_disclosure(commitment.root(), a));
+}
+
+TEST(GraphCommitmentTest, AccessPolicyGatesOpenings) {
+  Fig2Fixture fixture;
+  const GraphCommitment commitment(fixture.graph, fixture.values, fixture.rng);
+  rfg::AccessPolicy policy;
+  policy.grant(42, "op:min", rfg::Component::kPayload);
+  policy.grant(42, "op:min", rfg::Component::kPredecessors);
+
+  const VertexDisclosure disclosure = commitment.disclose("op:min", 42, policy);
+  EXPECT_TRUE(disclosure.payload_opening.has_value());
+  EXPECT_TRUE(disclosure.predecessors_opening.has_value());
+  EXPECT_FALSE(disclosure.successors_opening.has_value());
+  // Structure-only disclosure still verifies against the root.
+  EXPECT_TRUE(verify_vertex_disclosure(commitment.root(), disclosure));
+
+  // A viewer with no grants gets a bare record (still verifiable).
+  const VertexDisclosure bare = commitment.disclose("var:r1", 43, policy);
+  EXPECT_FALSE(bare.payload_opening.has_value());
+  EXPECT_TRUE(verify_vertex_disclosure(commitment.root(), bare));
+}
+
+TEST(DisclosedGraphTest, ReconstructsValuesAndStructure) {
+  Fig2Fixture fixture;
+  const GraphCommitment commitment(fixture.graph, fixture.values, fixture.rng);
+  DisclosedGraph view;
+  EXPECT_TRUE(view.add(commitment.root(), commitment.disclose_full("var:r1")));
+  EXPECT_TRUE(view.add(commitment.root(), commitment.disclose_full("op:min")));
+
+  const auto value = view.variable_value("var:r1");
+  ASSERT_TRUE(value.has_value());
+  ASSERT_TRUE(value->has_value());
+  EXPECT_EQ((*value)->path.length(), 4u);
+
+  EXPECT_EQ(view.operator_descriptor("op:min"), "min");
+  const auto preds = view.predecessors("op:min");
+  ASSERT_TRUE(preds.has_value());
+  EXPECT_EQ(*preds, (std::vector<rfg::VertexId>{"var:r2", "var:r3"}));
+  EXPECT_FALSE(view.has("var:ro"));
+  EXPECT_FALSE(view.variable_value("var:ro").has_value());
+}
+
+TEST(DisclosedGraphTest, RejectsForgedDisclosure) {
+  Fig2Fixture fixture;
+  const GraphCommitment commitment(fixture.graph, fixture.values, fixture.rng);
+  VertexDisclosure forged = commitment.disclose_full("var:r1");
+  forged.record.successors.digest[3] ^= 0x40;
+  DisclosedGraph view;
+  EXPECT_FALSE(view.add(commitment.root(), forged));
+  EXPECT_EQ(view.size(), 0u);
+}
+
+// §3.5: B navigates the graph and statically checks the Fig. 2 promise.
+TEST(DisclosedGraphTest, Figure2PromiseVerifiesStructurally) {
+  Fig2Fixture fixture;
+  const GraphCommitment commitment(fixture.graph, fixture.values, fixture.rng);
+
+  // B receives structural disclosures for every vertex (payloads only for
+  // operators — B may not see the input route values).
+  rfg::AccessPolicy policy;
+  for (const rfg::VertexId& id : fixture.graph.variable_ids()) {
+    policy.grant(99, id, rfg::Component::kPredecessors);
+    policy.grant(99, id, rfg::Component::kSuccessors);
+  }
+  for (const rfg::VertexId& id : fixture.graph.operator_ids()) {
+    policy.grant_all(99, id);
+  }
+  policy.grant(99, rfg::kOutputVariableId, rfg::Component::kPayload);
+
+  DisclosedGraph view;
+  for (const rfg::VertexId& id : fixture.graph.variable_ids()) {
+    ASSERT_TRUE(view.add(commitment.root(), commitment.disclose(id, 99, policy)));
+  }
+  for (const rfg::VertexId& id : fixture.graph.operator_ids()) {
+    ASSERT_TRUE(view.add(commitment.root(), commitment.disclose(id, 99, policy)));
+  }
+
+  const Promise promise{.type = PromiseType::kFallbackUnlessPrimaryShorter,
+                        .subset = {2, 3},
+                        .primary = 1};
+  EXPECT_TRUE(view.implements_promise(promise, 99));
+
+  // The same view does NOT support the stronger min-over-everything claim.
+  EXPECT_FALSE(view.implements_promise(
+      {.type = PromiseType::kShortestOfAll}, 99));
+
+  // B never learned the hidden input values.
+  EXPECT_FALSE(view.variable_value("var:r1").has_value());
+  EXPECT_FALSE(view.variable_value("var:r2").has_value());
+}
+
+TEST(DisclosedGraphTest, MissingOperatorDisclosureFailsPromiseCheck) {
+  Fig2Fixture fixture;
+  const GraphCommitment commitment(fixture.graph, fixture.values, fixture.rng);
+  DisclosedGraph view;
+  for (const rfg::VertexId& id : fixture.graph.variable_ids()) {
+    ASSERT_TRUE(view.add(commitment.root(), commitment.disclose_full(id)));
+  }
+  // op:prefer withheld -> cannot establish the promise.
+  ASSERT_TRUE(view.add(commitment.root(), commitment.disclose_full("op:min")));
+  const Promise promise{.type = PromiseType::kFallbackUnlessPrimaryShorter,
+                        .subset = {2, 3},
+                        .primary = 1};
+  EXPECT_FALSE(view.implements_promise(promise, 99));
+}
+
+TEST(GraphRootAnnouncementTest, EncodeDecodeRoundTrip) {
+  Fig2Fixture fixture;
+  const GraphCommitment commitment(fixture.graph, fixture.values, fixture.rng);
+  const GraphRootAnnouncement announcement{
+      .id = {.prover = 7,
+             .prefix = bgp::Ipv4Prefix::parse("198.51.100.0/24"),
+             .epoch = 3},
+      .root = commitment.root()};
+  const GraphRootAnnouncement decoded =
+      GraphRootAnnouncement::decode(announcement.encode());
+  EXPECT_EQ(decoded.id, announcement.id);
+  EXPECT_EQ(decoded.root, announcement.root);
+}
+
+// Commitments must be fresh per epoch: same graph+values, different rng ->
+// different root (hiding), but disclosures from one tree never verify
+// against the other's root.
+TEST(GraphCommitmentTest, RootsAreHidingAcrossRuns) {
+  Fig2Fixture fixture;
+  crypto::Drbg rng2(12, "graph-commit-test-2");
+  const GraphCommitment first(fixture.graph, fixture.values, fixture.rng);
+  const GraphCommitment second(fixture.graph, fixture.values, rng2);
+  EXPECT_NE(first.root(), second.root());
+  EXPECT_FALSE(
+      verify_vertex_disclosure(second.root(), first.disclose_full("var:v")));
+}
+
+}  // namespace
+}  // namespace pvr::core

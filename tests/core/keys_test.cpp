@@ -1,0 +1,84 @@
+#include "core/keys.h"
+
+#include <gtest/gtest.h>
+
+namespace pvr::core {
+namespace {
+
+class KeysTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    crypto::Drbg rng(42, "keys-test");
+    keys_ = new AsKeyPairs(generate_keys({1, 2, 3}, rng, 512));
+  }
+  static void TearDownTestSuite() {
+    delete keys_;
+    keys_ = nullptr;
+  }
+  static const AsKeyPairs& keys() { return *keys_; }
+
+ private:
+  static AsKeyPairs* keys_;
+};
+
+AsKeyPairs* KeysTest::keys_ = nullptr;
+
+TEST_F(KeysTest, DirectoryLookup) {
+  EXPECT_EQ(keys().directory.size(), 3u);
+  EXPECT_TRUE(keys().directory.contains(1));
+  EXPECT_FALSE(keys().directory.contains(9));
+  EXPECT_NE(keys().directory.find(2), nullptr);
+  EXPECT_EQ(keys().directory.find(9), nullptr);
+  EXPECT_EQ(keys().directory.members(), (std::vector<bgp::AsNumber>{1, 2, 3}));
+}
+
+TEST_F(KeysTest, SignVerifyRoundTrip) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3};
+  const SignedMessage message =
+      sign_message(1, keys().private_keys.at(1).priv, payload);
+  EXPECT_EQ(message.signer, 1u);
+  EXPECT_TRUE(verify_message(keys().directory, message));
+}
+
+TEST_F(KeysTest, TamperedPayloadRejected) {
+  SignedMessage message =
+      sign_message(1, keys().private_keys.at(1).priv, {1, 2, 3});
+  message.payload[0] ^= 1;
+  EXPECT_FALSE(verify_message(keys().directory, message));
+}
+
+TEST_F(KeysTest, ReattributionRejected) {
+  // A message signed by AS1 but claiming to be from AS2 must not verify:
+  // the signature covers the signer field.
+  SignedMessage message =
+      sign_message(1, keys().private_keys.at(1).priv, {9, 9});
+  message.signer = 2;
+  EXPECT_FALSE(verify_message(keys().directory, message));
+}
+
+TEST_F(KeysTest, UnknownSignerRejected) {
+  const SignedMessage message =
+      sign_message(77, keys().private_keys.at(1).priv, {1});
+  EXPECT_FALSE(verify_message(keys().directory, message));
+}
+
+TEST_F(KeysTest, EncodeDecodeRoundTrip) {
+  const SignedMessage message =
+      sign_message(3, keys().private_keys.at(3).priv, {5, 6, 7});
+  const SignedMessage decoded = SignedMessage::decode(message.encode());
+  EXPECT_EQ(decoded, message);
+  EXPECT_TRUE(verify_message(keys().directory, decoded));
+}
+
+TEST_F(KeysTest, KeysAreDistinctPerAs) {
+  EXPECT_NE(keys().directory.find(1)->n, keys().directory.find(2)->n);
+}
+
+TEST_F(KeysTest, DeterministicGeneration) {
+  crypto::Drbg rng(42, "keys-test");
+  const AsKeyPairs again = generate_keys({1, 2, 3}, rng, 512);
+  EXPECT_EQ(again.directory.find(1)->n, keys().directory.find(1)->n);
+}
+
+}  // namespace
+}  // namespace pvr::core

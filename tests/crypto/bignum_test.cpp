@@ -1,0 +1,248 @@
+#include "crypto/bignum.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "crypto/drbg.h"
+
+namespace pvr::crypto {
+namespace {
+
+TEST(BignumTest, DefaultIsZero) {
+  const Bignum zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.bit_length(), 0u);
+  EXPECT_EQ(zero.to_hex(), "0");
+}
+
+TEST(BignumTest, SmallValueRoundTrip) {
+  const Bignum x(0xdeadbeefULL);
+  EXPECT_EQ(x.to_hex(), "deadbeef");
+  EXPECT_EQ(Bignum::from_hex("deadbeef"), x);
+  EXPECT_EQ(Bignum::from_hex("DEADBEEF"), x);
+}
+
+TEST(BignumTest, FromHexRejectsGarbage) {
+  EXPECT_THROW((void)Bignum::from_hex("12g4"), std::invalid_argument);
+}
+
+TEST(BignumTest, HexRoundTripLarge) {
+  const std::string hex =
+      "f123456789abcdef0011223344556677f123456789abcdef0011223344556677";
+  EXPECT_EQ(Bignum::from_hex(hex).to_hex(), hex);
+}
+
+TEST(BignumTest, BytesRoundTrip) {
+  const std::vector<std::uint8_t> bytes = {0x01, 0x02, 0x03, 0xff, 0x00, 0x80};
+  const Bignum x = Bignum::from_bytes_be(bytes);
+  EXPECT_EQ(x.to_bytes_be(6), bytes);
+  EXPECT_EQ(x.to_bytes_be(), bytes);  // no leading zero in input
+}
+
+TEST(BignumTest, ToBytesPadsOnLeft) {
+  const Bignum x(0x1234);
+  const std::vector<std::uint8_t> expected = {0x00, 0x00, 0x12, 0x34};
+  EXPECT_EQ(x.to_bytes_be(4), expected);
+}
+
+TEST(BignumTest, ToBytesThrowsWhenTooSmall) {
+  const Bignum x(0x123456);
+  EXPECT_THROW((void)x.to_bytes_be(2), std::length_error);
+}
+
+TEST(BignumTest, AdditionCarriesAcrossLimbs) {
+  const Bignum x = Bignum::from_hex("ffffffffffffffffffffffffffffffff");
+  const Bignum one(1);
+  EXPECT_EQ((x + one).to_hex(), "100000000000000000000000000000000");
+}
+
+TEST(BignumTest, SubtractionBorrowsAcrossLimbs) {
+  const Bignum x = Bignum::from_hex("100000000000000000000000000000000");
+  const Bignum one(1);
+  EXPECT_EQ((x - one).to_hex(), "ffffffffffffffffffffffffffffffff");
+}
+
+TEST(BignumTest, SubtractionUnderflowThrows) {
+  EXPECT_THROW((void)(Bignum(1) - Bignum(2)), std::underflow_error);
+}
+
+TEST(BignumTest, MultiplicationKnownAnswer) {
+  const Bignum a = Bignum::from_hex("123456789abcdef0");
+  const Bignum b = Bignum::from_hex("fedcba9876543210");
+  EXPECT_EQ((a * b).to_hex(), "121fa00ad77d7422236d88fe5618cf00");
+}
+
+TEST(BignumTest, MultiplyByZero) {
+  const Bignum a = Bignum::from_hex("123456789abcdef0");
+  EXPECT_TRUE((a * Bignum()).is_zero());
+  EXPECT_TRUE((Bignum() * a).is_zero());
+}
+
+TEST(BignumTest, ShiftsInverse) {
+  const Bignum x = Bignum::from_hex("123456789abcdef0123456789abcdef");
+  for (std::size_t shift : {1u, 7u, 64u, 65u, 130u}) {
+    EXPECT_EQ((x << shift) >> shift, x) << "shift=" << shift;
+  }
+}
+
+TEST(BignumTest, ShiftRightDropsBits) {
+  EXPECT_EQ(Bignum(0xff) >> 4, Bignum(0xf));
+  EXPECT_TRUE((Bignum(1) >> 1).is_zero());
+}
+
+TEST(BignumTest, DivModSingleLimb) {
+  const Bignum x = Bignum::from_hex("123456789abcdef0123456789abcdef0");
+  const auto [q, r] = x.divmod(Bignum(1000));
+  EXPECT_EQ(q * Bignum(1000) + r, x);
+  EXPECT_LT(r, Bignum(1000));
+}
+
+TEST(BignumTest, DivModByZeroThrows) {
+  EXPECT_THROW((void)Bignum(5).divmod(Bignum()), std::domain_error);
+}
+
+TEST(BignumTest, DivModSmallerDividend) {
+  const auto [q, r] = Bignum(5).divmod(Bignum(7));
+  EXPECT_TRUE(q.is_zero());
+  EXPECT_EQ(r, Bignum(5));
+}
+
+TEST(BignumTest, DivModMultiLimbKnownAnswer) {
+  // Computed with Python:
+  // x = 0xf000000000000000000000000000000000000000000000000000000000000001
+  // d = 0x10000000000000001
+  const Bignum x = Bignum::from_hex(
+      "f000000000000000000000000000000000000000000000000000000000000001");
+  const Bignum d = Bignum::from_hex("10000000000000001");
+  const auto [q, r] = x.divmod(d);
+  EXPECT_EQ(q * d + r, x);
+  EXPECT_LT(r, d);
+}
+
+TEST(BignumTest, CompareOrdering) {
+  EXPECT_LT(Bignum(1), Bignum(2));
+  EXPECT_GT(Bignum::from_hex("10000000000000000"), Bignum(0xffffffffffffffffULL));
+  EXPECT_EQ(Bignum(42), Bignum(42));
+}
+
+TEST(BignumTest, BitAccess) {
+  Bignum x;
+  x.set_bit(0);
+  x.set_bit(64);
+  x.set_bit(130);
+  EXPECT_TRUE(x.bit(0));
+  EXPECT_TRUE(x.bit(64));
+  EXPECT_TRUE(x.bit(130));
+  EXPECT_FALSE(x.bit(1));
+  EXPECT_FALSE(x.bit(1000));
+  EXPECT_EQ(x.bit_length(), 131u);
+}
+
+TEST(BignumTest, PowmodKnownAnswers) {
+  // 2^10 mod 1000 = 24
+  EXPECT_EQ(Bignum(2).powmod(Bignum(10), Bignum(1000)), Bignum(24));
+  // Fermat: a^(p-1) = 1 mod p for prime p not dividing a.
+  const Bignum p(1000003);
+  EXPECT_EQ(Bignum(12345).powmod(p - Bignum(1), p), Bignum(1));
+  // x^0 = 1
+  EXPECT_EQ(Bignum(7).powmod(Bignum(), Bignum(100)), Bignum(1));
+  // mod 1 = 0
+  EXPECT_TRUE(Bignum(7).powmod(Bignum(3), Bignum(1)).is_zero());
+}
+
+TEST(BignumTest, PowmodZeroModulusThrows) {
+  EXPECT_THROW((void)Bignum(2).powmod(Bignum(2), Bignum()), std::domain_error);
+}
+
+TEST(BignumTest, GcdKnownAnswers) {
+  EXPECT_EQ(Bignum::gcd(Bignum(12), Bignum(18)), Bignum(6));
+  EXPECT_EQ(Bignum::gcd(Bignum(17), Bignum(31)), Bignum(1));
+  EXPECT_EQ(Bignum::gcd(Bignum(0), Bignum(5)), Bignum(5));
+  EXPECT_EQ(Bignum::gcd(Bignum(5), Bignum(0)), Bignum(5));
+}
+
+TEST(BignumTest, InvmodKnownAnswers) {
+  // 3 * 4 = 12 = 1 mod 11.
+  EXPECT_EQ(Bignum(3).invmod(Bignum(11)), Bignum(4));
+  // Non-coprime -> zero.
+  EXPECT_TRUE(Bignum(6).invmod(Bignum(9)).is_zero());
+}
+
+TEST(BignumTest, InvmodLargeRoundTrip) {
+  Drbg rng(7, "bignum-invmod");
+  const Bignum m = Bignum::from_hex(
+      "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff61");
+  for (int i = 0; i < 20; ++i) {
+    const Bignum a = rng.random_below(m);
+    if (a.is_zero() || !Bignum::gcd(a, m).is_one()) continue;
+    const Bignum inv = a.invmod(m);
+    EXPECT_EQ(a.mulmod(inv, m), Bignum(1));
+  }
+}
+
+// Property sweep: q*d + r == x and r < d for randomized inputs of many sizes.
+class BignumDivModProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BignumDivModProperty, QuotientRemainderIdentity) {
+  const std::size_t bits = GetParam();
+  Drbg rng(bits, "bignum-divmod-prop");
+  for (int i = 0; i < 50; ++i) {
+    const Bignum x = rng.random_bits(bits * 2);
+    const Bignum d = rng.random_bits(bits);
+    const auto [q, r] = x.divmod(d);
+    EXPECT_EQ(q * d + r, x);
+    EXPECT_LT(r, d);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BignumDivModProperty,
+                         ::testing::Values(16, 63, 64, 65, 127, 128, 256, 512,
+                                           1024));
+
+class BignumRingProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BignumRingProperty, AddSubInverse) {
+  Drbg rng(GetParam(), "bignum-addsub-prop");
+  for (int i = 0; i < 50; ++i) {
+    const Bignum a = rng.random_bits(GetParam());
+    const Bignum b = rng.random_bits(GetParam());
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ((a + b) - a, b);
+  }
+}
+
+TEST_P(BignumRingProperty, MulDistributesOverAdd) {
+  Drbg rng(GetParam() + 1, "bignum-dist-prop");
+  for (int i = 0; i < 25; ++i) {
+    const Bignum a = rng.random_bits(GetParam());
+    const Bignum b = rng.random_bits(GetParam());
+    const Bignum c = rng.random_bits(GetParam());
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+TEST_P(BignumRingProperty, MulCommutes) {
+  Drbg rng(GetParam() + 2, "bignum-comm-prop");
+  for (int i = 0; i < 25; ++i) {
+    const Bignum a = rng.random_bits(GetParam());
+    const Bignum b = rng.random_bits(GetParam());
+    EXPECT_EQ(a * b, b * a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BignumRingProperty,
+                         ::testing::Values(8, 64, 65, 192, 521, 1024));
+
+TEST(BignumTest, PowmodMatchesNaiveForSmallInputs) {
+  const Bignum m(10007);
+  for (std::uint64_t base = 2; base < 40; base += 7) {
+    std::uint64_t expected = 1;
+    for (int i = 0; i < 13; ++i) expected = expected * base % 10007;
+    EXPECT_EQ(Bignum(base).powmod(Bignum(13), m), Bignum(expected));
+  }
+}
+
+}  // namespace
+}  // namespace pvr::crypto

@@ -1,0 +1,81 @@
+#include "crypto/chacha20.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "crypto/encoding.h"
+
+namespace pvr::crypto {
+namespace {
+
+// RFC 8439 §2.4.2 test vector: key 00..1f, nonce 00 00 00 00 00 00 00 4a
+// 00 00 00 00 prefixed with 00 00 00 — counter starts at 1.
+TEST(ChaCha20Test, Rfc8439KeystreamVector) {
+  std::array<std::uint8_t, ChaCha20::kKeySize> key;
+  for (std::size_t i = 0; i < key.size(); ++i) key[i] = static_cast<std::uint8_t>(i);
+  std::array<std::uint8_t, ChaCha20::kNonceSize> nonce = {
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+
+  ChaCha20 stream(key, nonce, /*initial_counter=*/1);
+  std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  std::vector<std::uint8_t> data(plaintext.begin(), plaintext.end());
+  stream.xor_inplace(data);
+
+  EXPECT_EQ(to_hex(std::span(data.data(), 16)), "6e2e359a2568f98041ba0728dd0d6981");
+  EXPECT_EQ(data.size(), 114u);
+  EXPECT_EQ(to_hex(std::span(data.data() + 96, 18)),
+            "5af90bbf74a35be6b40b8eedf2785e42874d");
+}
+
+TEST(ChaCha20Test, EncryptDecryptRoundTrip) {
+  std::array<std::uint8_t, ChaCha20::kKeySize> key{};
+  key[0] = 42;
+  std::array<std::uint8_t, ChaCha20::kNonceSize> nonce{};
+
+  std::vector<std::uint8_t> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::uint8_t>(i);
+  const std::vector<std::uint8_t> original = data;
+
+  ChaCha20 enc(key, nonce);
+  enc.xor_inplace(data);
+  EXPECT_NE(data, original);
+
+  ChaCha20 dec(key, nonce);
+  dec.xor_inplace(data);
+  EXPECT_EQ(data, original);
+}
+
+TEST(ChaCha20Test, KeystreamContinuesAcrossCalls) {
+  std::array<std::uint8_t, ChaCha20::kKeySize> key{};
+  std::array<std::uint8_t, ChaCha20::kNonceSize> nonce{};
+
+  ChaCha20 one_shot(key, nonce);
+  std::vector<std::uint8_t> expected(150);
+  one_shot.keystream(expected);
+
+  ChaCha20 chunked(key, nonce);
+  std::vector<std::uint8_t> actual(150);
+  chunked.keystream(std::span(actual.data(), 7));
+  chunked.keystream(std::span(actual.data() + 7, 64));
+  chunked.keystream(std::span(actual.data() + 71, 79));
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(ChaCha20Test, DifferentNoncesDifferentStreams) {
+  std::array<std::uint8_t, ChaCha20::kKeySize> key{};
+  std::array<std::uint8_t, ChaCha20::kNonceSize> n1{};
+  std::array<std::uint8_t, ChaCha20::kNonceSize> n2{};
+  n2[0] = 1;
+
+  std::vector<std::uint8_t> s1(64), s2(64);
+  ChaCha20(key, n1).keystream(s1);
+  ChaCha20(key, n2).keystream(s2);
+  EXPECT_NE(s1, s2);
+}
+
+}  // namespace
+}  // namespace pvr::crypto

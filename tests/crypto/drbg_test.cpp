@@ -1,0 +1,107 @@
+#include "crypto/drbg.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace pvr::crypto {
+namespace {
+
+TEST(DrbgTest, DeterministicForSameSeed) {
+  Drbg a(12345);
+  Drbg b(12345);
+  EXPECT_EQ(a.bytes(100), b.bytes(100));
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(DrbgTest, DifferentSeedsDiffer) {
+  Drbg a(1);
+  Drbg b(2);
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(DrbgTest, DifferentLabelsDiffer) {
+  Drbg a(1, "alpha");
+  Drbg b(1, "beta");
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(DrbgTest, UniformRespectsBound) {
+  Drbg rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+}
+
+TEST(DrbgTest, UniformCoversRange) {
+  Drbg rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(DrbgTest, UniformUnitInHalfOpenInterval) {
+  Drbg rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform_unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(DrbgTest, CoinExtremes) {
+  Drbg rng(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.coin(0.0));
+    EXPECT_TRUE(rng.coin(1.0));
+  }
+}
+
+TEST(DrbgTest, RandomBitsExactWidth) {
+  Drbg rng(5);
+  for (std::size_t bits : {1u, 8u, 9u, 63u, 64u, 65u, 257u, 1024u}) {
+    const Bignum x = rng.random_bits(bits);
+    EXPECT_EQ(x.bit_length(), bits) << "bits=" << bits;
+  }
+}
+
+TEST(DrbgTest, RandomBelowRespectsBound) {
+  Drbg rng(6);
+  const Bignum bound = Bignum::from_hex("10000000001");
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(rng.random_below(bound), bound);
+  }
+}
+
+TEST(DrbgTest, RandomBelowZeroBoundReturnsZero) {
+  Drbg rng(8);
+  EXPECT_TRUE(rng.random_below(Bignum()).is_zero());
+}
+
+TEST(DrbgTest, ForkProducesIndependentStreams) {
+  Drbg parent1(11);
+  Drbg parent2(11);
+  Drbg child_a = parent1.fork("a");
+  Drbg child_b = parent2.fork("a");
+  // Same parent state + same label -> identical children (reproducibility).
+  EXPECT_EQ(child_a.bytes(32), child_b.bytes(32));
+
+  Drbg parent3(11);
+  Drbg child_c = parent3.fork("c");
+  Drbg parent4(11);
+  Drbg child_d = parent4.fork("d");
+  EXPECT_NE(child_c.bytes(32), child_d.bytes(32));
+}
+
+TEST(DrbgTest, RoughlyUnbiasedCoin) {
+  Drbg rng(13);
+  int heads = 0;
+  constexpr int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) heads += rng.coin(0.5) ? 1 : 0;
+  EXPECT_GT(heads, kTrials * 45 / 100);
+  EXPECT_LT(heads, kTrials * 55 / 100);
+}
+
+}  // namespace
+}  // namespace pvr::crypto

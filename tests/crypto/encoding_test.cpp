@@ -1,0 +1,100 @@
+#include "crypto/encoding.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pvr::crypto {
+namespace {
+
+TEST(HexTest, RoundTrip) {
+  const std::vector<std::uint8_t> bytes = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(to_hex(bytes), "0001abff");
+  EXPECT_EQ(from_hex("0001abff"), bytes);
+  EXPECT_EQ(from_hex("0001ABFF"), bytes);
+}
+
+TEST(HexTest, EmptyInput) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(HexTest, RejectsOddLength) {
+  EXPECT_THROW((void)from_hex("abc"), std::invalid_argument);
+}
+
+TEST(HexTest, RejectsNonHex) {
+  EXPECT_THROW((void)from_hex("zz"), std::invalid_argument);
+}
+
+TEST(ByteWriterReaderTest, AllTypesRoundTrip) {
+  ByteWriter writer;
+  writer.put_u8(0xab);
+  writer.put_u16(0x1234);
+  writer.put_u32(0xdeadbeef);
+  writer.put_u64(0x0123456789abcdefULL);
+  writer.put_bool(true);
+  writer.put_bool(false);
+  writer.put_string("hello");
+  const std::vector<std::uint8_t> blob = {9, 8, 7};
+  writer.put_bytes(blob);
+
+  ByteReader reader(writer.data());
+  EXPECT_EQ(reader.get_u8(), 0xab);
+  EXPECT_EQ(reader.get_u16(), 0x1234);
+  EXPECT_EQ(reader.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(reader.get_u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(reader.get_bool());
+  EXPECT_FALSE(reader.get_bool());
+  EXPECT_EQ(reader.get_string(), "hello");
+  EXPECT_EQ(reader.get_bytes(), blob);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(ByteWriterReaderTest, BigEndianLayout) {
+  ByteWriter writer;
+  writer.put_u32(0x01020304);
+  const std::vector<std::uint8_t> expected = {1, 2, 3, 4};
+  EXPECT_EQ(writer.data(), expected);
+}
+
+TEST(ByteReaderTest, TruncatedThrows) {
+  const std::vector<std::uint8_t> short_buf = {1, 2};
+  ByteReader reader(short_buf);
+  EXPECT_THROW((void)reader.get_u32(), std::out_of_range);
+}
+
+TEST(ByteReaderTest, TruncatedLengthPrefixedThrows) {
+  ByteWriter writer;
+  writer.put_u32(100);  // claims 100 bytes follow; none do
+  ByteReader reader(writer.data());
+  EXPECT_THROW((void)reader.get_bytes(), std::out_of_range);
+}
+
+TEST(ByteReaderTest, InvalidBoolThrows) {
+  const std::vector<std::uint8_t> buf = {2};
+  ByteReader reader(buf);
+  EXPECT_THROW((void)reader.get_bool(), std::out_of_range);
+}
+
+TEST(ByteReaderTest, RemainingTracksConsumption) {
+  const std::vector<std::uint8_t> buf = {1, 2, 3, 4};
+  ByteReader reader(buf);
+  EXPECT_EQ(reader.remaining(), 4u);
+  (void)reader.get_u16();
+  EXPECT_EQ(reader.remaining(), 2u);
+  EXPECT_FALSE(reader.exhausted());
+}
+
+TEST(ByteWriterReaderTest, EmptyStringAndBytes) {
+  ByteWriter writer;
+  writer.put_string("");
+  writer.put_bytes({});
+  ByteReader reader(writer.data());
+  EXPECT_EQ(reader.get_string(), "");
+  EXPECT_TRUE(reader.get_bytes().empty());
+  EXPECT_TRUE(reader.exhausted());
+}
+
+}  // namespace
+}  // namespace pvr::crypto

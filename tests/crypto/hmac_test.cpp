@@ -1,0 +1,67 @@
+#include "crypto/hmac.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "crypto/encoding.h"
+
+namespace pvr::crypto {
+namespace {
+
+// RFC 4231 test vectors for HMAC-SHA-256.
+TEST(HmacTest, Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  const std::string data = "Hi There";
+  const Digest mac = hmac_sha256(
+      key, std::span(reinterpret_cast<const std::uint8_t*>(data.data()),
+                     data.size()));
+  EXPECT_EQ(digest_hex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  const std::string key = "Jefe";
+  const std::string data = "what do ya want for nothing?";
+  const Digest mac = hmac_sha256(
+      std::span(reinterpret_cast<const std::uint8_t*>(key.data()), key.size()),
+      std::span(reinterpret_cast<const std::uint8_t*>(data.data()),
+                data.size()));
+  EXPECT_EQ(digest_hex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+  const std::vector<std::uint8_t> key(20, 0xaa);
+  const std::vector<std::uint8_t> data(50, 0xdd);
+  EXPECT_EQ(digest_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, Rfc4231Case6LongKey) {
+  // Key longer than the block size must be hashed first.
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  const std::string data = "Test Using Larger Than Block-Size Key - Hash Key First";
+  const Digest mac = hmac_sha256(
+      key, std::span(reinterpret_cast<const std::uint8_t*>(data.data()),
+                     data.size()));
+  EXPECT_EQ(digest_hex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, KeySensitivity) {
+  const std::vector<std::uint8_t> k1 = {1, 2, 3};
+  const std::vector<std::uint8_t> k2 = {1, 2, 4};
+  const std::vector<std::uint8_t> msg = {9, 9, 9};
+  EXPECT_NE(hmac_sha256(k1, msg), hmac_sha256(k2, msg));
+}
+
+TEST(HmacTest, MessageSensitivity) {
+  const std::vector<std::uint8_t> key = {1, 2, 3};
+  const std::vector<std::uint8_t> m1 = {9};
+  const std::vector<std::uint8_t> m2 = {8};
+  EXPECT_NE(hmac_sha256(key, m1), hmac_sha256(key, m2));
+}
+
+}  // namespace
+}  // namespace pvr::crypto

@@ -1,0 +1,145 @@
+#include "crypto/rsa.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pvr::crypto {
+namespace {
+
+// Key generation is the slow part; share one key pair across tests.
+class RsaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Drbg rng(2024, "rsa-test-keygen");
+    key_ = new RsaKeyPair(generate_rsa_keypair(1024, rng));
+  }
+  static void TearDownTestSuite() {
+    delete key_;
+    key_ = nullptr;
+  }
+  static const RsaKeyPair& key() { return *key_; }
+
+ private:
+  static RsaKeyPair* key_;
+};
+
+RsaKeyPair* RsaTest::key_ = nullptr;
+
+TEST(RsaPrimality, KnownPrimesAccepted) {
+  Drbg rng(1, "primality");
+  EXPECT_TRUE(is_probable_prime(Bignum(2), rng));
+  EXPECT_TRUE(is_probable_prime(Bignum(3), rng));
+  EXPECT_TRUE(is_probable_prime(Bignum(65537), rng));
+  EXPECT_TRUE(is_probable_prime(Bignum(1000003), rng));
+  // 2^61 - 1 is a Mersenne prime.
+  EXPECT_TRUE(is_probable_prime(Bignum((1ULL << 61) - 1), rng));
+}
+
+TEST(RsaPrimality, KnownCompositesRejected) {
+  Drbg rng(2, "primality");
+  EXPECT_FALSE(is_probable_prime(Bignum(1), rng));
+  EXPECT_FALSE(is_probable_prime(Bignum(0), rng));
+  EXPECT_FALSE(is_probable_prime(Bignum(1000005), rng));
+  // Carmichael number 561 = 3 * 11 * 17.
+  EXPECT_FALSE(is_probable_prime(Bignum(561), rng));
+  // Large semiprime: 1000003 * 1000033.
+  EXPECT_FALSE(is_probable_prime(Bignum(1000003ULL) * Bignum(1000033ULL), rng));
+}
+
+TEST(RsaPrimality, GeneratedPrimeHasExactWidth) {
+  Drbg rng(3, "primegen");
+  const Bignum p = generate_prime(128, rng);
+  EXPECT_EQ(p.bit_length(), 128u);
+  EXPECT_TRUE(p.is_odd());
+  EXPECT_TRUE(p.bit(126));  // second-highest bit forced
+}
+
+TEST_F(RsaTest, KeyPairInvariants) {
+  const RsaKeyPair& kp = key();
+  EXPECT_EQ(kp.pub.n.bit_length(), 1024u);
+  EXPECT_EQ(kp.pub.e, Bignum(65537));
+  EXPECT_EQ(kp.priv.p * kp.priv.q, kp.pub.n);
+  // e*d = 1 mod phi
+  const Bignum phi = (kp.priv.p - Bignum(1)) * (kp.priv.q - Bignum(1));
+  EXPECT_EQ(kp.priv.e.mulmod(kp.priv.d, phi), Bignum(1));
+}
+
+TEST_F(RsaTest, TrapdoorRoundTrip) {
+  Drbg rng(4, "trapdoor");
+  for (int i = 0; i < 5; ++i) {
+    const Bignum m = rng.random_below(key().pub.n);
+    const Bignum c = rsa_public_apply(key().pub, m);
+    EXPECT_EQ(rsa_private_apply(key().priv, c), m);
+  }
+}
+
+TEST_F(RsaTest, CrtMatchesPlainExponentiation) {
+  Drbg rng(5, "crt");
+  const Bignum m = rng.random_below(key().pub.n);
+  EXPECT_EQ(rsa_private_apply(key().priv, m),
+            m.powmod(key().priv.d, key().priv.n));
+}
+
+TEST_F(RsaTest, SignVerifyRoundTrip) {
+  const std::vector<std::uint8_t> message = {'p', 'v', 'r'};
+  const auto signature = rsa_sign(key().priv, message);
+  EXPECT_EQ(signature.size(), key().pub.modulus_bytes());
+  EXPECT_TRUE(rsa_verify(key().pub, message, signature));
+}
+
+TEST_F(RsaTest, VerifyRejectsTamperedMessage) {
+  const std::vector<std::uint8_t> message = {1, 2, 3, 4};
+  const auto signature = rsa_sign(key().priv, message);
+  std::vector<std::uint8_t> tampered = message;
+  tampered[0] ^= 1;
+  EXPECT_FALSE(rsa_verify(key().pub, tampered, signature));
+}
+
+TEST_F(RsaTest, VerifyRejectsTamperedSignature) {
+  const std::vector<std::uint8_t> message = {1, 2, 3, 4};
+  auto signature = rsa_sign(key().priv, message);
+  signature[10] ^= 1;
+  EXPECT_FALSE(rsa_verify(key().pub, message, signature));
+}
+
+TEST_F(RsaTest, VerifyRejectsWrongLengthSignature) {
+  const std::vector<std::uint8_t> message = {1};
+  auto signature = rsa_sign(key().priv, message);
+  signature.pop_back();
+  EXPECT_FALSE(rsa_verify(key().pub, message, signature));
+}
+
+TEST_F(RsaTest, VerifyRejectsSignatureGeModulus) {
+  const std::vector<std::uint8_t> message = {1};
+  const auto signature = key().pub.n.to_bytes_be(key().pub.modulus_bytes());
+  EXPECT_FALSE(rsa_verify(key().pub, message, signature));
+}
+
+TEST_F(RsaTest, EmptyMessageSigns) {
+  const std::vector<std::uint8_t> empty;
+  const auto signature = rsa_sign(key().priv, empty);
+  EXPECT_TRUE(rsa_verify(key().pub, empty, signature));
+}
+
+TEST_F(RsaTest, PublicKeyEncodeDecodeRoundTrip) {
+  const auto encoded = key().pub.encode();
+  const RsaPublicKey decoded = RsaPublicKey::decode(encoded);
+  EXPECT_EQ(decoded, key().pub);
+}
+
+TEST_F(RsaTest, SignaturesAreDeterministic) {
+  const std::vector<std::uint8_t> message = {'x'};
+  EXPECT_EQ(rsa_sign(key().priv, message), rsa_sign(key().priv, message));
+}
+
+TEST_F(RsaTest, CrossKeyVerificationFails) {
+  Drbg rng(6, "rsa-second-key");
+  const RsaKeyPair other = generate_rsa_keypair(512, rng);
+  const std::vector<std::uint8_t> message = {'y'};
+  const auto signature = rsa_sign(key().priv, message);
+  EXPECT_FALSE(rsa_verify(other.pub, message, signature));
+}
+
+}  // namespace
+}  // namespace pvr::crypto

@@ -1,0 +1,67 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pvr::crypto {
+namespace {
+
+// FIPS 180-4 / NIST CAVP known-answer vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(digest_hex(sha256("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(digest_hex(sha256("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(digest_hex(sha256(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 hasher;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.update(chunk);
+  EXPECT_EQ(digest_hex(hasher.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string message =
+      "The quick brown fox jumps over the lazy dog and keeps running";
+  for (std::size_t split = 0; split <= message.size(); ++split) {
+    Sha256 hasher;
+    hasher.update(std::string_view(message).substr(0, split));
+    hasher.update(std::string_view(message).substr(split));
+    EXPECT_EQ(hasher.finalize(), sha256(message)) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, BoundaryLengthsAroundBlockSize) {
+  // Lengths 55, 56, 57, 63, 64, 65 exercise the padding edge cases.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string message(len, 'x');
+    Sha256 incremental;
+    for (char c : message) incremental.update(std::string_view(&c, 1));
+    EXPECT_EQ(incremental.finalize(), sha256(message)) << "len=" << len;
+  }
+}
+
+TEST(Sha256Test, DistinctInputsDistinctDigests) {
+  EXPECT_NE(sha256("a"), sha256("b"));
+  EXPECT_NE(sha256(""), sha256(std::string(1, '\0')));
+}
+
+TEST(Sha256Test, DigestHexLength) {
+  EXPECT_EQ(digest_hex(sha256("x")).size(), 64u);
+  EXPECT_EQ(digest_bytes(sha256("x")).size(), kSha256DigestSize);
+}
+
+}  // namespace
+}  // namespace pvr::crypto

@@ -1,0 +1,151 @@
+#include "crypto/sparse_merkle.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "crypto/drbg.h"
+
+namespace pvr::crypto {
+namespace {
+
+[[nodiscard]] SparseMerkleTree make_tree(std::uint64_t seed = 1) {
+  Drbg rng(seed, "smt-test");
+  return SparseMerkleTree(rng.bytes(32));
+}
+
+TEST(SparseMerkleTest, InsertContainsErase) {
+  SparseMerkleTree tree = make_tree();
+  const Digest key = SparseMerkleTree::key_for_label("var:r1");
+  EXPECT_FALSE(tree.contains(key));
+  tree.insert(key, sha256("value"));
+  EXPECT_TRUE(tree.contains(key));
+  EXPECT_EQ(tree.size(), 1u);
+  tree.erase(key);
+  EXPECT_FALSE(tree.contains(key));
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(SparseMerkleTest, ProveAbsentThrows) {
+  const SparseMerkleTree tree = make_tree();
+  EXPECT_THROW((void)tree.prove(SparseMerkleTree::key_for_label("nope")),
+               std::out_of_range);
+}
+
+TEST(SparseMerkleTest, SingleEntryProofVerifies) {
+  SparseMerkleTree tree = make_tree();
+  const Digest key = SparseMerkleTree::key_for_label("op:min");
+  const Digest value = sha256("minimum-operator");
+  tree.insert(key, value);
+  const SparseDisclosureProof proof = tree.prove(key);
+  EXPECT_EQ(proof.siblings.size(), kSparseTreeDepth);
+  EXPECT_TRUE(SparseMerkleTree::verify(tree.root(), value, proof));
+}
+
+TEST(SparseMerkleTest, WrongValueFailsVerification) {
+  SparseMerkleTree tree = make_tree();
+  const Digest key = SparseMerkleTree::key_for_label("op:min");
+  tree.insert(key, sha256("real"));
+  const SparseDisclosureProof proof = tree.prove(key);
+  EXPECT_FALSE(SparseMerkleTree::verify(tree.root(), sha256("fake"), proof));
+}
+
+TEST(SparseMerkleTest, StaleProofFailsAfterUpdate) {
+  SparseMerkleTree tree = make_tree();
+  const Digest key = SparseMerkleTree::key_for_label("var:ro");
+  tree.insert(key, sha256("v1"));
+  const Digest old_root = tree.root();
+  const SparseDisclosureProof old_proof = tree.prove(key);
+  ASSERT_TRUE(SparseMerkleTree::verify(old_root, sha256("v1"), old_proof));
+
+  tree.insert(key, sha256("v2"));
+  const Digest new_root = tree.root();
+  EXPECT_NE(old_root, new_root);
+  EXPECT_FALSE(SparseMerkleTree::verify(new_root, sha256("v1"), old_proof));
+  EXPECT_TRUE(SparseMerkleTree::verify(new_root, sha256("v2"), tree.prove(key)));
+}
+
+TEST(SparseMerkleTest, ManyEntriesAllProvable) {
+  SparseMerkleTree tree = make_tree();
+  constexpr int kEntries = 40;
+  std::vector<Digest> keys;
+  std::vector<Digest> values;
+  for (int i = 0; i < kEntries; ++i) {
+    keys.push_back(SparseMerkleTree::key_for_label("vertex:" + std::to_string(i)));
+    values.push_back(sha256("payload:" + std::to_string(i)));
+    tree.insert(keys.back(), values.back());
+  }
+  const Digest root = tree.root();
+  for (int i = 0; i < kEntries; ++i) {
+    const SparseDisclosureProof proof = tree.prove(keys[i]);
+    EXPECT_TRUE(SparseMerkleTree::verify(root, values[i], proof)) << "entry " << i;
+    // Cross-check: proof for key i must not validate value j != i.
+    EXPECT_FALSE(SparseMerkleTree::verify(root, values[(i + 1) % kEntries], proof));
+  }
+}
+
+TEST(SparseMerkleTest, RootDependsOnBlindingKey) {
+  SparseMerkleTree a = make_tree(1);
+  SparseMerkleTree b = make_tree(2);
+  const Digest key = SparseMerkleTree::key_for_label("x");
+  a.insert(key, sha256("v"));
+  b.insert(key, sha256("v"));
+  EXPECT_NE(a.root(), b.root());
+}
+
+// Privacy core: the proof for vertex x must be identical in *shape* whether
+// or not other vertices exist — here we check that proofs always have full
+// depth and that a verifier cannot distinguish an empty sibling from a
+// populated one by value structure (all are 32-byte digests).
+TEST(SparseMerkleTest, ProofShapeIndependentOfOccupancy) {
+  SparseMerkleTree lone = make_tree(3);
+  const Digest key = SparseMerkleTree::key_for_label("target");
+  lone.insert(key, sha256("v"));
+  const auto lone_proof = lone.prove(key);
+
+  SparseMerkleTree crowded = make_tree(3);
+  crowded.insert(key, sha256("v"));
+  for (int i = 0; i < 20; ++i) {
+    crowded.insert(SparseMerkleTree::key_for_label("other:" + std::to_string(i)),
+                   sha256("o"));
+  }
+  const auto crowded_proof = crowded.prove(key);
+
+  EXPECT_EQ(lone_proof.siblings.size(), crowded_proof.siblings.size());
+  EXPECT_EQ(lone_proof.byte_size(), crowded_proof.byte_size());
+}
+
+TEST(SparseMerkleTest, TruncatedProofRejected) {
+  SparseMerkleTree tree = make_tree();
+  const Digest key = SparseMerkleTree::key_for_label("k");
+  tree.insert(key, sha256("v"));
+  SparseDisclosureProof proof = tree.prove(key);
+  proof.siblings.pop_back();
+  EXPECT_FALSE(SparseMerkleTree::verify(tree.root(), sha256("v"), proof));
+}
+
+TEST(SparseMerkleTest, SwappedKeyRejected) {
+  SparseMerkleTree tree = make_tree();
+  const Digest k1 = SparseMerkleTree::key_for_label("k1");
+  const Digest k2 = SparseMerkleTree::key_for_label("k2");
+  tree.insert(k1, sha256("v1"));
+  tree.insert(k2, sha256("v2"));
+  SparseDisclosureProof proof = tree.prove(k1);
+  proof.key = k2;  // claim the same siblings prove a different vertex
+  EXPECT_FALSE(SparseMerkleTree::verify(tree.root(), sha256("v1"), proof));
+}
+
+TEST(SparseMerkleTest, DeterministicRootAcrossInsertionOrder) {
+  SparseMerkleTree forward = make_tree(9);
+  SparseMerkleTree backward = make_tree(9);
+  for (int i = 0; i < 10; ++i) {
+    forward.insert(SparseMerkleTree::key_for_label(std::to_string(i)), sha256("v"));
+  }
+  for (int i = 9; i >= 0; --i) {
+    backward.insert(SparseMerkleTree::key_for_label(std::to_string(i)), sha256("v"));
+  }
+  EXPECT_EQ(forward.root(), backward.root());
+}
+
+}  // namespace
+}  // namespace pvr::crypto

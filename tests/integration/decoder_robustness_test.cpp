@@ -1,0 +1,185 @@
+// Adversarial-input robustness: every wire decoder in the system must
+// either parse or throw std::out_of_range — never crash, hang, or silently
+// misparse — when fed Byzantine bytes. This backs the threat model (§3):
+// "an unknown subset of the networks ... can behave arbitrarily".
+#include <gtest/gtest.h>
+
+#include "baseline/sbgp.h"
+#include "bgp/messages.h"
+#include "core/graph_commitment.h"
+#include "core/min_protocol.h"
+#include "crypto/drbg.h"
+#include "net/gossip.h"
+
+namespace pvr {
+namespace {
+
+// Applies `decode` to random buffers and truncated/bit-flipped versions of
+// `valid`; the only acceptable outcomes are success or std::out_of_range.
+template <typename DecodeFn>
+void expect_robust(DecodeFn decode, const std::vector<std::uint8_t>& valid,
+                   crypto::Drbg& rng) {
+  // 1. Pure random buffers of assorted sizes.
+  for (const std::size_t size : {0u, 1u, 3u, 16u, 64u, 300u}) {
+    const auto junk = rng.bytes(size);
+    try {
+      decode(junk);
+    } catch (const std::out_of_range&) {
+    }
+  }
+  // 2. Every truncation of a valid message.
+  for (std::size_t cut = 0; cut < valid.size(); cut += 1 + valid.size() / 37) {
+    std::vector<std::uint8_t> truncated(valid.begin(),
+                                        valid.begin() + static_cast<std::ptrdiff_t>(cut));
+    try {
+      decode(truncated);
+    } catch (const std::out_of_range&) {
+    }
+  }
+  // 3. Single-byte corruptions of a valid message.
+  for (int trial = 0; trial < 64; ++trial) {
+    std::vector<std::uint8_t> corrupted = valid;
+    if (corrupted.empty()) break;
+    corrupted[rng.uniform(corrupted.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.uniform(255));
+    try {
+      decode(corrupted);
+    } catch (const std::out_of_range&) {
+    }
+  }
+}
+
+[[nodiscard]] bgp::Route sample_route() {
+  return bgp::Route{.prefix = bgp::Ipv4Prefix::parse("203.0.113.0/24"),
+                    .path = bgp::AsPath{2, 1},
+                    .next_hop = 2,
+                    .local_pref = 100,
+                    .med = 5,
+                    .origin = bgp::Origin::kEgp,
+                    .communities = {bgp::make_community(65000, 1)}};
+}
+
+[[nodiscard]] core::ProtocolId sample_id() {
+  return {.prover = 7,
+          .prefix = bgp::Ipv4Prefix::parse("203.0.113.0/24"),
+          .epoch = 3};
+}
+
+TEST(DecoderRobustness, BgpUpdate) {
+  crypto::Drbg rng(1, "fuzz-bgp");
+  const bgp::BgpUpdate update{.withdraw = false,
+                              .prefix = sample_route().prefix,
+                              .route = sample_route()};
+  expect_robust([](const auto& b) { (void)bgp::BgpUpdate::decode(b); },
+                update.encode(), rng);
+}
+
+TEST(DecoderRobustness, SignedMessage) {
+  crypto::Drbg rng(2, "fuzz-signed");
+  const core::SignedMessage message{.signer = 9,
+                                    .payload = {1, 2, 3},
+                                    .signature = rng.bytes(64)};
+  expect_robust([](const auto& b) { (void)core::SignedMessage::decode(b); },
+                message.encode(), rng);
+}
+
+TEST(DecoderRobustness, InputAnnouncement) {
+  crypto::Drbg rng(3, "fuzz-input");
+  const core::InputAnnouncement announcement{
+      .id = sample_id(), .provider = 11, .route = sample_route()};
+  expect_robust([](const auto& b) { (void)core::InputAnnouncement::decode(b); },
+                announcement.encode(), rng);
+}
+
+TEST(DecoderRobustness, CommitmentBundle) {
+  crypto::Drbg rng(4, "fuzz-bundle");
+  core::CommitmentBundle bundle{
+      .id = sample_id(), .op = core::OperatorKind::kMinimum, .max_len = 4,
+      .bits = {}};
+  for (int i = 0; i < 4; ++i) {
+    bundle.bits.push_back(crypto::commit_bit(i % 2 == 0, rng).first);
+  }
+  expect_robust([](const auto& b) { (void)core::CommitmentBundle::decode(b); },
+                bundle.encode(), rng);
+}
+
+TEST(DecoderRobustness, Reveals) {
+  crypto::Drbg rng(5, "fuzz-reveals");
+  const auto [commitment, opening] = crypto::commit_bit(true, rng);
+  const core::RevealToProvider to_provider{
+      .id = sample_id(), .provider = 11, .bit_index = 1, .opening = opening};
+  expect_robust([](const auto& b) { (void)core::RevealToProvider::decode(b); },
+                to_provider.encode(), rng);
+
+  const core::RevealToRecipient to_recipient{.id = sample_id(),
+                                             .openings = {opening, opening}};
+  expect_robust([](const auto& b) { (void)core::RevealToRecipient::decode(b); },
+                to_recipient.encode(), rng);
+}
+
+TEST(DecoderRobustness, ExportStatement) {
+  crypto::Drbg rng(6, "fuzz-export");
+  core::ExportStatement statement{.id = sample_id(),
+                                  .has_route = true,
+                                  .route = sample_route(),
+                                  .provenance = core::SignedMessage{
+                                      .signer = 2,
+                                      .payload = {9, 9},
+                                      .signature = rng.bytes(64)}};
+  expect_robust([](const auto& b) { (void)core::ExportStatement::decode(b); },
+                statement.encode(), rng);
+}
+
+TEST(DecoderRobustness, GraphRootAnnouncement) {
+  crypto::Drbg rng(7, "fuzz-root");
+  const core::GraphRootAnnouncement announcement{
+      .id = sample_id(), .root = crypto::sha256("root")};
+  expect_robust(
+      [](const auto& b) { (void)core::GraphRootAnnouncement::decode(b); },
+      announcement.encode(), rng);
+}
+
+TEST(DecoderRobustness, SbgpAttestation) {
+  crypto::Drbg rng(8, "fuzz-sbgp");
+  const baseline::Attestation attestation{
+      .prefix = sample_route().prefix, .signer = 1, .to = 2, .suffix = {1}};
+  expect_robust([](const auto& b) { (void)baseline::Attestation::decode(b); },
+                attestation.encode(), rng);
+}
+
+TEST(DecoderRobustness, GossipAnnouncement) {
+  crypto::Drbg rng(9, "fuzz-gossip");
+  expect_robust([](const auto& b) { (void)net::decode_gossip(b); },
+                net::encode_gossip("topic", {1, 2, 3}), rng);
+}
+
+// The verifier entry points must likewise survive adversarial envelopes:
+// random bytes in place of every protocol message yield (at most) findings,
+// never crashes.
+TEST(DecoderRobustness, VerifiersSurviveGarbageEnvelopes) {
+  crypto::Drbg key_rng(10, "fuzz-verifier-keys");
+  const core::AsKeyPairs keys = core::generate_keys({1, 2, 11}, key_rng, 512);
+  crypto::Drbg rng(11, "fuzz-verifier");
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const core::SignedMessage garbage{
+        .signer = 1,
+        .payload = rng.bytes(rng.uniform(200)),
+        .signature = rng.bytes(64),
+    };
+    const auto provider_findings = core::verify_as_provider(
+        keys.directory, 11,
+        core::InputAnnouncement{.id = sample_id(), .provider = 11,
+                                .route = sample_route()},
+        garbage, &garbage);
+    EXPECT_FALSE(provider_findings.empty());  // at least bad-signature
+    const auto recipient_findings = core::verify_as_recipient(
+        keys.directory, 2, garbage, &garbage, &garbage);
+    EXPECT_FALSE(recipient_findings.empty());
+    EXPECT_FALSE(core::check_equivocation(keys.directory, 11, garbage, garbage)
+                     .has_value());
+  }
+}
+
+}  // namespace
+}  // namespace pvr

@@ -1,0 +1,64 @@
+#include "net/gossip.h"
+
+#include <gtest/gtest.h>
+
+namespace pvr::net {
+namespace {
+
+TEST(GossipStateTest, ObserveNewReturnsTrue) {
+  GossipState state;
+  EXPECT_TRUE(state.observe("t", {1}));
+  EXPECT_FALSE(state.observe("t", {1}));  // duplicate
+  EXPECT_TRUE(state.observe("t", {2}));   // distinct value
+}
+
+TEST(GossipStateTest, NoConflictForSingleValue) {
+  GossipState state;
+  state.observe("root/epoch1", {1, 2, 3});
+  EXPECT_FALSE(state.conflict_for("root/epoch1").has_value());
+  EXPECT_FALSE(state.conflict_for("unknown").has_value());
+}
+
+TEST(GossipStateTest, ConflictDetectedOnEquivocation) {
+  GossipState state;
+  state.observe("root/epoch1", {1});
+  state.observe("root/epoch1", {2});
+  const auto conflict = state.conflict_for("root/epoch1");
+  ASSERT_TRUE(conflict.has_value());
+  EXPECT_EQ(conflict->values.size(), 2u);
+}
+
+TEST(GossipStateTest, ConflictsIsolatedPerTopic) {
+  GossipState state;
+  state.observe("a", {1});
+  state.observe("a", {2});
+  state.observe("b", {1});
+  EXPECT_TRUE(state.conflict_for("a").has_value());
+  EXPECT_FALSE(state.conflict_for("b").has_value());
+  EXPECT_EQ(state.all_conflicts().size(), 1u);
+}
+
+TEST(GossipStateTest, ValuesAccessor) {
+  GossipState state;
+  state.observe("t", {5});
+  state.observe("t", {6});
+  EXPECT_EQ(state.values("t").size(), 2u);
+  EXPECT_TRUE(state.values("missing").empty());
+}
+
+TEST(GossipWireTest, EncodeDecodeRoundTrip) {
+  const std::vector<std::uint8_t> value = {9, 8, 7, 6};
+  const auto payload = encode_gossip("commit/AS7/epoch3", value);
+  const GossipAnnouncement decoded = decode_gossip(payload);
+  EXPECT_EQ(decoded.topic, "commit/AS7/epoch3");
+  EXPECT_EQ(decoded.value, value);
+}
+
+TEST(GossipWireTest, DecodeTruncatedThrows) {
+  auto payload = encode_gossip("topic", {1, 2, 3});
+  payload.resize(payload.size() - 2);
+  EXPECT_THROW((void)decode_gossip(payload), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace pvr::net

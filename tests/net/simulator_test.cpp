@@ -1,0 +1,187 @@
+#include "net/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace pvr::net {
+namespace {
+
+// Records deliveries with timestamps; optionally echoes back.
+class Recorder : public Node {
+ public:
+  struct Delivery {
+    SimTime at;
+    Message message;
+  };
+
+  explicit Recorder(bool echo = false) : echo_(echo) {}
+
+  void on_message(Simulator& sim, const Message& message) override {
+    deliveries_.push_back({sim.now(), message});
+    if (echo_) {
+      sim.send({.from = message.to,
+                .to = message.from,
+                .channel = "echo",
+                .payload = message.payload});
+    }
+  }
+
+  [[nodiscard]] const std::vector<Delivery>& deliveries() const {
+    return deliveries_;
+  }
+
+ private:
+  bool echo_;
+  std::vector<Delivery> deliveries_;
+};
+
+TEST(SimulatorTest, DeliversWithLatency) {
+  Simulator sim(1);
+  sim.add_node(1, std::make_unique<Recorder>());
+  sim.add_node(2, std::make_unique<Recorder>());
+  sim.connect(1, 2, {.latency = 5000, .drop_probability = 0.0});
+
+  sim.schedule(0, [&] {
+    sim.send({.from = 1, .to = 2, .channel = "test", .payload = {42}});
+  });
+  sim.run();
+
+  const auto& recorder = dynamic_cast<Recorder&>(sim.node(2));
+  ASSERT_EQ(recorder.deliveries().size(), 1u);
+  EXPECT_EQ(recorder.deliveries()[0].at, 5000u);
+  EXPECT_EQ(recorder.deliveries()[0].message.payload, std::vector<std::uint8_t>{42});
+  EXPECT_EQ(sim.stats().messages_delivered, 1u);
+}
+
+TEST(SimulatorTest, EchoRoundTrip) {
+  Simulator sim(1);
+  sim.add_node(1, std::make_unique<Recorder>());
+  sim.add_node(2, std::make_unique<Recorder>(/*echo=*/true));
+  sim.connect(1, 2, {.latency = 1000});
+
+  sim.schedule(0, [&] {
+    sim.send({.from = 1, .to = 2, .channel = "ping", .payload = {7}});
+  });
+  sim.run();
+
+  const auto& a = dynamic_cast<Recorder&>(sim.node(1));
+  ASSERT_EQ(a.deliveries().size(), 1u);
+  EXPECT_EQ(a.deliveries()[0].at, 2000u);  // two hops
+}
+
+TEST(SimulatorTest, SendWithoutLinkThrows) {
+  Simulator sim(1);
+  sim.add_node(1, std::make_unique<Recorder>());
+  sim.add_node(2, std::make_unique<Recorder>());
+  EXPECT_THROW(sim.send({.from = 1, .to = 2, .channel = "x", .payload = {}}),
+               std::logic_error);
+}
+
+TEST(SimulatorTest, DuplicateNodeThrows) {
+  Simulator sim(1);
+  sim.add_node(1, std::make_unique<Recorder>());
+  EXPECT_THROW(sim.add_node(1, std::make_unique<Recorder>()),
+               std::invalid_argument);
+}
+
+TEST(SimulatorTest, SelfLinkThrows) {
+  Simulator sim(1);
+  sim.add_node(1, std::make_unique<Recorder>());
+  EXPECT_THROW(sim.connect(1, 1), std::invalid_argument);
+}
+
+TEST(SimulatorTest, SameTimeEventsFifoOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.schedule(100, [&] { order.push_back(1); });
+  sim.schedule(100, [&] { order.push_back(2); });
+  sim.schedule(50, [&] { order.push_back(0); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim(1);
+  std::vector<int> fired;
+  sim.schedule(10, [&] { fired.push_back(1); });
+  sim.schedule(20, [&] { fired.push_back(2); });
+  sim.run_until(15);
+  EXPECT_EQ(fired, std::vector<int>{1});
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulatorTest, SchedulePastThrows) {
+  Simulator sim(1);
+  sim.schedule(100, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule(50, [] {}), std::invalid_argument);
+}
+
+TEST(SimulatorTest, LossyLinkDropsRoughlyAtRate) {
+  Simulator sim(42);
+  sim.add_node(1, std::make_unique<Recorder>());
+  sim.add_node(2, std::make_unique<Recorder>());
+  sim.connect(1, 2, {.latency = 1, .drop_probability = 0.5});
+
+  constexpr int kMessages = 1000;
+  sim.schedule(0, [&] {
+    for (int i = 0; i < kMessages; ++i) {
+      sim.send({.from = 1, .to = 2, .channel = "lossy", .payload = {}});
+    }
+  });
+  sim.run();
+
+  const auto dropped = sim.stats().messages_dropped;
+  EXPECT_GT(dropped, kMessages * 40 / 100);
+  EXPECT_LT(dropped, kMessages * 60 / 100);
+  EXPECT_EQ(sim.stats().messages_delivered + dropped,
+            static_cast<std::uint64_t>(kMessages));
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulator sim(7);
+    sim.add_node(1, std::make_unique<Recorder>());
+    sim.add_node(2, std::make_unique<Recorder>());
+    sim.connect(1, 2, {.latency = 3, .drop_probability = 0.3});
+    sim.schedule(0, [&] {
+      for (int i = 0; i < 100; ++i) {
+        sim.send({.from = 1, .to = 2, .channel = "d",
+                  .payload = {static_cast<std::uint8_t>(i)}});
+      }
+    });
+    sim.run();
+    return dynamic_cast<Recorder&>(sim.node(2)).deliveries().size();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SimulatorTest, NeighborsOf) {
+  Simulator sim(1);
+  for (NodeId id = 1; id <= 4; ++id) sim.add_node(id, std::make_unique<Recorder>());
+  sim.connect(1, 2);
+  sim.connect(1, 3);
+  sim.connect(2, 3);
+  EXPECT_EQ(sim.neighbors_of(1), (std::vector<NodeId>{2, 3}));
+  EXPECT_TRUE(sim.neighbors_of(4).empty());
+  sim.disconnect(1, 2);
+  EXPECT_EQ(sim.neighbors_of(1), std::vector<NodeId>{3});
+}
+
+TEST(SimulatorTest, StatsCountBytes) {
+  Simulator sim(1);
+  sim.add_node(1, std::make_unique<Recorder>());
+  sim.add_node(2, std::make_unique<Recorder>());
+  sim.connect(1, 2);
+  Message msg{.from = 1, .to = 2, .channel = "abc", .payload = {1, 2, 3, 4}};
+  const std::size_t expected = msg.wire_size();
+  sim.schedule(0, [&, msg] { sim.send(msg); });
+  sim.run();
+  EXPECT_EQ(sim.stats().bytes_sent, expected);
+}
+
+}  // namespace
+}  // namespace pvr::net

@@ -1,0 +1,73 @@
+#include "rfg/access_control.h"
+
+#include <gtest/gtest.h>
+
+namespace pvr::rfg {
+namespace {
+
+TEST(AccessPolicyTest, DefaultDeny) {
+  const AccessPolicy policy;
+  EXPECT_FALSE(policy.allowed(1, "var:x"));
+  EXPECT_FALSE(policy.allowed(1, "var:x", Component::kPredecessors));
+}
+
+TEST(AccessPolicyTest, GrantPerComponent) {
+  AccessPolicy policy;
+  policy.grant(1, "op:min", Component::kPayload);
+  EXPECT_TRUE(policy.allowed(1, "op:min", Component::kPayload));
+  EXPECT_FALSE(policy.allowed(1, "op:min", Component::kPredecessors));
+  EXPECT_FALSE(policy.allowed(2, "op:min", Component::kPayload));
+  // Coarse α == payload visibility.
+  EXPECT_TRUE(policy.allowed(1, "op:min"));
+}
+
+TEST(AccessPolicyTest, GrantAllAndRevoke) {
+  AccessPolicy policy;
+  policy.grant_all(5, "var:v");
+  EXPECT_TRUE(policy.allowed(5, "var:v", Component::kPredecessors));
+  EXPECT_TRUE(policy.allowed(5, "var:v", Component::kSuccessors));
+  EXPECT_TRUE(policy.allowed(5, "var:v", Component::kPayload));
+
+  policy.revoke(5, "var:v", Component::kPayload);
+  EXPECT_FALSE(policy.allowed(5, "var:v", Component::kPayload));
+  EXPECT_TRUE(policy.allowed(5, "var:v", Component::kSuccessors));
+}
+
+TEST(AccessPolicyTest, RevokeUnknownIsNoop) {
+  AccessPolicy policy;
+  policy.revoke(1, "nothing", Component::kPayload);
+  EXPECT_FALSE(policy.allowed(1, "nothing"));
+}
+
+TEST(AccessPolicyTest, VisibleVertices) {
+  AccessPolicy policy;
+  policy.grant_all(1, "a");
+  policy.grant(1, "b", Component::kSuccessors);
+  policy.grant_all(2, "c");
+  const auto visible = policy.visible_vertices(1);
+  EXPECT_EQ(visible, (std::set<VertexId>{"a", "b"}));
+}
+
+TEST(AccessPolicyTest, Figure1PolicyMatchesPaper) {
+  const std::vector<bgp::AsNumber> providers = {11, 12, 13};
+  const bgp::AsNumber b = 99;
+  const RouteFlowGraph graph = make_figure1_graph(providers, b);
+  const AccessPolicy policy =
+      AccessPolicy::figure1_policy(graph, providers, b, "op:min");
+
+  // α(Ni, ri) = TRUE, α(Ni, rj) = FALSE for j != i.
+  EXPECT_TRUE(policy.allowed(11, input_variable_id(11)));
+  EXPECT_FALSE(policy.allowed(11, input_variable_id(12)));
+  // α(B, r0) = TRUE; α(B, ri) = FALSE.
+  EXPECT_TRUE(policy.allowed(99, kOutputVariableId));
+  EXPECT_FALSE(policy.allowed(99, input_variable_id(11)));
+  // α(n, min) = TRUE for all participants.
+  for (const bgp::AsNumber n : {11u, 12u, 13u, 99u}) {
+    EXPECT_TRUE(policy.allowed(n, "op:min")) << n;
+  }
+  // Ni must not see the chosen route.
+  EXPECT_FALSE(policy.allowed(11, kOutputVariableId));
+}
+
+}  // namespace
+}  // namespace pvr::rfg

@@ -1,0 +1,218 @@
+#include "rfg/compiler.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.h"
+
+namespace pvr::rfg {
+namespace {
+
+const bgp::Community kBlackhole = bgp::make_community(65000, 666);
+
+[[nodiscard]] bgp::Route make_route(std::size_t length, bgp::AsNumber next_hop,
+                                    bool tagged = false, bool via_evil = false) {
+  std::vector<bgp::AsNumber> hops;
+  hops.push_back(next_hop);
+  for (std::size_t i = 1; i < length; ++i) {
+    hops.push_back(via_evil && i == 1 ? 666u
+                                      : static_cast<bgp::AsNumber>(8000 + i));
+  }
+  bgp::Route route{.prefix = bgp::Ipv4Prefix::parse("203.0.113.0/24"),
+                   .path = bgp::AsPath(std::move(hops)),
+                   .next_hop = next_hop,
+                   .local_pref = 100,
+                   .med = 0,
+                   .origin = bgp::Origin::kIgp,
+                   .communities = {}};
+  if (tagged) route.communities.push_back(kBlackhole);
+  return route;
+}
+
+[[nodiscard]] CompilerInput typical_input() {
+  return CompilerInput{
+      .neighbors = {11, 12, 13},
+      .import_policy = bgp::RoutePolicy({
+          bgp::PolicyRule{.name = "drop-blackhole",
+                          .match = {.community = kBlackhole},
+                          .action = {.verdict = bgp::PolicyVerdict::kReject}},
+          bgp::PolicyRule{.name = "avoid-as666",
+                          .match = {.as_in_path = 666},
+                          .action = {.verdict = bgp::PolicyVerdict::kReject}},
+          bgp::PolicyRule{.name = "prefer-11",
+                          .match = {.neighbor = 11},
+                          .action = {.set_local_pref = 250}},
+      }),
+      .selection = SelectionKind::kMinimum,
+      .exported_to = 99,
+  };
+}
+
+TEST(CompilerTest, CompilesTypicalPolicy) {
+  const RouteFlowGraph graph = compile_policy(typical_input());
+  graph.validate();
+  EXPECT_EQ(graph.input_variables().size(), 3u);
+  EXPECT_EQ(graph.output_variables(), std::vector<VertexId>{kOutputVariableId});
+  // Neighbor 11 gets three stages (two filters + set-lp), 12/13 get two.
+  EXPECT_TRUE(graph.has_operator("op:s11.2"));
+  EXPECT_FALSE(graph.has_operator("op:s12.2"));
+  EXPECT_EQ(graph.producer_of(kOutputVariableId), "op:select");
+}
+
+// The crown property: the compiled graph computes exactly the reference
+// semantics (policy application + selection) on randomized inputs.
+class CompilerEquivalence : public ::testing::TestWithParam<SelectionKind> {};
+
+TEST_P(CompilerEquivalence, CompiledGraphMatchesReferenceSemantics) {
+  CompilerInput input = typical_input();
+  input.selection = GetParam();
+  const RouteFlowGraph graph = compile_policy(input);
+
+  crypto::Drbg rng(17, "compiler-equivalence");
+  for (int trial = 0; trial < 200; ++trial) {
+    std::map<bgp::AsNumber, Value> routes;
+    std::map<VertexId, Value> graph_inputs;
+    for (const bgp::AsNumber neighbor : input.neighbors) {
+      Value value;
+      if (rng.coin(0.8)) {
+        value = make_route(1 + rng.uniform(6), neighbor,
+                           /*tagged=*/rng.coin(0.3), /*via_evil=*/rng.coin(0.3));
+      }
+      routes[neighbor] = value;
+      graph_inputs[input_variable_id(neighbor)] = value;
+    }
+    const Value expected = reference_semantics(input, routes);
+    const Value actual = graph.evaluate(graph_inputs).at(kOutputVariableId);
+    EXPECT_EQ(actual, expected) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Selections, CompilerEquivalence,
+                         ::testing::Values(SelectionKind::kMinimum,
+                                           SelectionKind::kBgpBest,
+                                           SelectionKind::kExistential));
+
+TEST(CompilerTest, SetLocalPrefAffectsBgpBestSelection) {
+  CompilerInput input = typical_input();
+  input.selection = SelectionKind::kBgpBest;
+  const RouteFlowGraph graph = compile_policy(input);
+  // Neighbor 11's longer route should win thanks to local-pref 250.
+  const auto values = graph.evaluate({
+      {input_variable_id(11), make_route(5, 11)},
+      {input_variable_id(12), make_route(2, 12)},
+  });
+  const Value& out = values.at(kOutputVariableId);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->next_hop, 11u);
+  EXPECT_EQ(out->local_pref, 250u);
+}
+
+TEST(CompilerTest, FiltersDropMatchingRoutes) {
+  const RouteFlowGraph graph = compile_policy(typical_input());
+  // Only the tagged route is offered: everything is filtered, no export.
+  const auto values = graph.evaluate({
+      {input_variable_id(12), make_route(2, 12, /*tagged=*/true)},
+  });
+  EXPECT_FALSE(values.at(kOutputVariableId).has_value());
+  // Route through AS 666 likewise.
+  const auto values2 = graph.evaluate({
+      {input_variable_id(13), make_route(3, 13, false, /*via_evil=*/true)},
+  });
+  EXPECT_FALSE(values2.at(kOutputVariableId).has_value());
+}
+
+TEST(CompilerTest, CompiledGraphImplementsPromiseShapes) {
+  // With no filter rules, the compiled min graph is exactly Figure 1 and
+  // passes the static promise check.
+  const CompilerInput plain{
+      .neighbors = {21, 22},
+      .import_policy = bgp::RoutePolicy(std::vector<bgp::PolicyRule>{}),
+      .selection = SelectionKind::kMinimum,
+      .exported_to = 99,
+  };
+  const RouteFlowGraph graph = compile_policy(plain);
+  EXPECT_EQ(graph.producer_of(kOutputVariableId), "op:select");
+  EXPECT_EQ(graph.operator_vertex("op:select").op->descriptor(), "min");
+  EXPECT_EQ(graph.operator_vertex("op:select").operands.size(), 2u);
+}
+
+// ---- Unsupported shapes are refused, not mis-compiled ----
+
+TEST(CompilerTest, RejectsEmptyNeighborList) {
+  EXPECT_THROW((void)compile_policy({.neighbors = {}}), UnsupportedPolicyError);
+}
+
+TEST(CompilerTest, RejectsDefaultRejectPolicies) {
+  CompilerInput input = typical_input();
+  input.import_policy = bgp::RoutePolicy({}, bgp::PolicyVerdict::kReject);
+  EXPECT_THROW((void)compile_policy(input), UnsupportedPolicyError);
+}
+
+TEST(CompilerTest, RejectsMultiConditionRejectRules) {
+  CompilerInput input = typical_input();
+  input.import_policy = bgp::RoutePolicy({bgp::PolicyRule{
+      .name = "two-conditions",
+      .match = {.as_in_path = 666, .community = kBlackhole},
+      .action = {.verdict = bgp::PolicyVerdict::kReject}}});
+  EXPECT_THROW((void)compile_policy(input), UnsupportedPolicyError);
+}
+
+TEST(CompilerTest, RejectsConditionalAcceptRules) {
+  CompilerInput input = typical_input();
+  input.import_policy = bgp::RoutePolicy({bgp::PolicyRule{
+      .name = "conditional-accept",
+      .match = {.community = kBlackhole},
+      .action = {.verdict = bgp::PolicyVerdict::kAccept}}});
+  EXPECT_THROW((void)compile_policy(input), UnsupportedPolicyError);
+}
+
+TEST(CompilerTest, RejectsConditionalLocalPref) {
+  CompilerInput input = typical_input();
+  input.import_policy = bgp::RoutePolicy({bgp::PolicyRule{
+      .name = "conditional-lp",
+      .match = {.community = kBlackhole},
+      .action = {.set_local_pref = 300}}});
+  EXPECT_THROW((void)compile_policy(input), UnsupportedPolicyError);
+}
+
+TEST(CompilerTest, RejectsAttributeRewrites) {
+  CompilerInput input = typical_input();
+  input.import_policy = bgp::RoutePolicy({bgp::PolicyRule{
+      .name = "adds-community",
+      .match = {},
+      .action = {.add_communities = {kBlackhole}}}});
+  EXPECT_THROW((void)compile_policy(input), UnsupportedPolicyError);
+}
+
+TEST(CompilerTest, RejectsPrefixMatches) {
+  CompilerInput input = typical_input();
+  input.import_policy = bgp::RoutePolicy({bgp::PolicyRule{
+      .name = "per-prefix",
+      .match = {.prefix = bgp::Ipv4Prefix::parse("10.0.0.0/8")},
+      .action = {.verdict = bgp::PolicyVerdict::kReject}}});
+  EXPECT_THROW((void)compile_policy(input), UnsupportedPolicyError);
+}
+
+TEST(CompilerTest, NeighborScopedRulesOnlyAffectThatNeighbor) {
+  const CompilerInput input{
+      .neighbors = {31, 32},
+      .import_policy = bgp::RoutePolicy({bgp::PolicyRule{
+          .name = "drop-evil-from-31",
+          .match = {.neighbor = 31, .as_in_path = 666},
+          .action = {.verdict = bgp::PolicyVerdict::kReject}}}),
+      .selection = SelectionKind::kMinimum,
+      .exported_to = 99,
+  };
+  const RouteFlowGraph graph = compile_policy(input);
+  // The same evil route is dropped from 31 but passes from 32.
+  const auto values = graph.evaluate({
+      {input_variable_id(31), make_route(3, 31, false, true)},
+  });
+  EXPECT_FALSE(values.at(kOutputVariableId).has_value());
+  const auto values2 = graph.evaluate({
+      {input_variable_id(32), make_route(3, 32, false, true)},
+  });
+  EXPECT_TRUE(values2.at(kOutputVariableId).has_value());
+}
+
+}  // namespace
+}  // namespace pvr::rfg

@@ -1,0 +1,194 @@
+#include "rfg/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pvr::rfg {
+namespace {
+
+[[nodiscard]] bgp::Route route_len(std::size_t length, bgp::AsNumber next_hop) {
+  std::vector<bgp::AsNumber> hops;
+  hops.push_back(next_hop);
+  for (std::size_t i = 1; i < length; ++i) {
+    hops.push_back(static_cast<bgp::AsNumber>(1000 + i));
+  }
+  return bgp::Route{
+      .prefix = bgp::Ipv4Prefix::parse("203.0.113.0/24"),
+      .path = bgp::AsPath(std::move(hops)),
+      .next_hop = next_hop,
+      .local_pref = 100,
+      .med = 0,
+      .origin = bgp::Origin::kIgp,
+      .communities = {},
+  };
+}
+
+TEST(GraphTest, Figure1Shape) {
+  const RouteFlowGraph graph = make_figure1_graph({11, 12, 13}, 99);
+  graph.validate();
+  EXPECT_EQ(graph.vertex_count(), 5u);  // 3 inputs + output + min
+  EXPECT_EQ(graph.input_variables().size(), 3u);
+  EXPECT_EQ(graph.output_variables(), std::vector<VertexId>{kOutputVariableId});
+  EXPECT_EQ(graph.producer_of(kOutputVariableId), "op:min");
+  EXPECT_EQ(graph.operator_vertex("op:min").operands.size(), 3u);
+  EXPECT_EQ(graph.variable("var:r11").neighbor, 11u);
+}
+
+TEST(GraphTest, Figure1EvaluationPicksShortest) {
+  const RouteFlowGraph graph = make_figure1_graph({11, 12, 13}, 99);
+  const auto values = graph.evaluate({
+      {input_variable_id(11), route_len(4, 11)},
+      {input_variable_id(12), route_len(2, 12)},
+      {input_variable_id(13), route_len(3, 13)},
+  });
+  const Value& out = values.at(kOutputVariableId);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->next_hop, 12u);
+}
+
+TEST(GraphTest, MissingInputsTreatedAsNoRoute) {
+  const RouteFlowGraph graph = make_figure1_graph({11, 12}, 99);
+  const auto values = graph.evaluate({{input_variable_id(12), route_len(5, 12)}});
+  ASSERT_TRUE(values.at(kOutputVariableId).has_value());
+  EXPECT_EQ(values.at(kOutputVariableId)->next_hop, 12u);
+
+  const auto empty = graph.evaluate({});
+  EXPECT_FALSE(empty.at(kOutputVariableId).has_value());
+}
+
+TEST(GraphTest, Figure2Evaluation) {
+  const RouteFlowGraph graph = make_figure2_graph(1, {2, 3}, 99);
+  graph.validate();
+  EXPECT_EQ(graph.vertex_count(), 7u);  // 3 inputs, v, ro, min, prefer
+
+  // Primary strictly shorter: wins.
+  auto values = graph.evaluate({
+      {input_variable_id(1), route_len(2, 1)},
+      {input_variable_id(2), route_len(3, 2)},
+      {input_variable_id(3), route_len(4, 3)},
+  });
+  EXPECT_EQ(values.at(kOutputVariableId)->next_hop, 1u);
+
+  // Primary equal length: fallback (min of r2, r3) wins.
+  values = graph.evaluate({
+      {input_variable_id(1), route_len(3, 1)},
+      {input_variable_id(2), route_len(3, 2)},
+      {input_variable_id(3), route_len(4, 3)},
+  });
+  EXPECT_EQ(values.at(kOutputVariableId)->next_hop, 2u);
+  EXPECT_EQ(values.at("var:v")->next_hop, 2u);
+
+  // No primary: fallback.
+  values = graph.evaluate({
+      {input_variable_id(2), route_len(5, 2)},
+  });
+  EXPECT_EQ(values.at(kOutputVariableId)->next_hop, 2u);
+}
+
+TEST(GraphTest, DuplicateIdRejected) {
+  RouteFlowGraph graph;
+  graph.add_variable({.id = "x", .role = VariableRole::kInput, .neighbor = 1});
+  EXPECT_THROW(graph.add_variable({.id = "x"}), std::logic_error);
+  EXPECT_THROW(graph.add_operator({.id = "x",
+                                   .op = std::make_shared<MinimumOperator>(),
+                                   .operands = {},
+                                   .result = "x"}),
+               std::logic_error);
+}
+
+TEST(GraphTest, ValidateCatchesUnknownOperand) {
+  RouteFlowGraph graph;
+  graph.add_variable({.id = "out", .role = VariableRole::kOutput, .neighbor = 9});
+  graph.add_operator({.id = "op",
+                      .op = std::make_shared<MinimumOperator>(),
+                      .operands = {"missing"},
+                      .result = "out"});
+  EXPECT_THROW(graph.validate(), std::logic_error);
+}
+
+TEST(GraphTest, ValidateCatchesDoubleProducer) {
+  RouteFlowGraph graph;
+  graph.add_variable({.id = "in", .role = VariableRole::kInput, .neighbor = 1});
+  graph.add_variable({.id = "out", .role = VariableRole::kOutput, .neighbor = 9});
+  graph.add_operator({.id = "op1",
+                      .op = std::make_shared<ExistentialOperator>(),
+                      .operands = {"in"},
+                      .result = "out"});
+  graph.add_operator({.id = "op2",
+                      .op = std::make_shared<MinimumOperator>(),
+                      .operands = {"in"},
+                      .result = "out"});
+  EXPECT_THROW(graph.validate(), std::logic_error);
+}
+
+TEST(GraphTest, ValidateCatchesOrphanVariable) {
+  RouteFlowGraph graph;
+  graph.add_variable({.id = "dangling", .role = VariableRole::kInternal});
+  EXPECT_THROW(graph.validate(), std::logic_error);
+}
+
+TEST(GraphTest, ValidateCatchesWriteToInput) {
+  RouteFlowGraph graph;
+  graph.add_variable({.id = "in", .role = VariableRole::kInput, .neighbor = 1});
+  graph.add_operator({.id = "op",
+                      .op = std::make_shared<ExistentialOperator>(),
+                      .operands = {"in"},
+                      .result = "in"});
+  EXPECT_THROW(graph.validate(), std::logic_error);
+}
+
+TEST(GraphTest, ValidateCatchesCycle) {
+  RouteFlowGraph graph;
+  graph.add_variable({.id = "a", .role = VariableRole::kInternal});
+  graph.add_variable({.id = "b", .role = VariableRole::kInternal});
+  graph.add_operator({.id = "op-a",
+                      .op = std::make_shared<ExistentialOperator>(),
+                      .operands = {"b"},
+                      .result = "a"});
+  graph.add_operator({.id = "op-b",
+                      .op = std::make_shared<ExistentialOperator>(),
+                      .operands = {"a"},
+                      .result = "b"});
+  EXPECT_THROW(graph.validate(), std::logic_error);
+}
+
+TEST(GraphTest, PredecessorsAndSuccessors) {
+  const RouteFlowGraph graph = make_figure2_graph(1, {2, 3}, 99);
+  // Operator vertices: preds = operands, succs = result.
+  EXPECT_EQ(graph.predecessors("op:min"),
+            (std::vector<VertexId>{"var:r2", "var:r3"}));
+  EXPECT_EQ(graph.successors("op:min"), std::vector<VertexId>{"var:v"});
+  // Variable vertices: preds = producer, succs = consumers.
+  EXPECT_EQ(graph.predecessors("var:v"), std::vector<VertexId>{"op:min"});
+  EXPECT_EQ(graph.successors("var:v"), std::vector<VertexId>{"op:prefer"});
+  EXPECT_TRUE(graph.predecessors("var:r1").empty());
+  EXPECT_EQ(graph.successors(kOutputVariableId).size(), 0u);
+}
+
+TEST(GraphTest, DeepPipelineEvaluates) {
+  // input -> filter(max-length 3) -> set local-pref -> output
+  RouteFlowGraph graph;
+  graph.add_variable({.id = "in", .role = VariableRole::kInput, .neighbor = 1});
+  graph.add_variable({.id = "mid", .role = VariableRole::kInternal});
+  graph.add_variable({.id = "out", .role = VariableRole::kOutput, .neighbor = 9});
+  graph.add_operator({.id = "op:filter",
+                      .op = std::make_shared<MaxLengthFilterOperator>(3),
+                      .operands = {"in"},
+                      .result = "mid"});
+  graph.add_operator({.id = "op:setlp",
+                      .op = std::make_shared<SetLocalPrefOperator>(777),
+                      .operands = {"mid"},
+                      .result = "out"});
+  graph.validate();
+
+  auto values = graph.evaluate({{"in", route_len(2, 1)}});
+  ASSERT_TRUE(values.at("out").has_value());
+  EXPECT_EQ(values.at("out")->local_pref, 777u);
+
+  values = graph.evaluate({{"in", route_len(9, 1)}});
+  EXPECT_FALSE(values.at("out").has_value());  // filtered out
+}
+
+}  // namespace
+}  // namespace pvr::rfg

@@ -1,0 +1,178 @@
+#include "rfg/operators.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pvr::rfg {
+namespace {
+
+[[nodiscard]] bgp::Route route_with_path(std::vector<bgp::AsNumber> hops,
+                                         bgp::AsNumber next_hop = 0) {
+  if (next_hop == 0 && !hops.empty()) next_hop = hops.front();
+  return bgp::Route{
+      .prefix = bgp::Ipv4Prefix::parse("203.0.113.0/24"),
+      .path = bgp::AsPath(std::move(hops)),
+      .next_hop = next_hop,
+      .local_pref = 100,
+      .med = 0,
+      .origin = bgp::Origin::kIgp,
+      .communities = {},
+  };
+}
+
+TEST(ExistentialOperatorTest, EmitsWhenAnyInputPresent) {
+  const ExistentialOperator op;
+  const std::vector<Value> inputs = {std::nullopt, route_with_path({2, 1}),
+                                     std::nullopt};
+  const Value out = op.apply(inputs);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->path.length(), 2u);
+}
+
+TEST(ExistentialOperatorTest, NoInputNoOutput) {
+  const ExistentialOperator op;
+  const std::vector<Value> inputs = {std::nullopt, std::nullopt};
+  EXPECT_FALSE(op.apply(inputs).has_value());
+  EXPECT_FALSE(op.apply({}).has_value());
+}
+
+TEST(MinimumOperatorTest, PicksShortestPath) {
+  const MinimumOperator op;
+  const std::vector<Value> inputs = {route_with_path({3, 2, 1}),
+                                     route_with_path({5, 1}),
+                                     route_with_path({9, 8, 7, 1})};
+  const Value out = op.apply(inputs);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->path.length(), 2u);
+  EXPECT_EQ(out->next_hop, 5u);
+}
+
+TEST(MinimumOperatorTest, TieBrokenByLowestNextHop) {
+  const MinimumOperator op;
+  const std::vector<Value> inputs = {route_with_path({7, 1}),
+                                     route_with_path({4, 1})};
+  const Value out = op.apply(inputs);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->next_hop, 4u);
+}
+
+TEST(MinimumOperatorTest, SkipsAbsentInputs) {
+  const MinimumOperator op;
+  const std::vector<Value> inputs = {std::nullopt, route_with_path({4, 3, 1}),
+                                     std::nullopt};
+  EXPECT_TRUE(op.apply(inputs).has_value());
+  EXPECT_FALSE(op.apply(std::vector<Value>{std::nullopt}).has_value());
+}
+
+TEST(BgpBestOperatorTest, UsesFullDecisionProcess) {
+  const BgpBestOperator op;
+  bgp::Route low_pref = route_with_path({2, 1});
+  low_pref.local_pref = 100;
+  bgp::Route high_pref = route_with_path({5, 4, 3, 1});
+  high_pref.local_pref = 200;
+  const std::vector<Value> inputs = {low_pref, high_pref};
+  const Value out = op.apply(inputs);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->local_pref, 200u);  // local-pref dominates length
+}
+
+TEST(PreferIfShorterOperatorTest, PrimaryWinsOnlyIfStrictlyShorter) {
+  const PreferIfShorterOperator op;
+  const Value primary = route_with_path({1, 9});
+  const Value fallback = route_with_path({2, 8, 9});
+  // primary (len 2) < fallback (len 3): primary.
+  EXPECT_EQ(op.apply(std::vector<Value>{primary, fallback})->next_hop, 1u);
+  // equal length: fallback.
+  const Value fallback_eq = route_with_path({2, 9});
+  EXPECT_EQ(op.apply(std::vector<Value>{primary, fallback_eq})->next_hop, 2u);
+}
+
+TEST(PreferIfShorterOperatorTest, HandlesAbsentOperands) {
+  const PreferIfShorterOperator op;
+  const Value primary = route_with_path({1, 9});
+  const Value fallback = route_with_path({2, 9});
+  EXPECT_EQ(op.apply(std::vector<Value>{primary, std::nullopt})->next_hop, 1u);
+  EXPECT_EQ(op.apply(std::vector<Value>{std::nullopt, fallback})->next_hop, 2u);
+  EXPECT_FALSE(op.apply(std::vector<Value>{std::nullopt, std::nullopt}).has_value());
+  // Wrong arity is an error, not a guess.
+  EXPECT_FALSE(op.apply(std::vector<Value>{primary}).has_value());
+}
+
+TEST(CommunityFilterOperatorTest, RequireAndForbid) {
+  const bgp::Community c = bgp::make_community(65000, 1);
+  bgp::Route tagged = route_with_path({2, 1});
+  tagged.communities.push_back(c);
+  const bgp::Route untagged = route_with_path({2, 1});
+
+  const CommunityFilterOperator require(c, CommunityFilterOperator::Mode::kRequire);
+  EXPECT_TRUE(require.apply(std::vector<Value>{tagged}).has_value());
+  EXPECT_FALSE(require.apply(std::vector<Value>{untagged}).has_value());
+
+  const CommunityFilterOperator forbid(c, CommunityFilterOperator::Mode::kForbid);
+  EXPECT_FALSE(forbid.apply(std::vector<Value>{tagged}).has_value());
+  EXPECT_TRUE(forbid.apply(std::vector<Value>{untagged}).has_value());
+}
+
+TEST(AsPathFilterOperatorTest, DropsBannedAs) {
+  const AsPathFilterOperator op(666);
+  EXPECT_FALSE(op.apply(std::vector<Value>{route_with_path({2, 666, 1})}).has_value());
+  EXPECT_TRUE(op.apply(std::vector<Value>{route_with_path({2, 1})}).has_value());
+  EXPECT_FALSE(op.apply(std::vector<Value>{std::nullopt}).has_value());
+}
+
+TEST(MaxLengthFilterOperatorTest, EnforcesBound) {
+  const MaxLengthFilterOperator op(2);
+  EXPECT_TRUE(op.apply(std::vector<Value>{route_with_path({2, 1})}).has_value());
+  EXPECT_FALSE(op.apply(std::vector<Value>{route_with_path({3, 2, 1})}).has_value());
+}
+
+TEST(SetLocalPrefOperatorTest, RewritesAttribute) {
+  const SetLocalPrefOperator op(321);
+  const Value out = op.apply(std::vector<Value>{route_with_path({2, 1})});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->local_pref, 321u);
+}
+
+// Descriptor round-trip: every operator must be reconstructible from its
+// descriptor, and the reconstruction must compute the same function.
+TEST(DescriptorTest, RoundTripAllOperators) {
+  const std::vector<std::shared_ptr<Operator>> ops = {
+      std::make_shared<ExistentialOperator>(),
+      std::make_shared<MinimumOperator>(),
+      std::make_shared<BgpBestOperator>(),
+      std::make_shared<PreferIfShorterOperator>(),
+      std::make_shared<CommunityFilterOperator>(
+          bgp::make_community(65000, 7), CommunityFilterOperator::Mode::kRequire),
+      std::make_shared<CommunityFilterOperator>(
+          bgp::make_community(65000, 7), CommunityFilterOperator::Mode::kForbid),
+      std::make_shared<AsPathFilterOperator>(1234),
+      std::make_shared<MaxLengthFilterOperator>(5),
+      std::make_shared<SetLocalPrefOperator>(250),
+  };
+  const std::vector<Value> probe = {route_with_path({3, 2, 1}),
+                                    route_with_path({5, 1})};
+  for (const auto& op : ops) {
+    const auto rebuilt = operator_from_descriptor(op->descriptor());
+    ASSERT_NE(rebuilt, nullptr) << op->descriptor();
+    EXPECT_EQ(rebuilt->descriptor(), op->descriptor());
+    EXPECT_EQ(rebuilt->apply(probe), op->apply(probe)) << op->descriptor();
+  }
+}
+
+TEST(DescriptorTest, UnknownDescriptorsRejected) {
+  EXPECT_EQ(operator_from_descriptor("bogus"), nullptr);
+  EXPECT_EQ(operator_from_descriptor("filter.community(x1)"), nullptr);
+  EXPECT_EQ(operator_from_descriptor("filter.community(+abc)"), nullptr);
+  EXPECT_EQ(operator_from_descriptor("filter.max-length()"), nullptr);
+  EXPECT_EQ(operator_from_descriptor(""), nullptr);
+}
+
+TEST(DescriptorTest, CanonicalBytesBindDescriptor) {
+  const MinimumOperator min_op;
+  const ExistentialOperator exists_op;
+  EXPECT_NE(min_op.canonical_bytes(), exists_op.canonical_bytes());
+}
+
+}  // namespace
+}  // namespace pvr::rfg
