@@ -8,8 +8,37 @@
 
 #include "core/keys.h"
 #include "core/min_protocol.h"
+#include "core/pvr_speaker.h"
 
 namespace pvr::bench {
+
+// The canonical neighborhood check used by the experiment harnesses: every
+// announcing provider verifies its reveal, every recipient verifies the
+// reveal + export. One shared definition keeps the sequential and
+// engine-backed measurement paths comparing identical work.
+[[nodiscard]] inline core::RoundFindings verify_neighborhood(
+    const core::KeyDirectory& directory, const core::ProverResult& result,
+    const std::map<bgp::AsNumber, core::InputAnnouncement>& announcements,
+    const std::vector<bgp::AsNumber>& recipients) {
+  core::RoundFindings findings;
+  for (const auto& [provider, announcement] : announcements) {
+    const auto it = result.provider_reveals.find(provider);
+    auto found = core::verify_as_provider(
+        directory, provider, announcement, result.signed_bundle,
+        it == result.provider_reveals.end() ? nullptr : &it->second);
+    findings.evidence.insert(findings.evidence.end(), found.begin(),
+                             found.end());
+  }
+  for (const bgp::AsNumber recipient : recipients) {
+    auto found = core::verify_as_recipient(directory, recipient,
+                                           result.signed_bundle,
+                                           &result.recipient_reveal,
+                                           &result.export_statement);
+    findings.evidence.insert(findings.evidence.end(), found.begin(),
+                             found.end());
+  }
+  return findings;
+}
 
 [[nodiscard]] inline bgp::Route route_len(std::size_t length,
                                           bgp::AsNumber origin_as) {

@@ -1,0 +1,283 @@
+// Engine throughput: rounds/sec vs. worker count and aggregation batch size.
+//
+// Workload: 1000 precomputed (prover, prefix, epoch) minimum-operator
+// rounds (25 prefixes x 40 epochs, 3 providers, RSA-512 to keep the
+// single-machine run short). Every 7th round injects a Byzantine prover so
+// the Evidence stream is non-trivial; the drained evidence must be
+// byte-identical across worker counts (the engine's determinism contract).
+//
+// Three measurements:
+//   1. worker sweep  — full round verification through the engine at
+//      1/2/4/8 workers (thread-level speedup tracks physical cores);
+//   2. aggregation   — bundle authentications/sec when the prover signs one
+//      Merkle root per epoch instead of one bundle per prefix (algorithmic
+//      speedup, independent of core count);
+//   3. batch verify  — BatchVerifier vs. per-message verify_message on
+//      same-signer reveal batches.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/pvr_speaker.h"
+#include "crypto/sha256.h"
+#include "engine/batch_verifier.h"
+#include "engine/verification_engine.h"
+
+namespace pvr::bench {
+namespace {
+
+constexpr std::size_t kPrefixes = 25;
+constexpr std::size_t kEpochs = 40;
+constexpr std::size_t kRounds = kPrefixes * kEpochs;
+constexpr std::size_t kProviders = 3;
+constexpr std::size_t kKeyBits = 512;
+constexpr std::uint32_t kMaxLen = 16;
+
+struct Round {
+  core::ProtocolId id;
+  core::ProverResult result;
+  std::map<bgp::AsNumber, core::InputAnnouncement> announcements;
+};
+
+struct Workload {
+  core::AsKeyPairs keys;
+  std::vector<bgp::AsNumber> providers;
+  bgp::AsNumber prover = 1;
+  bgp::AsNumber recipient = 2;
+  std::vector<Round> rounds;
+};
+
+[[nodiscard]] Workload build_workload() {
+  Workload w;
+  std::vector<bgp::AsNumber> all = {w.prover, w.recipient};
+  for (std::size_t i = 0; i < kProviders; ++i) {
+    w.providers.push_back(1001 + static_cast<bgp::AsNumber>(i));
+    all.push_back(w.providers.back());
+  }
+  crypto::Drbg key_rng(97, "engine-bench-keys");
+  w.keys = core::generate_keys(all, key_rng, kKeyBits);
+
+  crypto::Drbg len_rng(3, "engine-bench-lengths");
+  w.rounds.reserve(kRounds);
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    Round round;
+    round.id = core::ProtocolId{
+        .prover = w.prover,
+        .prefix = bgp::Ipv4Prefix(
+            0xCB007100u + (static_cast<std::uint32_t>(r % kPrefixes) << 8), 24),
+        .epoch = 1 + r / kPrefixes};
+
+    std::map<bgp::AsNumber, std::optional<core::SignedMessage>> inputs;
+    for (const bgp::AsNumber provider : w.providers) {
+      const std::size_t length = 1 + len_rng.uniform(kMaxLen);
+      const core::InputAnnouncement announcement{
+          .id = round.id,
+          .provider = provider,
+          .route = route_len(length, provider)};
+      round.announcements.emplace(provider, announcement);
+      inputs[provider] = core::sign_message(
+          provider, w.keys.private_keys.at(provider).priv, announcement.encode());
+    }
+
+    // Every 7th round misbehaves (rotating strategy) so verification finds
+    // real violations and the determinism check has bytes to compare.
+    core::ProverMisbehavior misbehavior;
+    if (r % 7 == 6) {
+      switch ((r / 7) % 3) {
+        case 0: misbehavior.suppress_export = true; break;
+        case 1: misbehavior.nonmonotone_bits = true; break;
+        default: misbehavior.wrong_opening_for = w.providers[0]; break;
+      }
+    }
+    crypto::Drbg round_rng(1000 + r, "engine-bench-round");
+    round.result = core::run_prover(round.id, core::OperatorKind::kMinimum,
+                                    inputs, kMaxLen,
+                                    w.keys.private_keys.at(w.prover).priv,
+                                    round_rng, misbehavior);
+    w.rounds.push_back(std::move(round));
+  }
+  return w;
+}
+
+// Full verification of one round: all providers + the recipient.
+[[nodiscard]] core::RoundFindings check_round(const Workload& w,
+                                              const Round& round) {
+  return verify_neighborhood(w.keys.directory, round.result,
+                             round.announcements, {w.recipient});
+}
+
+[[nodiscard]] std::string evidence_digest(
+    const std::vector<engine::RoundOutcome>& outcomes) {
+  crypto::Sha256 hasher;
+  for (const engine::RoundOutcome& outcome : outcomes) {
+    for (const core::Evidence& item : outcome.findings.evidence) {
+      hasher.update(item.to_string());
+      for (const core::SignedMessage& message : item.messages) {
+        const std::vector<std::uint8_t> encoded = message.encode();
+        hasher.update(encoded);
+      }
+    }
+  }
+  return crypto::digest_hex(hasher.finalize());
+}
+
+[[nodiscard]] double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+}  // namespace pvr::bench
+
+int main() {
+  using namespace pvr;
+  using namespace pvr::bench;
+
+  std::printf("engine throughput: %zu rounds (%zu prefixes x %zu epochs), "
+              "%zu providers, RSA-%zu\n\n",
+              kRounds, kPrefixes, kEpochs, kProviders, kKeyBits);
+  const double t_build = now_seconds();
+  const Workload w = build_workload();
+  std::printf("workload built in %.1f s (prover CPU, untimed below)\n\n",
+              now_seconds() - t_build);
+
+  // --- 1. Worker sweep over full round verification -------------------------
+  std::printf("%-8s %-10s %-12s %-9s %-10s  evidence_digest\n", "workers",
+              "rounds", "rounds/sec", "speedup", "violations");
+  std::string digest_at_1;
+  double rps_at_1 = 0;
+  double rps_at_8 = 0;
+  bool deterministic = true;
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    engine::VerificationEngine engine({.workers = workers}, &w.keys.directory);
+    const double t0 = now_seconds();
+    for (const Round& round : w.rounds) {
+      engine.submit(round.id, [&w, &round] { return check_round(w, round); });
+    }
+    const engine::EngineReport report = engine.drain();
+    const double elapsed = now_seconds() - t0;
+    const double rps = static_cast<double>(report.rounds) / elapsed;
+    const std::string digest = evidence_digest(report.outcomes);
+    if (workers == 1) {
+      digest_at_1 = digest;
+      rps_at_1 = rps;
+    }
+    if (workers == 8) rps_at_8 = rps;
+    if (digest != digest_at_1) deterministic = false;
+    std::printf("%-8zu %-10llu %-12.1f %-9.2f %-10llu  %.16s\n", workers,
+                static_cast<unsigned long long>(report.rounds), rps,
+                rps / rps_at_1, static_cast<unsigned long long>(report.violations),
+                digest.c_str());
+  }
+  std::printf("(thread-level speedup is bounded by physical cores: this host "
+              "has %u)\n\n",
+              std::thread::hardware_concurrency());
+
+  // --- 2. Merkle-aggregated bundle mode ------------------------------------
+  // Naive (batch=1): one signed bundle per (prefix, epoch) -> one RSA verify
+  // per round. Aggregated: within each epoch the prover signs one Merkle
+  // root per group of `batch` prefixes and reveals each prefix with a
+  // log-size proof -> one RSA verify per group. Groups never span epochs
+  // (the (prover, epoch) binding is part of the signed statement).
+  std::printf("%-8s %-14s %-12s %-9s\n", "batch", "bundle_auths", "auths/sec",
+              "speedup");
+  std::vector<core::CommitmentBundle> bundles;
+  bundles.reserve(kRounds);
+  for (const Round& round : w.rounds) {
+    bundles.push_back(
+        core::CommitmentBundle::decode(round.result.signed_bundle.payload));
+  }
+  double naive_aps = 0;
+  double agg_aps_best = 0;
+  for (const std::size_t batch : {1u, 5u, 25u}) {
+    std::size_t auths = 0;
+    std::size_t failures = 0;
+    double elapsed = 0;
+    if (batch == 1) {
+      const double t0 = now_seconds();
+      for (const Round& round : w.rounds) {
+        if (!core::verify_message(w.keys.directory, round.result.signed_bundle)) {
+          failures += 1;
+        }
+        auths += 1;
+      }
+      elapsed = now_seconds() - t0;
+    } else {
+      // Prover side (untimed): per epoch, aggregate each `batch`-prefix
+      // group into one signed Merkle root.
+      std::vector<std::pair<core::SignedMessage,
+                            std::vector<engine::AggregatedOpening>>>
+          groups;
+      for (std::size_t epoch_start = 0; epoch_start < bundles.size();
+           epoch_start += kPrefixes) {
+        const std::uint64_t epoch = 1 + epoch_start / kPrefixes;
+        for (std::size_t offset = 0; offset < kPrefixes; offset += batch) {
+          const std::size_t count = std::min(batch, kPrefixes - offset);
+          engine::AggregatedCommitment commitment = engine::aggregate_bundles(
+              w.prover, epoch,
+              std::span(bundles).subspan(epoch_start + offset, count),
+              w.keys.private_keys.at(w.prover).priv);
+          groups.emplace_back(std::move(commitment.signed_root),
+                              std::move(commitment.openings));
+        }
+      }
+      const double t0 = now_seconds();
+      for (const auto& [signed_root, openings] : groups) {
+        const std::vector<bool> ok = engine::verify_aggregated_openings(
+            w.keys.directory, signed_root, openings);
+        for (const bool valid : ok) {
+          if (!valid) failures += 1;
+          auths += 1;
+        }
+      }
+      elapsed = now_seconds() - t0;
+    }
+    const double aps = static_cast<double>(auths) / elapsed;
+    if (batch == 1) naive_aps = aps;
+    agg_aps_best = std::max(agg_aps_best, aps);
+    std::printf("%-8zu %-14zu %-12.0f %-9.2f%s\n", batch, auths, aps,
+                aps / naive_aps, failures == 0 ? "" : "  FAILURES!");
+  }
+  std::printf("\n");
+
+  // --- 3. BatchVerifier vs per-message verification -------------------------
+  std::vector<core::SignedMessage> reveals;
+  for (const Round& round : w.rounds) {
+    for (const auto& [provider, reveal] : round.result.provider_reveals) {
+      reveals.push_back(reveal);
+    }
+  }
+  const double t_single = now_seconds();
+  std::size_t valid_single = 0;
+  for (const core::SignedMessage& message : reveals) {
+    if (core::verify_message(w.keys.directory, message)) valid_single += 1;
+  }
+  const double single_elapsed = now_seconds() - t_single;
+
+  engine::BatchVerifier batch_verifier(&w.keys.directory);
+  const double t_batch = now_seconds();
+  const std::vector<bool> batch_results = batch_verifier.verify(reveals);
+  const double batch_elapsed = now_seconds() - t_batch;
+  std::size_t valid_batch = 0;
+  for (const bool ok : batch_results) valid_batch += ok ? 1 : 0;
+  std::printf("batch verifier: %zu same-signer reveals  per-message %.0f/s  "
+              "batched %.0f/s  (results %s)\n\n",
+              reveals.size(), reveals.size() / single_elapsed,
+              reveals.size() / batch_elapsed,
+              valid_single == valid_batch ? "identical" : "DIVERGED!");
+
+  std::printf("{\"bench\":\"engine_throughput\",\"rounds\":%zu,"
+              "\"rounds_per_sec_1w\":%.1f,\"rounds_per_sec_8w\":%.1f,"
+              "\"speedup_8v1\":%.2f,\"deterministic\":%s,"
+              "\"agg_speedup\":%.2f,\"hw_threads\":%u}\n",
+              kRounds, rps_at_1, rps_at_8, rps_at_8 / rps_at_1,
+              deterministic ? "true" : "false", agg_aps_best / naive_aps,
+              std::thread::hardware_concurrency());
+  return deterministic && valid_single == valid_batch ? 0 : 1;
+}

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Builds (if needed) and runs every bench_* binary, emitting one JSON line
+# per bench to stdout and to <build-dir>/bench_results.jsonl — the format
+# future BENCH_*.json trajectory tracking consumes.
+#
+# Usage: bench/run_all.sh [build-dir]   (default: ./build)
+set -u
+
+BUILD_DIR="${1:-build}"
+if [ ! -d "${BUILD_DIR}" ]; then
+  echo "error: build dir '${BUILD_DIR}' not found (run cmake first)" >&2
+  exit 1
+fi
+
+RESULTS="${BUILD_DIR}/bench_results.jsonl"
+: > "${RESULTS}"
+
+STATUS=0
+for bench in "${BUILD_DIR}"/bench_*; do
+  [ -x "${bench}" ] || continue
+  name="$(basename "${bench}")"
+  start="$(date +%s.%N)"
+  # Google-Benchmark-based benches get trimmed iteration counts so the full
+  # sweep stays CI-sized; plain harness benches ignore unknown argv.
+  if "${bench}" --benchmark_min_time=0.05 >"${BUILD_DIR}/${name}.out" 2>&1; then
+    ok=true
+  else
+    ok=false
+    STATUS=1
+  fi
+  end="$(date +%s.%N)"
+  elapsed="$(echo "${end} ${start}" | awk '{printf "%.2f", $1 - $2}')"
+  # If the bench printed its own JSON line (e.g. bench_engine_throughput),
+  # forward it verbatim; otherwise synthesize one from the run metadata.
+  json_line="$(grep -E '^\{.*\}$' "${BUILD_DIR}/${name}.out" | tail -1)"
+  if [ -z "${json_line}" ]; then
+    json_line="{\"bench\":\"${name}\",\"ok\":${ok},\"seconds\":${elapsed}}"
+  fi
+  echo "${json_line}" | tee -a "${RESULTS}"
+done
+
+echo "wrote $(wc -l < "${RESULTS}") bench results to ${RESULTS}" >&2
+exit "${STATUS}"

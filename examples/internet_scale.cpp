@@ -49,6 +49,11 @@ int main() {
               static_cast<double>(sim.now()) / 1000.0,
               static_cast<unsigned long long>(sim.stats().messages_sent),
               static_cast<unsigned long long>(sim.stats().bytes_sent));
+  for (const auto& [channel, stats] : sim.stats().per_channel) {
+    std::printf("  %-12s %6llu msgs  %8llu bytes\n", channel.c_str(),
+                static_cast<unsigned long long>(stats.messages_sent),
+                static_cast<unsigned long long>(stats.bytes_sent));
+  }
 
   // 3. Pick the transit AS with the most candidates for the prefix.
   bgp::AsNumber prover = 0;

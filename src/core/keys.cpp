@@ -24,9 +24,7 @@ std::vector<bgp::AsNumber> KeyDirectory::members() const {
   return out;
 }
 
-namespace {
-
-[[nodiscard]] std::vector<std::uint8_t> signing_input(
+std::vector<std::uint8_t> message_signing_input(
     bgp::AsNumber signer, std::span<const std::uint8_t> payload) {
   crypto::ByteWriter writer;
   writer.put_string("pvr-signed-message");
@@ -35,7 +33,6 @@ namespace {
   return writer.take();
 }
 
-}  // namespace
 
 std::vector<std::uint8_t> SignedMessage::encode() const {
   crypto::ByteWriter writer;
@@ -58,14 +55,14 @@ SignedMessage sign_message(bgp::AsNumber signer,
                            const crypto::RsaPrivateKey& key,
                            std::vector<std::uint8_t> payload) {
   SignedMessage message{.signer = signer, .payload = std::move(payload), .signature = {}};
-  message.signature = crypto::rsa_sign(key, signing_input(signer, message.payload));
+  message.signature = crypto::rsa_sign(key, message_signing_input(signer, message.payload));
   return message;
 }
 
 bool verify_message(const KeyDirectory& directory, const SignedMessage& message) {
   const crypto::RsaPublicKey* key = directory.find(message.signer);
   if (key == nullptr) return false;
-  return crypto::rsa_verify(*key, signing_input(message.signer, message.payload),
+  return crypto::rsa_verify(*key, message_signing_input(message.signer, message.payload),
                             message.signature);
 }
 

@@ -50,6 +50,12 @@ struct SignedMessage {
 [[nodiscard]] bool verify_message(const KeyDirectory& directory,
                                   const SignedMessage& message);
 
+// The exact byte string rsa_sign / rsa_verify operate on for a
+// SignedMessage (domain tag || signer || payload). Exposed so batched
+// verifiers can feed many messages into crypto::rsa_verify_batch.
+[[nodiscard]] std::vector<std::uint8_t> message_signing_input(
+    bgp::AsNumber signer, std::span<const std::uint8_t> payload);
+
 // Generates one key pair per AS, deterministically from `rng`. 1024-bit by
 // default, matching the paper's overhead discussion (§3.8).
 struct AsKeyPairs {

@@ -1,6 +1,7 @@
 #include "core/pvr_speaker.h"
 
 #include <algorithm>
+#include <iterator>
 #include <stdexcept>
 
 namespace pvr::core {
@@ -184,18 +185,18 @@ void PvrNode::on_message(net::Simulator& sim, const net::Message& message) {
   }
 }
 
-void PvrNode::finalize_round(std::uint64_t epoch) {
-  RoundState& round = rounds_[epoch];
-  if (round.finalized) return;
-  round.finalized = true;
+RoundFindings PvrNode::check_round(const PvrConfig& config,
+                                   const RoundState& round) {
+  RoundFindings findings;
 
   // Equivocation check over everything gossip delivered.
   for (std::size_t i = 0; i + 1 < round.observed_bundles.size(); ++i) {
     for (std::size_t j = i + 1; j < round.observed_bundles.size(); ++j) {
-      if (auto conflict = check_equivocation(*config_.directory, config_.asn,
+      findings.signatures_verified += 2;
+      if (auto conflict = check_equivocation(*config.directory, config.asn,
                                              round.observed_bundles[i],
                                              round.observed_bundles[j])) {
-        evidence_.push_back(std::move(*conflict));
+        findings.evidence.push_back(std::move(*conflict));
       }
     }
   }
@@ -204,37 +205,78 @@ void PvrNode::finalize_round(std::uint64_t epoch) {
     // Nothing to verify: with an honest prover this only happens when the
     // node neither provided input nor expected output.
     if (round.own_input.has_value()) {
-      evidence_.push_back(Evidence{.kind = ViolationKind::kMissingReveal,
-                                   .accused = config_.prover,
-                                   .reporter = config_.asn,
-                                   .index = 0,
-                                   .messages = {},
-                                   .detail = "no commitment bundle received"});
+      findings.evidence.push_back(
+          Evidence{.kind = ViolationKind::kMissingReveal,
+                   .accused = config.prover,
+                   .reporter = config.asn,
+                   .index = 0,
+                   .messages = {},
+                   .detail = "no commitment bundle received"});
     }
-    return;
+    return findings;
   }
 
-  if (config_.role == PvrRole::kProvider) {
+  if (config.role == PvrRole::kProvider) {
+    findings.signatures_verified += round.provider_reveal.has_value() ? 2 : 1;
     auto found = verify_as_provider(
-        *config_.directory, config_.asn, round.own_input, *round.bundle,
+        *config.directory, config.asn, round.own_input, *round.bundle,
         round.provider_reveal.has_value() ? &*round.provider_reveal : nullptr);
-    evidence_.insert(evidence_.end(), found.begin(), found.end());
-  } else if (config_.role == PvrRole::kRecipient) {
+    findings.evidence.insert(findings.evidence.end(), found.begin(), found.end());
+  } else if (config.role == PvrRole::kRecipient) {
+    findings.signatures_verified +=
+        1 + (round.recipient_reveal.has_value() ? 1 : 0) +
+        (round.export_statement.has_value() ? 1 : 0);
     auto found = verify_as_recipient(
-        *config_.directory, config_.asn, *round.bundle,
+        *config.directory, config.asn, *round.bundle,
         round.recipient_reveal.has_value() ? &*round.recipient_reveal : nullptr,
         round.export_statement.has_value() ? &*round.export_statement : nullptr);
-    evidence_.insert(evidence_.end(), found.begin(), found.end());
+    findings.evidence.insert(findings.evidence.end(), found.begin(), found.end());
     // Accept the exported route only when every check passed.
     if (found.empty() && round.export_statement.has_value()) {
       try {
         const ExportStatement statement =
             ExportStatement::decode(round.export_statement->payload);
-        if (statement.has_route) accepted_[epoch] = statement.route;
+        if (statement.has_route) findings.accepted = statement.route;
       } catch (const std::out_of_range&) {
       }
     }
   }
+  return findings;
+}
+
+void PvrNode::finalize_round(std::uint64_t epoch) {
+  RoundState& round = rounds_[epoch];
+  if (round.finalized) return;
+  round.finalized = true;
+  apply_round_findings(epoch, check_round(config_, round));
+}
+
+std::optional<DeferredRound> PvrNode::defer_finalize(std::uint64_t epoch) {
+  RoundState& round = rounds_[epoch];
+  if (round.finalized) return std::nullopt;
+  round.finalized = true;
+
+  ProtocolId id{.prover = config_.prover, .prefix = {}, .epoch = epoch};
+  if (round.bundle.has_value()) {
+    try {
+      id = CommitmentBundle::decode(round.bundle->payload).id;
+    } catch (const std::out_of_range&) {
+    }
+  }
+  // Snapshot by value: the closure must stay valid and thread-safe even if
+  // the node keeps receiving messages for other epochs meanwhile.
+  return DeferredRound{
+      .id = id,
+      .work = [config = &config_, snapshot = round]() {
+        return check_round(*config, snapshot);
+      }};
+}
+
+void PvrNode::apply_round_findings(std::uint64_t epoch, RoundFindings findings) {
+  evidence_.insert(evidence_.end(),
+                   std::make_move_iterator(findings.evidence.begin()),
+                   std::make_move_iterator(findings.evidence.end()));
+  if (findings.accepted.has_value()) accepted_[epoch] = *findings.accepted;
 }
 
 std::optional<bgp::Route> PvrNode::accepted_route(std::uint64_t epoch) const {

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <vector>
@@ -48,6 +49,22 @@ struct PvrConfig {
   std::uint64_t rng_seed = 1;
 };
 
+// Result of running one round's verifier checks (finalize_round, or its
+// deferred form executed on an engine worker).
+struct RoundFindings {
+  std::vector<Evidence> evidence;
+  std::optional<bgp::Route> accepted;  // recipient-side accepted route
+  std::uint64_t signatures_verified = 0;
+};
+
+// A packaged, self-contained verification round. `work` owns a snapshot of
+// the node's round state plus const pointers to the key directory, so it is
+// safe to run on any thread while the simulator is quiescent.
+struct DeferredRound {
+  ProtocolId id;
+  std::function<RoundFindings()> work;
+};
+
 class PvrNode : public net::Node {
  public:
   explicit PvrNode(PvrConfig config);
@@ -69,6 +86,18 @@ class PvrNode : public net::Node {
   // so far. Call after the simulator has quiesced.
   void finalize_round(std::uint64_t epoch);
 
+  // Engine-backed finalize: packages the checks for `epoch` into a closure
+  // that can run on a worker thread, and marks the round finalized so a
+  // later finalize_round is a no-op. Returns nullopt if the round is
+  // already finalized. The findings must be handed back to this node via
+  // apply_round_findings once the closure has run.
+  [[nodiscard]] std::optional<DeferredRound> defer_finalize(std::uint64_t epoch);
+
+  // Delivers the outcome of a deferred round back into this node's evidence
+  // log and accepted-route table. Must be called from the thread that owns
+  // the node (i.e. after the engine has drained).
+  void apply_round_findings(std::uint64_t epoch, RoundFindings findings);
+
   [[nodiscard]] const std::vector<Evidence>& evidence() const noexcept {
     return evidence_;
   }
@@ -89,6 +118,12 @@ class PvrNode : public net::Node {
     std::vector<SignedMessage> observed_bundles;
     bool finalized = false;
   };
+
+  // Pure check logic shared by finalize_round and defer_finalize: runs the
+  // role-specific §3.2/3.3 verifier over a snapshot of the round state.
+  // Static so deferred closures cannot touch live node state.
+  [[nodiscard]] static RoundFindings check_round(const PvrConfig& config,
+                                                 const RoundState& round);
 
   void send(net::Simulator& sim, bgp::AsNumber to, const char* channel,
             std::vector<std::uint8_t> payload);

@@ -1,8 +1,36 @@
 #include "crypto/merkle.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace pvr::crypto {
+
+void MerkleProof::encode(ByteWriter& writer) const {
+  writer.put_u64(leaf_index);
+  writer.put_u64(leaf_count);
+  writer.put_u32(static_cast<std::uint32_t>(siblings.size()));
+  for (const Digest& sibling : siblings) {
+    writer.put_raw(std::span(sibling.data(), sibling.size()));
+  }
+}
+
+MerkleProof MerkleProof::decode(ByteReader& reader) {
+  MerkleProof proof;
+  proof.leaf_index = reader.get_u64();
+  proof.leaf_count = reader.get_u64();
+  const std::uint32_t count = reader.get_u32();
+  // A proof is one sibling per tree level; 64 levels covers any leaf count
+  // and keeps a hostile length field from forcing a huge allocation.
+  if (count > 64) throw std::out_of_range("MerkleProof::decode: too many siblings");
+  proof.siblings.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::vector<std::uint8_t> raw = reader.get_raw(kSha256DigestSize);
+    Digest digest;
+    std::copy(raw.begin(), raw.end(), digest.begin());
+    proof.siblings.push_back(digest);
+  }
+  return proof;
+}
 
 Digest MerkleTree::hash_leaf(std::span<const std::uint8_t> payload) {
   Sha256 hasher;

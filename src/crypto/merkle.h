@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "crypto/encoding.h"
 #include "crypto/sha256.h"
 
 namespace pvr::crypto {
@@ -18,6 +19,12 @@ struct MerkleProof {
   std::size_t leaf_index = 0;
   std::size_t leaf_count = 0;
   std::vector<Digest> siblings;  // bottom-up
+
+  [[nodiscard]] bool operator==(const MerkleProof&) const = default;
+
+  // Canonical wire form (proofs travel inside aggregated-bundle reveals).
+  void encode(ByteWriter& writer) const;
+  [[nodiscard]] static MerkleProof decode(ByteReader& reader);
 };
 
 class MerkleTree {

@@ -174,4 +174,25 @@ bool rsa_verify(const RsaPublicKey& key, std::span<const std::uint8_t> message,
   return m == Bignum::from_bytes_be(em);
 }
 
+std::vector<bool> rsa_verify_batch(const RsaPublicKey& key,
+                                   std::span<const RsaBatchItem> items) {
+  std::vector<bool> out(items.size(), false);
+  const std::size_t k = key.modulus_bytes();
+  // Structural screening first; members failing it cannot verify and need
+  // no exponentiation at all.
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].signature.size() != k) continue;
+    const Bignum s = Bignum::from_bytes_be(items[i].signature);
+    if (s >= key.n) continue;
+    Bignum encoded;
+    try {
+      encoded = Bignum::from_bytes_be(emsa_pkcs1_v15(items[i].message, k));
+    } catch (const std::length_error&) {
+      continue;
+    }
+    out[i] = rsa_public_apply(key, s) == encoded;
+  }
+  return out;
+}
+
 }  // namespace pvr::crypto

@@ -1,0 +1,105 @@
+// Amortized signature verification for engine workers.
+//
+// Two amortization levers (paper §3.8 counts RSA operations as the dominant
+// cost; §4 argues feasibility hinges on keeping them sublinear in traffic):
+//
+//  1. Batched RSA verification: many SignedMessages are checked per worker
+//     wakeup. Messages are grouped by signer and each group goes through
+//     crypto::rsa_verify_batch in one call, so the returned vector is
+//     always exactly what per-message core::verify_message would produce
+//     (see rsa.h on why a product-test accept is deliberately absent).
+//
+//  2. Merkle-aggregated commitment bundles: a prover commits ONE signed
+//     Merkle root over all its per-prefix CommitmentBundles for an epoch
+//     and reveals each prefix with a log-size inclusion proof. Verifying N
+//     prefixes then costs one RSA verification plus N*log2(N) hashes
+//     instead of N RSA verifications (reuses crypto/merkle.h, the same
+//     machinery the batched route-signing path advertises).
+//
+// Wire format of the aggregated mode is specified in DESIGN.md §"Engine".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/keys.h"
+#include "core/min_protocol.h"
+#include "crypto/merkle.h"
+
+namespace pvr::engine {
+
+struct BatchVerifyStats {
+  std::uint64_t messages = 0;       // total messages checked
+  std::uint64_t batches = 0;        // rsa_verify_batch invocations
+  std::uint64_t singletons = 0;     // groups of size 1 (no amortization)
+};
+
+// Batch-checks signed messages against a key directory. Not thread-safe;
+// engine workers each construct their own (construction is free — it only
+// borrows the directory).
+class BatchVerifier {
+ public:
+  explicit BatchVerifier(const core::KeyDirectory* directory);
+
+  // result[i] == core::verify_message(directory, *messages[i]), always.
+  [[nodiscard]] std::vector<bool> verify(
+      std::span<const core::SignedMessage* const> messages);
+  [[nodiscard]] std::vector<bool> verify(
+      std::span<const core::SignedMessage> messages);
+
+  [[nodiscard]] const BatchVerifyStats& stats() const noexcept { return stats_; }
+
+ private:
+  const core::KeyDirectory* directory_;  // not owned
+  BatchVerifyStats stats_;
+};
+
+// ---- Merkle-aggregated commitment bundles ----
+
+// The signed statement: one root over all per-prefix bundles of an epoch.
+struct AggregatedBundle {
+  bgp::AsNumber prover = 0;
+  std::uint64_t epoch = 0;
+  std::uint32_t prefix_count = 0;
+  crypto::Digest root{};
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static AggregatedBundle decode(std::span<const std::uint8_t> data);
+};
+
+// Per-prefix reveal: the bundle itself plus its inclusion proof under the
+// signed root.
+struct AggregatedOpening {
+  core::CommitmentBundle bundle;
+  crypto::MerkleProof proof;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static AggregatedOpening decode(std::span<const std::uint8_t> data);
+};
+
+struct AggregatedCommitment {
+  core::SignedMessage signed_root;          // AggregatedBundle payload
+  std::vector<AggregatedOpening> openings;  // same order as the input bundles
+};
+
+// Prover side: one signature for the whole epoch.
+[[nodiscard]] AggregatedCommitment aggregate_bundles(
+    bgp::AsNumber prover, std::uint64_t epoch,
+    std::span<const core::CommitmentBundle> bundles,
+    const crypto::RsaPrivateKey& key);
+
+// Verifier side for one prefix: checks the root signature, the inclusion
+// proof, and that the opened bundle belongs to (prover, epoch).
+[[nodiscard]] bool verify_aggregated_opening(
+    const core::KeyDirectory& directory, const core::SignedMessage& signed_root,
+    const AggregatedOpening& opening);
+
+// Amortized form: verifies the root signature ONCE and then each opening
+// against it — the per-epoch cost the aggregated mode exists for. Result
+// order matches `openings`; all false if the root itself fails.
+[[nodiscard]] std::vector<bool> verify_aggregated_openings(
+    const core::KeyDirectory& directory, const core::SignedMessage& signed_root,
+    std::span<const AggregatedOpening> openings);
+
+}  // namespace pvr::engine

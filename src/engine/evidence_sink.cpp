@@ -1,0 +1,55 @@
+#include "engine/evidence_sink.h"
+
+#include <utility>
+
+namespace pvr::engine {
+
+void EvidenceSink::record(core::Evidence evidence) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto kind = static_cast<std::size_t>(evidence.kind);
+  if (kind < kKindCount) counts_[kind] += 1;
+  total_ += 1;
+  evidence_.push_back(std::move(evidence));
+}
+
+void EvidenceSink::record_all(std::vector<core::Evidence> evidence) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (core::Evidence& item : evidence) {
+    const auto kind = static_cast<std::size_t>(item.kind);
+    if (kind < kKindCount) counts_[kind] += 1;
+    total_ += 1;
+    evidence_.push_back(std::move(item));
+  }
+}
+
+std::vector<core::Evidence> EvidenceSink::take() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return std::exchange(evidence_, {});
+}
+
+std::vector<core::Evidence> EvidenceSink::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return evidence_;
+}
+
+std::uint64_t EvidenceSink::count(core::ViolationKind kind) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto index = static_cast<std::size_t>(kind);
+  return index < kKindCount ? counts_[index] : 0;
+}
+
+std::uint64_t EvidenceSink::total() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::size_t EvidenceSink::validate_all(const core::Auditor& auditor) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t accepted = 0;
+  for (const core::Evidence& item : evidence_) {
+    if (auditor.validate(item)) accepted += 1;
+  }
+  return accepted;
+}
+
+}  // namespace pvr::engine

@@ -1,0 +1,50 @@
+// Thread-safe Evidence aggregation with per-violation-class counters.
+//
+// Engine workers (and anything else running off the simulator thread) push
+// Evidence here; the Auditor-facing side reads a stable, deterministic log.
+// Counters are commutative, so they are exact under any interleaving; the
+// ordered log is built by the engine's drain step, which records outcomes
+// in submission order regardless of which worker finished first.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/evidence.h"
+
+namespace pvr::engine {
+
+class EvidenceSink {
+ public:
+  // Thread-safe. Evidence is appended in call order; callers that need a
+  // deterministic log must call record in a deterministic order (the
+  // engine's drain does) or sort the result of take().
+  void record(core::Evidence evidence);
+  void record_all(std::vector<core::Evidence> evidence);
+
+  // Moves the accumulated log out (counters are NOT reset).
+  [[nodiscard]] std::vector<core::Evidence> take();
+  [[nodiscard]] std::vector<core::Evidence> snapshot() const;
+
+  [[nodiscard]] std::uint64_t count(core::ViolationKind kind) const;
+  [[nodiscard]] std::uint64_t total() const;
+
+  // Runs every held Evidence through the third-party auditor; returns how
+  // many it accepts (the third-party-provable subset).
+  [[nodiscard]] std::size_t validate_all(const core::Auditor& auditor) const;
+
+ private:
+  // One counter per ViolationKind; derived from the enum's last member so
+  // a new kind cannot silently fall outside the counter array.
+  static constexpr std::size_t kKindCount =
+      static_cast<std::size_t>(core::ViolationKind::kStructuralMismatch) + 1;
+
+  mutable std::mutex mutex_;
+  std::vector<core::Evidence> evidence_;
+  std::array<std::uint64_t, kKindCount> counts_{};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace pvr::engine

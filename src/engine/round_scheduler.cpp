@@ -1,0 +1,121 @@
+#include "engine/round_scheduler.h"
+
+#include <algorithm>
+
+#include "crypto/sha256.h"
+
+namespace pvr::engine {
+
+RoundScheduler::RoundScheduler(SchedulerConfig config) {
+  const std::size_t shards = std::max<std::size_t>(1, config.shards);
+  shard_queues_.resize(shards);
+  shard_busy_.assign(shards, false);
+  shard_totals_.assign(shards, 0);
+
+  std::size_t workers = config.workers;
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+RoundScheduler::~RoundScheduler() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t RoundScheduler::shard_of(const core::ProtocolId& id) const {
+  // Hash (prover, prefix), not the epoch: successive epochs of one
+  // prover's rounds for one prefix must serialize.
+  crypto::ByteWriter writer;
+  writer.put_u32(id.prover);
+  id.prefix.encode(writer);
+  const crypto::Digest digest = crypto::sha256(writer.data());
+  std::uint64_t h = 0;
+  for (std::size_t i = 0; i < 8; ++i) h = (h << 8) | digest[i];
+  return h % shard_queues_.size();
+}
+
+std::size_t RoundScheduler::submit(const core::ProtocolId& id,
+                                   std::function<core::RoundFindings()> work) {
+  const std::size_t shard = shard_of(id);
+  std::size_t ticket;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ticket = tasks_.size();
+    tasks_.push_back(Task{.id = id, .work = std::move(work)});
+    results_.emplace_back();
+    shard_queues_[shard].push_back(ticket);
+    shard_totals_[shard] += 1;
+  }
+  work_cv_.notify_one();
+  return ticket;
+}
+
+bool RoundScheduler::run_one(std::unique_lock<std::mutex>& lock) {
+  // Find a shard that is idle and has queued work. Same-shard tasks are
+  // FIFO and never run concurrently, so per-prefix execution is serial.
+  for (std::size_t shard = 0; shard < shard_queues_.size(); ++shard) {
+    if (shard_busy_[shard] || shard_queues_[shard].empty()) continue;
+    shard_busy_[shard] = true;
+    const std::size_t ticket = shard_queues_[shard].front();
+    shard_queues_[shard].pop_front();
+    Task task = std::move(tasks_[ticket]);
+
+    lock.unlock();
+    RoundOutcome outcome{.id = task.id, .findings = {}, .error = nullptr};
+    try {
+      outcome.findings = task.work();
+    } catch (...) {
+      outcome.error = std::current_exception();
+    }
+    lock.lock();
+
+    results_[ticket] = std::move(outcome);
+    shard_busy_[shard] = false;
+    completed_ += 1;
+    // The shard may have more queued work another worker can now take.
+    if (!shard_queues_[shard].empty()) work_cv_.notify_one();
+    drain_cv_.notify_all();
+    return true;
+  }
+  return false;
+}
+
+void RoundScheduler::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    if (run_one(lock)) continue;
+    if (stopping_) return;
+    work_cv_.wait(lock);
+  }
+}
+
+std::vector<RoundOutcome> RoundScheduler::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drain_cv_.wait(lock, [this] { return completed_ == tasks_.size(); });
+
+  std::vector<RoundOutcome> outcomes;
+  outcomes.reserve(results_.size());
+  for (std::optional<RoundOutcome>& result : results_) {
+    outcomes.push_back(std::move(*result));
+  }
+  tasks_.clear();
+  results_.clear();
+  completed_ = 0;
+  return outcomes;
+}
+
+std::vector<std::uint64_t> RoundScheduler::shard_loads() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return shard_totals_;
+}
+
+}  // namespace pvr::engine

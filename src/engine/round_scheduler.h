@@ -1,0 +1,105 @@
+// Sharded worker pool for (prover, prefix, epoch) verification rounds.
+//
+// The paper's feasibility argument (§4) needs one commitment/reveal round
+// per (prover, prefix, epoch) at Internet scale; this scheduler drains
+// thousands of such rounds through a bounded thread pool. Rounds are
+// sharded by a hash of (prover, prefix) so all rounds of one prover
+// touching one prefix execute serially in submission order (state keyed
+// by (prover, prefix) never needs locks), while other combinations —
+// including the same prefix under a different prover — proceed in
+// parallel.
+//
+// Determinism guarantee (DESIGN.md §"Engine"): drain() returns outcomes in
+// submission order, and each round closure only reads its own snapshot, so
+// the drained sequence — and therefore any Evidence log built from it — is
+// byte-identical for every worker count.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/pvr_speaker.h"
+
+namespace pvr::engine {
+
+struct SchedulerConfig {
+  // 0 = std::thread::hardware_concurrency(). The pool is created once in
+  // the constructor and joined in the destructor.
+  std::size_t workers = 0;
+  std::size_t shards = 64;
+};
+
+// One drained round: the findings plus the identity of the round that
+// produced them, in submission order. A round whose closure threw carries
+// the exception instead of findings — one failing round never discards the
+// results of the others.
+struct RoundOutcome {
+  core::ProtocolId id;
+  core::RoundFindings findings;
+  std::exception_ptr error;  // null on success
+};
+
+class RoundScheduler {
+ public:
+  explicit RoundScheduler(SchedulerConfig config = {});
+  ~RoundScheduler();
+
+  RoundScheduler(const RoundScheduler&) = delete;
+  RoundScheduler& operator=(const RoundScheduler&) = delete;
+
+  // Enqueues one round. Returns the submission ticket (index into the
+  // vector drain() returns). Thread-compatible: submit from one thread.
+  std::size_t submit(const core::ProtocolId& id,
+                     std::function<core::RoundFindings()> work);
+
+  // Blocks until every submitted round has run, then returns all outcomes
+  // in submission order and resets the scheduler for the next batch.
+  // Never throws for round failures: inspect RoundOutcome::error.
+  [[nodiscard]] std::vector<RoundOutcome> drain();
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return workers_.size();
+  }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shard_queues_.size();
+  }
+  [[nodiscard]] std::size_t shard_of(const core::ProtocolId& id) const;
+
+  // Rounds submitted per shard since construction (for balance tests).
+  [[nodiscard]] std::vector<std::uint64_t> shard_loads() const;
+
+ private:
+  struct Task {
+    core::ProtocolId id;
+    std::function<core::RoundFindings()> work;
+  };
+
+  void worker_loop();
+  // Runs one queued task if any shard is runnable. Returns false when
+  // nothing was runnable. Caller must hold `mutex_` (released while the
+  // task body runs, reacquired before returning).
+  bool run_one(std::unique_lock<std::mutex>& lock);
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable drain_cv_;
+  bool stopping_ = false;
+
+  std::vector<Task> tasks_;                        // indexed by ticket
+  std::vector<std::optional<RoundOutcome>> results_;
+  std::vector<std::deque<std::size_t>> shard_queues_;  // tickets, FIFO
+  std::vector<bool> shard_busy_;
+  std::vector<std::uint64_t> shard_totals_;
+  std::size_t completed_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pvr::engine

@@ -1,0 +1,63 @@
+#include "engine/verification_engine.h"
+
+namespace pvr::engine {
+
+VerificationEngine::VerificationEngine(EngineConfig config,
+                                       const core::KeyDirectory* directory)
+    : directory_(directory),
+      scheduler_(SchedulerConfig{.workers = config.workers,
+                                 .shards = config.shards}) {}
+
+bool VerificationEngine::submit_node_round(core::PvrNode& node,
+                                           std::uint64_t epoch) {
+  std::optional<core::DeferredRound> deferred = node.defer_finalize(epoch);
+  if (!deferred.has_value()) return false;
+  const std::size_t ticket =
+      scheduler_.submit(deferred->id, std::move(deferred->work));
+  if (owners_.size() <= ticket) {
+    owners_.resize(ticket + 1, nullptr);
+    epochs_.resize(ticket + 1, 0);
+  }
+  owners_[ticket] = &node;
+  epochs_[ticket] = epoch;
+  return true;
+}
+
+std::size_t VerificationEngine::submit(
+    const core::ProtocolId& id, std::function<core::RoundFindings()> work) {
+  const std::size_t ticket = scheduler_.submit(id, std::move(work));
+  if (owners_.size() <= ticket) {
+    owners_.resize(ticket + 1, nullptr);
+    epochs_.resize(ticket + 1, 0);
+  }
+  return ticket;
+}
+
+EngineReport VerificationEngine::drain() {
+  EngineReport report;
+  report.outcomes = scheduler_.drain();
+  report.rounds = report.outcomes.size();
+  std::exception_ptr first_error;
+  for (std::size_t ticket = 0; ticket < report.outcomes.size(); ++ticket) {
+    RoundOutcome& outcome = report.outcomes[ticket];
+    if (outcome.error) {
+      if (!first_error) first_error = outcome.error;
+      continue;  // a failed round contributes no findings
+    }
+    report.violations += outcome.findings.evidence.size();
+    report.signatures_verified += outcome.findings.signatures_verified;
+    sink_.record_all(outcome.findings.evidence);  // copy into ordered log
+    if (ticket < owners_.size() && owners_[ticket] != nullptr) {
+      owners_[ticket]->apply_round_findings(epochs_[ticket], outcome.findings);
+    }
+  }
+  // Owner bookkeeping must never survive into the next batch (tickets
+  // restart at 0), failed drain or not.
+  owners_.clear();
+  epochs_.clear();
+  // Rethrow only after every successful round's findings were delivered.
+  if (first_error) std::rethrow_exception(first_error);
+  return report;
+}
+
+}  // namespace pvr::engine

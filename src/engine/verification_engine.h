@@ -1,0 +1,78 @@
+// Facade tying the engine together: scheduler + batch verifier + sink.
+//
+// Usage (simulator-integrated):
+//   engine::VerificationEngine engine({.workers = 8}, &keys.directory);
+//   for (PvrNode* node : verifiers) engine.submit_node_round(*node, epoch);
+//   engine.drain();   // findings delivered back to each node, evidence
+//                     // aggregated into engine.sink() in submission order
+//
+// Usage (standalone rounds, e.g. benches):
+//   engine.submit(id, [&] { return check(...); });
+//   EngineReport report = engine.drain();
+//
+// Determinism: outcomes are applied in submission order after the pool has
+// quiesced, so node evidence logs and the sink's log are byte-identical
+// across worker counts (see DESIGN.md §"Engine").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/evidence_sink.h"
+#include "engine/round_scheduler.h"
+
+namespace pvr::engine {
+
+struct EngineConfig {
+  std::size_t workers = 0;  // 0 = hardware concurrency
+  std::size_t shards = 64;
+};
+
+struct EngineReport {
+  std::vector<RoundOutcome> outcomes;  // submission order
+  std::uint64_t rounds = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t signatures_verified = 0;
+};
+
+class VerificationEngine {
+ public:
+  VerificationEngine(EngineConfig config, const core::KeyDirectory* directory);
+
+  // Packages node's deferred finalize for `epoch` (no-op if already
+  // finalized). The findings are handed back to the node during drain().
+  bool submit_node_round(core::PvrNode& node, std::uint64_t epoch);
+
+  // A free-standing round; its evidence goes only to the sink.
+  std::size_t submit(const core::ProtocolId& id,
+                     std::function<core::RoundFindings()> work);
+
+  // Blocks until all submitted rounds have run; applies node findings back
+  // to their nodes, records all evidence into the sink (submission order),
+  // and returns the aggregate report. If any round's closure threw, the
+  // first exception is rethrown AFTER every successful round's findings
+  // were delivered and owner bookkeeping was reset — a failed round loses
+  // only its own findings (its node stays finalized with none).
+  EngineReport drain();
+
+  [[nodiscard]] EvidenceSink& sink() noexcept { return sink_; }
+  [[nodiscard]] const core::KeyDirectory& directory() const noexcept {
+    return *directory_;
+  }
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return scheduler_.worker_count();
+  }
+  [[nodiscard]] const RoundScheduler& scheduler() const noexcept {
+    return scheduler_;
+  }
+
+ private:
+  const core::KeyDirectory* directory_;  // not owned
+  RoundScheduler scheduler_;
+  EvidenceSink sink_;
+  // ticket -> node to deliver findings to (nullptr for free-standing rounds).
+  std::vector<core::PvrNode*> owners_;
+  std::vector<std::uint64_t> epochs_;
+};
+
+}  // namespace pvr::engine

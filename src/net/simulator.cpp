@@ -68,10 +68,14 @@ void Simulator::send(Message message) {
   if (link == nullptr) {
     throw std::logic_error("Simulator::send: no link between nodes");
   }
+  ChannelStats& channel_stats = stats_.per_channel[message.channel];
   stats_.messages_sent += 1;
   stats_.bytes_sent += message.wire_size();
+  channel_stats.messages_sent += 1;
+  channel_stats.bytes_sent += message.wire_size();
   if (link->drop_probability > 0.0 && rng_.coin(link->drop_probability)) {
     stats_.messages_dropped += 1;
+    channel_stats.messages_dropped += 1;
     return;
   }
   const NodeId to = message.to;
@@ -80,6 +84,7 @@ void Simulator::send(Message message) {
              const auto it = nodes_.find(to);
              if (it == nodes_.end()) return;  // node removed mid-flight
              stats_.messages_delivered += 1;
+             stats_.per_channel[msg.channel].messages_delivered += 1;
              it->second->on_message(*this, msg);
            });
 }

@@ -14,6 +14,7 @@
 #include <optional>
 #include <queue>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "crypto/drbg.h"
@@ -23,6 +24,11 @@ namespace pvr::net {
 using NodeId = std::uint32_t;
 using SimTime = std::uint64_t;  // microseconds
 
+// Payloads larger than one chunk (aggregated commitment bundles routinely
+// exceed 64 KiB) are carried in multiple chunks, each with its own header.
+inline constexpr std::size_t kWireChunkPayload = 64 * 1024;
+inline constexpr std::size_t kWireChunkHeader = 6;  // 4B offset + 2B length
+
 struct Message {
   NodeId from = 0;
   NodeId to = 0;
@@ -30,9 +36,13 @@ struct Message {
   std::vector<std::uint8_t> payload;
 
   [[nodiscard]] std::size_t wire_size() const noexcept {
-    // 8 bytes addressing + 2 length fields + channel + payload; close enough
-    // for the byte-overhead experiments.
-    return 16 + channel.size() + payload.size();
+    // 8B addressing + 2B channel length + channel + 4B payload length
+    // (a 2B field could not frame an aggregated bundle) + payload, plus one
+    // chunk header per 64 KiB chunk beyond the first.
+    const std::size_t base = 8 + 2 + channel.size() + 4 + payload.size();
+    const std::size_t extra_chunks =
+        payload.empty() ? 0 : (payload.size() - 1) / kWireChunkPayload;
+    return base + extra_chunks * kWireChunkHeader;
   }
 };
 
@@ -52,11 +62,35 @@ struct LinkConfig {
   double drop_probability = 0.0;
 };
 
+struct ChannelStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
 struct SimStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;
   std::uint64_t bytes_sent = 0;
+  // Per-channel breakdown so experiments can attribute bytes to BGP vs.
+  // PVR vs. gossip traffic (keys are Message::channel values).
+  std::map<std::string, ChannelStats> per_channel;
+
+  // Sums the stats of every channel whose name starts with `prefix`
+  // (e.g. "pvr." covers input/bundle/reveal/export/gossip).
+  [[nodiscard]] ChannelStats channel_group(std::string_view prefix) const {
+    ChannelStats total;
+    for (const auto& [channel, stats] : per_channel) {
+      if (channel.rfind(prefix, 0) != 0) continue;
+      total.messages_sent += stats.messages_sent;
+      total.messages_delivered += stats.messages_delivered;
+      total.messages_dropped += stats.messages_dropped;
+      total.bytes_sent += stats.bytes_sent;
+    }
+    return total;
+  }
 };
 
 class Simulator {

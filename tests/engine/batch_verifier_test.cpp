@@ -1,0 +1,235 @@
+#include "engine/batch_verifier.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/rsa.h"
+
+namespace pvr::engine {
+namespace {
+
+struct BatchWorld {
+  core::AsKeyPairs keys;
+  std::vector<core::SignedMessage> messages;
+};
+
+[[nodiscard]] BatchWorld make_world(std::size_t signers, std::size_t per_signer) {
+  BatchWorld world;
+  std::vector<bgp::AsNumber> asns;
+  for (std::size_t i = 0; i < signers; ++i) {
+    asns.push_back(100 + static_cast<bgp::AsNumber>(i));
+  }
+  crypto::Drbg rng(42, "batch-verifier-test");
+  world.keys = core::generate_keys(asns, rng, 512);
+  for (const bgp::AsNumber asn : asns) {
+    for (std::size_t m = 0; m < per_signer; ++m) {
+      std::vector<std::uint8_t> payload = rng.bytes(40 + m);
+      world.messages.push_back(core::sign_message(
+          asn, world.keys.private_keys.at(asn).priv, std::move(payload)));
+    }
+  }
+  return world;
+}
+
+[[nodiscard]] std::vector<bool> reference_results(const BatchWorld& world) {
+  std::vector<bool> expected;
+  expected.reserve(world.messages.size());
+  for (const core::SignedMessage& message : world.messages) {
+    expected.push_back(core::verify_message(world.keys.directory, message));
+  }
+  return expected;
+}
+
+TEST(BatchVerifierTest, AllValidBatchMatchesPerMessage) {
+  const BatchWorld world = make_world(3, 4);
+  BatchVerifier verifier(&world.keys.directory);
+  EXPECT_EQ(verifier.verify(world.messages), reference_results(world));
+  EXPECT_EQ(verifier.stats().messages, 12u);
+  EXPECT_EQ(verifier.stats().batches, 3u);  // one per signer
+}
+
+TEST(BatchVerifierTest, CorruptedMemberIsolatedExactly) {
+  BatchWorld world = make_world(2, 5);
+  // Corrupt one signature byte, one payload byte, and one signer id.
+  world.messages[3].signature[10] ^= 0x40;
+  world.messages[7].payload[0] ^= 0x01;
+  world.messages[9].signer = 9999;  // unknown to the directory
+  BatchVerifier verifier(&world.keys.directory);
+  const std::vector<bool> results = verifier.verify(world.messages);
+  const std::vector<bool> expected = reference_results(world);
+  ASSERT_EQ(results, expected);
+  EXPECT_FALSE(results[3]);
+  EXPECT_FALSE(results[7]);
+  EXPECT_FALSE(results[9]);
+  // Everything else still verifies.
+  for (const std::size_t i : {0u, 1u, 2u, 4u, 5u, 6u, 8u}) {
+    EXPECT_TRUE(results[i]) << "member " << i;
+  }
+}
+
+TEST(BatchVerifierTest, EmptyAndTruncatedSignatures) {
+  BatchWorld world = make_world(1, 3);
+  world.messages[1].signature.clear();
+  world.messages[2].signature.resize(17);
+  BatchVerifier verifier(&world.keys.directory);
+  EXPECT_EQ(verifier.verify(world.messages), reference_results(world));
+}
+
+// A large-e key (the case a product-test accept would have targeted before
+// it was rejected as unsound in Z_n*; see rsa.h): batched results must
+// still equal per-member rsa_verify exactly.
+TEST(RsaVerifyBatchTest, LargeExponentKeyMatchesPerMember) {
+  crypto::Drbg rng(7, "bgr-test");
+  const crypto::RsaKeyPair base = crypto::generate_rsa_keypair(512, rng);
+
+  // Re-derive a key pair over the same modulus with a ~80-bit exponent.
+  const crypto::Bignum p1 = base.priv.p - crypto::Bignum(1);
+  const crypto::Bignum q1 = base.priv.q - crypto::Bignum(1);
+  const crypto::Bignum phi = p1 * q1;
+  crypto::Bignum e;
+  do {
+    e = rng.random_bits(80);
+    e.set_bit(0);
+  } while (!crypto::Bignum::gcd(e, phi).is_one());
+  const crypto::Bignum d = e.invmod(phi);
+  const crypto::RsaPrivateKey priv{.n = base.priv.n,
+                                   .e = e,
+                                   .d = d,
+                                   .p = base.priv.p,
+                                   .q = base.priv.q,
+                                   .d_p = d % p1,
+                                   .d_q = d % q1,
+                                   .q_inv = base.priv.q_inv};
+  const crypto::RsaPublicKey pub = priv.public_key();
+  ASSERT_GT(pub.e.bit_length(), 64u);
+
+  std::vector<std::vector<std::uint8_t>> payloads;
+  std::vector<std::vector<std::uint8_t>> signatures;
+  for (std::size_t i = 0; i < 6; ++i) {
+    payloads.push_back(rng.bytes(64));
+    signatures.push_back(crypto::rsa_sign(priv, payloads.back()));
+  }
+  signatures[4][0] ^= 0x80;  // corrupt one member
+
+  std::vector<crypto::RsaBatchItem> items;
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    items.push_back({.message = payloads[i], .signature = signatures[i]});
+  }
+  // Boyd–Pavlovski-style forgery: s' = n - s passes a naive product test
+  // half the time (even random exponents), so it must be rejected here.
+  const crypto::Bignum negated =
+      pub.n - crypto::Bignum::from_bytes_be(signatures[0]);
+  const std::vector<std::uint8_t> forged =
+      negated.to_bytes_be(pub.modulus_bytes());
+  items.push_back({.message = payloads[0], .signature = forged});
+
+  const std::vector<bool> results = crypto::rsa_verify_batch(pub, items);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(results[i],
+              crypto::rsa_verify(pub, items[i].message, items[i].signature))
+        << "member " << i;
+    EXPECT_EQ(results[i], i != 4 && i != 6) << "member " << i;
+  }
+}
+
+// ---- Merkle-aggregated bundles ----
+
+[[nodiscard]] core::CommitmentBundle bundle_for(std::uint32_t prefix_index,
+                                                std::uint64_t epoch,
+                                                crypto::Drbg& rng) {
+  core::CommitmentBundle bundle;
+  bundle.id = core::ProtocolId{
+      .prover = 1,
+      .prefix = bgp::Ipv4Prefix(0x0A000000u + (prefix_index << 8), 24),
+      .epoch = epoch};
+  bundle.op = core::OperatorKind::kMinimum;
+  bundle.max_len = 4;
+  for (std::uint32_t i = 0; i < bundle.max_len; ++i) {
+    bundle.bits.push_back(crypto::commit_bit(i >= 1, rng).first);
+  }
+  return bundle;
+}
+
+struct AggregatedWorld {
+  core::AsKeyPairs keys;
+  std::vector<core::CommitmentBundle> bundles;
+  AggregatedCommitment commitment;
+};
+
+[[nodiscard]] AggregatedWorld make_aggregated(std::size_t prefixes,
+                                              std::uint64_t epoch) {
+  AggregatedWorld world;
+  crypto::Drbg key_rng(11, "agg-test-keys");
+  world.keys = core::generate_keys({1, 2}, key_rng, 512);
+  crypto::Drbg commit_rng(12, "agg-test-commits");
+  for (std::uint32_t i = 0; i < prefixes; ++i) {
+    world.bundles.push_back(bundle_for(i, epoch, commit_rng));
+  }
+  world.commitment = aggregate_bundles(1, epoch, world.bundles,
+                                       world.keys.private_keys.at(1).priv);
+  return world;
+}
+
+TEST(AggregatedBundleTest, AllOpeningsVerify) {
+  const AggregatedWorld world = make_aggregated(9, 5);
+  ASSERT_EQ(world.commitment.openings.size(), 9u);
+  for (const AggregatedOpening& opening : world.commitment.openings) {
+    EXPECT_TRUE(verify_aggregated_opening(
+        world.keys.directory, world.commitment.signed_root, opening));
+  }
+  // The amortized form agrees with the per-opening form.
+  const std::vector<bool> batched = verify_aggregated_openings(
+      world.keys.directory, world.commitment.signed_root,
+      world.commitment.openings);
+  EXPECT_EQ(batched, std::vector<bool>(9, true));
+}
+
+TEST(AggregatedBundleTest, TamperedBundleRejected) {
+  AggregatedWorld world = make_aggregated(4, 1);
+  AggregatedOpening tampered = world.commitment.openings[2];
+  tampered.bundle.max_len += 1;
+  EXPECT_FALSE(verify_aggregated_opening(
+      world.keys.directory, world.commitment.signed_root, tampered));
+}
+
+TEST(AggregatedBundleTest, CrossEpochTransplantRejected) {
+  // A valid opening from epoch 1 must not verify against epoch 2's root.
+  const AggregatedWorld epoch1 = make_aggregated(4, 1);
+  const AggregatedWorld epoch2 = make_aggregated(4, 2);
+  EXPECT_FALSE(verify_aggregated_opening(epoch1.keys.directory,
+                                         epoch2.commitment.signed_root,
+                                         epoch1.commitment.openings[0]));
+}
+
+TEST(AggregatedBundleTest, ForgedRootSignatureRejected) {
+  AggregatedWorld world = make_aggregated(4, 1);
+  core::SignedMessage forged = world.commitment.signed_root;
+  forged.signature[5] ^= 0x10;
+  EXPECT_FALSE(verify_aggregated_opening(world.keys.directory, forged,
+                                         world.commitment.openings[0]));
+  const std::vector<bool> batched = verify_aggregated_openings(
+      world.keys.directory, forged, world.commitment.openings);
+  EXPECT_EQ(batched, std::vector<bool>(4, false));
+}
+
+TEST(AggregatedBundleTest, OpeningRoundTripsOnWire) {
+  const AggregatedWorld world = make_aggregated(5, 3);
+  const AggregatedOpening& original = world.commitment.openings[3];
+  const AggregatedOpening decoded =
+      AggregatedOpening::decode(original.encode());
+  EXPECT_EQ(decoded.bundle.id, original.bundle.id);
+  EXPECT_EQ(decoded.bundle.bits, original.bundle.bits);
+  EXPECT_EQ(decoded.proof, original.proof);
+  EXPECT_TRUE(verify_aggregated_opening(
+      world.keys.directory, world.commitment.signed_root, decoded));
+
+  const AggregatedBundle root =
+      AggregatedBundle::decode(world.commitment.signed_root.payload);
+  const AggregatedBundle root2 = AggregatedBundle::decode(root.encode());
+  EXPECT_EQ(root2.prover, root.prover);
+  EXPECT_EQ(root2.epoch, root.epoch);
+  EXPECT_EQ(root2.prefix_count, root.prefix_count);
+  EXPECT_EQ(root2.root, root.root);
+}
+
+}  // namespace
+}  // namespace pvr::engine

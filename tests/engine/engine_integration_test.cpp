@@ -1,0 +1,237 @@
+// Engine-backed finalize over the lossy-network scenarios: the parallel
+// engine must reproduce the sequential finalize_round verdicts exactly,
+// byte for byte, under message loss, equivocation, and duplicate delivery.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/evidence.h"
+#include "core/pvr_speaker.h"
+#include "engine/verification_engine.h"
+
+namespace pvr::engine {
+namespace {
+
+using core::Evidence;
+using core::Figure1Handles;
+using core::Figure1Setup;
+using core::Figure1World;
+using core::ViolationKind;
+
+[[nodiscard]] bgp::Route route_len(std::size_t length, bgp::AsNumber origin_as,
+                                   const bgp::Ipv4Prefix& prefix) {
+  std::vector<bgp::AsNumber> hops;
+  hops.push_back(origin_as);
+  for (std::size_t i = 1; i < length; ++i) {
+    hops.push_back(static_cast<bgp::AsNumber>(5000 + i));
+  }
+  return bgp::Route{.prefix = prefix,
+                    .path = bgp::AsPath(std::move(hops)),
+                    .next_hop = origin_as,
+                    .local_pref = 100,
+                    .med = 0,
+                    .origin = bgp::Origin::kIgp,
+                    .communities = {}};
+}
+
+// Runs the equivocating-prover round over a degraded verifier mesh (the
+// scenario from tests/integration/lossy_network_test.cpp) and returns the
+// world, quiesced and ready to finalize.
+[[nodiscard]] Figure1Handles run_lossy_equivocation_world() {
+  Figure1Setup setup{.seed = 32, .provider_count = 4};
+  setup.misbehavior = {.equivocate = true};
+  Figure1Handles handles = core::make_figure1_world(setup);
+  Figure1World& world = *handles.world;
+
+  // Reduce the verifier mesh to a line: N1-N2-N3-N4-B.
+  std::vector<bgp::AsNumber> verifiers = world.providers;
+  verifiers.push_back(world.recipient);
+  for (std::size_t i = 0; i < verifiers.size(); ++i) {
+    for (std::size_t j = i + 1; j < verifiers.size(); ++j) {
+      if (j != i + 1) world.sim.disconnect(verifiers[i], verifiers[j]);
+    }
+  }
+
+  world.sim.schedule(0, [&world, &handles] {
+    const std::vector<std::size_t> lengths = {3, 4, 5, 6};
+    for (std::size_t i = 0; i < world.providers.size(); ++i) {
+      world.node(world.providers[i])
+          .provide_input(world.sim, 1, handles.prefix,
+                         route_len(lengths[i], world.providers[i],
+                                   handles.prefix));
+    }
+    world.node(world.prover).start_round(world.sim, 1, handles.prefix);
+  });
+  world.sim.run();
+  return handles;
+}
+
+[[nodiscard]] std::string evidence_fingerprint(const std::vector<Evidence>& log) {
+  std::string out;
+  for (const Evidence& item : log) {
+    out += item.to_string() + "\n";
+    for (const core::SignedMessage& message : item.messages) {
+      out += crypto::to_hex(message.encode()) + "\n";
+    }
+  }
+  return out;
+}
+
+TEST(EngineIntegrationTest, MatchesSequentialFinalizeUnderEquivocation) {
+  // Two identical worlds (same seed => byte-identical message history):
+  // one finalized sequentially, one through the 8-worker engine.
+  Figure1Handles sequential = run_lossy_equivocation_world();
+  Figure1Handles engined = run_lossy_equivocation_world();
+
+  std::vector<bgp::AsNumber> verifiers = sequential.world->providers;
+  verifiers.push_back(sequential.world->recipient);
+
+  for (const bgp::AsNumber verifier : verifiers) {
+    sequential.world->node(verifier).finalize_round(1);
+  }
+
+  VerificationEngine engine({.workers = 8},
+                            &engined.keys->directory);
+  for (const bgp::AsNumber verifier : verifiers) {
+    EXPECT_TRUE(engine.submit_node_round(engined.world->node(verifier), 1));
+  }
+  const EngineReport report = engine.drain();
+  EXPECT_EQ(report.rounds, verifiers.size());
+
+  // Every verifier's evidence log must be byte-identical to the sequential
+  // run's.
+  for (const bgp::AsNumber verifier : verifiers) {
+    EXPECT_EQ(
+        evidence_fingerprint(engined.world->node(verifier).evidence()),
+        evidence_fingerprint(sequential.world->node(verifier).evidence()))
+        << "verifier " << verifier;
+    EXPECT_FALSE(engined.world->node(verifier).evidence().empty());
+  }
+
+  // The sink aggregates everything the nodes saw, with per-class counters.
+  EXPECT_EQ(engine.sink().total(), report.violations);
+  EXPECT_GT(engine.sink().count(ViolationKind::kEquivocation), 0u);
+
+  // Equivocation evidence is third-party provable: the auditor accepts it.
+  const core::Auditor auditor(&engined.keys->directory);
+  EXPECT_GT(engine.sink().validate_all(auditor), 0u);
+}
+
+TEST(EngineIntegrationTest, TotalLossYieldsOnlyLivenessFindings) {
+  // The total-loss scenario: links severed after inputs, so bundle and
+  // reveals never arrive; the engine path must report the same
+  // non-provable liveness faults as sequential finalize.
+  Figure1Handles handles = core::make_figure1_world({.seed = 31});
+  Figure1World& world = *handles.world;
+
+  world.sim.schedule(0, [&world, &handles] {
+    const std::vector<std::size_t> lengths = {4, 2, 6};
+    for (std::size_t i = 0; i < world.providers.size(); ++i) {
+      world.node(world.providers[i])
+          .provide_input(world.sim, 1, handles.prefix,
+                         route_len(lengths[i], world.providers[i],
+                                   handles.prefix));
+    }
+    world.node(world.prover).start_round(world.sim, 1, handles.prefix);
+  });
+  world.sim.schedule(5'000, [&world] {
+    for (const bgp::AsNumber provider : world.providers) {
+      world.sim.disconnect(world.prover, provider);
+    }
+    world.sim.disconnect(world.prover, world.recipient);
+  });
+  try {
+    world.sim.run();
+  } catch (const std::logic_error&) {
+    // expected: the prover sent on a severed link
+  }
+
+  VerificationEngine engine({.workers = 4}, &handles.keys->directory);
+  for (const bgp::AsNumber provider : world.providers) {
+    EXPECT_TRUE(engine.submit_node_round(world.node(provider), 1));
+  }
+  (void)engine.drain();
+
+  const core::Auditor auditor(&handles.keys->directory);
+  for (const bgp::AsNumber provider : world.providers) {
+    const auto& evidence = world.node(provider).evidence();
+    ASSERT_FALSE(evidence.empty());
+    for (const Evidence& item : evidence) {
+      EXPECT_EQ(item.kind, ViolationKind::kMissingReveal);
+      EXPECT_FALSE(auditor.validate(item));
+    }
+  }
+  EXPECT_EQ(engine.sink().count(ViolationKind::kMissingReveal),
+            engine.sink().total());
+}
+
+TEST(EngineIntegrationTest, FailedRoundDoesNotCorruptNextBatch) {
+  core::AsKeyPairs keys;
+  crypto::Drbg key_rng(5, "engine-error-test");
+  keys = core::generate_keys({1}, key_rng, 512);
+  VerificationEngine engine({.workers = 2}, &keys.directory);
+
+  const core::ProtocolId id{.prover = 1,
+                            .prefix = bgp::Ipv4Prefix::parse("10.0.0.0/24"),
+                            .epoch = 1};
+  engine.submit(id, [] { return core::RoundFindings{}; });
+  engine.submit(id, []() -> core::RoundFindings {
+    throw std::runtime_error("boom");
+  });
+  EXPECT_THROW((void)engine.drain(), std::runtime_error);
+
+  // After a failed batch the engine must still deliver the next batch's
+  // findings correctly (tickets restart at 0; no stale owner state).
+  engine.submit(id, [] {
+    core::RoundFindings findings;
+    findings.evidence.push_back(core::Evidence{
+        .kind = core::ViolationKind::kBadOpening,
+        .accused = 1,
+        .reporter = 2,
+        .index = 1,
+        .messages = {},
+        .detail = "post-error round"});
+    return findings;
+  });
+  const EngineReport report = engine.drain();
+  EXPECT_EQ(report.rounds, 1u);
+  EXPECT_EQ(report.violations, 1u);
+  EXPECT_EQ(engine.sink().count(core::ViolationKind::kBadOpening), 1u);
+}
+
+TEST(EngineIntegrationTest, DeferFinalizeIsIdempotent) {
+  Figure1Handles handles = core::make_figure1_world({.seed = 33});
+  Figure1World& world = *handles.world;
+  world.sim.schedule(0, [&world, &handles] {
+    for (std::size_t i = 0; i < world.providers.size(); ++i) {
+      world.node(world.providers[i])
+          .provide_input(world.sim, 1, handles.prefix,
+                         route_len(2 + i, world.providers[i], handles.prefix));
+    }
+    world.node(world.prover).start_round(world.sim, 1, handles.prefix);
+  });
+  world.sim.run();
+
+  core::PvrNode& provider = world.node(world.providers[0]);
+  VerificationEngine engine({.workers = 2}, &handles.keys->directory);
+  EXPECT_TRUE(engine.submit_node_round(provider, 1));
+  // Second deferred submit and a direct finalize are both no-ops now.
+  EXPECT_FALSE(engine.submit_node_round(provider, 1));
+  provider.finalize_round(1);
+  (void)engine.drain();
+  EXPECT_TRUE(provider.evidence().empty());  // honest round, one evaluation
+
+  // The deferred id carries the real round identity for sharding.
+  core::PvrNode& other = world.node(world.providers[1]);
+  const std::optional<core::DeferredRound> deferred = other.defer_finalize(1);
+  ASSERT_TRUE(deferred.has_value());
+  EXPECT_EQ(deferred->id.prover, world.prover);
+  EXPECT_EQ(deferred->id.prefix, handles.prefix);
+  EXPECT_EQ(deferred->id.epoch, 1u);
+  other.apply_round_findings(1, deferred->work());
+  EXPECT_TRUE(other.evidence().empty());
+}
+
+}  // namespace
+}  // namespace pvr::engine
