@@ -11,6 +11,7 @@
 
 #include "bench_common.h"
 #include "bgp/speaker.h"
+#include "core/pvr_speaker.h"
 #include "engine/verification_engine.h"
 
 namespace pvr::bench {
@@ -145,6 +146,81 @@ struct ScaleRow {
   return row;
 }
 
+// ---- Wire-mode comparison: aggregated bundles + root gossip vs legacy ----
+//
+// A Figure-1 neighborhood pushes `kWirePrefixes` concurrent rounds through
+// one epoch window over the simulated network. In legacy mode every
+// per-prefix signed bundle is sent AND gossiped in full across the
+// verifier mesh; in aggregated mode (the default) the prover sends one
+// signed Merkle root plus per-prefix openings (pvr.bundle.agg) and the
+// mesh gossips only the small signed roots (pvr.gossip.root).
+
+constexpr std::size_t kWireProviders = 6;
+constexpr std::size_t kWirePrefixes = 12;
+
+struct WireRow {
+  std::uint64_t bundle_msgs = 0;   // direct bundle-path messages
+  std::uint64_t bundle_bytes = 0;
+  std::uint64_t gossip_msgs = 0;   // mesh gossip messages
+  std::uint64_t gossip_bytes = 0;
+  std::uint64_t violations = 0;
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return bundle_bytes + gossip_bytes;
+  }
+};
+
+[[nodiscard]] bgp::Route wire_route(std::size_t length, bgp::AsNumber origin_as,
+                                    const bgp::Ipv4Prefix& prefix) {
+  bgp::Route route = route_len(length, origin_as);
+  route.prefix = prefix;
+  return route;
+}
+
+[[nodiscard]] WireRow run_wire_mode(bool aggregate) {
+  core::Figure1Setup setup{.seed = 77, .provider_count = kWireProviders};
+  setup.aggregate_wire_bundles = aggregate;
+  core::Figure1Handles handles = core::make_figure1_world(setup);
+  core::Figure1World& world = *handles.world;
+
+  std::vector<bgp::Ipv4Prefix> prefixes;
+  for (std::size_t p = 0; p < kWirePrefixes; ++p) {
+    prefixes.emplace_back(0xCB007100u + (static_cast<std::uint32_t>(p) << 8), 24);
+  }
+  world.sim.schedule(0, [&world, &prefixes] {
+    for (std::size_t p = 0; p < prefixes.size(); ++p) {
+      for (std::size_t i = 0; i < world.providers.size(); ++i) {
+        world.node(world.providers[i])
+            .provide_input(world.sim, 1, prefixes[p],
+                           wire_route(2 + (p + i) % 6, world.providers[i],
+                                      prefixes[p]));
+      }
+      world.node(world.prover).start_round(world.sim, 1, prefixes[p]);
+    }
+  });
+  world.sim.run();
+
+  // Submit every prefix round before one drain so distinct prefixes run on
+  // distinct shards concurrently.
+  engine::VerificationEngine engine({.workers = 8}, &handles.keys->directory);
+  for (const bgp::Ipv4Prefix& prefix : prefixes) {
+    engine::submit_world_round(
+        engine, world,
+        core::ProtocolId{.prover = world.prover, .prefix = prefix, .epoch = 1});
+  }
+  WireRow row;
+  row.violations = engine.drain().violations;
+
+  const auto bundle_stats = world.sim.stats().channel_group(
+      aggregate ? core::kBundleAggChannel : core::kBundleChannel);
+  const auto gossip_stats = world.sim.stats().channel_group(
+      aggregate ? core::kGossipRootChannel : core::kGossipChannel);
+  row.bundle_msgs = bundle_stats.messages_sent;
+  row.bundle_bytes = bundle_stats.bytes_sent;
+  row.gossip_msgs = gossip_stats.messages_sent;
+  row.gossip_bytes = gossip_stats.bytes_sent;
+  return row;
+}
+
 }  // namespace
 }  // namespace pvr::bench
 
@@ -173,5 +249,51 @@ int main() {
               "signatures, §3.8) independent of topology size; wire overhead\n"
               "grows linearly with the number of verifying neighborhoods;\n"
               "0 violations with honest speakers.\n");
-  return 0;
+
+  // ---- Aggregated wire mode vs legacy full-bundle gossip -------------------
+  std::printf("\nbundle wire modes: %zu providers, %zu concurrent prefixes, "
+              "one epoch window\n",
+              static_cast<std::size_t>(pvr::bench::kWireProviders),
+              static_cast<std::size_t>(pvr::bench::kWirePrefixes));
+  std::printf("%-11s %-12s %-13s %-12s %-13s %-12s %-6s\n", "mode",
+              "bundle_msgs", "bundle_bytes", "gossip_msgs", "gossip_bytes",
+              "total_bytes", "viol");
+  const WireRow legacy = run_wire_mode(false);
+  const WireRow aggregated = run_wire_mode(true);
+  const auto print_row = [](const char* mode, const WireRow& row) {
+    std::printf("%-11s %-12llu %-13llu %-12llu %-13llu %-12llu %-6llu\n", mode,
+                static_cast<unsigned long long>(row.bundle_msgs),
+                static_cast<unsigned long long>(row.bundle_bytes),
+                static_cast<unsigned long long>(row.gossip_msgs),
+                static_cast<unsigned long long>(row.gossip_bytes),
+                static_cast<unsigned long long>(row.total_bytes()),
+                static_cast<unsigned long long>(row.violations));
+  };
+  print_row("per-prefix", legacy);
+  print_row("aggregated", aggregated);
+  const double gossip_reduction =
+      aggregated.gossip_bytes == 0
+          ? 0.0
+          : static_cast<double>(legacy.gossip_bytes) /
+                static_cast<double>(aggregated.gossip_bytes);
+  const double total_reduction =
+      aggregated.total_bytes() == 0
+          ? 0.0
+          : static_cast<double>(legacy.total_bytes()) /
+                static_cast<double>(aggregated.total_bytes());
+  std::printf("root gossip cuts mesh gossip bytes %.1fx and total bundle-path "
+              "bytes %.1fx\n",
+              gossip_reduction, total_reduction);
+  std::printf("{\"bench\":\"internet_scale\",\"wire_prefixes\":%zu,"
+              "\"legacy_bundle_path_bytes\":%llu,"
+              "\"agg_bundle_path_bytes\":%llu,"
+              "\"gossip_byte_reduction\":%.2f,"
+              "\"total_byte_reduction\":%.2f,\"violations\":%llu}\n",
+              static_cast<std::size_t>(pvr::bench::kWirePrefixes),
+              static_cast<unsigned long long>(legacy.total_bytes()),
+              static_cast<unsigned long long>(aggregated.total_bytes()),
+              gossip_reduction, total_reduction,
+              static_cast<unsigned long long>(legacy.violations +
+                                              aggregated.violations));
+  return legacy.violations + aggregated.violations == 0 ? 0 : 1;
 }

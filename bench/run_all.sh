@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
-# Builds (if needed) and runs every bench_* binary, emitting one JSON line
-# per bench to stdout and to <build-dir>/bench_results.jsonl — the format
-# future BENCH_*.json trajectory tracking consumes.
+# Builds (if needed) and runs every bench_* binary, emitting JSON lines to
+# stdout and to <build-dir>/bench_results.jsonl — the format the BENCH_*.json
+# trajectory tracking consumes.
+#
+# Every JSON line a bench prints is forwarded (multi-line sweeps like
+# bench_engine_throughput produce several rows), plus one synthesized
+# metadata line per bench carrying ok/seconds, so a bench that crashes after
+# printing rows can never masquerade as ok:true.
 #
 # Usage: bench/run_all.sh [build-dir]   (default: ./build)
-set -u
+set -uo pipefail
 
 BUILD_DIR="${1:-build}"
 if [ ! -d "${BUILD_DIR}" ]; then
@@ -30,13 +35,12 @@ for bench in "${BUILD_DIR}"/bench_*; do
   fi
   end="$(date +%s.%N)"
   elapsed="$(echo "${end} ${start}" | awk '{printf "%.2f", $1 - $2}')"
-  # If the bench printed its own JSON line (e.g. bench_engine_throughput),
-  # forward it verbatim; otherwise synthesize one from the run metadata.
-  json_line="$(grep -E '^\{.*\}$' "${BUILD_DIR}/${name}.out" | tail -1)"
-  if [ -z "${json_line}" ]; then
-    json_line="{\"bench\":\"${name}\",\"ok\":${ok},\"seconds\":${elapsed}}"
-  fi
-  echo "${json_line}" | tee -a "${RESULTS}"
+  # Forward every JSON line the bench printed, verbatim.
+  grep -E '^\{.*\}$' "${BUILD_DIR}/${name}.out" | tee -a "${RESULTS}" || true
+  # Always append the run metadata line; it is the authoritative ok/fail
+  # record for this bench.
+  echo "{\"bench\":\"${name}\",\"ok\":${ok},\"seconds\":${elapsed}}" \
+    | tee -a "${RESULTS}"
 done
 
 echo "wrote $(wc -l < "${RESULTS}") bench results to ${RESULTS}" >&2

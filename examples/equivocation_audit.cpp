@@ -11,6 +11,7 @@
 
 #include "core/evidence.h"
 #include "core/pvr_speaker.h"
+#include "engine/verification_engine.h"
 
 namespace {
 
@@ -49,12 +50,16 @@ std::vector<core::Evidence> run_world(bool equivocate) {
   });
   world.sim.run();
 
+  // Engine-default finalize: all verifiers' checks run through the
+  // sharded worker pool, findings land back on each node.
+  engine::VerificationEngine engine({.workers = 4}, &handles.keys->directory);
+  engine::finalize_world_round(engine, world, handles.round_id(1));
+
   std::vector<core::Evidence> all;
   std::vector<bgp::AsNumber> verifiers = world.providers;
   verifiers.push_back(world.recipient);
   const core::Auditor auditor(&handles.keys->directory);
   for (const bgp::AsNumber verifier : verifiers) {
-    world.node(verifier).finalize_round(1);
     for (const core::Evidence& evidence : world.node(verifier).evidence()) {
       std::printf("  %s\n", evidence.to_string().c_str());
       std::printf("    third-party auditor: %s\n",

@@ -13,6 +13,7 @@
 
 #include "core/evidence.h"
 #include "core/pvr_speaker.h"
+#include "engine/verification_engine.h"
 
 namespace {
 
@@ -57,12 +58,16 @@ void run_scenario(const char* title, const core::ProverMisbehavior& misbehavior)
   });
   world.sim.run();
 
+  // Finalize through the verification engine — the default path for
+  // simulator-driven rounds (finalize_round is the sequential fallback).
+  engine::VerificationEngine engine({.workers = 4}, &handles.keys->directory);
+  engine::finalize_world_round(engine, world, handles.round_id(1));
+
   std::vector<bgp::AsNumber> verifiers = world.providers;
   verifiers.push_back(world.recipient);
   const core::Auditor auditor(&handles.keys->directory);
   bool any_violation = false;
   for (const bgp::AsNumber verifier : verifiers) {
-    world.node(verifier).finalize_round(1);
     for (const core::Evidence& evidence : world.node(verifier).evidence()) {
       any_violation = true;
       std::printf("  DETECTED: %s\n", evidence.to_string().c_str());
@@ -72,7 +77,8 @@ void run_scenario(const char* title, const core::ProverMisbehavior& misbehavior)
     }
   }
 
-  const auto accepted = world.node(world.recipient).accepted_route(1);
+  const auto accepted =
+      world.node(world.recipient).accepted_route(handles.round_id(1));
   if (accepted) {
     std::printf("  B accepted: %s\n", accepted->to_string().c_str());
   } else {

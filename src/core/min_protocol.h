@@ -41,16 +41,26 @@ namespace pvr::core {
 
 enum class OperatorKind : std::uint8_t { kExistential = 0, kMinimum = 1 };
 
-// Identifies one protocol round.
+// Identifies one protocol round. Totally ordered (prover, prefix, epoch)
+// and hashable so node and engine state can be keyed by the full round
+// identity — keying by epoch alone collides concurrent rounds for
+// different prefixes or provers.
 struct ProtocolId {
   bgp::AsNumber prover = 0;
   bgp::Ipv4Prefix prefix;
   std::uint64_t epoch = 0;
 
   [[nodiscard]] bool operator==(const ProtocolId&) const = default;
+  [[nodiscard]] auto operator<=>(const ProtocolId&) const = default;
   [[nodiscard]] std::string gossip_topic() const;
   void encode(crypto::ByteWriter& writer) const;
   [[nodiscard]] static ProtocolId decode(crypto::ByteReader& reader);
+};
+
+// Hash for unordered containers keyed by ProtocolId (and the engine's
+// shard assignment, which hashes the (prover, prefix) projection).
+struct ProtocolIdHash {
+  [[nodiscard]] std::size_t operator()(const ProtocolId& id) const noexcept;
 };
 
 // ---- Wire payloads (each travels inside a SignedMessage) ----

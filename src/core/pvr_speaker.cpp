@@ -6,6 +6,51 @@
 
 namespace pvr::core {
 
+namespace {
+
+// Gossip payloads carry a 1-byte relay hop count ahead of the signed
+// envelope so the flood is bounded by PvrConfig::gossip_hop_budget.
+[[nodiscard]] std::vector<std::uint8_t> wrap_hops(
+    std::uint8_t hops, const std::vector<std::uint8_t>& envelope) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(1 + envelope.size());
+  payload.push_back(hops);
+  payload.insert(payload.end(), envelope.begin(), envelope.end());
+  return payload;
+}
+
+struct UnwrappedGossip {
+  std::uint8_t hops = 0;
+  SignedMessage envelope;
+};
+
+[[nodiscard]] std::optional<UnwrappedGossip> unwrap_hops(
+    const std::vector<std::uint8_t>& payload) {
+  if (payload.empty()) return std::nullopt;
+  try {
+    return UnwrappedGossip{
+        .hops = payload.front(),
+        .envelope = SignedMessage::decode(
+            std::span(payload).subspan(1))};
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+// Appends `envelope` to `store` unless an identical payload is already
+// present. Returns true when the envelope is new.
+[[nodiscard]] bool remember_distinct(std::vector<SignedMessage>& store,
+                                     const SignedMessage& envelope) {
+  const bool is_new =
+      std::none_of(store.begin(), store.end(), [&](const SignedMessage& seen) {
+        return seen.payload == envelope.payload;
+      });
+  if (is_new) store.push_back(envelope);
+  return is_new;
+}
+
+}  // namespace
+
 PvrNode::PvrNode(PvrConfig config)
     : config_(std::move(config)),
       rng_(config_.rng_seed ^ config_.asn, "pvr-node") {
@@ -41,16 +86,17 @@ void PvrNode::provide_input(net::Simulator& sim, std::uint64_t epoch,
   if (config_.role != PvrRole::kProvider) {
     throw std::logic_error("provide_input: not a provider");
   }
+  const ProtocolId id{.prover = config_.prover, .prefix = prefix, .epoch = epoch};
   if (!route.has_value()) {
-    rounds_[epoch].own_input = std::nullopt;
+    rounds_[id].own_input = std::nullopt;
     return;
   }
   const InputAnnouncement announcement{
-      .id = {.prover = config_.prover, .prefix = prefix, .epoch = epoch},
+      .id = id,
       .provider = config_.asn,
       .route = *route,
   };
-  rounds_[epoch].own_input = announcement;
+  rounds_[id].own_input = announcement;
   const SignedMessage signed_input =
       sign_message(config_.asn, *config_.private_key, announcement.encode());
   send(sim, config_.prover, kInputChannel, signed_input.encode());
@@ -61,73 +107,252 @@ void PvrNode::start_round(net::Simulator& sim, std::uint64_t epoch,
   if (config_.role != PvrRole::kProver) {
     throw std::logic_error("start_round: not the prover");
   }
-  collected_inputs_.try_emplace(epoch);
-  sim.schedule_after(config_.collect_window, [this, &sim, epoch, prefix] {
-    run_prover_now(sim, epoch, prefix);
-  });
-}
-
-void PvrNode::run_prover_now(net::Simulator& sim, std::uint64_t epoch,
-                             const bgp::Ipv4Prefix& prefix) {
   const ProtocolId id{.prover = config_.asn, .prefix = prefix, .epoch = epoch};
-
-  // Normalize the collected inputs: one entry per configured provider.
-  std::map<bgp::AsNumber, std::optional<SignedMessage>> inputs;
-  const auto& collected = collected_inputs_[epoch];
-  for (const bgp::AsNumber provider : config_.providers) {
-    const auto it = collected.find(provider);
-    inputs[provider] =
-        it == collected.end() ? std::nullopt : it->second;
+  // A round already run must never be re-committed: a second window
+  // claiming the same prefix would be self-equivocation.
+  if (rounds_run_.contains(id)) return;
+  collected_inputs_.try_emplace(id);
+  auto& pending = pending_rounds_[epoch];
+  const bool window_open = !pending.empty();
+  if (std::find(pending.begin(), pending.end(), prefix) == pending.end()) {
+    pending.push_back(prefix);
   }
-
-  const ProverResult result =
-      run_prover(id, config_.op, inputs, config_.max_len, *config_.private_key,
-                 rng_, config_.misbehavior);
-
-  // Publish the bundle. When equivocating, the first half of the providers
-  // get the conflicting bundle.
-  const std::size_t half = config_.providers.size() / 2;
-  for (std::size_t i = 0; i < config_.providers.size(); ++i) {
-    const SignedMessage& bundle =
-        (result.equivocating_bundle.has_value() && i < half)
-            ? *result.equivocating_bundle
-            : result.signed_bundle;
-    send(sim, config_.providers[i], kBundleChannel, bundle.encode());
+  if (!window_open) {
+    sim.schedule_after(config_.collect_window, [this, &sim, epoch] {
+      run_prover_batch(sim, epoch);
+    });
   }
-  send(sim, config_.recipient, kBundleChannel, result.signed_bundle.encode());
-
-  // Reveals.
-  for (const auto& [provider, reveal] : result.provider_reveals) {
-    send(sim, provider, kRevealProviderChannel, reveal.encode());
-  }
-  send(sim, config_.recipient, kRevealRecipientChannel,
-       result.recipient_reveal.encode());
-  send(sim, config_.recipient, kExportChannel, result.export_statement.encode());
 }
 
-void PvrNode::observe_bundle(net::Simulator& sim, const SignedMessage& bundle) {
+void PvrNode::run_prover_batch(net::Simulator& sim, std::uint64_t epoch) {
+  const std::vector<bgp::Ipv4Prefix> prefixes =
+      std::move(pending_rounds_[epoch]);
+  pending_rounds_.erase(epoch);
+
+  struct PrefixRound {
+    ProtocolId id;
+    ProverResult result;
+  };
+  std::vector<PrefixRound> batch;
+  batch.reserve(prefixes.size());
+  for (const bgp::Ipv4Prefix& prefix : prefixes) {
+    const ProtocolId id{.prover = config_.asn, .prefix = prefix, .epoch = epoch};
+
+    // Normalize the collected inputs: one entry per configured provider.
+    std::map<bgp::AsNumber, std::optional<SignedMessage>> inputs;
+    const auto& collected = collected_inputs_[id];
+    for (const bgp::AsNumber provider : config_.providers) {
+      const auto it = collected.find(provider);
+      inputs[provider] = it == collected.end() ? std::nullopt : it->second;
+    }
+
+    rounds_run_.insert(id);
+    batch.push_back(PrefixRound{
+        .id = id,
+        .result = run_prover(id, config_.op, inputs, config_.max_len,
+                             *config_.private_key, rng_, config_.misbehavior)});
+  }
+  if (batch.empty()) return;
+
+  // Publish the bundles. When equivocating, the first half of the providers
+  // get the conflicting variant.
+  const std::size_t half = config_.providers.size() / 2;
+  if (config_.aggregate_wire_bundles) {
+    const std::uint32_t window = next_batch_[epoch]++;
+    std::vector<SignedMessage> honest;
+    std::vector<SignedMessage> variant;
+    bool equivocating = false;
+    for (const PrefixRound& round : batch) {
+      honest.push_back(round.result.signed_bundle);
+      variant.push_back(round.result.equivocating_bundle.has_value()
+                            ? *round.result.equivocating_bundle
+                            : round.result.signed_bundle);
+      equivocating |= round.result.equivocating_bundle.has_value();
+    }
+    const AggregatedBundleMessage agg_honest = aggregate_signed_bundles(
+        config_.asn, epoch, window, honest, *config_.private_key);
+    std::optional<AggregatedBundleMessage> agg_variant;
+    if (equivocating) {
+      agg_variant = aggregate_signed_bundles(config_.asn, epoch, window,
+                                             variant, *config_.private_key);
+    }
+    for (std::size_t i = 0; i < config_.providers.size(); ++i) {
+      const AggregatedBundleMessage& message =
+          (agg_variant.has_value() && i < half) ? *agg_variant : agg_honest;
+      send(sim, config_.providers[i], kBundleAggChannel, message.encode());
+    }
+    send(sim, config_.recipient, kBundleAggChannel, agg_honest.encode());
+  } else {
+    for (const PrefixRound& round : batch) {
+      for (std::size_t i = 0; i < config_.providers.size(); ++i) {
+        const SignedMessage& bundle =
+            (round.result.equivocating_bundle.has_value() && i < half)
+                ? *round.result.equivocating_bundle
+                : round.result.signed_bundle;
+        send(sim, config_.providers[i], kBundleChannel, bundle.encode());
+      }
+      send(sim, config_.recipient, kBundleChannel,
+           round.result.signed_bundle.encode());
+    }
+  }
+
+  // Reveals and exports, per prefix round.
+  for (const PrefixRound& round : batch) {
+    for (const auto& [provider, reveal] : round.result.provider_reveals) {
+      send(sim, provider, kRevealProviderChannel, reveal.encode());
+    }
+    send(sim, config_.recipient, kRevealRecipientChannel,
+         round.result.recipient_reveal.encode());
+    send(sim, config_.recipient, kExportChannel,
+         round.result.export_statement.encode());
+  }
+}
+
+void PvrNode::observe_bundle(net::Simulator& sim, const SignedMessage& bundle,
+                             bgp::AsNumber origin, std::uint8_t hops) {
   CommitmentBundle decoded;
   try {
     decoded = CommitmentBundle::decode(bundle.payload);
   } catch (const std::out_of_range&) {
     return;  // malformed; the round verifier will flag it if it was for us
   }
-  RoundState& round = rounds_[decoded.id.epoch];
-  const bool is_new =
-      std::none_of(round.observed_bundles.begin(), round.observed_bundles.end(),
-                   [&](const SignedMessage& seen) {
-                     return seen.payload == bundle.payload;
-                   });
-  if (!is_new) return;
+  // Only this neighborhood's prover's rounds concern us; storing or
+  // relaying foreign-prover bundles would let any peer grow round state
+  // and multiply mesh traffic without bound.
+  if (decoded.id.prover != config_.prover) return;
+  if (const auto it = rounds_.find(decoded.id); it != rounds_.end()) {
+    const auto& seen = it->second.observed_bundles;
+    if (std::any_of(seen.begin(), seen.end(), [&](const SignedMessage& s) {
+          return s.payload == bundle.payload;
+        })) {
+      return;
+    }
+  }
+  // A forged bundle (claimed signer, garbage signature) must never claim
+  // the first-seen slot — that would unaccountably poison verification of
+  // the honest bundle arriving later — nor be relayed onward.
+  if (!verify_message(*config_.directory, bundle)) return;
+  RoundState& round = rounds_[decoded.id];
   round.observed_bundles.push_back(bundle);
   if (!round.bundle.has_value()) round.bundle = bundle;
   // Gossip the (signed) bundle to the other verifiers so everyone converges
-  // on the same view (§3.2: "A's neighbors can gossip about c").
+  // on the same view (§3.2: "A's neighbors can gossip about c") — but never
+  // back to whoever just sent it to us, and only within the hop budget.
+  if (hops >= config_.gossip_hop_budget) return;
   for (const bgp::AsNumber peer : gossip_peers()) {
+    if (peer == origin) continue;
     if (sim.connected(config_.asn, peer)) {
-      send(sim, peer, kGossipChannel, bundle.encode());
+      send(sim, peer, kGossipChannel,
+           wrap_hops(static_cast<std::uint8_t>(hops + 1), bundle.encode()));
     }
   }
+}
+
+void PvrNode::observe_root(net::Simulator& sim, const SignedMessage& signed_root,
+                           bgp::AsNumber origin, std::uint8_t hops) {
+  AggregatedBundle root;
+  try {
+    root = AggregatedBundle::decode(signed_root.payload);
+  } catch (const std::out_of_range&) {
+    return;
+  }
+  if (root.prover != config_.prover || signed_root.signer != config_.prover) {
+    return;
+  }
+  // A forged root (claimed signer, garbage signature) must never pollute
+  // round state, trigger escalation, or get relayed onward.
+  if (!verify_message(*config_.directory, signed_root)) return;
+  if (!remember_distinct(seen_roots_[RootKey{root.prover, root.epoch}],
+                         signed_root)) {
+    return;
+  }
+  // Attach to every open round whose prefix this window claims.
+  for (auto& [id, round] : rounds_) {
+    if (id.prover == root.prover && id.epoch == root.epoch &&
+        root.covers(id.prefix)) {
+      (void)remember_distinct(round.observed_roots, signed_root);
+    }
+  }
+  if (hops < config_.gossip_hop_budget) {
+    for (const bgp::AsNumber peer : gossip_peers()) {
+      if (peer == origin) continue;
+      if (sim.connected(config_.asn, peer)) {
+        send(sim, peer, kGossipRootChannel,
+             wrap_hops(static_cast<std::uint8_t>(hops + 1),
+                       signed_root.encode()));
+      }
+    }
+  }
+  escalate_bundle_gossip(sim, origin);
+}
+
+void PvrNode::escalate_bundle_gossip(net::Simulator& sim, bgp::AsNumber origin) {
+  for (auto& [id, round] : rounds_) {
+    if (round.escalated || round.observed_roots.size() < 2 ||
+        round.observed_bundles.empty()) {
+      continue;
+    }
+    round.escalated = true;
+    for (const SignedMessage& bundle : round.observed_bundles) {
+      for (const bgp::AsNumber peer : gossip_peers()) {
+        if (peer == origin) continue;
+        if (sim.connected(config_.asn, peer)) {
+          send(sim, peer, kGossipChannel, wrap_hops(0, bundle.encode()));
+        }
+      }
+    }
+  }
+}
+
+void PvrNode::attach_seen_roots(const ProtocolId& id, RoundState& round) const {
+  const auto it = seen_roots_.find(RootKey{id.prover, id.epoch});
+  if (it == seen_roots_.end()) return;
+  for (const SignedMessage& root_env : it->second) {
+    try {
+      if (AggregatedBundle::decode(root_env.payload).covers(id.prefix)) {
+        (void)remember_distinct(round.observed_roots, root_env);
+      }
+    } catch (const std::out_of_range&) {
+    }
+  }
+}
+
+void PvrNode::open_aggregated(net::Simulator& sim,
+                              const AggregatedBundleMessage& message,
+                              bgp::AsNumber origin) {
+  AggregatedBundle root;
+  try {
+    root = AggregatedBundle::decode(message.signed_root.payload);
+  } catch (const std::out_of_range&) {
+    return;
+  }
+  if (root.prover != config_.prover) return;
+  if (!verify_message(*config_.directory, message.signed_root)) return;
+  for (const SignedBundleOpening& opening : message.openings) {
+    // Only proofs that bind the bundle to the signed root are usable — an
+    // unprovable bundle could not support evidence later.
+    if (!verify_signed_opening(root, opening)) continue;
+    CommitmentBundle decoded;
+    try {
+      decoded = CommitmentBundle::decode(opening.bundle.payload);
+    } catch (const std::out_of_range&) {
+      continue;
+    }
+    if (decoded.id.prover != config_.prover || decoded.id.epoch != root.epoch) {
+      continue;
+    }
+    RoundState& round = rounds_[decoded.id];
+    if (remember_distinct(round.observed_bundles, opening.bundle) &&
+        !round.bundle.has_value()) {
+      round.bundle = opening.bundle;
+    }
+    // Roots gossiped before this message arrived belong to the round too.
+    attach_seen_roots(decoded.id, round);
+  }
+  observe_root(sim, message.signed_root, origin, 0);
+  // observe_root escalates only on a NEW root; if the conflict was already
+  // known, the rounds just opened still need their bundles spread.
+  escalate_bundle_gossip(sim, origin);
 }
 
 void PvrNode::on_message(net::Simulator& sim, const net::Message& message) {
@@ -146,41 +371,78 @@ void PvrNode::on_message(net::Simulator& sim, const net::Message& message) {
       const InputAnnouncement announcement =
           InputAnnouncement::decode(envelope.payload);
       if (announcement.provider != message.from) return;
-      collected_inputs_[announcement.id.epoch][message.from] = envelope;
+      if (announcement.id.prover != config_.asn) return;
+      collected_inputs_[announcement.id][message.from] = envelope;
     } catch (const std::out_of_range&) {
     }
     return;
   }
 
-  if (message.channel == kBundleChannel || message.channel == kGossipChannel) {
+  if (message.channel == kBundleChannel) {
     try {
-      observe_bundle(sim, SignedMessage::decode(message.payload));
+      observe_bundle(sim, SignedMessage::decode(message.payload), message.from,
+                     0);
     } catch (const std::out_of_range&) {
     }
     return;
   }
+  if (message.channel == kGossipChannel) {
+    if (const auto gossip = unwrap_hops(message.payload)) {
+      observe_bundle(sim, gossip->envelope, message.from, gossip->hops);
+    }
+    return;
+  }
 
+  if (message.channel == kBundleAggChannel) {
+    // Aggregated bundles come straight from the prover; anything else could
+    // overwrite round state with attacker-chosen batches.
+    if (message.from != config_.prover) return;
+    try {
+      const AggregatedBundleMessage decoded =
+          AggregatedBundleMessage::decode(message.payload);
+      if (decoded.signed_root.signer != config_.prover) return;
+      open_aggregated(sim, decoded, message.from);
+    } catch (const std::out_of_range&) {
+    }
+    return;
+  }
+  if (message.channel == kGossipRootChannel) {
+    if (const auto gossip = unwrap_hops(message.payload)) {
+      observe_root(sim, gossip->envelope, message.from, gossip->hops);
+    }
+    return;
+  }
+
+  // Reveal / export envelopes are only ever sent by the prover itself;
+  // accepting them from anyone else would let any peer overwrite the
+  // stashed slot last-write-wins and manufacture false kMissingReveal /
+  // bad-reveal evidence against an honest prover.
   auto stash = [&](std::optional<SignedMessage> RoundState::*slot,
                    auto decode_id) {
     try {
       SignedMessage envelope = SignedMessage::decode(message.payload);
-      const std::uint64_t epoch = decode_id(envelope);
-      rounds_[epoch].*slot = std::move(envelope);
+      if (envelope.signer != message.from ||
+          envelope.signer != config_.prover) {
+        return;
+      }
+      const ProtocolId id = decode_id(envelope);
+      if (id.prover != config_.prover) return;
+      rounds_[id].*slot = std::move(envelope);
     } catch (const std::out_of_range&) {
     }
   };
 
   if (message.channel == kRevealProviderChannel) {
     stash(&RoundState::provider_reveal, [](const SignedMessage& envelope) {
-      return RevealToProvider::decode(envelope.payload).id.epoch;
+      return RevealToProvider::decode(envelope.payload).id;
     });
   } else if (message.channel == kRevealRecipientChannel) {
     stash(&RoundState::recipient_reveal, [](const SignedMessage& envelope) {
-      return RevealToRecipient::decode(envelope.payload).id.epoch;
+      return RevealToRecipient::decode(envelope.payload).id;
     });
   } else if (message.channel == kExportChannel) {
     stash(&RoundState::export_statement, [](const SignedMessage& envelope) {
-      return ExportStatement::decode(envelope.payload).id.epoch;
+      return ExportStatement::decode(envelope.payload).id;
     });
   }
 }
@@ -196,6 +458,19 @@ RoundFindings PvrNode::check_round(const PvrConfig& config,
       if (auto conflict = check_equivocation(*config.directory, config.asn,
                                              round.observed_bundles[i],
                                              round.observed_bundles[j])) {
+        findings.evidence.push_back(std::move(*conflict));
+      }
+    }
+  }
+  // Aggregated wire mode: conflicting signed roots for this round's
+  // aggregation window are equivocation too (root gossip carries no
+  // bundles, so this is how the conflict surfaces).
+  for (std::size_t i = 0; i + 1 < round.observed_roots.size(); ++i) {
+    for (std::size_t j = i + 1; j < round.observed_roots.size(); ++j) {
+      findings.signatures_verified += 2;
+      if (auto conflict = check_root_equivocation(*config.directory, config.asn,
+                                                  round.observed_roots[i],
+                                                  round.observed_roots[j])) {
         findings.evidence.push_back(std::move(*conflict));
       }
     }
@@ -244,27 +519,22 @@ RoundFindings PvrNode::check_round(const PvrConfig& config,
   return findings;
 }
 
-void PvrNode::finalize_round(std::uint64_t epoch) {
-  RoundState& round = rounds_[epoch];
+void PvrNode::finalize_round(const ProtocolId& id) {
+  RoundState& round = rounds_[id];
   if (round.finalized) return;
   round.finalized = true;
-  apply_round_findings(epoch, check_round(config_, round));
+  attach_seen_roots(id, round);
+  apply_round_findings(id, check_round(config_, round));
 }
 
-std::optional<DeferredRound> PvrNode::defer_finalize(std::uint64_t epoch) {
-  RoundState& round = rounds_[epoch];
+std::optional<DeferredRound> PvrNode::defer_finalize(const ProtocolId& id) {
+  RoundState& round = rounds_[id];
   if (round.finalized) return std::nullopt;
   round.finalized = true;
+  attach_seen_roots(id, round);
 
-  ProtocolId id{.prover = config_.prover, .prefix = {}, .epoch = epoch};
-  if (round.bundle.has_value()) {
-    try {
-      id = CommitmentBundle::decode(round.bundle->payload).id;
-    } catch (const std::out_of_range&) {
-    }
-  }
   // Snapshot by value: the closure must stay valid and thread-safe even if
-  // the node keeps receiving messages for other epochs meanwhile.
+  // the node keeps receiving messages for other rounds meanwhile.
   return DeferredRound{
       .id = id,
       .work = [config = &config_, snapshot = round]() {
@@ -272,15 +542,15 @@ std::optional<DeferredRound> PvrNode::defer_finalize(std::uint64_t epoch) {
       }};
 }
 
-void PvrNode::apply_round_findings(std::uint64_t epoch, RoundFindings findings) {
+void PvrNode::apply_round_findings(const ProtocolId& id, RoundFindings findings) {
   evidence_.insert(evidence_.end(),
                    std::make_move_iterator(findings.evidence.begin()),
                    std::make_move_iterator(findings.evidence.end()));
-  if (findings.accepted.has_value()) accepted_[epoch] = *findings.accepted;
+  if (findings.accepted.has_value()) accepted_[id] = *findings.accepted;
 }
 
-std::optional<bgp::Route> PvrNode::accepted_route(std::uint64_t epoch) const {
-  const auto it = accepted_.find(epoch);
+std::optional<bgp::Route> PvrNode::accepted_route(const ProtocolId& id) const {
+  const auto it = accepted_.find(id);
   if (it == accepted_.end()) return std::nullopt;
   return it->second;
 }
@@ -291,10 +561,11 @@ Figure1Handles make_figure1_world(const Figure1Setup& setup) {
   handles.prefix = bgp::Ipv4Prefix::parse("203.0.113.0/24");
 
   Figure1World& world = *handles.world;
-  world.prover = 100;
-  world.recipient = 200;
+  world.prover = setup.asn_base + 100;
+  world.recipient = setup.asn_base + 200;
   for (std::size_t i = 0; i < setup.provider_count; ++i) {
-    world.providers.push_back(300 + static_cast<bgp::AsNumber>(i));
+    world.providers.push_back(setup.asn_base + 300 +
+                              static_cast<bgp::AsNumber>(i));
   }
 
   std::vector<bgp::AsNumber> all = {world.prover, world.recipient};
@@ -318,6 +589,7 @@ Figure1Handles make_figure1_world(const Figure1Setup& setup) {
         .misbehavior = role == PvrRole::kProver ? setup.misbehavior
                                                 : ProverMisbehavior{},
         .rng_seed = setup.seed,
+        .aggregate_wire_bundles = setup.aggregate_wire_bundles,
     };
     world.sim.add_node(asn, std::make_unique<PvrNode>(std::move(config)));
   };

@@ -4,11 +4,21 @@
 // N1..Nk, and the recipient B. The harness drives rounds:
 //
 //   1. providers call provide_input() (their signed route for this epoch),
-//   2. the prover's start_round() opens a collection window, then runs the
-//      prover (run_prover) and fans out bundle / reveals / export,
-//   3. verifiers gossip bundles among themselves ("pvr.gossip"),
-//   4. after the simulator quiesces, finalize_round() on each verifier runs
-//      the §3.2/3.3 checks and records Evidence.
+//   2. the prover's start_round() opens a collection window; every prefix
+//      started inside the window joins one aggregation batch. When the
+//      window closes the prover runs run_prover per prefix and fans out
+//      ONE Merkle-aggregated bundle message per neighbor (pvr.bundle.agg:
+//      the signed root plus per-prefix openings) plus reveals / export,
+//   3. verifiers gossip the small signed roots among themselves
+//      ("pvr.gossip.root") instead of full bundles; two signed roots for
+//      one window are provable equivocation,
+//   4. after the simulator quiesces, the rounds are finalized — by default
+//      through engine::VerificationEngine (see finalize_world_round), with
+//      sequential finalize_round() as the fallback path.
+//
+// All per-round node state is keyed by the full core::ProtocolId
+// (prover, prefix, epoch), so concurrent rounds for different prefixes —
+// or different provers — in the same epoch never collide.
 //
 // Byzantine behavior is injected via PvrConfig::misbehavior on the prover.
 #pragma once
@@ -17,8 +27,11 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
+#include <utility>
 #include <vector>
 
+#include "core/bundle_aggregation.h"
 #include "core/min_protocol.h"
 #include "net/gossip.h"
 #include "net/simulator.h"
@@ -27,10 +40,12 @@ namespace pvr::core {
 
 inline constexpr const char* kInputChannel = "pvr.input";
 inline constexpr const char* kBundleChannel = "pvr.bundle";
+inline constexpr const char* kBundleAggChannel = "pvr.bundle.agg";
 inline constexpr const char* kRevealProviderChannel = "pvr.reveal.n";
 inline constexpr const char* kRevealRecipientChannel = "pvr.reveal.b";
 inline constexpr const char* kExportChannel = "pvr.export";
 inline constexpr const char* kGossipChannel = "pvr.gossip";
+inline constexpr const char* kGossipRootChannel = "pvr.gossip.root";
 
 enum class PvrRole : std::uint8_t { kProver, kProvider, kRecipient };
 
@@ -47,6 +62,13 @@ struct PvrConfig {
   net::SimTime collect_window = 10'000;     // µs the prover waits for inputs
   ProverMisbehavior misbehavior;            // prover only
   std::uint64_t rng_seed = 1;
+  // Default wire mode: one signed Merkle root + openings per epoch window
+  // (pvr.bundle.agg), with verifiers gossiping roots. false = one signed
+  // bundle per prefix (pvr.bundle) with full-bundle gossip.
+  bool aggregate_wire_bundles = true;
+  // Max times a gossiped bundle/root is relayed peer-to-peer. Bounds the
+  // flood; must be >= the verifier mesh diameter for full convergence.
+  std::uint8_t gossip_hop_budget = 8;
 };
 
 // Result of running one round's verifier checks (finalize_round, or its
@@ -71,38 +93,43 @@ class PvrNode : public net::Node {
 
   void on_message(net::Simulator& sim, const net::Message& message) override;
 
-  // Provider-side: sign and send `route` to the prover for round `epoch`.
-  // Pass nullopt to explicitly provide nothing (bookkeeping only).
+  // Provider-side: sign and send `route` to the prover for round
+  // (prover, prefix, epoch). Pass nullopt to explicitly provide nothing
+  // (bookkeeping only).
   void provide_input(net::Simulator& sim, std::uint64_t epoch,
                      const bgp::Ipv4Prefix& prefix,
                      const std::optional<bgp::Route>& route);
 
-  // Prover-side: opens round `epoch`; after collect_window elapses, runs
-  // the prover over whatever inputs arrived and fans out the results.
+  // Prover-side: adds (prefix, epoch) to the current collection window for
+  // `epoch` (opening one if none is pending). When the window elapses, the
+  // prover runs every pending prefix of the epoch as one aggregation batch
+  // and fans out the results.
   void start_round(net::Simulator& sim, std::uint64_t epoch,
                    const bgp::Ipv4Prefix& prefix);
 
-  // Verifier-side: runs all checks for `epoch` over the messages received
-  // so far. Call after the simulator has quiesced.
-  void finalize_round(std::uint64_t epoch);
+  // Verifier-side sequential fallback: runs all checks for round `id` over
+  // the messages received so far. Call after the simulator has quiesced.
+  // The default path routes through engine::VerificationEngine instead
+  // (defer_finalize below, or engine::finalize_world_round).
+  void finalize_round(const ProtocolId& id);
 
-  // Engine-backed finalize: packages the checks for `epoch` into a closure
-  // that can run on a worker thread, and marks the round finalized so a
-  // later finalize_round is a no-op. Returns nullopt if the round is
+  // Engine-backed finalize: packages the checks for round `id` into a
+  // closure that can run on a worker thread, and marks the round finalized
+  // so a later finalize_round is a no-op. Returns nullopt if the round is
   // already finalized. The findings must be handed back to this node via
   // apply_round_findings once the closure has run.
-  [[nodiscard]] std::optional<DeferredRound> defer_finalize(std::uint64_t epoch);
+  [[nodiscard]] std::optional<DeferredRound> defer_finalize(const ProtocolId& id);
 
   // Delivers the outcome of a deferred round back into this node's evidence
   // log and accepted-route table. Must be called from the thread that owns
   // the node (i.e. after the engine has drained).
-  void apply_round_findings(std::uint64_t epoch, RoundFindings findings);
+  void apply_round_findings(const ProtocolId& id, RoundFindings findings);
 
   [[nodiscard]] const std::vector<Evidence>& evidence() const noexcept {
     return evidence_;
   }
-  // The route B accepted in `epoch` (nullopt if none / not recipient).
-  [[nodiscard]] std::optional<bgp::Route> accepted_route(std::uint64_t epoch) const;
+  // The route B accepted in round `id` (nullopt if none / not recipient).
+  [[nodiscard]] std::optional<bgp::Route> accepted_route(const ProtocolId& id) const;
   [[nodiscard]] bgp::AsNumber asn() const noexcept { return config_.asn; }
   // Messages and bytes this node pushed onto the wire (for experiments).
   [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
@@ -116,8 +143,18 @@ class PvrNode : public net::Node {
     std::optional<InputAnnouncement> own_input;      // what we provided
     // All distinct signed bundles observed (directly or via gossip).
     std::vector<SignedMessage> observed_bundles;
+    // Aggregated wire mode: every distinct signed root observed whose
+    // window claims this round's prefix. Two entries prove equivocation.
+    std::vector<SignedMessage> observed_roots;
+    // Whether this round's bundles were already re-gossiped in full after
+    // a root conflict surfaced (see escalate_bundle_gossip).
+    bool escalated = false;
     bool finalized = false;
   };
+
+  // Roots are deduplicated per (prover, epoch); batch/window identity lives
+  // inside the signed statements themselves.
+  using RootKey = std::pair<bgp::AsNumber, std::uint64_t>;
 
   // Pure check logic shared by finalize_round and defer_finalize: runs the
   // role-specific §3.2/3.3 verifier over a snapshot of the round state.
@@ -127,19 +164,50 @@ class PvrNode : public net::Node {
 
   void send(net::Simulator& sim, bgp::AsNumber to, const char* channel,
             std::vector<std::uint8_t> payload);
-  void observe_bundle(net::Simulator& sim, const SignedMessage& bundle);
-  void run_prover_now(net::Simulator& sim, std::uint64_t epoch,
-                      const bgp::Ipv4Prefix& prefix);
+  // Records a signed per-prefix bundle; in legacy wire mode relays it on
+  // pvr.gossip (skipping `origin`) while `hops` is under the budget.
+  void observe_bundle(net::Simulator& sim, const SignedMessage& bundle,
+                      bgp::AsNumber origin, std::uint8_t hops);
+  // Records a signed aggregation root and relays it on pvr.gossip.root.
+  void observe_root(net::Simulator& sim, const SignedMessage& signed_root,
+                    bgp::AsNumber origin, std::uint8_t hops);
+  // Unpacks a pvr.bundle.agg message from the prover into per-round state.
+  void open_aggregated(net::Simulator& sim, const AggregatedBundleMessage& message,
+                       bgp::AsNumber origin);
+  // Root gossip carries no bundle contents, so once a round has TWO
+  // distinct signed roots claiming it (same window signed twice, or the
+  // batch-split evasion where each victim group gets its own window), this
+  // node falls back to gossiping its full signed bundles for that round —
+  // every verifier then obtains the conflicting per-round bundles and the
+  // per-round equivocation check regains its legacy power. Honest rounds
+  // have exactly one covering root and never escalate.
+  void escalate_bundle_gossip(net::Simulator& sim, bgp::AsNumber origin);
+  // Finalize-time safety net (e.g. for rounds whose direct agg message was
+  // lost): attaches every seen root whose window claims the round's
+  // prefix, so witnessed root conflicts stay provable.
+  void attach_seen_roots(const ProtocolId& id, RoundState& round) const;
+  void run_prover_batch(net::Simulator& sim, std::uint64_t epoch);
   [[nodiscard]] std::vector<bgp::AsNumber> gossip_peers() const;
 
   PvrConfig config_;
   crypto::Drbg rng_;
-  std::map<std::uint64_t, RoundState> rounds_;
-  // Prover-side: inputs collected per epoch.
-  std::map<std::uint64_t, std::map<bgp::AsNumber, std::optional<SignedMessage>>>
+  // All per-round state, keyed by the full round identity.
+  std::map<ProtocolId, RoundState> rounds_;
+  // Prover-side: inputs collected per round.
+  std::map<ProtocolId, std::map<bgp::AsNumber, std::optional<SignedMessage>>>
       collected_inputs_;
+  // Prover-side: prefixes whose rounds share the currently-open collection
+  // window for an epoch, and the next batch number per epoch.
+  std::map<std::uint64_t, std::vector<bgp::Ipv4Prefix>> pending_rounds_;
+  std::map<std::uint64_t, std::uint32_t> next_batch_;
+  // Prover-side: rounds already run, so a re-announced prefix can never
+  // make an honest prover commit to one round twice.
+  std::set<ProtocolId> rounds_run_;
+  // Verifier-side: distinct signed roots seen per (prover, epoch) (also
+  // covers roots gossiped before the direct agg message arrived).
+  std::map<RootKey, std::vector<SignedMessage>> seen_roots_;
   std::vector<Evidence> evidence_;
-  std::map<std::uint64_t, bgp::Route> accepted_;
+  std::map<ProtocolId, bgp::Route> accepted_;
   std::uint64_t bytes_sent_ = 0;
 };
 
@@ -158,8 +226,8 @@ struct Figure1World {
   }
 };
 
-// Assembles the world: prover AS `prover_asn`, providers n_base..n_base+k-1,
-// recipient B. All keys are generated from `seed`.
+// Assembles the world: prover AS `asn_base`+100, providers `asn_base`+300..,
+// recipient B at `asn_base`+200. All keys are generated from `seed`.
 struct Figure1Setup {
   std::uint64_t seed = 1;
   std::size_t provider_count = 3;
@@ -167,12 +235,22 @@ struct Figure1Setup {
   std::uint32_t max_len = 16;
   ProverMisbehavior misbehavior;
   std::size_t key_bits = 512;  // small keys keep tests fast; benches use 1024
+  // Offset applied to every ASN, so several neighborhoods (distinct
+  // provers) can run in the same epoch without ASN collisions.
+  bgp::AsNumber asn_base = 0;
+  bool aggregate_wire_bundles = true;
 };
 
 struct Figure1Handles {
   std::unique_ptr<Figure1World> world;
   std::unique_ptr<AsKeyPairs> keys;
   bgp::Ipv4Prefix prefix;
+
+  // The identity of the round the harness drives for `epoch` over the
+  // default prefix.
+  [[nodiscard]] ProtocolId round_id(std::uint64_t epoch) const {
+    return ProtocolId{.prover = world->prover, .prefix = prefix, .epoch = epoch};
+  }
 };
 
 [[nodiscard]] Figure1Handles make_figure1_world(const Figure1Setup& setup);

@@ -1,11 +1,7 @@
 #include "engine/batch_verifier.h"
 
-#include <algorithm>
 #include <map>
-#include <stdexcept>
-#include <string_view>
 
-#include "crypto/encoding.h"
 #include "crypto/rsa.h"
 
 namespace pvr::engine {
@@ -53,132 +49,6 @@ std::vector<bool> BatchVerifier::verify(
   pointers.reserve(messages.size());
   for (const core::SignedMessage& message : messages) pointers.push_back(&message);
   return verify(pointers);
-}
-
-// ---- Merkle-aggregated commitment bundles ----
-
-namespace {
-
-constexpr std::string_view kAggregatedBundleTag = "pvr-aggregated-bundle";
-
-}  // namespace
-
-std::vector<std::uint8_t> AggregatedBundle::encode() const {
-  crypto::ByteWriter writer;
-  writer.put_string(kAggregatedBundleTag);
-  writer.put_u32(prover);
-  writer.put_u64(epoch);
-  writer.put_u32(prefix_count);
-  writer.put_raw(std::span(root.data(), root.size()));
-  return writer.take();
-}
-
-AggregatedBundle AggregatedBundle::decode(std::span<const std::uint8_t> data) {
-  crypto::ByteReader reader(data);
-  if (reader.get_string() != kAggregatedBundleTag) {
-    throw std::out_of_range("AggregatedBundle::decode: bad tag");
-  }
-  AggregatedBundle bundle;
-  bundle.prover = reader.get_u32();
-  bundle.epoch = reader.get_u64();
-  bundle.prefix_count = reader.get_u32();
-  const std::vector<std::uint8_t> raw = reader.get_raw(crypto::kSha256DigestSize);
-  std::copy(raw.begin(), raw.end(), bundle.root.begin());
-  return bundle;
-}
-
-std::vector<std::uint8_t> AggregatedOpening::encode() const {
-  crypto::ByteWriter writer;
-  writer.put_bytes(bundle.encode());
-  proof.encode(writer);
-  return writer.take();
-}
-
-AggregatedOpening AggregatedOpening::decode(std::span<const std::uint8_t> data) {
-  crypto::ByteReader reader(data);
-  AggregatedOpening opening;
-  opening.bundle = core::CommitmentBundle::decode(reader.get_bytes());
-  opening.proof = crypto::MerkleProof::decode(reader);
-  return opening;
-}
-
-AggregatedCommitment aggregate_bundles(
-    bgp::AsNumber prover, std::uint64_t epoch,
-    std::span<const core::CommitmentBundle> bundles,
-    const crypto::RsaPrivateKey& key) {
-  if (bundles.empty()) {
-    throw std::invalid_argument("aggregate_bundles: no bundles");
-  }
-  std::vector<std::vector<std::uint8_t>> leaves;
-  leaves.reserve(bundles.size());
-  for (const core::CommitmentBundle& bundle : bundles) {
-    leaves.push_back(bundle.encode());
-  }
-  const crypto::MerkleTree tree = crypto::MerkleTree::build(leaves);
-
-  AggregatedCommitment commitment;
-  const AggregatedBundle root{
-      .prover = prover,
-      .epoch = epoch,
-      .prefix_count = static_cast<std::uint32_t>(bundles.size()),
-      .root = tree.root()};
-  commitment.signed_root = core::sign_message(prover, key, root.encode());
-  commitment.openings.reserve(bundles.size());
-  for (std::size_t i = 0; i < bundles.size(); ++i) {
-    commitment.openings.push_back(
-        AggregatedOpening{.bundle = bundles[i], .proof = tree.prove(i)});
-  }
-  return commitment;
-}
-
-namespace {
-
-// Signature-free part of the aggregated check (the root signature is the
-// caller's responsibility, verified once per epoch in the batched form).
-[[nodiscard]] bool check_opening_against_root(const AggregatedBundle& root,
-                                              bgp::AsNumber root_signer,
-                                              const AggregatedOpening& opening) {
-  // The opened bundle must belong to the same (prover, epoch) the root was
-  // signed for — a proof from another epoch's tree must not transplant.
-  if (opening.bundle.id.prover != root.prover ||
-      opening.bundle.id.epoch != root.epoch || root.prover != root_signer) {
-    return false;
-  }
-  if (opening.proof.leaf_count != root.prefix_count) return false;
-  return crypto::MerkleTree::verify(root.root, opening.bundle.encode(),
-                                    opening.proof);
-}
-
-}  // namespace
-
-bool verify_aggregated_opening(const core::KeyDirectory& directory,
-                               const core::SignedMessage& signed_root,
-                               const AggregatedOpening& opening) {
-  if (!core::verify_message(directory, signed_root)) return false;
-  AggregatedBundle root;
-  try {
-    root = AggregatedBundle::decode(signed_root.payload);
-  } catch (const std::out_of_range&) {
-    return false;
-  }
-  return check_opening_against_root(root, signed_root.signer, opening);
-}
-
-std::vector<bool> verify_aggregated_openings(
-    const core::KeyDirectory& directory, const core::SignedMessage& signed_root,
-    std::span<const AggregatedOpening> openings) {
-  std::vector<bool> out(openings.size(), false);
-  if (!core::verify_message(directory, signed_root)) return out;
-  AggregatedBundle root;
-  try {
-    root = AggregatedBundle::decode(signed_root.payload);
-  } catch (const std::out_of_range&) {
-    return out;
-  }
-  for (std::size_t i = 0; i < openings.size(); ++i) {
-    out[i] = check_opening_against_root(root, signed_root.signer, openings[i]);
-  }
-  return out;
 }
 
 }  // namespace pvr::engine

@@ -13,8 +13,10 @@
 //     Merkle root over all its per-prefix CommitmentBundles for an epoch
 //     and reveals each prefix with a log-size inclusion proof. Verifying N
 //     prefixes then costs one RSA verification plus N*log2(N) hashes
-//     instead of N RSA verifications (reuses crypto/merkle.h, the same
-//     machinery the batched route-signing path advertises).
+//     instead of N RSA verifications. The aggregation machinery itself
+//     lives in core/bundle_aggregation.h (it is also PvrNode's default
+//     wire format, the pvr.bundle.agg channel); this header re-exports it
+//     under pvr::engine for the engine-facing call sites.
 //
 // Wire format of the aggregated mode is specified in DESIGN.md §"Engine".
 #pragma once
@@ -23,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "core/bundle_aggregation.h"
 #include "core/keys.h"
 #include "core/min_protocol.h"
 #include "crypto/merkle.h"
@@ -56,50 +59,13 @@ class BatchVerifier {
 };
 
 // ---- Merkle-aggregated commitment bundles ----
+// Re-exported from core/bundle_aggregation.h for engine call sites.
 
-// The signed statement: one root over all per-prefix bundles of an epoch.
-struct AggregatedBundle {
-  bgp::AsNumber prover = 0;
-  std::uint64_t epoch = 0;
-  std::uint32_t prefix_count = 0;
-  crypto::Digest root{};
-
-  [[nodiscard]] std::vector<std::uint8_t> encode() const;
-  [[nodiscard]] static AggregatedBundle decode(std::span<const std::uint8_t> data);
-};
-
-// Per-prefix reveal: the bundle itself plus its inclusion proof under the
-// signed root.
-struct AggregatedOpening {
-  core::CommitmentBundle bundle;
-  crypto::MerkleProof proof;
-
-  [[nodiscard]] std::vector<std::uint8_t> encode() const;
-  [[nodiscard]] static AggregatedOpening decode(std::span<const std::uint8_t> data);
-};
-
-struct AggregatedCommitment {
-  core::SignedMessage signed_root;          // AggregatedBundle payload
-  std::vector<AggregatedOpening> openings;  // same order as the input bundles
-};
-
-// Prover side: one signature for the whole epoch.
-[[nodiscard]] AggregatedCommitment aggregate_bundles(
-    bgp::AsNumber prover, std::uint64_t epoch,
-    std::span<const core::CommitmentBundle> bundles,
-    const crypto::RsaPrivateKey& key);
-
-// Verifier side for one prefix: checks the root signature, the inclusion
-// proof, and that the opened bundle belongs to (prover, epoch).
-[[nodiscard]] bool verify_aggregated_opening(
-    const core::KeyDirectory& directory, const core::SignedMessage& signed_root,
-    const AggregatedOpening& opening);
-
-// Amortized form: verifies the root signature ONCE and then each opening
-// against it — the per-epoch cost the aggregated mode exists for. Result
-// order matches `openings`; all false if the root itself fails.
-[[nodiscard]] std::vector<bool> verify_aggregated_openings(
-    const core::KeyDirectory& directory, const core::SignedMessage& signed_root,
-    std::span<const AggregatedOpening> openings);
+using core::AggregatedBundle;
+using core::AggregatedCommitment;
+using core::AggregatedOpening;
+using core::aggregate_bundles;
+using core::verify_aggregated_opening;
+using core::verify_aggregated_openings;
 
 }  // namespace pvr::engine

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "crypto/sha256.h"
-
 namespace pvr::engine {
 
 RoundScheduler::RoundScheduler(SchedulerConfig config) {
@@ -32,15 +30,11 @@ RoundScheduler::~RoundScheduler() {
 }
 
 std::size_t RoundScheduler::shard_of(const core::ProtocolId& id) const {
-  // Hash (prover, prefix), not the epoch: successive epochs of one
-  // prover's rounds for one prefix must serialize.
-  crypto::ByteWriter writer;
-  writer.put_u32(id.prover);
-  id.prefix.encode(writer);
-  const crypto::Digest digest = crypto::sha256(writer.data());
-  std::uint64_t h = 0;
-  for (std::size_t i = 0; i < 8; ++i) h = (h << 8) | digest[i];
-  return h % shard_queues_.size();
+  // Hash the (prover, prefix) projection, not the epoch: successive epochs
+  // of one prover's rounds for one prefix must serialize.
+  core::ProtocolId projection = id;
+  projection.epoch = 0;
+  return core::ProtocolIdHash{}(projection) % shard_queues_.size();
 }
 
 std::size_t RoundScheduler::submit(const core::ProtocolId& id,

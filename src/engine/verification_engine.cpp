@@ -9,17 +9,17 @@ VerificationEngine::VerificationEngine(EngineConfig config,
                                  .shards = config.shards}) {}
 
 bool VerificationEngine::submit_node_round(core::PvrNode& node,
-                                           std::uint64_t epoch) {
-  std::optional<core::DeferredRound> deferred = node.defer_finalize(epoch);
+                                           const core::ProtocolId& id) {
+  std::optional<core::DeferredRound> deferred = node.defer_finalize(id);
   if (!deferred.has_value()) return false;
   const std::size_t ticket =
       scheduler_.submit(deferred->id, std::move(deferred->work));
   if (owners_.size() <= ticket) {
     owners_.resize(ticket + 1, nullptr);
-    epochs_.resize(ticket + 1, 0);
+    ids_.resize(ticket + 1);
   }
   owners_[ticket] = &node;
-  epochs_[ticket] = epoch;
+  ids_[ticket] = id;
   return true;
 }
 
@@ -28,7 +28,7 @@ std::size_t VerificationEngine::submit(
   const std::size_t ticket = scheduler_.submit(id, std::move(work));
   if (owners_.size() <= ticket) {
     owners_.resize(ticket + 1, nullptr);
-    epochs_.resize(ticket + 1, 0);
+    ids_.resize(ticket + 1);
   }
   return ticket;
 }
@@ -48,16 +48,34 @@ EngineReport VerificationEngine::drain() {
     report.signatures_verified += outcome.findings.signatures_verified;
     sink_.record_all(outcome.findings.evidence);  // copy into ordered log
     if (ticket < owners_.size() && owners_[ticket] != nullptr) {
-      owners_[ticket]->apply_round_findings(epochs_[ticket], outcome.findings);
+      owners_[ticket]->apply_round_findings(ids_[ticket], outcome.findings);
     }
   }
   // Owner bookkeeping must never survive into the next batch (tickets
   // restart at 0), failed drain or not.
   owners_.clear();
-  epochs_.clear();
+  ids_.clear();
   // Rethrow only after every successful round's findings were delivered.
   if (first_error) std::rethrow_exception(first_error);
   return report;
+}
+
+std::size_t submit_world_round(VerificationEngine& engine,
+                               core::Figure1World& world,
+                               const core::ProtocolId& id) {
+  std::size_t submitted = 0;
+  for (const bgp::AsNumber provider : world.providers) {
+    submitted += engine.submit_node_round(world.node(provider), id) ? 1 : 0;
+  }
+  submitted += engine.submit_node_round(world.node(world.recipient), id) ? 1 : 0;
+  return submitted;
+}
+
+EngineReport finalize_world_round(VerificationEngine& engine,
+                                  core::Figure1World& world,
+                                  const core::ProtocolId& id) {
+  (void)submit_world_round(engine, world, id);
+  return engine.drain();
 }
 
 }  // namespace pvr::engine

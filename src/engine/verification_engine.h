@@ -1,14 +1,23 @@
 // Facade tying the engine together: scheduler + batch verifier + sink.
 //
-// Usage (simulator-integrated):
+// This is the DEFAULT verification path for simulator-driven rounds
+// (sequential PvrNode::finalize_round is the fallback):
+//
 //   engine::VerificationEngine engine({.workers = 8}, &keys.directory);
-//   for (PvrNode* node : verifiers) engine.submit_node_round(*node, epoch);
+//   finalize_world_round(engine, world, handles.round_id(epoch));
+//   // or, node by node:
+//   for (PvrNode* node : verifiers) engine.submit_node_round(*node, id);
 //   engine.drain();   // findings delivered back to each node, evidence
 //                     // aggregated into engine.sink() in submission order
 //
 // Usage (standalone rounds, e.g. benches):
 //   engine.submit(id, [&] { return check(...); });
 //   EngineReport report = engine.drain();
+//
+// Rounds are identified by the full core::ProtocolId (prover, prefix,
+// epoch) throughout — submission tickets, shard assignment, and findings
+// delivery — so concurrent rounds for different prefixes or provers in the
+// same epoch never collide.
 //
 // Determinism: outcomes are applied in submission order after the pool has
 // quiesced, so node evidence logs and the sink's log are byte-identical
@@ -39,9 +48,9 @@ class VerificationEngine {
  public:
   VerificationEngine(EngineConfig config, const core::KeyDirectory* directory);
 
-  // Packages node's deferred finalize for `epoch` (no-op if already
+  // Packages node's deferred finalize for round `id` (no-op if already
   // finalized). The findings are handed back to the node during drain().
-  bool submit_node_round(core::PvrNode& node, std::uint64_t epoch);
+  bool submit_node_round(core::PvrNode& node, const core::ProtocolId& id);
 
   // A free-standing round; its evidence goes only to the sink.
   std::size_t submit(const core::ProtocolId& id,
@@ -70,9 +79,26 @@ class VerificationEngine {
   const core::KeyDirectory* directory_;  // not owned
   RoundScheduler scheduler_;
   EvidenceSink sink_;
-  // ticket -> node to deliver findings to (nullptr for free-standing rounds).
+  // ticket -> node to deliver findings to (nullptr for free-standing
+  // rounds) and the round identity the findings belong to.
   std::vector<core::PvrNode*> owners_;
-  std::vector<std::uint64_t> epochs_;
+  std::vector<core::ProtocolId> ids_;
 };
+
+// Submits every verifier of `world` (providers, then the recipient) for
+// round `id` WITHOUT draining. Returns how many rounds were actually
+// deferred. All of one round's checks share the round's (prover, prefix)
+// shard and therefore serialize; submit several rounds before one drain()
+// to get cross-round parallelism.
+std::size_t submit_world_round(VerificationEngine& engine,
+                               core::Figure1World& world,
+                               const core::ProtocolId& id);
+
+// The engine-default finalize for a simulator-driven Figure-1 round:
+// submit_world_round + drain. Safe to call for several rounds back to
+// back — each call is one drained batch.
+EngineReport finalize_world_round(VerificationEngine& engine,
+                                  core::Figure1World& world,
+                                  const core::ProtocolId& id);
 
 }  // namespace pvr::engine

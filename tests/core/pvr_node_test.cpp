@@ -59,12 +59,12 @@ struct RoundOutcome {
   std::vector<bgp::AsNumber> verifiers = world.providers;
   verifiers.push_back(world.recipient);
   for (const bgp::AsNumber verifier : verifiers) {
-    world.node(verifier).finalize_round(1);
+    world.node(verifier).finalize_round(handles.round_id(1));
     const auto& found = world.node(verifier).evidence();
     outcome.all_evidence.insert(outcome.all_evidence.end(), found.begin(),
                                 found.end());
   }
-  outcome.accepted = world.node(world.recipient).accepted_route(1);
+  outcome.accepted = world.node(world.recipient).accepted_route(handles.round_id(1));
   return outcome;
 }
 
@@ -137,7 +137,7 @@ TEST_P(PvrDetectionTest, MisbehaviorDetectedOverTheWire) {
   std::vector<bgp::AsNumber> verifiers = world.providers;
   verifiers.push_back(world.recipient);
   for (const bgp::AsNumber verifier : verifiers) {
-    world.node(verifier).finalize_round(1);
+    world.node(verifier).finalize_round(handles.round_id(1));
     const auto& found = world.node(verifier).evidence();
     all.insert(all.end(), found.begin(), found.end());
   }
@@ -195,8 +195,8 @@ TEST(PvrNodeTest, RecipientRejectsRouteOnDetectedViolation) {
     });
     world.sim.run();
     RoundOutcome out;
-    world.node(world.recipient).finalize_round(1);
-    out.accepted = world.node(world.recipient).accepted_route(1);
+    world.node(world.recipient).finalize_round(handles.round_id(1));
+    out.accepted = world.node(world.recipient).accepted_route(handles.round_id(1));
     out.all_evidence = world.node(world.recipient).evidence();
     return out;
   }();
@@ -232,10 +232,10 @@ TEST(PvrNodeTest, NoCrossNeighborLeakage) {
   });
   world.sim.run();
   for (const bgp::AsNumber provider : world.providers) {
-    world.node(provider).finalize_round(1);
+    world.node(provider).finalize_round(handles.round_id(1));
     EXPECT_TRUE(world.node(provider).evidence().empty());
     // Providers never accept/observe the exported route.
-    EXPECT_FALSE(world.node(provider).accepted_route(1).has_value());
+    EXPECT_FALSE(world.node(provider).accepted_route(handles.round_id(1)).has_value());
   }
 }
 
@@ -257,8 +257,8 @@ TEST(PvrNodeTest, MultipleSequentialEpochs) {
     world.sim.run();
   }
   for (std::uint64_t epoch = 1; epoch <= 3; ++epoch) {
-    world.node(world.recipient).finalize_round(epoch);
-    EXPECT_TRUE(world.node(world.recipient).accepted_route(epoch).has_value())
+    world.node(world.recipient).finalize_round(handles.round_id(epoch));
+    EXPECT_TRUE(world.node(world.recipient).accepted_route(handles.round_id(epoch)).has_value())
         << "epoch " << epoch;
   }
   EXPECT_TRUE(world.node(world.recipient).evidence().empty());

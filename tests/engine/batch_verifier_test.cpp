@@ -227,7 +227,8 @@ TEST(AggregatedBundleTest, OpeningRoundTripsOnWire) {
   const AggregatedBundle root2 = AggregatedBundle::decode(root.encode());
   EXPECT_EQ(root2.prover, root.prover);
   EXPECT_EQ(root2.epoch, root.epoch);
-  EXPECT_EQ(root2.prefix_count, root.prefix_count);
+  EXPECT_EQ(root2.batch, root.batch);
+  EXPECT_EQ(root2.prefixes, root.prefixes);
   EXPECT_EQ(root2.root, root.root);
 }
 

@@ -88,13 +88,13 @@ TEST(EngineIntegrationTest, MatchesSequentialFinalizeUnderEquivocation) {
   verifiers.push_back(sequential.world->recipient);
 
   for (const bgp::AsNumber verifier : verifiers) {
-    sequential.world->node(verifier).finalize_round(1);
+    sequential.world->node(verifier).finalize_round(sequential.round_id(1));
   }
 
   VerificationEngine engine({.workers = 8},
                             &engined.keys->directory);
   for (const bgp::AsNumber verifier : verifiers) {
-    EXPECT_TRUE(engine.submit_node_round(engined.world->node(verifier), 1));
+    EXPECT_TRUE(engine.submit_node_round(engined.world->node(verifier), engined.round_id(1)));
   }
   const EngineReport report = engine.drain();
   EXPECT_EQ(report.rounds, verifiers.size());
@@ -149,7 +149,7 @@ TEST(EngineIntegrationTest, TotalLossYieldsOnlyLivenessFindings) {
 
   VerificationEngine engine({.workers = 4}, &handles.keys->directory);
   for (const bgp::AsNumber provider : world.providers) {
-    EXPECT_TRUE(engine.submit_node_round(world.node(provider), 1));
+    EXPECT_TRUE(engine.submit_node_round(world.node(provider), handles.round_id(1)));
   }
   (void)engine.drain();
 
@@ -215,21 +215,22 @@ TEST(EngineIntegrationTest, DeferFinalizeIsIdempotent) {
 
   core::PvrNode& provider = world.node(world.providers[0]);
   VerificationEngine engine({.workers = 2}, &handles.keys->directory);
-  EXPECT_TRUE(engine.submit_node_round(provider, 1));
+  EXPECT_TRUE(engine.submit_node_round(provider, handles.round_id(1)));
   // Second deferred submit and a direct finalize are both no-ops now.
-  EXPECT_FALSE(engine.submit_node_round(provider, 1));
-  provider.finalize_round(1);
+  EXPECT_FALSE(engine.submit_node_round(provider, handles.round_id(1)));
+  provider.finalize_round(handles.round_id(1));
   (void)engine.drain();
   EXPECT_TRUE(provider.evidence().empty());  // honest round, one evaluation
 
-  // The deferred id carries the real round identity for sharding.
+  // The deferred id carries the full round identity for sharding.
   core::PvrNode& other = world.node(world.providers[1]);
-  const std::optional<core::DeferredRound> deferred = other.defer_finalize(1);
+  const std::optional<core::DeferredRound> deferred =
+      other.defer_finalize(handles.round_id(1));
   ASSERT_TRUE(deferred.has_value());
   EXPECT_EQ(deferred->id.prover, world.prover);
   EXPECT_EQ(deferred->id.prefix, handles.prefix);
   EXPECT_EQ(deferred->id.epoch, 1u);
-  other.apply_round_findings(1, deferred->work());
+  other.apply_round_findings(handles.round_id(1), deferred->work());
   EXPECT_TRUE(other.evidence().empty());
 }
 

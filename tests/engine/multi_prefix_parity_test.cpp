@@ -1,0 +1,137 @@
+// Engine-vs-sequential parity over a concurrent multi-prefix workload: the
+// engine at any worker count must produce byte-identical per-node evidence
+// to the sequential finalize_round fallback, with two prefixes of the same
+// epoch in flight (shards run them in parallel) and an equivocating prover
+// supplying non-trivial evidence.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/evidence.h"
+#include "core/pvr_speaker.h"
+#include "engine/verification_engine.h"
+
+namespace pvr::engine {
+namespace {
+
+using core::Evidence;
+using core::Figure1Handles;
+using core::Figure1Setup;
+using core::Figure1World;
+using core::ProtocolId;
+
+[[nodiscard]] bgp::Route route_len(std::size_t length, bgp::AsNumber origin_as,
+                                   const bgp::Ipv4Prefix& prefix) {
+  std::vector<bgp::AsNumber> hops;
+  hops.push_back(origin_as);
+  for (std::size_t i = 1; i < length; ++i) {
+    hops.push_back(static_cast<bgp::AsNumber>(5000 + i));
+  }
+  return bgp::Route{.prefix = prefix,
+                    .path = bgp::AsPath(std::move(hops)),
+                    .next_hop = origin_as,
+                    .local_pref = 100,
+                    .med = 0,
+                    .origin = bgp::Origin::kIgp,
+                    .communities = {}};
+}
+
+// Identical (same-seed) worlds replay byte-identical message histories, so
+// any evidence divergence below is the finalize path's fault.
+[[nodiscard]] Figure1Handles run_two_prefix_equivocation_world() {
+  Figure1Setup setup{.seed = 34, .provider_count = 4};
+  setup.misbehavior = {.equivocate = true};
+  Figure1Handles handles = core::make_figure1_world(setup);
+  Figure1World& world = *handles.world;
+  const bgp::Ipv4Prefix prefix_b = bgp::Ipv4Prefix::parse("198.51.100.0/24");
+
+  world.sim.schedule(0, [&world, &handles, prefix_b] {
+    const std::vector<std::size_t> lengths_a = {3, 4, 5, 6};
+    const std::vector<std::size_t> lengths_b = {6, 2, 7, 4};
+    for (std::size_t i = 0; i < world.providers.size(); ++i) {
+      const bgp::AsNumber provider = world.providers[i];
+      world.node(provider).provide_input(
+          world.sim, 1, handles.prefix,
+          route_len(lengths_a[i], provider, handles.prefix));
+      world.node(provider).provide_input(
+          world.sim, 1, prefix_b, route_len(lengths_b[i], provider, prefix_b));
+    }
+    world.node(world.prover).start_round(world.sim, 1, handles.prefix);
+    world.node(world.prover).start_round(world.sim, 1, prefix_b);
+  });
+  world.sim.run();
+  return handles;
+}
+
+[[nodiscard]] std::string evidence_fingerprint(const std::vector<Evidence>& log) {
+  std::string out;
+  for (const Evidence& item : log) {
+    out += item.to_string() + "\n";
+    for (const core::SignedMessage& message : item.messages) {
+      out += crypto::to_hex(message.encode()) + "\n";
+    }
+  }
+  return out;
+}
+
+TEST(MultiPrefixParityTest, EngineMatchesSequentialAt1_2_8Workers) {
+  Figure1Handles sequential = run_two_prefix_equivocation_world();
+  const ProtocolId id_a = sequential.round_id(1);
+  const ProtocolId id_b{.prover = sequential.world->prover,
+                        .prefix = bgp::Ipv4Prefix::parse("198.51.100.0/24"),
+                        .epoch = 1};
+
+  std::vector<bgp::AsNumber> verifiers = sequential.world->providers;
+  verifiers.push_back(sequential.world->recipient);
+  for (const bgp::AsNumber verifier : verifiers) {
+    sequential.world->node(verifier).finalize_round(id_a);
+    sequential.world->node(verifier).finalize_round(id_b);
+    ASSERT_FALSE(sequential.world->node(verifier).evidence().empty())
+        << "equivocation must be visible to verifier " << verifier;
+  }
+
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    Figure1Handles engined = run_two_prefix_equivocation_world();
+    VerificationEngine engine({.workers = workers}, &engined.keys->directory);
+    // Same submission order as the sequential loop: per verifier, round A
+    // then round B — drain applies findings in submission order.
+    for (const bgp::AsNumber verifier : verifiers) {
+      EXPECT_TRUE(engine.submit_node_round(engined.world->node(verifier), id_a));
+      EXPECT_TRUE(engine.submit_node_round(engined.world->node(verifier), id_b));
+    }
+    const EngineReport report = engine.drain();
+    EXPECT_EQ(report.rounds, verifiers.size() * 2);
+
+    for (const bgp::AsNumber verifier : verifiers) {
+      EXPECT_EQ(
+          evidence_fingerprint(engined.world->node(verifier).evidence()),
+          evidence_fingerprint(sequential.world->node(verifier).evidence()))
+          << "verifier " << verifier << " at " << workers << " workers";
+    }
+    EXPECT_EQ(engine.sink().total(), report.violations);
+    EXPECT_GT(engine.sink().count(core::ViolationKind::kEquivocation), 0u);
+  }
+}
+
+// The two prefixes of one (prover, epoch) hash to different shards only if
+// the prefix participates in shard assignment; same-prefix rounds must
+// still serialize. Guards the keying the parity above relies on.
+TEST(MultiPrefixParityTest, ShardAssignmentUsesPrefix) {
+  RoundScheduler scheduler({.workers = 1, .shards = 64});
+  const ProtocolId id_a{.prover = 7,
+                        .prefix = bgp::Ipv4Prefix::parse("203.0.113.0/24"),
+                        .epoch = 1};
+  ProtocolId id_a_later = id_a;
+  id_a_later.epoch = 9;
+  const ProtocolId id_b{.prover = 7,
+                        .prefix = bgp::Ipv4Prefix::parse("198.51.100.0/24"),
+                        .epoch = 1};
+  EXPECT_EQ(scheduler.shard_of(id_a), scheduler.shard_of(id_a_later));
+  // Not guaranteed for arbitrary prefixes, but these two differ under the
+  // current hash — a regression to epoch-only or prover-only sharding
+  // would collapse them.
+  EXPECT_NE(scheduler.shard_of(id_a), scheduler.shard_of(id_b));
+}
+
+}  // namespace
+}  // namespace pvr::engine

@@ -3,12 +3,17 @@
 // PVR's liveness checks (missing bundle / missing reveal) must fire when
 // the network eats protocol messages, and must never accuse anyone in a
 // third-party-provable way (the fault could be the network's).
+//
+// Rounds here are finalized through engine::VerificationEngine — the
+// default verification path for simulator-driven rounds (sequential
+// finalize_round is the fallback, covered by tests/core/pvr_node_test).
 #include <gtest/gtest.h>
 
 #include <algorithm>
 
 #include "core/evidence.h"
 #include "core/pvr_speaker.h"
+#include "engine/verification_engine.h"
 #include "net/gossip.h"
 
 namespace pvr::core {
@@ -61,9 +66,11 @@ TEST(LossyNetworkTest, TotalLossYieldsOnlyLivenessFindings) {
     // expected: prover tried to send on a severed link
   }
 
+  engine::VerificationEngine engine({.workers = 4}, &handles.keys->directory);
+  engine::finalize_world_round(engine, world, handles.round_id(1));
+
   const Auditor auditor(&handles.keys->directory);
   for (const bgp::AsNumber provider : world.providers) {
-    world.node(provider).finalize_round(1);
     const auto& evidence = world.node(provider).evidence();
     // Each provider that sent a route and heard nothing reports a liveness
     // fault; none of it is third-party provable.
@@ -103,9 +110,11 @@ TEST(LossyNetworkTest, GossipStillCatchesEquivocationWithPartialMesh) {
   });
   world.sim.run();
 
+  engine::VerificationEngine engine({.workers = 4}, &handles.keys->directory);
+  engine::finalize_world_round(engine, world, handles.round_id(1));
+
   std::size_t detectors = 0;
   for (const bgp::AsNumber verifier : verifiers) {
-    world.node(verifier).finalize_round(1);
     const auto& evidence = world.node(verifier).evidence();
     if (std::any_of(evidence.begin(), evidence.end(), [](const Evidence& e) {
           return e.kind == ViolationKind::kEquivocation;
@@ -132,10 +141,12 @@ TEST(LossyNetworkTest, HonestRoundSurvivesDuplicateDelivery) {
   });
   world.sim.run();
 
+  engine::VerificationEngine engine({.workers = 4}, &handles.keys->directory);
+  engine::finalize_world_round(engine, world, handles.round_id(1));
+
   std::vector<bgp::AsNumber> verifiers = world.providers;
   verifiers.push_back(world.recipient);
   for (const bgp::AsNumber verifier : verifiers) {
-    world.node(verifier).finalize_round(1);
     EXPECT_TRUE(world.node(verifier).evidence().empty());
   }
   // Flooding terminated (no infinite gossip storm).
