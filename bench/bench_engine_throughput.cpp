@@ -1,14 +1,22 @@
-// Engine throughput: rounds/sec vs. worker count and aggregation batch size.
+// Engine throughput: rounds/sec vs. worker count, shard salting, and
+// aggregation batch size.
 //
-// Workload: 1000 precomputed (prover, prefix, epoch) minimum-operator
-// rounds (25 prefixes x 40 epochs, 3 providers, RSA-512 to keep the
-// single-machine run short). Every 7th round injects a Byzantine prover so
-// the Evidence stream is non-trivial; the drained evidence must be
-// byte-identical across worker counts (the engine's determinism contract).
+// Workload: `--rounds=N` precomputed (prover, prefix, epoch) minimum-
+// operator rounds (default 10000: 25 prefixes x 400 epochs, 3 providers,
+// RSA-512 to keep the single-machine run short). Every 7th round injects a
+// Byzantine prover so the Evidence stream is non-trivial; the drained
+// evidence must be byte-identical across worker counts AND sharding modes
+// (the engine's determinism contract).
 //
-// Three measurements:
+// Four measurements:
 //   1. worker sweep  — full round verification through the engine at
-//      1/2/4/8 workers (thread-level speedup tracks physical cores);
+//      1/2/4/8 workers, rounds spread over 25 prefixes (cross-round
+//      parallelism; thread-level speedup tracks physical cores);
+//   1b. intra sweep  — the same closures submitted under ONE hot
+//      (prover, prefix): unsalted sharding pins them all to a single
+//      shard/worker (the pre-salting speedup_8v1 = 0.97 behavior); salted
+//      sharding spreads them, yielding speedup_8v1_intra on multi-core
+//      hosts;
 //   2. aggregation   — bundle authentications/sec when the prover signs one
 //      Merkle root per epoch instead of one bundle per prefix (algorithmic
 //      speedup, independent of core count);
@@ -17,6 +25,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <span>
 #include <string>
 #include <thread>
@@ -32,8 +42,7 @@ namespace pvr::bench {
 namespace {
 
 constexpr std::size_t kPrefixes = 25;
-constexpr std::size_t kEpochs = 40;
-constexpr std::size_t kRounds = kPrefixes * kEpochs;
+constexpr std::size_t kDefaultRounds = 10'000;
 constexpr std::size_t kProviders = 3;
 constexpr std::size_t kKeyBits = 512;
 constexpr std::uint32_t kMaxLen = 16;
@@ -52,7 +61,7 @@ struct Workload {
   std::vector<Round> rounds;
 };
 
-[[nodiscard]] Workload build_workload() {
+[[nodiscard]] Workload build_workload(std::size_t round_count) {
   Workload w;
   std::vector<bgp::AsNumber> all = {w.prover, w.recipient};
   for (std::size_t i = 0; i < kProviders; ++i) {
@@ -63,8 +72,8 @@ struct Workload {
   w.keys = core::generate_keys(all, key_rng, kKeyBits);
 
   crypto::Drbg len_rng(3, "engine-bench-lengths");
-  w.rounds.reserve(kRounds);
-  for (std::size_t r = 0; r < kRounds; ++r) {
+  w.rounds.reserve(round_count);
+  for (std::size_t r = 0; r < round_count; ++r) {
     Round round;
     round.id = core::ProtocolId{
         .prover = w.prover,
@@ -132,52 +141,126 @@ struct Workload {
       .count();
 }
 
+struct SweepResult {
+  double rounds_per_sec = 0;
+  std::string digest;
+};
+
+// Drains every round through one engine. When `hot_id` is set, every
+// submission is keyed by that single (prover, prefix) with epoch = index —
+// the hot-prefix case salting exists for (the closures are unchanged, only
+// shard placement differs).
+[[nodiscard]] SweepResult run_sweep(const Workload& w, std::size_t workers,
+                                    bool salt_shards, bool hot_key) {
+  engine::VerificationEngine engine(
+      {.workers = workers, .salt_shards = salt_shards}, &w.keys.directory);
+  const double t0 = now_seconds();
+  for (std::size_t r = 0; r < w.rounds.size(); ++r) {
+    const Round& round = w.rounds[r];
+    core::ProtocolId key = round.id;
+    if (hot_key) {
+      key.prefix = w.rounds.front().id.prefix;
+      key.epoch = r;
+    }
+    engine.submit(key, [&w, &round] { return check_round(w, round); });
+  }
+  const engine::EngineReport report = engine.drain();
+  const double elapsed = now_seconds() - t0;
+  return SweepResult{
+      .rounds_per_sec = static_cast<double>(report.rounds) / elapsed,
+      .digest = evidence_digest(report.outcomes)};
+}
+
+// Exits with an error on a malformed --rounds value: a typo silently
+// shrinking the sweep would feed garbage rounds/sec into the regression
+// gate's baseline comparison.
+[[nodiscard]] std::size_t parse_rounds(int argc, char** argv) {
+  std::size_t rounds = kDefaultRounds;
+  const auto parse_or_die = [](const char* text) {
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || value == 0) {
+      std::fprintf(stderr, "bench_engine_throughput: bad --rounds value %s\n",
+                   text);
+      std::exit(2);
+    }
+    return static_cast<std::size_t>(value);
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--rounds=", 9) == 0) {
+      rounds = parse_or_die(argv[i] + 9);
+    } else if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
+      rounds = parse_or_die(argv[++i]);
+    }
+    // Unknown flags (e.g. the runner's --benchmark_min_time) are ignored.
+  }
+  return std::max<std::size_t>(kPrefixes, rounds);
+}
+
 }  // namespace
 }  // namespace pvr::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pvr;
   using namespace pvr::bench;
 
+  const std::size_t rounds = parse_rounds(argc, argv);
   std::printf("engine throughput: %zu rounds (%zu prefixes x %zu epochs), "
               "%zu providers, RSA-%zu\n\n",
-              kRounds, kPrefixes, kEpochs, kProviders, kKeyBits);
+              rounds, kPrefixes, rounds / kPrefixes, kProviders, kKeyBits);
   const double t_build = now_seconds();
-  const Workload w = build_workload();
+  const Workload w = build_workload(rounds);
   std::printf("workload built in %.1f s (prover CPU, untimed below)\n\n",
               now_seconds() - t_build);
 
-  // --- 1. Worker sweep over full round verification -------------------------
-  std::printf("%-8s %-10s %-12s %-9s %-10s  evidence_digest\n", "workers",
-              "rounds", "rounds/sec", "speedup", "violations");
+  // --- 1. Worker sweep over full round verification (cross-round) -----------
+  std::printf("%-8s %-10s %-12s %-9s  evidence_digest\n", "workers",
+              "rounds", "rounds/sec", "speedup");
   std::string digest_at_1;
   double rps_at_1 = 0;
   double rps_at_8 = 0;
   bool deterministic = true;
   for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
-    engine::VerificationEngine engine({.workers = workers}, &w.keys.directory);
-    const double t0 = now_seconds();
-    for (const Round& round : w.rounds) {
-      engine.submit(round.id, [&w, &round] { return check_round(w, round); });
-    }
-    const engine::EngineReport report = engine.drain();
-    const double elapsed = now_seconds() - t0;
-    const double rps = static_cast<double>(report.rounds) / elapsed;
-    const std::string digest = evidence_digest(report.outcomes);
+    const SweepResult result =
+        run_sweep(w, workers, /*salt_shards=*/true, /*hot_key=*/false);
     if (workers == 1) {
-      digest_at_1 = digest;
-      rps_at_1 = rps;
+      digest_at_1 = result.digest;
+      rps_at_1 = result.rounds_per_sec;
     }
-    if (workers == 8) rps_at_8 = rps;
-    if (digest != digest_at_1) deterministic = false;
-    std::printf("%-8zu %-10llu %-12.1f %-9.2f %-10llu  %.16s\n", workers,
-                static_cast<unsigned long long>(report.rounds), rps,
-                rps / rps_at_1, static_cast<unsigned long long>(report.violations),
-                digest.c_str());
+    if (workers == 8) rps_at_8 = result.rounds_per_sec;
+    if (result.digest != digest_at_1) deterministic = false;
+    std::printf("%-8zu %-10zu %-12.1f %-9.2f  %.16s\n", workers, rounds,
+                result.rounds_per_sec, result.rounds_per_sec / rps_at_1,
+                result.digest.c_str());
   }
   std::printf("(thread-level speedup is bounded by physical cores: this host "
               "has %u)\n\n",
               std::thread::hardware_concurrency());
+
+  // --- 1b. Intra-round sweep: every submission under ONE (prover, prefix) ---
+  // Unsalted, a hot key serializes on one shard however many workers exist;
+  // salted shard keys spread the same tasks across the pool. Identical
+  // closures and submission order, so the digest must not move either.
+  std::printf("%-22s %-10s %-12s %-9s\n", "intra (hot prefix)", "workers",
+              "rounds/sec", "speedup");
+  const SweepResult unsalted_hot_8 =
+      run_sweep(w, 8, /*salt_shards=*/false, /*hot_key=*/true);
+  const SweepResult salted_hot_1 =
+      run_sweep(w, 1, /*salt_shards=*/true, /*hot_key=*/true);
+  const SweepResult salted_hot_8 =
+      run_sweep(w, 8, /*salt_shards=*/true, /*hot_key=*/true);
+  const double rps_intra_1 = salted_hot_1.rounds_per_sec;
+  const double rps_intra_8 = salted_hot_8.rounds_per_sec;
+  std::printf("%-22s %-10d %-12.1f %-9.2f\n", "unsalted (pinned)", 8,
+              unsalted_hot_8.rounds_per_sec,
+              unsalted_hot_8.rounds_per_sec / rps_intra_1);
+  std::printf("%-22s %-10d %-12.1f %-9.2f\n", "salted", 1, rps_intra_1, 1.0);
+  std::printf("%-22s %-10d %-12.1f %-9.2f\n\n", "salted", 8, rps_intra_8,
+              rps_intra_8 / rps_intra_1);
+  for (const SweepResult* result :
+       {&unsalted_hot_8, &salted_hot_1, &salted_hot_8}) {
+    if (result->digest != digest_at_1) deterministic = false;
+  }
 
   // --- 2. Merkle-aggregated bundle mode ------------------------------------
   // Naive (batch=1): one signed bundle per (prefix, epoch) -> one RSA verify
@@ -188,7 +271,7 @@ int main() {
   std::printf("%-8s %-14s %-12s %-9s\n", "batch", "bundle_auths", "auths/sec",
               "speedup");
   std::vector<core::CommitmentBundle> bundles;
-  bundles.reserve(kRounds);
+  bundles.reserve(rounds);
   for (const Round& round : w.rounds) {
     bundles.push_back(
         core::CommitmentBundle::decode(round.result.signed_bundle.payload));
@@ -217,8 +300,10 @@ int main() {
       for (std::size_t epoch_start = 0; epoch_start < bundles.size();
            epoch_start += kPrefixes) {
         const std::uint64_t epoch = 1 + epoch_start / kPrefixes;
-        for (std::size_t offset = 0; offset < kPrefixes; offset += batch) {
-          const std::size_t count = std::min(batch, kPrefixes - offset);
+        const std::size_t epoch_count =
+            std::min(kPrefixes, bundles.size() - epoch_start);
+        for (std::size_t offset = 0; offset < epoch_count; offset += batch) {
+          const std::size_t count = std::min(batch, epoch_count - offset);
           engine::AggregatedCommitment commitment = engine::aggregate_bundles(
               w.prover, epoch,
               std::span(bundles).subspan(epoch_start + offset, count),
@@ -274,9 +359,14 @@ int main() {
 
   std::printf("{\"bench\":\"engine_throughput\",\"rounds\":%zu,"
               "\"rounds_per_sec_1w\":%.1f,\"rounds_per_sec_8w\":%.1f,"
-              "\"speedup_8v1\":%.2f,\"deterministic\":%s,"
+              "\"speedup_8v1\":%.2f,"
+              "\"rounds_per_sec_1w_intra\":%.1f,"
+              "\"rounds_per_sec_8w_intra\":%.1f,"
+              "\"speedup_8v1_intra\":%.2f,"
+              "\"deterministic\":%s,"
               "\"agg_speedup\":%.2f,\"hw_threads\":%u}\n",
-              kRounds, rps_at_1, rps_at_8, rps_at_8 / rps_at_1,
+              rounds, rps_at_1, rps_at_8, rps_at_8 / rps_at_1, rps_intra_1,
+              rps_intra_8, rps_intra_8 / rps_intra_1,
               deterministic ? "true" : "false", agg_aps_best / naive_aps,
               std::thread::hardware_concurrency());
   return deterministic && valid_single == valid_batch ? 0 : 1;

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff a fresh bench_results.jsonl against the
+committed baseline trajectory (BENCH_pr*.json) and fail CI when the sweep
+regressed.
+
+Rules (exit 1 on any violation):
+  1. every per-bench metadata line in the fresh run ({"bench": ..., "ok": ...})
+     must carry ok == true — a crashing bench is a regression by itself;
+  2. the fresh engine_throughput row must report deterministic == true
+     (Evidence diverged across worker counts / sharding modes — a
+     correctness failure, not a perf number);
+  3. every throughput field listed in THROUGHPUT_KEYS that appears in BOTH
+     the baseline and the fresh engine_throughput rows must not drop more
+     than --max-regression (default 25%).
+
+Speedup ratios (speedup_8v1, speedup_8v1_intra, agg_speedup) are NOT gated
+here: they depend on the runner's core count, and the 1-core container that
+produces some baselines would make any ratio gate meaningless. The absolute
+rounds/sec floors below catch real throughput regressions on any host.
+
+Usage: check_bench_regression.py FRESH_JSONL BASELINE_JSON [--max-regression 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+THROUGHPUT_KEYS = ("rounds_per_sec_1w", "rounds_per_sec_8w")
+
+
+def load_rows(path):
+    rows = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise SystemExit(f"{path}: unparseable line {line!r}: {error}")
+    return rows
+
+
+def find_bench(rows, name):
+    for row in rows:
+        if row.get("bench") == name and "ok" not in row:
+            return row
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="fresh bench_results.jsonl")
+    parser.add_argument("baseline", help="committed BENCH_pr*.json baseline")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="max allowed fractional throughput drop")
+    args = parser.parse_args()
+
+    fresh = load_rows(args.fresh)
+    baseline = load_rows(args.baseline)
+    failures = []
+
+    # 1. Every bench that ran must have succeeded.
+    seen_metadata = 0
+    for row in fresh:
+        if "ok" in row:
+            seen_metadata += 1
+            if row["ok"] is not True:
+                failures.append(f"bench {row.get('bench')!r} reported ok:false")
+    if seen_metadata == 0:
+        failures.append("fresh run carries no per-bench ok/seconds metadata "
+                        "lines — did bench/run_all.sh produce this file?")
+
+    # 2 + 3. Engine throughput: determinism and absolute-throughput floors.
+    fresh_engine = find_bench(fresh, "engine_throughput")
+    baseline_engine = find_bench(baseline, "engine_throughput")
+    if fresh_engine is None:
+        failures.append("fresh run has no engine_throughput row")
+    else:
+        if fresh_engine.get("deterministic") is not True:
+            failures.append("engine_throughput reported deterministic:false — "
+                            "Evidence diverged across workers/sharding modes")
+        if baseline_engine is not None:
+            for key in THROUGHPUT_KEYS:
+                if key not in fresh_engine or key not in baseline_engine:
+                    continue
+                old, new = baseline_engine[key], fresh_engine[key]
+                floor = old * (1.0 - args.max_regression)
+                verdict = "ok" if new >= floor else "REGRESSION"
+                print(f"{key}: baseline {old:.1f} -> fresh {new:.1f} "
+                      f"(floor {floor:.1f}) {verdict}")
+                if new < floor:
+                    failures.append(
+                        f"{key} regressed >{args.max_regression:.0%}: "
+                        f"{old:.1f} -> {new:.1f}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("bench regression gate: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

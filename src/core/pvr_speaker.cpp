@@ -59,6 +59,17 @@ PvrNode::PvrNode(PvrConfig config)
   }
 }
 
+PvrNode::RoundState& PvrNode::round_state(const ProtocolId& id) {
+  const auto [it, inserted] = rounds_.try_emplace(id);
+  if (inserted) round_index_.emplace(id, &it->second);
+  return it->second;
+}
+
+PvrNode::RoundState* PvrNode::find_round(const ProtocolId& id) {
+  const auto it = round_index_.find(id);
+  return it == round_index_.end() ? nullptr : it->second;
+}
+
 void PvrNode::send(net::Simulator& sim, bgp::AsNumber to, const char* channel,
                    std::vector<std::uint8_t> payload) {
   net::Message message{.from = config_.asn,
@@ -88,7 +99,7 @@ void PvrNode::provide_input(net::Simulator& sim, std::uint64_t epoch,
   }
   const ProtocolId id{.prover = config_.prover, .prefix = prefix, .epoch = epoch};
   if (!route.has_value()) {
-    rounds_[id].own_input = std::nullopt;
+    round_state(id).own_input = std::nullopt;
     return;
   }
   const InputAnnouncement announcement{
@@ -96,7 +107,7 @@ void PvrNode::provide_input(net::Simulator& sim, std::uint64_t epoch,
       .provider = config_.asn,
       .route = *route,
   };
-  rounds_[id].own_input = announcement;
+  round_state(id).own_input = announcement;
   const SignedMessage signed_input =
       sign_message(config_.asn, *config_.private_key, announcement.encode());
   send(sim, config_.prover, kInputChannel, signed_input.encode());
@@ -112,23 +123,61 @@ void PvrNode::start_round(net::Simulator& sim, std::uint64_t epoch,
   // claiming the same prefix would be self-equivocation.
   if (rounds_run_.contains(id)) return;
   collected_inputs_.try_emplace(id);
-  auto& pending = pending_rounds_[epoch];
-  const bool window_open = !pending.empty();
-  if (std::find(pending.begin(), pending.end(), prefix) == pending.end()) {
-    pending.push_back(prefix);
+
+  auto& windows = open_windows_[epoch];
+  for (const auto& window : windows) {
+    if (std::find(window->prefixes.begin(), window->prefixes.end(), prefix) !=
+        window->prefixes.end()) {
+      return;  // already pending in an open window
+    }
   }
-  if (!window_open) {
-    sim.schedule_after(config_.collect_window, [this, &sim, epoch] {
-      run_prover_batch(sim, epoch);
-    });
+  // Per-prefix collection: this prefix needs collect_window µs of input
+  // collection measured from ITS OWN start, so it may only join a window
+  // that can wait that long without blowing the window's batching
+  // deadline. (The pre-deadline design shared one epoch-wide window, so a
+  // prefix started late in the window got an arbitrarily truncated
+  // collection phase.)
+  const net::SimTime now = sim.now();
+  const net::SimTime ready_at = now + config_.collect_window;
+  for (auto& window : windows) {
+    if (ready_at <= window->deadline) {
+      window->prefixes.push_back(prefix);
+      window->fire_at = std::max(window->fire_at, ready_at);
+      return;
+    }
   }
+  const net::SimTime deadline_span =
+      std::max(config_.batch_deadline, config_.collect_window);
+  auto window = std::make_shared<CollectionWindow>();
+  window->deadline = now + deadline_span;
+  window->fire_at = ready_at;
+  window->prefixes.push_back(prefix);
+  windows.push_back(window);
+  schedule_window_fire(sim, epoch, std::move(window));
 }
 
-void PvrNode::run_prover_batch(net::Simulator& sim, std::uint64_t epoch) {
-  const std::vector<bgp::Ipv4Prefix> prefixes =
-      std::move(pending_rounds_[epoch]);
-  pending_rounds_.erase(epoch);
+void PvrNode::schedule_window_fire(net::Simulator& sim, std::uint64_t epoch,
+                                   std::shared_ptr<CollectionWindow> window) {
+  sim.schedule(window->fire_at, [this, &sim, epoch, window] {
+    if (sim.now() < window->fire_at) {
+      // A later joiner pushed fire_at out (still within the deadline);
+      // re-arm for the new time.
+      schedule_window_fire(sim, epoch, window);
+      return;
+    }
+    const auto epoch_it = open_windows_.find(epoch);
+    if (epoch_it != open_windows_.end()) {
+      auto& windows = epoch_it->second;
+      windows.erase(std::remove(windows.begin(), windows.end(), window),
+                    windows.end());
+      if (windows.empty()) open_windows_.erase(epoch_it);
+    }
+    run_prover_batch(sim, epoch, window->prefixes);
+  });
+}
 
+void PvrNode::run_prover_batch(net::Simulator& sim, std::uint64_t epoch,
+                               const std::vector<bgp::Ipv4Prefix>& prefixes) {
   struct PrefixRound {
     ProtocolId id;
     ProverResult result;
@@ -220,8 +269,8 @@ void PvrNode::observe_bundle(net::Simulator& sim, const SignedMessage& bundle,
   // relaying foreign-prover bundles would let any peer grow round state
   // and multiply mesh traffic without bound.
   if (decoded.id.prover != config_.prover) return;
-  if (const auto it = rounds_.find(decoded.id); it != rounds_.end()) {
-    const auto& seen = it->second.observed_bundles;
+  if (const RoundState* existing = find_round(decoded.id)) {
+    const auto& seen = existing->observed_bundles;
     if (std::any_of(seen.begin(), seen.end(), [&](const SignedMessage& s) {
           return s.payload == bundle.payload;
         })) {
@@ -232,9 +281,12 @@ void PvrNode::observe_bundle(net::Simulator& sim, const SignedMessage& bundle,
   // the first-seen slot — that would unaccountably poison verification of
   // the honest bundle arriving later — nor be relayed onward.
   if (!verify_message(*config_.directory, bundle)) return;
-  RoundState& round = rounds_[decoded.id];
+  RoundState& round = round_state(decoded.id);
   round.observed_bundles.push_back(bundle);
   if (!round.bundle.has_value()) round.bundle = bundle;
+  // A round that already witnessed a root conflict but had no bundles to
+  // spread can escalate now that one exists.
+  escalate_round(sim, origin, round);
   // Gossip the (signed) bundle to the other verifiers so everyone converges
   // on the same view (§3.2: "A's neighbors can gossip about c") — but never
   // back to whoever just sent it to us, and only within the hop budget.
@@ -266,11 +318,17 @@ void PvrNode::observe_root(net::Simulator& sim, const SignedMessage& signed_root
                          signed_root)) {
     return;
   }
-  // Attach to every open round whose prefix this window claims.
-  for (auto& [id, round] : rounds_) {
-    if (id.prover == root.prover && id.epoch == root.epoch &&
-        root.covers(id.prefix)) {
-      (void)remember_distinct(round.observed_roots, signed_root);
+  // Attach to every open round this window claims. The signed prefix list
+  // names those rounds exactly, so each is one hash lookup — with
+  // thousands of simultaneously open rounds per node this must never scan
+  // them all (tests/core/root_attachment_test.cpp is the regression).
+  for (const bgp::Ipv4Prefix& prefix : root.prefixes) {
+    const ProtocolId id{
+        .prover = root.prover, .prefix = prefix, .epoch = root.epoch};
+    if (RoundState* round = find_round(id)) {
+      if (remember_distinct(round->observed_roots, signed_root)) {
+        escalate_round(sim, origin, *round);
+      }
     }
   }
   if (hops < config_.gossip_hop_budget) {
@@ -283,22 +341,20 @@ void PvrNode::observe_root(net::Simulator& sim, const SignedMessage& signed_root
       }
     }
   }
-  escalate_bundle_gossip(sim, origin);
 }
 
-void PvrNode::escalate_bundle_gossip(net::Simulator& sim, bgp::AsNumber origin) {
-  for (auto& [id, round] : rounds_) {
-    if (round.escalated || round.observed_roots.size() < 2 ||
-        round.observed_bundles.empty()) {
-      continue;
-    }
-    round.escalated = true;
-    for (const SignedMessage& bundle : round.observed_bundles) {
-      for (const bgp::AsNumber peer : gossip_peers()) {
-        if (peer == origin) continue;
-        if (sim.connected(config_.asn, peer)) {
-          send(sim, peer, kGossipChannel, wrap_hops(0, bundle.encode()));
-        }
+void PvrNode::escalate_round(net::Simulator& sim, bgp::AsNumber origin,
+                             RoundState& round) {
+  if (round.escalated || round.observed_roots.size() < 2 ||
+      round.observed_bundles.empty()) {
+    return;
+  }
+  round.escalated = true;
+  for (const SignedMessage& bundle : round.observed_bundles) {
+    for (const bgp::AsNumber peer : gossip_peers()) {
+      if (peer == origin) continue;
+      if (sim.connected(config_.asn, peer)) {
+        send(sim, peer, kGossipChannel, wrap_hops(0, bundle.encode()));
       }
     }
   }
@@ -341,18 +397,18 @@ void PvrNode::open_aggregated(net::Simulator& sim,
     if (decoded.id.prover != config_.prover || decoded.id.epoch != root.epoch) {
       continue;
     }
-    RoundState& round = rounds_[decoded.id];
+    RoundState& round = round_state(decoded.id);
     if (remember_distinct(round.observed_bundles, opening.bundle) &&
         !round.bundle.has_value()) {
       round.bundle = opening.bundle;
     }
     // Roots gossiped before this message arrived belong to the round too.
     attach_seen_roots(decoded.id, round);
+    // observe_root below escalates only on a NEW root; if the conflict was
+    // already known, the round just opened still needs its bundles spread.
+    escalate_round(sim, origin, round);
   }
   observe_root(sim, message.signed_root, origin, 0);
-  // observe_root escalates only on a NEW root; if the conflict was already
-  // known, the rounds just opened still need their bundles spread.
-  escalate_bundle_gossip(sim, origin);
 }
 
 void PvrNode::on_message(net::Simulator& sim, const net::Message& message) {
@@ -427,7 +483,7 @@ void PvrNode::on_message(net::Simulator& sim, const net::Message& message) {
       }
       const ProtocolId id = decode_id(envelope);
       if (id.prover != config_.prover) return;
-      rounds_[id].*slot = std::move(envelope);
+      round_state(id).*slot = std::move(envelope);
     } catch (const std::out_of_range&) {
     }
   };
@@ -447,33 +503,57 @@ void PvrNode::on_message(net::Simulator& sim, const net::Message& message) {
   }
 }
 
-RoundFindings PvrNode::check_round(const PvrConfig& config,
-                                   const RoundState& round) {
-  RoundFindings findings;
+void fold_round_findings(RoundFindings& into, RoundFindings part) {
+  into.evidence.insert(into.evidence.end(),
+                       std::make_move_iterator(part.evidence.begin()),
+                       std::make_move_iterator(part.evidence.end()));
+  into.signatures_verified += part.signatures_verified;
+  if (part.accepted.has_value()) into.accepted = std::move(part.accepted);
+}
 
-  // Equivocation check over everything gossip delivered.
+std::vector<PvrNode::RoundCheckPart> PvrNode::enumerate_round_checks(
+    const RoundState& round) {
+  std::vector<RoundCheckPart> parts;
   for (std::size_t i = 0; i + 1 < round.observed_bundles.size(); ++i) {
     for (std::size_t j = i + 1; j < round.observed_bundles.size(); ++j) {
-      findings.signatures_verified += 2;
-      if (auto conflict = check_equivocation(*config.directory, config.asn,
-                                             round.observed_bundles[i],
-                                             round.observed_bundles[j])) {
-        findings.evidence.push_back(std::move(*conflict));
-      }
+      parts.push_back({.kind = RoundCheckPart::Kind::kBundlePair, .i = i, .j = j});
     }
   }
-  // Aggregated wire mode: conflicting signed roots for this round's
-  // aggregation window are equivocation too (root gossip carries no
-  // bundles, so this is how the conflict surfaces).
   for (std::size_t i = 0; i + 1 < round.observed_roots.size(); ++i) {
     for (std::size_t j = i + 1; j < round.observed_roots.size(); ++j) {
-      findings.signatures_verified += 2;
-      if (auto conflict = check_root_equivocation(*config.directory, config.asn,
-                                                  round.observed_roots[i],
-                                                  round.observed_roots[j])) {
-        findings.evidence.push_back(std::move(*conflict));
-      }
+      parts.push_back({.kind = RoundCheckPart::Kind::kRootPair, .i = i, .j = j});
     }
+  }
+  parts.push_back({.kind = RoundCheckPart::Kind::kRole});
+  return parts;
+}
+
+RoundFindings PvrNode::run_round_check(const PvrConfig& config,
+                                       const RoundState& round,
+                                       const RoundCheckPart& part) {
+  RoundFindings findings;
+
+  if (part.kind == RoundCheckPart::Kind::kBundlePair) {
+    // Equivocation check over one pair of gossip-delivered bundles.
+    findings.signatures_verified += 2;
+    if (auto conflict = check_equivocation(*config.directory, config.asn,
+                                           round.observed_bundles[part.i],
+                                           round.observed_bundles[part.j])) {
+      findings.evidence.push_back(std::move(*conflict));
+    }
+    return findings;
+  }
+  if (part.kind == RoundCheckPart::Kind::kRootPair) {
+    // Aggregated wire mode: conflicting signed roots for this round's
+    // aggregation window are equivocation too (root gossip carries no
+    // bundles, so this is how the conflict surfaces).
+    findings.signatures_verified += 2;
+    if (auto conflict = check_root_equivocation(*config.directory, config.asn,
+                                                round.observed_roots[part.i],
+                                                round.observed_roots[part.j])) {
+      findings.evidence.push_back(std::move(*conflict));
+    }
+    return findings;
   }
 
   if (!round.bundle.has_value()) {
@@ -519,8 +599,20 @@ RoundFindings PvrNode::check_round(const PvrConfig& config,
   return findings;
 }
 
+RoundFindings PvrNode::check_round(const PvrConfig& config,
+                                   const RoundState& round) {
+  // The sequential path IS the split path folded in enumeration order —
+  // identical code on both sides is what makes the engine's intra-round
+  // reduction byte-identical to this by construction.
+  RoundFindings findings;
+  for (const RoundCheckPart& part : enumerate_round_checks(round)) {
+    fold_round_findings(findings, run_round_check(config, round, part));
+  }
+  return findings;
+}
+
 void PvrNode::finalize_round(const ProtocolId& id) {
-  RoundState& round = rounds_[id];
+  RoundState& round = round_state(id);
   if (round.finalized) return;
   round.finalized = true;
   attach_seen_roots(id, round);
@@ -528,7 +620,7 @@ void PvrNode::finalize_round(const ProtocolId& id) {
 }
 
 std::optional<DeferredRound> PvrNode::defer_finalize(const ProtocolId& id) {
-  RoundState& round = rounds_[id];
+  RoundState& round = round_state(id);
   if (round.finalized) return std::nullopt;
   round.finalized = true;
   attach_seen_roots(id, round);
@@ -540,6 +632,25 @@ std::optional<DeferredRound> PvrNode::defer_finalize(const ProtocolId& id) {
       .work = [config = &config_, snapshot = round]() {
         return check_round(*config, snapshot);
       }};
+}
+
+std::optional<DeferredRoundChecks> PvrNode::defer_finalize_checks(
+    const ProtocolId& id) {
+  RoundState& round = round_state(id);
+  if (round.finalized) return std::nullopt;
+  round.finalized = true;
+  attach_seen_roots(id, round);
+
+  // One immutable snapshot shared by every check closure: the parts only
+  // ever read it, so they can run on any workers concurrently.
+  const auto snapshot = std::make_shared<const RoundState>(round);
+  DeferredRoundChecks deferred{.id = id, .checks = {}};
+  for (const RoundCheckPart& part : enumerate_round_checks(*snapshot)) {
+    deferred.checks.push_back([config = &config_, snapshot, part]() {
+      return run_round_check(*config, *snapshot, part);
+    });
+  }
+  return deferred;
 }
 
 void PvrNode::apply_round_findings(const ProtocolId& id, RoundFindings findings) {

@@ -26,8 +26,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -60,6 +62,13 @@ struct PvrConfig {
   std::vector<bgp::AsNumber> providers;     // N1..Nk
   bgp::AsNumber recipient = 0;              // B
   net::SimTime collect_window = 10'000;     // µs the prover waits for inputs
+  // Max µs a collection window stays open past its first prefix to batch
+  // later start_round arrivals (0 = collect_window, i.e. only simultaneous
+  // arrivals share a window). A prefix joins an open window only if it
+  // still gets its full collect_window of input collection before the
+  // window's deadline — otherwise it opens its own window, so staggered
+  // arrivals never get a truncated collection phase (DESIGN.md §6).
+  net::SimTime batch_deadline = 0;
   ProverMisbehavior misbehavior;            // prover only
   std::uint64_t rng_seed = 1;
   // Default wire mode: one signed Merkle root + openings per epoch window
@@ -86,6 +95,23 @@ struct DeferredRound {
   ProtocolId id;
   std::function<RoundFindings()> work;
 };
+
+// One round's checks split at check granularity: each closure runs one
+// bundle-equivocation pair, one root-equivocation pair, or the role checks
+// over a shared immutable snapshot, so the engine can spread a single
+// round's work across workers. Folding the partial findings in vector
+// order with fold_round_findings reproduces finalize_round byte-for-byte
+// (the split preserves the sequential check order: bundle pairs, then
+// root pairs, then the role checks).
+struct DeferredRoundChecks {
+  ProtocolId id;
+  std::vector<std::function<RoundFindings()>> checks;
+};
+
+// Deterministic reducer for split round checks: evidence concatenates in
+// fold order, signature counts add, and the role check's accepted route
+// wins (it is the only part that sets one).
+void fold_round_findings(RoundFindings& into, RoundFindings part);
 
 class PvrNode : public net::Node {
  public:
@@ -120,6 +146,13 @@ class PvrNode : public net::Node {
   // apply_round_findings once the closure has run.
   [[nodiscard]] std::optional<DeferredRound> defer_finalize(const ProtocolId& id);
 
+  // Split form of defer_finalize: the same checks as one closure per check
+  // part over a shared snapshot (see DeferredRoundChecks). The engine's
+  // intra-round path folds the partial findings back together in order and
+  // delivers them via apply_round_findings exactly once per round.
+  [[nodiscard]] std::optional<DeferredRoundChecks> defer_finalize_checks(
+      const ProtocolId& id);
+
   // Delivers the outcome of a deferred round back into this node's evidence
   // log and accepted-route table. Must be called from the thread that owns
   // the node (i.e. after the engine has drained).
@@ -147,7 +180,7 @@ class PvrNode : public net::Node {
     // window claims this round's prefix. Two entries prove equivocation.
     std::vector<SignedMessage> observed_roots;
     // Whether this round's bundles were already re-gossiped in full after
-    // a root conflict surfaced (see escalate_bundle_gossip).
+    // a root conflict surfaced (see escalate_round).
     bool escalated = false;
     bool finalized = false;
   };
@@ -156,9 +189,26 @@ class PvrNode : public net::Node {
   // inside the signed statements themselves.
   using RootKey = std::pair<bgp::AsNumber, std::uint64_t>;
 
-  // Pure check logic shared by finalize_round and defer_finalize: runs the
-  // role-specific §3.2/3.3 verifier over a snapshot of the round state.
-  // Static so deferred closures cannot touch live node state.
+  // One independently runnable slice of a round's checks. The enumeration
+  // order (all bundle pairs, all root pairs, the role checks) is the
+  // canonical sequential order; both check_round and the engine's reducer
+  // fold partial findings in exactly this order.
+  struct RoundCheckPart {
+    enum class Kind : std::uint8_t { kBundlePair, kRootPair, kRole };
+    Kind kind = Kind::kRole;
+    std::size_t i = 0;  // pair indices into observed_bundles/observed_roots
+    std::size_t j = 0;
+  };
+  [[nodiscard]] static std::vector<RoundCheckPart> enumerate_round_checks(
+      const RoundState& round);
+  [[nodiscard]] static RoundFindings run_round_check(const PvrConfig& config,
+                                                     const RoundState& round,
+                                                     const RoundCheckPart& part);
+
+  // Pure check logic shared by finalize_round and defer_finalize: folds
+  // every RoundCheckPart of the round in enumeration order — the same
+  // reduction the engine performs across workers. Static so deferred
+  // closures cannot touch live node state.
   [[nodiscard]] static RoundFindings check_round(const PvrConfig& config,
                                                  const RoundState& round);
 
@@ -180,25 +230,57 @@ class PvrNode : public net::Node {
   // node falls back to gossiping its full signed bundles for that round —
   // every verifier then obtains the conflicting per-round bundles and the
   // per-round equivocation check regains its legacy power. Honest rounds
-  // have exactly one covering root and never escalate.
-  void escalate_bundle_gossip(net::Simulator& sim, bgp::AsNumber origin);
+  // have exactly one covering root and never escalate. Escalation is
+  // checked per TOUCHED round (the rounds the triggering root or bundle
+  // just attached to), never by scanning every open round — with thousands
+  // of simultaneously open rounds per node the scan would be O(n) per
+  // gossiped root.
+  void escalate_round(net::Simulator& sim, bgp::AsNumber origin,
+                      RoundState& round);
   // Finalize-time safety net (e.g. for rounds whose direct agg message was
   // lost): attaches every seen root whose window claims the round's
   // prefix, so witnessed root conflicts stay provable.
   void attach_seen_roots(const ProtocolId& id, RoundState& round) const;
-  void run_prover_batch(net::Simulator& sim, std::uint64_t epoch);
+  void run_prover_batch(net::Simulator& sim, std::uint64_t epoch,
+                        const std::vector<bgp::Ipv4Prefix>& prefixes);
   [[nodiscard]] std::vector<bgp::AsNumber> gossip_peers() const;
+
+  // Prover-side: one open collection window. `fire_at` extends as prefixes
+  // join (each needs collect_window µs of input collection) but never past
+  // `deadline`; a prefix that cannot make the deadline opens a new window.
+  struct CollectionWindow {
+    net::SimTime deadline = 0;
+    net::SimTime fire_at = 0;
+    std::vector<bgp::Ipv4Prefix> prefixes;
+  };
+  void schedule_window_fire(net::Simulator& sim, std::uint64_t epoch,
+                            std::shared_ptr<CollectionWindow> window);
+
+  // All round-state creation funnels through here so the hash index stays
+  // in sync with rounds_ (map nodes are pointer-stable).
+  [[nodiscard]] RoundState& round_state(const ProtocolId& id);
+  // O(1) lookup of an OPEN round; nullptr when the round does not exist
+  // (never creates state — the root-attachment hot path must not).
+  [[nodiscard]] RoundState* find_round(const ProtocolId& id);
 
   PvrConfig config_;
   crypto::Drbg rng_;
-  // All per-round state, keyed by the full round identity.
+  // All per-round state, keyed by the full round identity. An ordered map
+  // keeps deterministic iteration for replay; map nodes are pointer-stable
+  // so round_index_ below can hold raw pointers into it.
   std::map<ProtocolId, RoundState> rounds_;
+  // Hash index over rounds_: root attachment resolves each prefix a window
+  // claims with one O(1) lookup instead of scanning every open round (the
+  // pre-index linear scan was O(open rounds) per gossiped root).
+  std::unordered_map<ProtocolId, RoundState*, ProtocolIdHash> round_index_;
   // Prover-side: inputs collected per round.
   std::map<ProtocolId, std::map<bgp::AsNumber, std::optional<SignedMessage>>>
       collected_inputs_;
-  // Prover-side: prefixes whose rounds share the currently-open collection
-  // window for an epoch, and the next batch number per epoch.
-  std::map<std::uint64_t, std::vector<bgp::Ipv4Prefix>> pending_rounds_;
+  // Prover-side: open collection windows per epoch (several can be in
+  // flight when staggered start_round arrivals miss an earlier window's
+  // deadline), and the next batch number per epoch.
+  std::map<std::uint64_t, std::vector<std::shared_ptr<CollectionWindow>>>
+      open_windows_;
   std::map<std::uint64_t, std::uint32_t> next_batch_;
   // Prover-side: rounds already run, so a re-announced prefix can never
   // make an honest prover commit to one round twice.

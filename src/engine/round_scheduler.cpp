@@ -4,7 +4,8 @@
 
 namespace pvr::engine {
 
-RoundScheduler::RoundScheduler(SchedulerConfig config) {
+RoundScheduler::RoundScheduler(SchedulerConfig config)
+    : salt_shards_(config.salt_shards) {
   const std::size_t shards = std::max<std::size_t>(1, config.shards);
   shard_queues_.resize(shards);
   shard_busy_.assign(shards, false);
@@ -30,20 +31,39 @@ RoundScheduler::~RoundScheduler() {
 }
 
 std::size_t RoundScheduler::shard_of(const core::ProtocolId& id) const {
-  // Hash the (prover, prefix) projection, not the epoch: successive epochs
-  // of one prover's rounds for one prefix must serialize.
+  // Hash the (prover, prefix) projection, not the epoch: in unsalted mode
+  // successive epochs of one prover's rounds for one prefix must serialize.
   core::ProtocolId projection = id;
   projection.epoch = 0;
   return core::ProtocolIdHash{}(projection) % shard_queues_.size();
 }
 
+std::size_t RoundScheduler::shard_of(const core::ProtocolId& id,
+                                     std::size_t salt) const {
+  core::ProtocolId projection = id;
+  projection.epoch = 0;
+  // splitmix64-style finalizer over (key hash ⊕ salt): tickets are
+  // sequential, so the mix must decorrelate low bits or salted loads
+  // would stripe the shards.
+  std::uint64_t mixed =
+      static_cast<std::uint64_t>(core::ProtocolIdHash{}(projection)) ^
+      (0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(salt) + 1));
+  mixed ^= mixed >> 30;
+  mixed *= 0xbf58476d1ce4e5b9ull;
+  mixed ^= mixed >> 27;
+  mixed *= 0x94d049bb133111ebull;
+  mixed ^= mixed >> 31;
+  return static_cast<std::size_t>(mixed % shard_queues_.size());
+}
+
 std::size_t RoundScheduler::submit(const core::ProtocolId& id,
                                    std::function<core::RoundFindings()> work) {
-  const std::size_t shard = shard_of(id);
   std::size_t ticket;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     ticket = tasks_.size();
+    const std::size_t shard =
+        salt_shards_ ? shard_of(id, ticket) : shard_of(id);
     tasks_.push_back(Task{.id = id, .work = std::move(work)});
     results_.emplace_back();
     shard_queues_[shard].push_back(ticket);

@@ -5,56 +5,88 @@ namespace pvr::engine {
 VerificationEngine::VerificationEngine(EngineConfig config,
                                        const core::KeyDirectory* directory)
     : directory_(directory),
+      intra_round_checks_(config.intra_round_checks),
       scheduler_(SchedulerConfig{.workers = config.workers,
-                                 .shards = config.shards}) {}
+                                 .shards = config.shards,
+                                 .salt_shards = config.salt_shards}) {}
 
 bool VerificationEngine::submit_node_round(core::PvrNode& node,
                                            const core::ProtocolId& id) {
-  std::optional<core::DeferredRound> deferred = node.defer_finalize(id);
-  if (!deferred.has_value()) return false;
-  const std::size_t ticket =
-      scheduler_.submit(deferred->id, std::move(deferred->work));
-  if (owners_.size() <= ticket) {
-    owners_.resize(ticket + 1, nullptr);
-    ids_.resize(ticket + 1);
+  if (!intra_round_checks_) {
+    std::optional<core::DeferredRound> deferred = node.defer_finalize(id);
+    if (!deferred.has_value()) return false;
+    const std::size_t ticket =
+        scheduler_.submit(deferred->id, std::move(deferred->work));
+    groups_.push_back(TaskGroup{
+        .node = &node, .id = id, .first_ticket = ticket, .parts = 1});
+    return true;
   }
-  owners_[ticket] = &node;
-  ids_[ticket] = id;
+
+  // Intra-round path: one task per check, all over one shared snapshot.
+  // The salted scheduler spreads them across shards, so this round's
+  // checks run concurrently; drain() folds the parts back in order.
+  std::optional<core::DeferredRoundChecks> deferred =
+      node.defer_finalize_checks(id);
+  if (!deferred.has_value()) return false;
+  TaskGroup group{.node = &node,
+                  .id = id,
+                  .first_ticket = 0,
+                  .parts = deferred->checks.size()};
+  for (std::size_t part = 0; part < deferred->checks.size(); ++part) {
+    const std::size_t ticket =
+        scheduler_.submit(id, std::move(deferred->checks[part]));
+    if (part == 0) group.first_ticket = ticket;
+  }
+  groups_.push_back(group);
   return true;
 }
 
 std::size_t VerificationEngine::submit(
     const core::ProtocolId& id, std::function<core::RoundFindings()> work) {
   const std::size_t ticket = scheduler_.submit(id, std::move(work));
-  if (owners_.size() <= ticket) {
-    owners_.resize(ticket + 1, nullptr);
-    ids_.resize(ticket + 1);
-  }
+  groups_.push_back(TaskGroup{
+      .node = nullptr, .id = id, .first_ticket = ticket, .parts = 1});
   return ticket;
 }
 
 EngineReport VerificationEngine::drain() {
+  std::vector<RoundOutcome> raw = scheduler_.drain();
   EngineReport report;
-  report.outcomes = scheduler_.drain();
-  report.rounds = report.outcomes.size();
+  report.outcomes.reserve(groups_.size());
   std::exception_ptr first_error;
-  for (std::size_t ticket = 0; ticket < report.outcomes.size(); ++ticket) {
-    RoundOutcome& outcome = report.outcomes[ticket];
-    if (outcome.error) {
-      if (!first_error) first_error = outcome.error;
-      continue;  // a failed round contributes no findings
+  for (const TaskGroup& group : groups_) {
+    // Deterministic per-round reducer: fold the group's partial findings
+    // in ticket order — the enumeration order check_round uses — so the
+    // folded round is byte-identical to the sequential path regardless of
+    // which workers ran which parts.
+    RoundOutcome folded{.id = group.id, .findings = {}, .error = nullptr};
+    for (std::size_t part = 0; part < group.parts; ++part) {
+      RoundOutcome& outcome = raw[group.first_ticket + part];
+      if (outcome.error) {
+        if (!folded.error) folded.error = outcome.error;
+        continue;
+      }
+      core::fold_round_findings(folded.findings, std::move(outcome.findings));
     }
-    report.violations += outcome.findings.evidence.size();
-    report.signatures_verified += outcome.findings.signatures_verified;
-    sink_.record_all(outcome.findings.evidence);  // copy into ordered log
-    if (ticket < owners_.size() && owners_[ticket] != nullptr) {
-      owners_[ticket]->apply_round_findings(ids_[ticket], outcome.findings);
+    if (folded.error) {
+      // A failed round contributes no findings (its node stays finalized
+      // with none) — even the parts that succeeded.
+      folded.findings = core::RoundFindings{};
+      if (!first_error) first_error = folded.error;
+    } else {
+      report.violations += folded.findings.evidence.size();
+      report.signatures_verified += folded.findings.signatures_verified;
+      sink_.record_all(folded.findings.evidence);  // copy into ordered log
+      if (group.node != nullptr) {
+        group.node->apply_round_findings(group.id, folded.findings);
+      }
     }
+    report.outcomes.push_back(std::move(folded));
   }
-  // Owner bookkeeping must never survive into the next batch (tickets
+  report.rounds = report.outcomes.size();
+  // Group bookkeeping must never survive into the next batch (tickets
   // restart at 0), failed drain or not.
-  owners_.clear();
-  ids_.clear();
+  groups_.clear();
   // Rethrow only after every successful round's findings were delivered.
   if (first_error) std::rethrow_exception(first_error);
   return report;

@@ -19,6 +19,15 @@
 // delivery — so concurrent rounds for different prefixes or provers in the
 // same epoch never collide.
 //
+// Intra-round parallelism (DESIGN.md §8.1): submit_node_round splits a
+// round into one task per check (PvrNode::defer_finalize_checks) and the
+// salted scheduler spreads them across shards, so even a single round's
+// n+1 verifier checks run concurrently. drain() folds each round's partial
+// findings back together in enumeration order (core::fold_round_findings)
+// — the same reduction the sequential check_round performs — before
+// delivering them, so Evidence stays byte-identical to the sequential path
+// at any worker count.
+//
 // Determinism: outcomes are applied in submission order after the pool has
 // quiesced, so node evidence logs and the sink's log are byte-identical
 // across worker counts (see DESIGN.md §"Engine").
@@ -35,10 +44,18 @@ namespace pvr::engine {
 struct EngineConfig {
   std::size_t workers = 0;  // 0 = hardware concurrency
   std::size_t shards = 64;
+  // Salt the scheduler's shard keys per submission so same-round tasks
+  // spread across shards (engine closures are self-contained snapshots,
+  // which is what makes this safe). See SchedulerConfig::salt_shards.
+  bool salt_shards = true;
+  // Split node rounds into one task per check (defer_finalize_checks)
+  // instead of one whole-round closure. false = legacy whole-round tasks.
+  bool intra_round_checks = true;
 };
 
 struct EngineReport {
-  std::vector<RoundOutcome> outcomes;  // submission order
+  // One outcome per ROUND (split checks are folded back), submission order.
+  std::vector<RoundOutcome> outcomes;
   std::uint64_t rounds = 0;
   std::uint64_t violations = 0;
   std::uint64_t signatures_verified = 0;
@@ -76,20 +93,28 @@ class VerificationEngine {
   }
 
  private:
+  // One submitted round: `parts` consecutive scheduler tickets starting at
+  // `first_ticket`, folded back into one RoundOutcome during drain and
+  // delivered to `node` (nullptr for free-standing rounds).
+  struct TaskGroup {
+    core::PvrNode* node = nullptr;
+    core::ProtocolId id;
+    std::size_t first_ticket = 0;
+    std::size_t parts = 1;
+  };
+
   const core::KeyDirectory* directory_;  // not owned
+  bool intra_round_checks_;
   RoundScheduler scheduler_;
   EvidenceSink sink_;
-  // ticket -> node to deliver findings to (nullptr for free-standing
-  // rounds) and the round identity the findings belong to.
-  std::vector<core::PvrNode*> owners_;
-  std::vector<core::ProtocolId> ids_;
+  std::vector<TaskGroup> groups_;  // submission order
 };
 
 // Submits every verifier of `world` (providers, then the recipient) for
 // round `id` WITHOUT draining. Returns how many rounds were actually
-// deferred. All of one round's checks share the round's (prover, prefix)
-// shard and therefore serialize; submit several rounds before one drain()
-// to get cross-round parallelism.
+// deferred. With the default intra-round config every check of every
+// round lands on its own salted shard; submit several rounds before one
+// drain() to also batch cross-round work.
 std::size_t submit_world_round(VerificationEngine& engine,
                                core::Figure1World& world,
                                const core::ProtocolId& id);

@@ -53,9 +53,12 @@ struct TwoPrefixRun {
   world.sim.schedule(0, [&world, &run] {
     // Prefix A minimum: length 2 (provider 1); prefix B minimum: length 3
     // (provider 2) — distinct winners so cross-prefix clobbering would be
-    // visible in the accepted routes, not just in the evidence log.
-    const std::vector<std::size_t> lengths_a = {4, 2, 6};
-    const std::vector<std::size_t> lengths_b = {5, 7, 3};
+    // visible in the accepted routes, not just in the evidence log. Sized
+    // for the largest provider_count any caller uses (ASan caught the
+    // 4-provider equivocation run reading past 3-element vectors).
+    const std::vector<std::size_t> lengths_a = {4, 2, 6, 9};
+    const std::vector<std::size_t> lengths_b = {5, 7, 3, 8};
+    ASSERT_LE(world.providers.size(), lengths_a.size());
     for (std::size_t i = 0; i < world.providers.size(); ++i) {
       const bgp::AsNumber provider = world.providers[i];
       world.node(provider).provide_input(

@@ -113,6 +113,71 @@ TEST(MultiPrefixParityTest, EngineMatchesSequentialAt1_2_8Workers) {
   }
 }
 
+// The intra-round split itself: a round with observed equivocation yields
+// several check closures (bundle pairs + root pairs + the role part), and
+// folding their findings in order reproduces the sequential finalize_round
+// byte for byte. This is the reducer the engine's drain runs.
+TEST(MultiPrefixParityTest, SplitChecksFoldToSequentialFindings) {
+  Figure1Handles sequential = run_two_prefix_equivocation_world();
+  Figure1Handles split = run_two_prefix_equivocation_world();
+  const ProtocolId id = sequential.round_id(1);
+
+  for (const bgp::AsNumber verifier : sequential.world->providers) {
+    core::PvrNode& split_node = split.world->node(verifier);
+    std::optional<core::DeferredRoundChecks> checks =
+        split_node.defer_finalize_checks(id);
+    ASSERT_TRUE(checks.has_value());
+    // Equivocation world: at least one pair check plus the role check.
+    EXPECT_GE(checks->checks.size(), 2u) << "verifier " << verifier;
+    // A second defer (either form) must refuse: the round is finalized.
+    EXPECT_FALSE(split_node.defer_finalize_checks(id).has_value());
+    EXPECT_FALSE(split_node.defer_finalize(id).has_value());
+
+    core::RoundFindings folded;
+    for (auto& check : checks->checks) {
+      core::fold_round_findings(folded, check());
+    }
+    split_node.apply_round_findings(id, folded);
+
+    sequential.world->node(verifier).finalize_round(id);
+    EXPECT_EQ(evidence_fingerprint(split_node.evidence()),
+              evidence_fingerprint(sequential.world->node(verifier).evidence()))
+        << "verifier " << verifier;
+  }
+}
+
+// Salting only moves tasks between shards; an engine with salting OFF must
+// produce the same bytes as the default salted engine.
+TEST(MultiPrefixParityTest, UnsaltedEngineMatchesSaltedEngine) {
+  const ProtocolId id_b{.prover = 100,
+                        .prefix = bgp::Ipv4Prefix::parse("198.51.100.0/24"),
+                        .epoch = 1};
+  Figure1Handles salted = run_two_prefix_equivocation_world();
+  Figure1Handles unsalted = run_two_prefix_equivocation_world();
+  ASSERT_EQ(salted.world->prover, 100u);
+
+  std::vector<bgp::AsNumber> verifiers = salted.world->providers;
+  verifiers.push_back(salted.world->recipient);
+  VerificationEngine salted_engine({.workers = 8}, &salted.keys->directory);
+  VerificationEngine unsalted_engine({.workers = 8, .salt_shards = false},
+                                     &unsalted.keys->directory);
+  for (const bgp::AsNumber verifier : verifiers) {
+    for (const ProtocolId& id : {salted.round_id(1), id_b}) {
+      EXPECT_TRUE(salted_engine.submit_node_round(salted.world->node(verifier), id));
+      EXPECT_TRUE(
+          unsalted_engine.submit_node_round(unsalted.world->node(verifier), id));
+    }
+  }
+  (void)salted_engine.drain();
+  (void)unsalted_engine.drain();
+  for (const bgp::AsNumber verifier : verifiers) {
+    EXPECT_EQ(evidence_fingerprint(salted.world->node(verifier).evidence()),
+              evidence_fingerprint(unsalted.world->node(verifier).evidence()))
+        << "verifier " << verifier;
+  }
+  EXPECT_EQ(salted_engine.sink().total(), unsalted_engine.sink().total());
+}
+
 // The two prefixes of one (prover, epoch) hash to different shards only if
 // the prefix participates in shard assignment; same-prefix rounds must
 // still serialize. Guards the keying the parity above relies on.

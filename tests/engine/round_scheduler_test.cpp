@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <mutex>
 #include <numeric>
+#include <set>
 #include <string>
 
 namespace pvr::engine {
@@ -46,8 +48,10 @@ namespace {
   return trace;
 }
 
-[[nodiscard]] std::string run_workload(std::size_t workers) {
-  RoundScheduler scheduler({.workers = workers, .shards = 16});
+[[nodiscard]] std::string run_workload(std::size_t workers,
+                                       bool salt_shards = true) {
+  RoundScheduler scheduler(
+      {.workers = workers, .shards = 16, .salt_shards = salt_shards});
   for (std::uint64_t epoch = 1; epoch <= 5; ++epoch) {
     for (std::uint32_t prefix = 0; prefix < 40; ++prefix) {
       scheduler.submit(round_id(prefix, epoch), [prefix, epoch] {
@@ -80,8 +84,19 @@ TEST(RoundSchedulerTest, DeterministicAcrossWorkerCounts) {
   EXPECT_EQ(run_workload(8), reference);
 }
 
+// Salting changes WHERE tasks run, never what drain() returns: the drained
+// sequence is byte-identical across salting modes and worker counts.
+TEST(RoundSchedulerTest, DeterministicAcrossSaltingModes) {
+  const std::string reference = run_workload(1, /*salt_shards=*/false);
+  EXPECT_EQ(run_workload(1, /*salt_shards=*/true), reference);
+  EXPECT_EQ(run_workload(8, /*salt_shards=*/false), reference);
+  EXPECT_EQ(run_workload(8, /*salt_shards=*/true), reference);
+}
+
+// The legacy guarantee survives behind salt_shards = false: closures that
+// share per-(prover, prefix) state still serialize in submission order.
 TEST(RoundSchedulerTest, SamePrefixRoundsRunSerially) {
-  RoundScheduler scheduler({.workers = 8, .shards = 4});
+  RoundScheduler scheduler({.workers = 8, .shards = 4, .salt_shards = false});
   std::mutex order_mutex;
   std::map<std::uint32_t, std::vector<std::uint64_t>> executed;
   for (std::uint64_t epoch = 1; epoch <= 20; ++epoch) {
@@ -127,6 +142,43 @@ TEST(RoundSchedulerTest, SameProtocolIdHashesToSameShard) {
   const core::ProtocolId a = round_id(7, 1);
   const core::ProtocolId b = round_id(7, 99);  // same prefix, other epoch
   EXPECT_EQ(scheduler.shard_of(a), scheduler.shard_of(b));
+}
+
+// Salted mode: submissions of ONE (prover, prefix) — e.g. the n+1 checks
+// of a single round — must spread over the shards instead of pinning one,
+// or a hot prefix serializes on a single worker (the speedup_8v1 = 0.97
+// regression this PR exists to fix).
+TEST(RoundSchedulerTest, SaltedSubmissionsOfOneRoundSpreadAcrossShards) {
+  RoundScheduler scheduler({.workers = 2, .shards = 16});
+  ASSERT_TRUE(scheduler.salted());
+  const core::ProtocolId hot = round_id(7, 1);
+  for (std::size_t i = 0; i < 160; ++i) {
+    scheduler.submit(hot, [] { return core::RoundFindings{}; });
+  }
+  (void)scheduler.drain();
+  const std::vector<std::uint64_t> loads = scheduler.shard_loads();
+  const std::size_t used = static_cast<std::size_t>(
+      std::count_if(loads.begin(), loads.end(),
+                    [](std::uint64_t load) { return load > 0; }));
+  // The splitmix-style mix over (key ⊕ ticket) should touch nearly every
+  // shard at 160 submissions / 16 shards; >= 12 leaves generous slack.
+  EXPECT_GE(used, 12u);
+  std::uint64_t heaviest = 0;
+  for (const std::uint64_t load : loads) heaviest = std::max(heaviest, load);
+  EXPECT_LT(heaviest, 160u / 3) << "salted hot key still pins one shard";
+}
+
+// The salted key must actually vary with the ticket (a constant salt would
+// silently restore the hot-shard pin), and stay stable for a fixed ticket.
+TEST(RoundSchedulerTest, SaltedShardKeyVariesWithTicket) {
+  RoundScheduler scheduler({.workers = 1, .shards = 64});
+  const core::ProtocolId hot = round_id(3, 1);
+  std::set<std::size_t> shards;
+  for (std::size_t salt = 0; salt < 32; ++salt) {
+    EXPECT_EQ(scheduler.shard_of(hot, salt), scheduler.shard_of(hot, salt));
+    shards.insert(scheduler.shard_of(hot, salt));
+  }
+  EXPECT_GE(shards.size(), 16u) << "ticket salt barely perturbs the shard";
 }
 
 TEST(RoundSchedulerTest, ExceptionIsolatedToItsRound) {
