@@ -9,7 +9,11 @@
 //     fixed 256·32 B per proof for structural privacy.
 //  C. Ring signature (link-state variant of §3.2) vs plain RSA signature:
 //     the cost of hiding *which* neighbor signed.
+#include <cstdio>
+
 #include <benchmark/benchmark.h>
+
+#include "bench_common.h"
 
 #include "crypto/commitment.h"
 #include "crypto/merkle.h"
@@ -173,3 +177,5 @@ BENCHMARK(BM_AblationC_RingVerify)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond
 
 }  // namespace
 }  // namespace pvr::crypto
+
+PVR_GBENCH_MAIN("ablation")

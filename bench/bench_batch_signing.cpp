@@ -4,6 +4,8 @@
 //
 // Compares per-update RSA signatures against one signature over a Merkle
 // root with per-update inclusion proofs, across burst sizes.
+#include <cstdio>
+
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
@@ -98,3 +100,5 @@ BENCHMARK(BM_Burst_BatchedVerification)
 
 }  // namespace
 }  // namespace pvr::bench
+
+PVR_GBENCH_MAIN("batch_signing")

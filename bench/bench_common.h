@@ -2,8 +2,11 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "core/keys.h"
@@ -11,6 +14,79 @@
 #include "core/pvr_speaker.h"
 
 namespace pvr::bench {
+
+// Every bench accepts --seed=N (and --rounds=N where it makes sense) and
+// records the seed in each JSON line it emits, so any BENCH_*.json row can
+// be reproduced from the file alone.
+struct BenchArgs {
+  std::uint64_t seed = 1;
+  std::optional<std::size_t> rounds;
+};
+
+// The seed the current bench process runs under (set by parse_bench_args;
+// fixtures fold it into their DRBG seeds).
+[[nodiscard]] inline std::uint64_t& bench_seed() {
+  static std::uint64_t seed = 1;
+  return seed;
+}
+
+// Parses and REMOVES --seed / --rounds from argv, so flag parsers that run
+// afterwards (benchmark::Initialize rejects flags it does not know) never
+// see them. Unknown flags are left in place. A malformed value exits with
+// an error: a typo silently falling back to the default seed would label
+// the emitted rows with a seed that did not produce them.
+[[nodiscard]] inline BenchArgs parse_bench_args(int* argc, char** argv) {
+  BenchArgs args;
+  const auto parse_or_die = [](const char* text, const char* flag,
+                               bool allow_zero) {
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || (!allow_zero && value == 0)) {
+      std::fprintf(stderr, "bench: bad %s value '%s'\n", flag, text);
+      std::exit(2);
+    }
+    return static_cast<std::uint64_t>(value);
+  };
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      args.seed = parse_or_die(argv[i] + 7, "--seed", true);
+    } else if (arg == "--seed") {
+      if (i + 1 >= *argc) parse_or_die("", "--seed", true);  // bare flag: die
+      args.seed = parse_or_die(argv[++i], "--seed", true);
+    } else if (arg.rfind("--rounds=", 0) == 0) {
+      args.rounds = parse_or_die(argv[i] + 9, "--rounds", false);
+    } else if (arg == "--rounds") {
+      if (i + 1 >= *argc) parse_or_die("", "--rounds", false);
+      args.rounds = parse_or_die(argv[++i], "--rounds", false);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+  argv[kept] = nullptr;  // keep the argv[argc] == NULL guarantee intact
+  bench_seed() = args.seed;
+  return args;
+}
+
+// Shared main for the Google-Benchmark benches: strips --seed (which
+// benchmark::Initialize would reject) before the benchmark flag parser
+// runs, then emits the one JSON row bench/run_all.sh requires from every
+// bench, carrying the seed for reproducibility. Expanding this macro means
+// the bench provides its own main — CMake links only benchmark::benchmark
+// for it, not benchmark_main.
+#define PVR_GBENCH_MAIN(name)                                       \
+  int main(int argc, char** argv) {                                 \
+    const pvr::bench::BenchArgs args =                              \
+        pvr::bench::parse_bench_args(&argc, argv);                  \
+    benchmark::Initialize(&argc, argv);                             \
+    benchmark::RunSpecifiedBenchmarks();                            \
+    benchmark::Shutdown();                                          \
+    std::printf("{\"bench\":\"" name "\",\"seed\":%llu}\n",         \
+                static_cast<unsigned long long>(args.seed));        \
+    return 0;                                                       \
+  }
 
 // The canonical neighborhood check used by the experiment harnesses: every
 // announcing provider verifies its reveal, every recipient verifies the
@@ -58,7 +134,7 @@ namespace pvr::bench {
 
 // A cached Figure-1 protocol instance: prover AS 1, providers 1001..1000+k,
 // recipient 2. Key generation is expensive, so instances are memoized per
-// (provider count, key bits).
+// (provider count, key bits, seed).
 struct Fig1Instance {
   core::AsKeyPairs keys;
   core::ProtocolId id;
@@ -70,10 +146,12 @@ struct Fig1Instance {
 [[nodiscard]] inline const Fig1Instance& fig1_instance(std::size_t provider_count,
                                                        std::size_t key_bits,
                                                        std::uint32_t max_len) {
-  static std::map<std::tuple<std::size_t, std::size_t, std::uint32_t>,
+  static std::map<std::tuple<std::size_t, std::size_t, std::uint32_t,
+                             std::uint64_t>,
                   Fig1Instance>
       cache;
-  const auto key = std::tuple{provider_count, key_bits, max_len};
+  const std::uint64_t seed = bench_seed();
+  const auto key = std::tuple{provider_count, key_bits, max_len, seed};
   const auto it = cache.find(key);
   if (it != cache.end()) return it->second;
 
@@ -83,13 +161,14 @@ struct Fig1Instance {
     instance.providers.push_back(1001 + static_cast<bgp::AsNumber>(i));
     all.push_back(instance.providers.back());
   }
-  crypto::Drbg key_rng(provider_count * 131 + key_bits, "bench-fig1-keys");
+  crypto::Drbg key_rng(provider_count * 131 + key_bits + seed,
+                       "bench-fig1-keys");
   instance.keys = core::generate_keys(all, key_rng, key_bits);
   instance.id = {.prover = 1,
                  .prefix = bgp::Ipv4Prefix::parse("203.0.113.0/24"),
                  .epoch = 1};
 
-  crypto::Drbg len_rng(7, "bench-fig1-lengths");
+  crypto::Drbg len_rng(7 + seed, "bench-fig1-lengths");
   for (const bgp::AsNumber provider : instance.providers) {
     const std::size_t length = 1 + len_rng.uniform(max_len);
     const core::InputAnnouncement announcement{

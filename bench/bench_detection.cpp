@@ -132,17 +132,18 @@ struct Tally {
 }  // namespace
 }  // namespace pvr::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pvr;
   using namespace pvr::bench;
 
+  const BenchArgs args = parse_bench_args(&argc, argv);
   std::vector<bgp::AsNumber> all = {1, 2};
   std::vector<bgp::AsNumber> providers;
   for (std::size_t i = 0; i < kProviders; ++i) {
     providers.push_back(1001 + static_cast<bgp::AsNumber>(i));
     all.push_back(providers.back());
   }
-  crypto::Drbg key_rng(99, "detection-keys");
+  crypto::Drbg key_rng(99 + args.seed, "detection-keys");
   const core::AsKeyPairs keys = core::generate_keys(all, key_rng, 512);
 
   const Scenario scenarios[] = {
@@ -165,7 +166,7 @@ int main() {
               "detected", "provable", "false_pos");
 
   bool all_ok = true;
-  crypto::Drbg rng(7, "detection-rounds");
+  crypto::Drbg rng(7 + args.seed, "detection-rounds");
   for (const Scenario& scenario : scenarios) {
     const Tally tally = run_scenario(scenario, keys, providers, rng);
     const double detect_rate =
@@ -184,5 +185,9 @@ int main() {
               "0 false positives,\nauditor-provable for all safety classes "
               "(skip_reveal is a liveness fault).\n");
   std::printf("result: %s\n", all_ok ? "PASS" : "FAIL");
+  std::printf("{\"bench\":\"detection\",\"seed\":%llu,\"rounds_per_class\":%d,"
+              "\"all_ok\":%s}\n",
+              static_cast<unsigned long long>(args.seed), kRounds,
+              all_ok ? "true" : "false");
   return all_ok ? 0 : 1;
 }

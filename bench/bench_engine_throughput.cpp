@@ -61,17 +61,18 @@ struct Workload {
   std::vector<Round> rounds;
 };
 
-[[nodiscard]] Workload build_workload(std::size_t round_count) {
+[[nodiscard]] Workload build_workload(std::size_t round_count,
+                                      std::uint64_t seed) {
   Workload w;
   std::vector<bgp::AsNumber> all = {w.prover, w.recipient};
   for (std::size_t i = 0; i < kProviders; ++i) {
     w.providers.push_back(1001 + static_cast<bgp::AsNumber>(i));
     all.push_back(w.providers.back());
   }
-  crypto::Drbg key_rng(97, "engine-bench-keys");
+  crypto::Drbg key_rng(97 + seed, "engine-bench-keys");
   w.keys = core::generate_keys(all, key_rng, kKeyBits);
 
-  crypto::Drbg len_rng(3, "engine-bench-lengths");
+  crypto::Drbg len_rng(3 + seed, "engine-bench-lengths");
   w.rounds.reserve(round_count);
   for (std::size_t r = 0; r < round_count; ++r) {
     Round round;
@@ -171,32 +172,6 @@ struct SweepResult {
       .digest = evidence_digest(report.outcomes)};
 }
 
-// Exits with an error on a malformed --rounds value: a typo silently
-// shrinking the sweep would feed garbage rounds/sec into the regression
-// gate's baseline comparison.
-[[nodiscard]] std::size_t parse_rounds(int argc, char** argv) {
-  std::size_t rounds = kDefaultRounds;
-  const auto parse_or_die = [](const char* text) {
-    char* end = nullptr;
-    const unsigned long long value = std::strtoull(text, &end, 10);
-    if (end == text || *end != '\0' || value == 0) {
-      std::fprintf(stderr, "bench_engine_throughput: bad --rounds value %s\n",
-                   text);
-      std::exit(2);
-    }
-    return static_cast<std::size_t>(value);
-  };
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--rounds=", 9) == 0) {
-      rounds = parse_or_die(argv[i] + 9);
-    } else if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
-      rounds = parse_or_die(argv[++i]);
-    }
-    // Unknown flags (e.g. the runner's --benchmark_min_time) are ignored.
-  }
-  return std::max<std::size_t>(kPrefixes, rounds);
-}
-
 }  // namespace
 }  // namespace pvr::bench
 
@@ -204,12 +179,19 @@ int main(int argc, char** argv) {
   using namespace pvr;
   using namespace pvr::bench;
 
-  const std::size_t rounds = parse_rounds(argc, argv);
+  // parse_bench_args dies on malformed --rounds/--seed values: a typo
+  // silently shrinking the sweep would feed garbage rounds/sec into the
+  // regression gate's baseline comparison. Unknown flags (e.g. the
+  // runner's --benchmark_min_time) are ignored.
+  const BenchArgs args = parse_bench_args(&argc, argv);
+  const std::size_t rounds =
+      std::max<std::size_t>(kPrefixes, args.rounds.value_or(kDefaultRounds));
   std::printf("engine throughput: %zu rounds (%zu prefixes x %zu epochs), "
-              "%zu providers, RSA-%zu\n\n",
-              rounds, kPrefixes, rounds / kPrefixes, kProviders, kKeyBits);
+              "%zu providers, RSA-%zu, seed %llu\n\n",
+              rounds, kPrefixes, rounds / kPrefixes, kProviders, kKeyBits,
+              static_cast<unsigned long long>(args.seed));
   const double t_build = now_seconds();
-  const Workload w = build_workload(rounds);
+  const Workload w = build_workload(rounds, args.seed);
   std::printf("workload built in %.1f s (prover CPU, untimed below)\n\n",
               now_seconds() - t_build);
 
@@ -357,7 +339,7 @@ int main(int argc, char** argv) {
               reveals.size() / batch_elapsed,
               valid_single == valid_batch ? "identical" : "DIVERGED!");
 
-  std::printf("{\"bench\":\"engine_throughput\",\"rounds\":%zu,"
+  std::printf("{\"bench\":\"engine_throughput\",\"seed\":%llu,\"rounds\":%zu,"
               "\"rounds_per_sec_1w\":%.1f,\"rounds_per_sec_8w\":%.1f,"
               "\"speedup_8v1\":%.2f,"
               "\"rounds_per_sec_1w_intra\":%.1f,"
@@ -365,7 +347,8 @@ int main(int argc, char** argv) {
               "\"speedup_8v1_intra\":%.2f,"
               "\"deterministic\":%s,"
               "\"agg_speedup\":%.2f,\"hw_threads\":%u}\n",
-              rounds, rps_at_1, rps_at_8, rps_at_8 / rps_at_1, rps_intra_1,
+              static_cast<unsigned long long>(args.seed), rounds, rps_at_1,
+              rps_at_8, rps_at_8 / rps_at_1, rps_intra_1,
               rps_intra_8, rps_intra_8 / rps_intra_1,
               deterministic ? "true" : "false", agg_aps_best / naive_aps,
               std::thread::hardware_concurrency());

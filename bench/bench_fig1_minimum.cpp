@@ -1,6 +1,8 @@
 // Experiment E1 (paper Figure 1 + §3.3): cost of one minimum-operator PVR
 // round, per role, as the number of providers k and the bit-vector length L
 // grow. RSA-1024 keys as in §3.8.
+#include <cstdio>
+
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
@@ -98,3 +100,5 @@ BENCHMARK(BM_Fig1_ExistentialProverRound)
 
 }  // namespace
 }  // namespace pvr::bench
+
+PVR_GBENCH_MAIN("fig1_minimum")

@@ -1,6 +1,8 @@
 // Experiment E2 (paper Figure 2 + §3.5–3.7): commitment, selective
 // disclosure, and structural verification of multi-operator route-flow
 // graphs, as the graph grows.
+#include <cstdio>
+
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
@@ -121,3 +123,5 @@ BENCHMARK(BM_Fig2_FullStructuralCheck)
 
 }  // namespace
 }  // namespace pvr::bench
+
+PVR_GBENCH_MAIN("fig2_graph")

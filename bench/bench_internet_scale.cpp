@@ -33,18 +33,19 @@ struct ScaleRow {
   std::size_t engine_violations = 0;
 };
 
-[[nodiscard]] ScaleRow run_scale(std::size_t as_count, std::size_t key_bits) {
+[[nodiscard]] ScaleRow run_scale(std::size_t as_count, std::size_t key_bits,
+                                 std::uint64_t seed) {
   ScaleRow row;
   row.as_count = as_count;
   const auto prefix = bgp::Ipv4Prefix::parse("203.0.113.0/24");
 
-  crypto::Drbg topo_rng(as_count, "scale-topo");
+  crypto::Drbg topo_rng(as_count + seed, "scale-topo");
   const bgp::AsGraph graph = bgp::generate_gao_rexford(
       {.as_count = as_count, .tier1_count = 5, .extra_provider_probability = 0.3},
       topo_rng);
   row.links = graph.link_count();
 
-  net::Simulator sim(1);
+  net::Simulator sim(1 + seed);
   const bgp::AsNumber origin = static_cast<bgp::AsNumber>(as_count);
   for (const bgp::AsNumber asn : graph.as_numbers()) {
     bgp::SpeakerConfig config{.asn = asn, .graph = &graph};
@@ -60,7 +61,7 @@ struct ScaleRow {
   row.bgp_updates = sim.stats().messages_sent;
   row.bgp_bytes = sim.stats().bytes_sent;
 
-  crypto::Drbg key_rng(11, "scale-keys");
+  crypto::Drbg key_rng(11 + seed, "scale-keys");
   const core::AsKeyPairs keys =
       core::generate_keys(graph.as_numbers(), key_rng, key_bits);
 
@@ -75,7 +76,7 @@ struct ScaleRow {
   };
   std::vector<ProverRound> prover_rounds;
 
-  crypto::Drbg round_rng(13, "scale-rounds");
+  crypto::Drbg round_rng(13 + seed, "scale-rounds");
   for (const bgp::AsNumber prover : graph.as_numbers()) {
     auto& speaker = dynamic_cast<bgp::BgpSpeaker&>(sim.node(prover));
     const std::vector<bgp::Route> candidates = speaker.candidates(prefix);
@@ -176,8 +177,9 @@ struct WireRow {
   return route;
 }
 
-[[nodiscard]] WireRow run_wire_mode(bool aggregate) {
-  core::Figure1Setup setup{.seed = 77, .provider_count = kWireProviders};
+[[nodiscard]] WireRow run_wire_mode(bool aggregate, std::uint64_t seed) {
+  core::Figure1Setup setup{.seed = 77 + seed,
+                           .provider_count = kWireProviders};
   setup.aggregate_wire_bundles = aggregate;
   core::Figure1Handles handles = core::make_figure1_world(setup);
   core::Figure1World& world = *handles.world;
@@ -224,9 +226,10 @@ struct WireRow {
 }  // namespace
 }  // namespace pvr::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pvr;
   using namespace pvr::bench;
+  const BenchArgs args = parse_bench_args(&argc, argv);
   std::printf("E8: PVR piggybacked on BGP over Gao-Rexford topologies "
               "(RSA-1024)\n\n");
   std::printf("%-8s %-7s %-12s %-11s %-8s %-13s %-12s %-11s %-11s %-6s "
@@ -235,7 +238,7 @@ int main() {
               "pvr_total_ms", "pvr_mean_ms", "pvr_bytes", "verify_ms", "viol",
               "engine_ms", "eviol");
   for (const std::size_t n : {50u, 100u, 200u, 400u}) {
-    const ScaleRow row = run_scale(n, 1024);
+    const ScaleRow row = run_scale(n, 1024, args.seed);
     std::printf("%-8zu %-7zu %-12llu %-11llu %-8zu %-13.1f %-12.2f %-11zu "
                 "%-11.1f %-6zu %-10.1f %-6zu\n",
                 row.as_count, row.links,
@@ -258,8 +261,8 @@ int main() {
   std::printf("%-11s %-12s %-13s %-12s %-13s %-12s %-6s\n", "mode",
               "bundle_msgs", "bundle_bytes", "gossip_msgs", "gossip_bytes",
               "total_bytes", "viol");
-  const WireRow legacy = run_wire_mode(false);
-  const WireRow aggregated = run_wire_mode(true);
+  const WireRow legacy = run_wire_mode(false, args.seed);
+  const WireRow aggregated = run_wire_mode(true, args.seed);
   const auto print_row = [](const char* mode, const WireRow& row) {
     std::printf("%-11s %-12llu %-13llu %-12llu %-13llu %-12llu %-6llu\n", mode,
                 static_cast<unsigned long long>(row.bundle_msgs),
@@ -284,11 +287,13 @@ int main() {
   std::printf("root gossip cuts mesh gossip bytes %.1fx and total bundle-path "
               "bytes %.1fx\n",
               gossip_reduction, total_reduction);
-  std::printf("{\"bench\":\"internet_scale\",\"wire_prefixes\":%zu,"
+  std::printf("{\"bench\":\"internet_scale\",\"seed\":%llu,"
+              "\"wire_prefixes\":%zu,"
               "\"legacy_bundle_path_bytes\":%llu,"
               "\"agg_bundle_path_bytes\":%llu,"
               "\"gossip_byte_reduction\":%.2f,"
               "\"total_byte_reduction\":%.2f,\"violations\":%llu}\n",
+              static_cast<unsigned long long>(args.seed),
               static_cast<std::size_t>(pvr::bench::kWirePrefixes),
               static_cast<unsigned long long>(legacy.total_bytes()),
               static_cast<unsigned long long>(aggregated.total_bytes()),

@@ -1,7 +1,11 @@
 // Experiment E6 (paper §3.6): the sparse Merkle tree behind commitment and
 // selective disclosure — build cost, proof generation, proof verification,
 // and proof size as the number of instantiated vertices grows.
+#include <cstdio>
+
 #include <benchmark/benchmark.h>
+
+#include "bench_common.h"
 
 #include "crypto/drbg.h"
 #include "crypto/sparse_merkle.h"
@@ -73,3 +77,5 @@ BENCHMARK(BM_Smt_Insert);
 
 }  // namespace
 }  // namespace pvr::crypto
+
+PVR_GBENCH_MAIN("mht_disclosure")

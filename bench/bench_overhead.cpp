@@ -3,7 +3,11 @@
 // used are a cryptographic hash-function (such as SHA-256), which are
 // relatively cheap, and a public-key signature scheme (such as RSA). A
 // RSA-1024 signature takes about two milliseconds on current hardware."
+#include <cstdio>
+
 #include <benchmark/benchmark.h>
+
+#include "bench_common.h"
 
 #include "crypto/commitment.h"
 #include "crypto/hmac.h"
@@ -93,3 +97,5 @@ BENCHMARK(BM_RsaKeygen)->Arg(1024)->Unit(benchmark::kMillisecond)
 
 }  // namespace
 }  // namespace pvr::crypto
+
+PVR_GBENCH_MAIN("overhead")

@@ -84,9 +84,10 @@ struct Row {
 }  // namespace
 }  // namespace pvr::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pvr;
   using namespace pvr::bench;
+  const BenchArgs args = parse_bench_args(&argc, argv);
   std::printf("E3: SMC strawman (GMW, %zu-bit inputs, %.0f ms WAN RTT) vs PVR\n",
               kWidth, kWanRtt * 1000);
   std::printf("%-8s %-12s %-12s %-14s %-8s %-10s %-10s %-10s\n", "parties",
@@ -105,5 +106,9 @@ int main() {
               "(%.0fx slower)\n",
               five.pvr_ms, five.smc_modeled_s,
               five.smc_modeled_s * 1000.0 / five.pvr_ms);
+  std::printf("{\"bench\":\"smc_strawman\",\"seed\":%llu,"
+              "\"pvr_ms_5p\":%.2f,\"smc_modeled_s_5p\":%.2f}\n",
+              static_cast<unsigned long long>(args.seed), five.pvr_ms,
+              five.smc_modeled_s);
   return 0;
 }

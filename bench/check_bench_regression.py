@@ -11,7 +11,15 @@ Rules (exit 1 on any violation):
      correctness failure, not a perf number);
   3. every throughput field listed in THROUGHPUT_KEYS that appears in BOTH
      the baseline and the fresh engine_throughput rows must not drop more
-     than --max-regression (default 25%).
+     than --max-regression (default 25%);
+  4. every adversarial scenario row ({"bench": "scenarios", ...}) must
+     report detection_rate == 1.0 and false_evidence == 0 (an attack the
+     shipped evidence checks miss, or an honest AS framed, is a correctness
+     failure), and every {"bench": "scenarios_gate"} row must carry
+     deterministic == true and gates_ok == true;
+  5. when the fresh run contains a scenarios sweep at all, it must cover at
+     least the three named scenarios — a silently shrinking matrix would
+     pass rule 4 vacuously.
 
 Speedup ratios (speedup_8v1, speedup_8v1_intra, agg_speedup) are NOT gated
 here: they depend on the runner's core count, and the 1-core container that
@@ -94,6 +102,36 @@ def main():
                     failures.append(
                         f"{key} regressed >{args.max_regression:.0%}: "
                         f"{old:.1f} -> {new:.1f}")
+
+    # 4 + 5. Adversarial scenarios: detection/false-evidence/determinism
+    # gates plus matrix coverage.
+    scenario_rows = [row for row in fresh if row.get("bench") == "scenarios"]
+    gate_rows = [row for row in fresh if row.get("bench") == "scenarios_gate"]
+    for row in scenario_rows:
+        label = f"scenario {row.get('scenario')!r}"
+        if row.get("detection_rate") != 1.0:
+            failures.append(
+                f"{label} detection_rate == {row.get('detection_rate')!r} "
+                "(attack escaped the shipped evidence checks)")
+        if row.get("false_evidence") != 0:
+            failures.append(
+                f"{label} false_evidence == {row.get('false_evidence')!r} "
+                "(an honest AS was framed)")
+        if row.get("audit_failures", 0) != 0:
+            failures.append(
+                f"{label} audit_failures == {row.get('audit_failures')!r}")
+    for row in gate_rows:
+        label = f"scenario {row.get('scenario')!r}"
+        if row.get("deterministic") is not True:
+            failures.append(f"{label} diverged across worker counts")
+        if row.get("gates_ok") is not True:
+            failures.append(f"{label} reported gates_ok:false")
+    if scenario_rows or gate_rows:
+        covered = {row.get("scenario") for row in scenario_rows}
+        for name in ("equivocation_storm", "batch_split_evasion",
+                     "drop_replay_chaos"):
+            if name not in covered:
+                failures.append(f"scenario sweep is missing {name!r}")
 
     if failures:
         for failure in failures:

@@ -6,9 +6,14 @@
 # Every JSON line a bench prints is forwarded (multi-line sweeps like
 # bench_engine_throughput produce several rows), plus one synthesized
 # metadata line per bench carrying ok/seconds, so a bench that crashes after
-# printing rows can never masquerade as ok:true.
+# printing rows can never masquerade as ok:true. A bench that exits 0 but
+# prints NO JSON line is a failure too: every bench is required to emit at
+# least one row, so a silently-crashing (or silently-skipping) bench can no
+# longer hide behind its synthesized metadata line.
 #
 # Usage: bench/run_all.sh [build-dir]   (default: ./build)
+# SEED=N forwards --seed=N to every bench (default 1); each bench records
+# the seed in its JSON rows, so BENCH_*.json alone reproduces the run.
 set -uo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -20,6 +25,7 @@ fi
 RESULTS="${BUILD_DIR}/bench_results.jsonl"
 : > "${RESULTS}"
 
+SEED="${SEED:-1}"
 STATUS=0
 for bench in "${BUILD_DIR}"/bench_*; do
   [ -x "${bench}" ] || continue
@@ -27,7 +33,8 @@ for bench in "${BUILD_DIR}"/bench_*; do
   start="$(date +%s.%N)"
   # Google-Benchmark-based benches get trimmed iteration counts so the full
   # sweep stays CI-sized; plain harness benches ignore unknown argv.
-  if "${bench}" --benchmark_min_time=0.05 >"${BUILD_DIR}/${name}.out" 2>&1; then
+  if "${bench}" --benchmark_min_time=0.05 --seed="${SEED}" \
+      >"${BUILD_DIR}/${name}.out" 2>&1; then
     ok=true
   else
     ok=false
@@ -35,11 +42,20 @@ for bench in "${BUILD_DIR}"/bench_*; do
   fi
   end="$(date +%s.%N)"
   elapsed="$(echo "${end} ${start}" | awk '{printf "%.2f", $1 - $2}')"
-  # Forward every JSON line the bench printed, verbatim.
-  grep -E '^\{.*\}$' "${BUILD_DIR}/${name}.out" | tee -a "${RESULTS}" || true
+  # Forward every JSON line the bench printed, verbatim. Zero JSON lines
+  # means the bench died (or skipped its sweep) before producing a row —
+  # fail fast instead of letting the metadata line mask it.
+  json_lines="$(grep -cE '^\{.*\}$' "${BUILD_DIR}/${name}.out" || true)"
+  if [ "${json_lines}" -eq 0 ]; then
+    echo "error: ${name} emitted no JSON row (see ${BUILD_DIR}/${name}.out)" >&2
+    ok=false
+    STATUS=1
+  else
+    grep -E '^\{.*\}$' "${BUILD_DIR}/${name}.out" | tee -a "${RESULTS}"
+  fi
   # Always append the run metadata line; it is the authoritative ok/fail
   # record for this bench.
-  echo "{\"bench\":\"${name}\",\"ok\":${ok},\"seconds\":${elapsed}}" \
+  echo "{\"bench\":\"${name}\",\"ok\":${ok},\"seconds\":${elapsed},\"seed\":${SEED}}" \
     | tee -a "${RESULTS}"
 done
 

@@ -1,0 +1,58 @@
+// Drives the src/scenario/ harness end to end: generated power-law
+// topology, carved-out PVR neighborhoods, jittered traffic, and one
+// adversary per named scenario — printing what each attack looked like on
+// the wire and how the shipped evidence checks caught it.
+//
+//   ./example_adversarial_scenarios [--seed=N] [--rounds=N]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "scenario/runner.h"
+
+int main(int argc, char** argv) {
+  using namespace pvr;
+
+  std::uint64_t seed = 1;
+  std::size_t rounds = 60;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--rounds=", 9) == 0) {
+      rounds = std::strtoull(argv[i] + 9, nullptr, 10);
+    }
+  }
+
+  std::printf("adversarial scenario harness (seed %llu, %zu rounds each)\n\n",
+              static_cast<unsigned long long>(seed), rounds);
+  bool all_caught = true;
+  for (const std::string& name : scenario::scenario_names()) {
+    const scenario::ScenarioSpec spec =
+        scenario::named_scenario(name, seed, rounds);
+    const scenario::ScenarioReport report = scenario::run_scenario(spec);
+    std::printf("%s (adversary: %s)\n", name.c_str(),
+                report.adversary.c_str());
+    std::printf("  %zu ASes generated, %zu PVR neighborhoods, %llu rounds "
+                "in %llu windows%s\n",
+                report.as_count, report.neighborhoods,
+                static_cast<unsigned long long>(report.rounds_started),
+                static_cast<unsigned long long>(report.windows_fired),
+                report.coalesced ? " (arrivals coalesced)" : "");
+    std::printf("  detection %.0f%% of %llu attacked rounds, "
+                "%llu false accusations, %llu audit failures\n",
+                100.0 * report.detection_rate,
+                static_cast<unsigned long long>(report.attacked_rounds),
+                static_cast<unsigned long long>(report.false_evidence),
+                static_cast<unsigned long long>(report.audit_failures));
+    std::printf("  %.1f KB on the wire (%.1f KB gossip), %.0f rounds/sec\n\n",
+                report.bytes_total / 1024.0, report.bytes_gossip / 1024.0,
+                report.rounds_per_sec);
+    all_caught = all_caught && report.detection_rate == 1.0 &&
+                 report.false_evidence == 0;
+  }
+  std::printf("%s\n", all_caught
+                          ? "every attack caught, nobody framed"
+                          : "MISSED ATTACKS OR FALSE EVIDENCE — see above");
+  return all_caught ? 0 : 1;
+}

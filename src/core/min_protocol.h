@@ -127,11 +127,17 @@ struct ProverMisbehavior {
   std::optional<bgp::AsNumber> wrong_opening_for;  // corrupt Ni's opening
   std::optional<bgp::AsNumber> skip_reveal_for;    // never reveal to Ni
   bool equivocate = false;          // second bundle for a subset of peers
+  // With equivocate, in aggregated wire mode: put the conflicting bundles
+  // under a SECOND window (fresh batch number) instead of signing the same
+  // window twice, so no two roots share a batch — the batch-split evasion.
+  // Both windows still claim the same prefixes, which is exactly what
+  // roots_conflict's common-round rule catches.
+  bool batch_split = false;
 
   [[nodiscard]] bool honest() const {
     return !export_nonminimal && !bits_match_lie && !suppress_export &&
            !fabricate_route && !nonmonotone_bits && !wrong_opening_for &&
-           !skip_reveal_for && !equivocate;
+           !skip_reveal_for && !equivocate && !batch_split;
   }
 };
 

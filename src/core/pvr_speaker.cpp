@@ -139,6 +139,7 @@ void PvrNode::start_round(net::Simulator& sim, std::uint64_t epoch,
   // collection phase.)
   const net::SimTime now = sim.now();
   const net::SimTime ready_at = now + config_.collect_window;
+  rounds_started_ += 1;
   for (auto& window : windows) {
     if (ready_at <= window->deadline) {
       window->prefixes.push_back(prefix);
@@ -202,6 +203,7 @@ void PvrNode::run_prover_batch(net::Simulator& sim, std::uint64_t epoch,
                              *config_.private_key, rng_, config_.misbehavior)});
   }
   if (batch.empty()) return;
+  windows_fired_ += 1;
 
   // Publish the bundles. When equivocating, the first half of the providers
   // get the conflicting variant.
@@ -218,12 +220,18 @@ void PvrNode::run_prover_batch(net::Simulator& sim, std::uint64_t epoch,
                             : round.result.signed_bundle);
       equivocating |= round.result.equivocating_bundle.has_value();
     }
+    // Batch-split evasion: the variant gets its OWN window number, so no
+    // two signed roots share a batch — only the common prefixes they both
+    // claim betray the equivocation (roots_conflict's second rule).
+    const std::uint32_t variant_window =
+        equivocating && config_.misbehavior.batch_split ? next_batch_[epoch]++
+                                                        : window;
     const AggregatedBundleMessage agg_honest = aggregate_signed_bundles(
         config_.asn, epoch, window, honest, *config_.private_key);
     std::optional<AggregatedBundleMessage> agg_variant;
     if (equivocating) {
-      agg_variant = aggregate_signed_bundles(config_.asn, epoch, window,
-                                             variant, *config_.private_key);
+      agg_variant = aggregate_signed_bundles(
+          config_.asn, epoch, variant_window, variant, *config_.private_key);
     }
     for (std::size_t i = 0; i < config_.providers.size(); ++i) {
       const AggregatedBundleMessage& message =
@@ -642,13 +650,35 @@ std::optional<DeferredRoundChecks> PvrNode::defer_finalize_checks(
   attach_seen_roots(id, round);
 
   // One immutable snapshot shared by every check closure: the parts only
-  // ever read it, so they can run on any workers concurrently.
+  // ever read it, so they can run on any workers concurrently. Pair checks
+  // are grouped into chunks of at most finalize_chunk_pairs (never mixing
+  // kinds, so enumeration order survives): a round with B observed bundles
+  // has B(B-1)/2 pair checks, and one task per pair would explode the
+  // engine task count. Each chunk folds its parts in enumeration order, so
+  // the engine's per-round reduction is byte-identical at any chunk size.
   const auto snapshot = std::make_shared<const RoundState>(round);
+  const std::vector<RoundCheckPart> parts = enumerate_round_checks(*snapshot);
+  const std::size_t chunk = std::max<std::size_t>(1, config_.finalize_chunk_pairs);
   DeferredRoundChecks deferred{.id = id, .checks = {}};
-  for (const RoundCheckPart& part : enumerate_round_checks(*snapshot)) {
-    deferred.checks.push_back([config = &config_, snapshot, part]() {
-      return run_round_check(*config, *snapshot, part);
-    });
+  std::size_t begin = 0;
+  while (begin < parts.size()) {
+    std::size_t end = begin + 1;
+    if (parts[begin].kind != RoundCheckPart::Kind::kRole) {
+      while (end < parts.size() && parts[end].kind == parts[begin].kind &&
+             end - begin < chunk) {
+        ++end;
+      }
+    }
+    std::vector<RoundCheckPart> slice(parts.begin() + begin, parts.begin() + end);
+    deferred.checks.push_back(
+        [config = &config_, snapshot, slice = std::move(slice)]() {
+          RoundFindings findings;
+          for (const RoundCheckPart& part : slice) {
+            fold_round_findings(findings, run_round_check(*config, *snapshot, part));
+          }
+          return findings;
+        });
+    begin = end;
   }
   return deferred;
 }
@@ -701,6 +731,7 @@ Figure1Handles make_figure1_world(const Figure1Setup& setup) {
                                                 : ProverMisbehavior{},
         .rng_seed = setup.seed,
         .aggregate_wire_bundles = setup.aggregate_wire_bundles,
+        .finalize_chunk_pairs = setup.finalize_chunk_pairs,
     };
     world.sim.add_node(asn, std::make_unique<PvrNode>(std::move(config)));
   };

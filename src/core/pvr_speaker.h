@@ -78,6 +78,12 @@ struct PvrConfig {
   // Max times a gossiped bundle/root is relayed peer-to-peer. Bounds the
   // flood; must be >= the verifier mesh diameter for full convergence.
   std::uint8_t gossip_hop_budget = 8;
+  // Max equivocation-pair checks folded into ONE deferred engine task by
+  // defer_finalize_checks. Rounds with huge observed-bundle/root sets have
+  // O(pairs) checks; chunking bounds the engine task count at
+  // ceil(pairs / chunk) per kind while the per-round fold keeps Evidence
+  // byte-identical for ANY chunk size (1 = legacy one-task-per-pair).
+  std::size_t finalize_chunk_pairs = 32;
 };
 
 // Result of running one round's verifier checks (finalize_round, or its
@@ -166,6 +172,16 @@ class PvrNode : public net::Node {
   [[nodiscard]] bgp::AsNumber asn() const noexcept { return config_.asn; }
   // Messages and bytes this node pushed onto the wire (for experiments).
   [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+  // Prover-side workload counters: rounds admitted to a collection window
+  // and windows actually fired. windows_fired < rounds_started proves that
+  // staggered arrivals coalesced into shared windows (batch_deadline >
+  // collect_window) — the scenario reports assert on exactly this.
+  [[nodiscard]] std::uint64_t rounds_started() const noexcept {
+    return rounds_started_;
+  }
+  [[nodiscard]] std::uint64_t windows_fired() const noexcept {
+    return windows_fired_;
+  }
 
  private:
   struct RoundState {
@@ -291,6 +307,8 @@ class PvrNode : public net::Node {
   std::vector<Evidence> evidence_;
   std::map<ProtocolId, bgp::Route> accepted_;
   std::uint64_t bytes_sent_ = 0;
+  std::uint64_t rounds_started_ = 0;
+  std::uint64_t windows_fired_ = 0;
 };
 
 // Convenience: builds the full Figure-1 world (star topology links between
@@ -321,6 +339,7 @@ struct Figure1Setup {
   // provers) can run in the same epoch without ASN collisions.
   bgp::AsNumber asn_base = 0;
   bool aggregate_wire_bundles = true;
+  std::size_t finalize_chunk_pairs = 32;  // see PvrConfig
 };
 
 struct Figure1Handles {

@@ -73,13 +73,20 @@ void Simulator::send(Message message) {
   stats_.bytes_sent += message.wire_size();
   channel_stats.messages_sent += 1;
   channel_stats.bytes_sent += message.wire_size();
+  InterceptDecision intercept;
+  if (interceptor_) intercept = interceptor_(*this, message);
+  if (intercept.drop) {
+    stats_.messages_dropped += 1;
+    channel_stats.messages_dropped += 1;
+    return;
+  }
   if (link->drop_probability > 0.0 && rng_.coin(link->drop_probability)) {
     stats_.messages_dropped += 1;
     channel_stats.messages_dropped += 1;
     return;
   }
   const NodeId to = message.to;
-  schedule(now_ + link->latency,
+  schedule(now_ + link->latency + intercept.extra_delay,
            [this, to, msg = std::move(message)]() mutable {
              const auto it = nodes_.find(to);
              if (it == nodes_.end()) return;  // node removed mid-flight
@@ -87,6 +94,10 @@ void Simulator::send(Message message) {
              stats_.per_channel[msg.channel].messages_delivered += 1;
              it->second->on_message(*this, msg);
            });
+}
+
+void Simulator::set_interceptor(Interceptor interceptor) {
+  interceptor_ = std::move(interceptor);
 }
 
 void Simulator::schedule(SimTime at, std::function<void()> fn) {

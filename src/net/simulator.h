@@ -48,6 +48,22 @@ struct Message {
 
 class Simulator;
 
+// Verdict of a wire interceptor for one message (scenario adversaries:
+// selective droppers, delayers). Replay is built on top of this — the hook
+// may capture the message and call Simulator::send again later.
+struct InterceptDecision {
+  bool drop = false;       // swallow the message (counted as dropped)
+  SimTime extra_delay = 0; // added on top of the link latency
+};
+
+// Runs inside Simulator::send for every message on an existing link,
+// BEFORE the link's random drop draw, so adversarial interference is
+// deterministic and independent of link loss. The hook may itself call
+// send()/schedule() on the simulator (e.g. to replay a captured message);
+// such re-sends pass through the interceptor again, so replay loops must
+// be bounded by the hook's own state.
+using Interceptor = std::function<InterceptDecision(Simulator&, const Message&)>;
+
 // Base class for protocol endpoints. Handlers run inside Simulator::run().
 class Node {
  public:
@@ -113,6 +129,10 @@ class Simulator {
   // Delivery happens at now + latency unless the link drops the message.
   void send(Message message);
 
+  // Installs (or clears, with nullptr) the wire interceptor. At most one is
+  // active; scenario adversaries compose their behaviors inside one hook.
+  void set_interceptor(Interceptor interceptor);
+
   // Runs `fn` at absolute simulated time `at` (>= now).
   void schedule(SimTime at, std::function<void()> fn);
   void schedule_after(SimTime delay, std::function<void()> fn);
@@ -142,6 +162,7 @@ class Simulator {
   [[nodiscard]] const LinkConfig* link_between(NodeId a, NodeId b) const noexcept;
 
   crypto::Drbg rng_;
+  Interceptor interceptor_;
   SimTime now_ = 0;
   std::uint64_t next_sequence_ = 0;
   bool started_ = false;

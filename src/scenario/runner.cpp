@@ -1,0 +1,419 @@
+#include "scenario/runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+#include <stdexcept>
+
+#include "core/bundle_aggregation.h"
+#include "core/evidence.h"
+#include "core/pvr_speaker.h"
+#include "engine/verification_engine.h"
+
+namespace pvr::scenario {
+
+namespace {
+
+// The runner's link latencies are drawn from [kMinLatency, kMaxLatency);
+// collect_window must exceed kMaxLatency so a provider input sent at the
+// prover's start instant still lands inside the collection window.
+constexpr net::SimTime kMinLatency = 500;
+constexpr net::SimTime kMaxLatency = 1500;
+
+[[nodiscard]] double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Evidence is self-contained signed artifacts; recovering which rounds an
+// item covers means decoding them. A bundle/reveal/export names its round
+// exactly; an aggregation root names (prover, epoch) plus every claimed
+// prefix. Decoding failures are expected (each payload matches exactly one
+// schema) and simply contribute nothing.
+void append_covered_rounds(const core::Evidence& item,
+                           std::vector<core::ProtocolId>& out) {
+  for (const core::SignedMessage& message : item.messages) {
+    try {
+      out.push_back(core::CommitmentBundle::decode(message.payload).id);
+      continue;
+    } catch (const std::out_of_range&) {
+    }
+    try {
+      const core::AggregatedBundle root =
+          core::AggregatedBundle::decode(message.payload);
+      for (const bgp::Ipv4Prefix& prefix : root.prefixes) {
+        out.push_back(core::ProtocolId{
+            .prover = root.prover, .prefix = prefix, .epoch = root.epoch});
+      }
+      continue;
+    } catch (const std::out_of_range&) {
+    }
+    try {
+      out.push_back(core::RevealToProvider::decode(message.payload).id);
+      continue;
+    } catch (const std::out_of_range&) {
+    }
+    try {
+      out.push_back(core::RevealToRecipient::decode(message.payload).id);
+      continue;
+    } catch (const std::out_of_range&) {
+    }
+    try {
+      out.push_back(core::ExportStatement::decode(message.payload).id);
+    } catch (const std::out_of_range&) {
+    }
+  }
+}
+
+// Liveness classes are detectable but not third-party provable; everything
+// else must convince the Auditor (audit_failures counts the exceptions).
+[[nodiscard]] bool auditor_provable(core::ViolationKind kind) {
+  return kind != core::ViolationKind::kMissingReveal &&
+         kind != core::ViolationKind::kBadSignature;
+}
+
+[[nodiscard]] bgp::Route provider_route(const bgp::Ipv4Prefix& prefix,
+                                        bgp::AsNumber provider,
+                                        std::size_t length) {
+  std::vector<bgp::AsNumber> hops;
+  hops.push_back(provider);
+  for (std::size_t i = 1; i < length; ++i) {
+    hops.push_back(static_cast<bgp::AsNumber>(60000 + i));
+  }
+  return bgp::Route{.prefix = prefix,
+                    .path = bgp::AsPath(std::move(hops)),
+                    .next_hop = provider,
+                    .local_pref = 100,
+                    .med = 0,
+                    .origin = bgp::Origin::kIgp,
+                    .communities = {}};
+}
+
+// Evenly spreads `fraction` of `count` indices (floor-difference trick):
+// attacked and honest neighborhoods interleave instead of clustering.
+[[nodiscard]] std::vector<bool> spread_attacked(std::size_t count,
+                                                double fraction) {
+  std::vector<bool> attacked(count, false);
+  const double f = std::clamp(fraction, 0.0, 1.0);
+  for (std::size_t i = 0; i < count; ++i) {
+    attacked[i] = static_cast<std::size_t>(static_cast<double>(i + 1) * f) >
+                  static_cast<std::size_t>(static_cast<double>(i) * f);
+  }
+  return attacked;
+}
+
+}  // namespace
+
+std::string ScenarioReport::fingerprint() const {
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "%s|%s|seed=%" PRIu64 "|ases=%zu|hoods=%zu|nodes=%zu|started=%" PRIu64
+      "|windows=%" PRIu64 "|coalesced=%d|attacked=%" PRIu64
+      "|detected=%" PRIu64 "|evidence=%" PRIu64 "|false=%" PRIu64
+      "|audit_fail=%" PRIu64 "|in=%" PRIu64 "|bundle=%" PRIu64
+      "|gossip=%" PRIu64 "|reveal=%" PRIu64 "|total=%" PRIu64
+      "|gossip_msgs=%" PRIu64,
+      scenario.c_str(), adversary.c_str(), seed, as_count, neighborhoods,
+      pvr_nodes, rounds_started, windows_fired, coalesced ? 1 : 0,
+      attacked_rounds, detected_rounds, evidence_total, false_evidence,
+      audit_failures, bytes_input, bytes_bundle, bytes_gossip,
+      bytes_reveal_export, bytes_total, gossip_messages);
+  return buffer;
+}
+
+std::string ScenarioReport::to_json_line() const {
+  char buffer[1024];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\"bench\":\"scenarios\",\"scenario\":\"%s\",\"adversary\":\"%s\","
+      "\"seed\":%" PRIu64 ",\"workers\":%zu,\"as_count\":%zu,"
+      "\"neighborhoods\":%zu,\"rounds_started\":%" PRIu64
+      ",\"windows_fired\":%" PRIu64 ",\"coalesced\":%s,"
+      "\"attacked_rounds\":%" PRIu64 ",\"detected_rounds\":%" PRIu64
+      ",\"detection_rate\":%.4f,\"evidence_total\":%" PRIu64
+      ",\"false_evidence\":%" PRIu64 ",\"audit_failures\":%" PRIu64
+      ",\"bytes_total\":%" PRIu64 ",\"bytes_gossip\":%" PRIu64
+      ",\"gossip_messages\":%" PRIu64
+      ",\"sim_ms\":%.1f,\"verify_ms\":%.1f,\"rounds_per_sec\":%.1f}",
+      scenario.c_str(), adversary.c_str(), seed, workers, as_count,
+      neighborhoods, rounds_started, windows_fired, coalesced ? "true" : "false",
+      attacked_rounds, detected_rounds, detection_rate, evidence_total,
+      false_evidence, audit_failures, bytes_total, bytes_gossip,
+      gossip_messages, sim_ms, verify_ms, rounds_per_sec);
+  return buffer;
+}
+
+ScenarioReport run_scenario(const ScenarioSpec& spec) {
+  if (spec.collect_window <= kMaxLatency) {
+    throw std::invalid_argument(
+        "run_scenario: collect_window must exceed the max link latency");
+  }
+  ScenarioReport report;
+  report.scenario = spec.name;
+  report.adversary = spec.adversary;
+  report.seed = spec.seed;
+  report.workers = spec.workers;
+
+  // 1. Topology and neighborhoods.
+  const GeneratedTopology topology =
+      generate_topology(spec.topology, spec.seed);
+  report.as_count = topology.graph.as_count();
+  const std::vector<Neighborhood> hoods = select_neighborhoods(
+      topology, spec.neighborhoods, spec.min_providers, spec.max_providers);
+  if (hoods.empty()) {
+    throw std::runtime_error(
+        "run_scenario: topology yielded no qualifying neighborhood");
+  }
+  report.neighborhoods = hoods.size();
+
+  // 2. Adversary plan.
+  const std::unique_ptr<AdversaryStrategy> adversary =
+      make_adversary(spec.adversary);
+  const core::ProverMisbehavior misbehavior = adversary->prover_misbehavior();
+  const std::vector<bool> attacked =
+      spread_attacked(hoods.size(), misbehavior.honest() ? 0.0
+                                                         : spec.attacked_fraction);
+  std::set<bgp::AsNumber> attacked_provers;
+  std::set<bgp::AsNumber> colluders;
+  for (std::size_t h = 0; h < hoods.size(); ++h) {
+    if (!attacked[h]) continue;
+    attacked_provers.insert(hoods[h].prover);
+    for (const bgp::AsNumber colluder : adversary->colluders(hoods[h])) {
+      colluders.insert(colluder);
+    }
+  }
+
+  // 3. Keys for every participant.
+  std::vector<bgp::AsNumber> participants;
+  for (const Neighborhood& hood : hoods) {
+    const std::vector<bgp::AsNumber> members = hood.members();
+    participants.insert(participants.end(), members.begin(), members.end());
+  }
+  std::sort(participants.begin(), participants.end());
+  crypto::Drbg key_rng(spec.seed, "scenario-keys");
+  const core::AsKeyPairs keys =
+      core::generate_keys(participants, key_rng, spec.key_bits);
+  report.pvr_nodes = participants.size();
+
+  // 4. World: one PvrNode per participant, star + verifier-mesh links with
+  // jittered latencies.
+  net::Simulator sim(spec.seed);
+  crypto::Drbg link_rng(spec.seed, "scenario-links");
+  for (std::size_t h = 0; h < hoods.size(); ++h) {
+    const Neighborhood& hood = hoods[h];
+    const auto add_node = [&](bgp::AsNumber asn, core::PvrRole role) {
+      core::PvrConfig config{
+          .asn = asn,
+          .role = role,
+          .directory = &keys.directory,
+          .private_key = &keys.private_keys.at(asn).priv,
+          .op = core::OperatorKind::kMinimum,
+          .max_len = spec.max_len,
+          .prover = hood.prover,
+          .providers = hood.providers,
+          .recipient = hood.recipient,
+          .collect_window = spec.collect_window,
+          .batch_deadline = spec.batch_deadline,
+          .misbehavior = role == core::PvrRole::kProver && attacked[h]
+                             ? misbehavior
+                             : core::ProverMisbehavior{},
+          .rng_seed = spec.seed,
+          .gossip_hop_budget = spec.gossip_hop_budget,
+          .finalize_chunk_pairs = spec.finalize_chunk_pairs,
+      };
+      sim.add_node(asn, std::make_unique<core::PvrNode>(std::move(config)));
+    };
+    add_node(hood.prover, core::PvrRole::kProver);
+    add_node(hood.recipient, core::PvrRole::kRecipient);
+    for (const bgp::AsNumber provider : hood.providers) {
+      add_node(provider, core::PvrRole::kProvider);
+    }
+
+    const auto jittered = [&] {
+      return net::LinkConfig{
+          .latency = kMinLatency + link_rng.uniform(kMaxLatency - kMinLatency)};
+    };
+    const std::vector<bgp::AsNumber> verifiers = hood.verifiers();
+    for (const bgp::AsNumber verifier : verifiers) {
+      sim.connect(hood.prover, verifier, jittered());
+    }
+    for (std::size_t i = 0; i < verifiers.size(); ++i) {
+      for (std::size_t j = i + 1; j < verifiers.size(); ++j) {
+        sim.connect(verifiers[i], verifiers[j], jittered());
+      }
+    }
+  }
+  adversary->install(sim, hoods, attacked, spec.seed);
+
+  // 5. Jittered round traffic.
+  const std::vector<RoundArrival> arrivals = generate_arrivals(
+      spec.traffic, hoods.size(), spec.rounds, spec.seed);
+  crypto::Drbg input_rng(spec.seed, "scenario-inputs");
+  for (const RoundArrival& arrival : arrivals) {
+    const Neighborhood& hood = hoods[arrival.neighborhood];
+    for (const bgp::AsNumber provider : hood.providers) {
+      const net::SimTime jitter = spec.traffic.input_jitter_us == 0
+                                      ? 0
+                                      : input_rng.uniform(spec.traffic.input_jitter_us);
+      const std::size_t length = 1 + input_rng.uniform(spec.max_len);
+      sim.schedule(arrival.at + jitter, [&sim, arrival, provider, length] {
+        auto& node = dynamic_cast<core::PvrNode&>(sim.node(provider));
+        node.provide_input(sim, arrival.epoch, arrival.prefix,
+                           provider_route(arrival.prefix, provider, length));
+      });
+    }
+    sim.schedule(arrival.at + spec.traffic.input_jitter_us, [&sim, &hood,
+                                                             arrival] {
+      auto& node = dynamic_cast<core::PvrNode&>(sim.node(hood.prover));
+      node.start_round(sim, arrival.epoch, arrival.prefix);
+    });
+  }
+
+  const double t_sim = now_ms();
+  sim.run();
+  report.sim_ms = now_ms() - t_sim;
+
+  // 6. Engine-backed verification of every round, one drain.
+  engine::VerificationEngine engine({.workers = spec.workers},
+                                    &keys.directory);
+  const double t_verify = now_ms();
+  for (const RoundArrival& arrival : arrivals) {
+    const Neighborhood& hood = hoods[arrival.neighborhood];
+    const core::ProtocolId id{.prover = hood.prover,
+                              .prefix = arrival.prefix,
+                              .epoch = arrival.epoch};
+    for (const bgp::AsNumber verifier : hood.verifiers()) {
+      auto& node = dynamic_cast<core::PvrNode&>(sim.node(verifier));
+      (void)engine.submit_node_round(node, id);
+    }
+  }
+  (void)engine.drain();
+  report.verify_ms = now_ms() - t_verify;
+
+  // 7. Score.
+  const core::Auditor auditor(&keys.directory);
+  const std::vector<core::ViolationKind> expected =
+      adversary->expected_kinds();
+  std::set<core::ProtocolId> attacked_rounds;
+  for (const RoundArrival& arrival : arrivals) {
+    const Neighborhood& hood = hoods[arrival.neighborhood];
+    if (!attacked_provers.contains(hood.prover)) continue;
+    attacked_rounds.insert(core::ProtocolId{.prover = hood.prover,
+                                            .prefix = arrival.prefix,
+                                            .epoch = arrival.epoch});
+  }
+
+  std::set<core::ProtocolId> detected;
+  for (const Neighborhood& hood : hoods) {
+    for (const bgp::AsNumber verifier : hood.verifiers()) {
+      const auto& node = dynamic_cast<core::PvrNode&>(sim.node(verifier));
+      for (const core::Evidence& item : node.evidence()) {
+        report.evidence_total += 1;
+        if (!attacked_provers.contains(item.accused)) {
+          report.false_evidence += 1;
+          continue;
+        }
+        if (auditor_provable(item.kind) && !auditor.validate(item)) {
+          report.audit_failures += 1;
+        }
+        if (colluders.contains(verifier)) continue;
+        if (std::find(expected.begin(), expected.end(), item.kind) ==
+            expected.end()) {
+          continue;
+        }
+        std::vector<core::ProtocolId> covered;
+        append_covered_rounds(item, covered);
+        for (const core::ProtocolId& id : covered) {
+          if (attacked_rounds.contains(id)) detected.insert(id);
+        }
+      }
+    }
+  }
+  report.attacked_rounds = attacked_rounds.size();
+  report.detected_rounds = detected.size();
+  report.detection_rate =
+      attacked_rounds.empty()
+          ? 1.0
+          : static_cast<double>(detected.size()) /
+                static_cast<double>(attacked_rounds.size());
+
+  for (const Neighborhood& hood : hoods) {
+    const auto& prover = dynamic_cast<core::PvrNode&>(sim.node(hood.prover));
+    report.rounds_started += prover.rounds_started();
+    report.windows_fired += prover.windows_fired();
+  }
+  report.coalesced = report.windows_fired < report.rounds_started;
+
+  const net::SimStats& stats = sim.stats();
+  report.bytes_input = stats.channel_group(core::kInputChannel).bytes_sent;
+  // kBundleChannel is a prefix of kBundleAggChannel, kGossipChannel of
+  // kGossipRootChannel: each group covers both wire modes.
+  report.bytes_bundle = stats.channel_group(core::kBundleChannel).bytes_sent;
+  const net::ChannelStats gossip = stats.channel_group(core::kGossipChannel);
+  report.bytes_gossip = gossip.bytes_sent;
+  report.gossip_messages = gossip.messages_sent;
+  report.bytes_reveal_export = stats.channel_group("pvr.reveal").bytes_sent +
+                               stats.channel_group("pvr.export").bytes_sent;
+  report.bytes_total = stats.channel_group("pvr.").bytes_sent;
+
+  const double elapsed_ms = report.sim_ms + report.verify_ms;
+  report.rounds_per_sec =
+      elapsed_ms <= 0.0 ? 0.0
+                        : static_cast<double>(report.rounds_started) /
+                              (elapsed_ms / 1000.0);
+  return report;
+}
+
+std::vector<std::string> scenario_names() {
+  return {"equivocation_storm", "batch_split_evasion", "drop_replay_chaos"};
+}
+
+ScenarioSpec named_scenario(std::string_view name, std::uint64_t seed,
+                            std::size_t rounds) {
+  ScenarioSpec spec;
+  spec.name = std::string(name);
+  spec.seed = seed;
+  spec.rounds = rounds;
+  spec.topology.as_count = 1200;
+  spec.neighborhoods = 6;
+  if (name == "equivocation_storm") {
+    // Dense Poisson arrivals against a deadline five times the collection
+    // window: THE workload that finally coalesces staggered start_round
+    // arrivals into shared aggregation windows.
+    spec.adversary = "equivocator";
+    spec.traffic.process = ArrivalProcess::kPoisson;
+    spec.traffic.mean_interarrival_us = 1200;
+    spec.batch_deadline = 20'000;
+    return spec;
+  }
+  if (name == "batch_split_evasion") {
+    // Bursts land several prefixes per neighborhood in one window; the
+    // prover answers each burst with TWO signed windows claiming the same
+    // prefixes (no shared batch number to pair on).
+    spec.adversary = "batch_split";
+    spec.traffic.process = ArrivalProcess::kBursty;
+    spec.traffic.burst_size = 18;
+    spec.traffic.mean_interarrival_us = 25'000;
+    spec.batch_deadline = 15'000;
+    return spec;
+  }
+  if (name == "drop_replay_chaos") {
+    // Equivocating provers behind a hostile wire: gossip selectively
+    // dropped, delayed, and stale roots replayed with reset hop counts.
+    spec.adversary = "delay_replay";
+    spec.traffic.process = ArrivalProcess::kPoisson;
+    spec.traffic.mean_interarrival_us = 2000;
+    spec.batch_deadline = 12'000;
+    return spec;
+  }
+  throw std::invalid_argument("named_scenario: unknown scenario '" +
+                              std::string(name) + "'");
+}
+
+}  // namespace pvr::scenario

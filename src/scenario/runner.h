@@ -1,0 +1,103 @@
+// Deterministic adversarial scenario runner: the single entry point every
+// workload harness (bench_scenarios, tests/scenario, examples) drives.
+//
+//   ScenarioSpec spec = named_scenario("equivocation_storm", seed, rounds);
+//   ScenarioReport report = run_scenario(spec);
+//   puts(report.to_json_line().c_str());
+//
+// One run: generate a power-law topology, carve disjoint Figure-1
+// neighborhoods out of it, build PvrNodes over the simulator, arm the
+// adversary (prover misbehavior + wire interceptor), schedule jittered
+// round traffic, run to quiescence, verify every round through the
+// parallel engine, and score the outcome. Everything except the wall-clock
+// fields of the report is a pure function of (spec) — fingerprint() is the
+// byte-identity the determinism gates compare across worker counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/adversary.h"
+#include "scenario/topology_gen.h"
+#include "scenario/traffic.h"
+
+namespace pvr::scenario {
+
+struct ScenarioSpec {
+  std::string name = "custom";
+  std::uint64_t seed = 1;
+  TopologyParams topology;
+  std::size_t neighborhoods = 6;  // PVR-active neighborhoods to carve out
+  std::size_t min_providers = 4;
+  std::size_t max_providers = 5;
+  std::size_t rounds = 240;       // total rounds across all neighborhoods
+  std::string adversary = "honest";
+  // Fraction of neighborhoods whose prover mounts the attack (evenly
+  // spread), so honest and attacked neighborhoods coexist and false
+  // positives against the honest ones are actually observable.
+  double attacked_fraction = 0.5;
+  TrafficParams traffic;
+  net::SimTime collect_window = 4000;
+  net::SimTime batch_deadline = 0;  // > collect_window enables coalescing
+  std::uint8_t gossip_hop_budget = 8;
+  std::size_t finalize_chunk_pairs = 32;
+  std::size_t workers = 8;
+  std::size_t key_bits = 512;
+  std::uint32_t max_len = 16;
+};
+
+struct ScenarioReport {
+  // Identity.
+  std::string scenario;
+  std::string adversary;
+  std::uint64_t seed = 0;
+  std::size_t workers = 0;
+  // World shape.
+  std::size_t as_count = 0;
+  std::size_t neighborhoods = 0;
+  std::size_t pvr_nodes = 0;
+  // Round/window accounting (summed over neighborhood provers).
+  std::uint64_t rounds_started = 0;
+  std::uint64_t windows_fired = 0;
+  bool coalesced = false;  // windows_fired < rounds_started
+  // Detection scoring.
+  std::uint64_t attacked_rounds = 0;
+  std::uint64_t detected_rounds = 0;
+  double detection_rate = 1.0;  // 1.0 when nothing was attacked
+  std::uint64_t evidence_total = 0;
+  std::uint64_t false_evidence = 0;   // evidence accusing an honest AS
+  std::uint64_t audit_failures = 0;   // provable evidence the Auditor rejected
+  // Wire accounting (per channel group).
+  std::uint64_t bytes_input = 0;
+  std::uint64_t bytes_bundle = 0;        // pvr.bundle + pvr.bundle.agg
+  std::uint64_t bytes_gossip = 0;        // pvr.gossip + pvr.gossip.root
+  std::uint64_t bytes_reveal_export = 0;
+  std::uint64_t bytes_total = 0;         // all pvr.* channels
+  std::uint64_t gossip_messages = 0;
+  // Wall clock — excluded from fingerprint().
+  double sim_ms = 0;
+  double verify_ms = 0;
+  double rounds_per_sec = 0;
+
+  // Every deterministic field, one canonical string. Two runs of the same
+  // spec — at ANY worker count — must produce identical fingerprints.
+  [[nodiscard]] std::string fingerprint() const;
+  [[nodiscard]] std::string to_json_line() const;
+};
+
+// Runs one scenario end to end. Throws std::runtime_error when the
+// generated topology cannot supply a single qualifying neighborhood, and
+// std::invalid_argument on specs whose timing cannot work (collect_window
+// must exceed the max link latency or inputs could miss their windows).
+[[nodiscard]] ScenarioReport run_scenario(const ScenarioSpec& spec);
+
+// Named presets — the scenario matrix bench_scenarios and CI sweep.
+// "equivocation_storm", "batch_split_evasion", "drop_replay_chaos".
+[[nodiscard]] std::vector<std::string> scenario_names();
+[[nodiscard]] ScenarioSpec named_scenario(std::string_view name,
+                                          std::uint64_t seed,
+                                          std::size_t rounds);
+
+}  // namespace pvr::scenario

@@ -1,0 +1,158 @@
+#include "scenario/topology_gen.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "crypto/drbg.h"
+
+namespace pvr::scenario {
+
+std::size_t GeneratedTopology::count_in_tier(Tier tier) const {
+  std::size_t count = 0;
+  for (const auto& [asn, t] : tiers) {
+    if (t == tier) count += 1;
+  }
+  return count;
+}
+
+std::size_t GeneratedTopology::max_degree() const {
+  std::size_t best = 0;
+  for (const auto& [asn, tier] : tiers) {
+    best = std::max(best, graph.neighbors(asn).size());
+  }
+  return best;
+}
+
+GeneratedTopology generate_topology(const TopologyParams& params,
+                                    std::uint64_t seed) {
+  if (params.tier1_count == 0 ||
+      params.as_count < params.tier1_count + 1) {
+    throw std::invalid_argument("generate_topology: bad tier sizes");
+  }
+  crypto::Drbg rng(seed, "scenario-topology");
+  GeneratedTopology topology;
+
+  // Every NON-STUB AS appears in `endpoints` once per adjacent link, so a
+  // uniform index draw is a degree-proportional (preferential-attachment)
+  // draw over the ASes that sell transit. Stubs never enter the pool: a
+  // stub with customers would not be a stub.
+  std::vector<bgp::AsNumber> endpoints;
+  std::vector<bgp::AsNumber> transit_ases;  // earlier tier-1/transit ASes
+
+  const auto asn_of = [&](std::size_t i) {
+    return params.asn_base + static_cast<bgp::AsNumber>(i);
+  };
+
+  // Tier-1 clique: settlement-free peers of each other.
+  for (std::size_t i = 0; i < params.tier1_count; ++i) {
+    const bgp::AsNumber asn = asn_of(i);
+    topology.graph.add_as(asn);
+    topology.tiers.emplace(asn, Tier::kTier1);
+    transit_ases.push_back(asn);
+    for (std::size_t j = 0; j < i; ++j) {
+      topology.graph.add_link(asn_of(j), asn, bgp::Relationship::kPeer);
+      endpoints.push_back(asn_of(j));
+      endpoints.push_back(asn);
+    }
+  }
+  // A 1-AS clique has no links yet; seed the endpoint pool so the first
+  // customer can still draw a provider.
+  if (endpoints.empty()) endpoints.push_back(asn_of(0));
+
+  for (std::size_t i = params.tier1_count; i < params.as_count; ++i) {
+    const bgp::AsNumber asn = asn_of(i);
+    const bool transit = rng.coin(params.transit_fraction);
+    topology.graph.add_as(asn);
+    topology.tiers.emplace(asn, transit ? Tier::kTransit : Tier::kStub);
+
+    // 1 + extras providers, preferential by degree, no duplicates.
+    std::size_t wanted = 1;
+    while (wanted < params.max_providers &&
+           rng.coin(params.multihoming_probability)) {
+      wanted += 1;
+    }
+    std::set<bgp::AsNumber> providers;
+    // Bounded retries: a duplicate draw is common around the clique early
+    // on; 4x oversampling makes the miss probability negligible without
+    // risking an unbounded loop.
+    for (std::size_t attempt = 0;
+         attempt < 4 * wanted && providers.size() < wanted; ++attempt) {
+      providers.insert(endpoints[rng.uniform(endpoints.size())]);
+    }
+    for (const bgp::AsNumber provider : providers) {
+      // From the provider's viewpoint the new AS is its customer.
+      topology.graph.add_link(provider, asn, bgp::Relationship::kCustomer);
+      endpoints.push_back(provider);
+      if (transit) endpoints.push_back(asn);
+    }
+
+    if (transit) {
+      if (!transit_ases.empty() && rng.coin(params.peer_probability)) {
+        const bgp::AsNumber peer =
+            transit_ases[rng.uniform(transit_ases.size())];
+        if (!topology.graph.relationship(asn, peer).has_value()) {
+          topology.graph.add_link(asn, peer, bgp::Relationship::kPeer);
+          endpoints.push_back(asn);
+          endpoints.push_back(peer);
+        }
+      }
+      transit_ases.push_back(asn);
+    }
+  }
+  return topology;
+}
+
+std::vector<bgp::AsNumber> Neighborhood::members() const {
+  std::vector<bgp::AsNumber> all;
+  all.reserve(providers.size() + 2);
+  all.push_back(prover);
+  all.insert(all.end(), providers.begin(), providers.end());
+  all.push_back(recipient);
+  return all;
+}
+
+std::vector<bgp::AsNumber> Neighborhood::verifiers() const {
+  std::vector<bgp::AsNumber> all = providers;
+  all.push_back(recipient);
+  return all;
+}
+
+std::vector<Neighborhood> select_neighborhoods(
+    const GeneratedTopology& topology, std::size_t count,
+    std::size_t min_providers, std::size_t max_providers) {
+  std::vector<Neighborhood> selected;
+  std::set<bgp::AsNumber> used;
+  for (const bgp::AsNumber prover : topology.graph.as_numbers()) {
+    if (selected.size() >= count) break;
+    if (used.contains(prover)) continue;
+
+    Neighborhood hood;
+    hood.prover = prover;
+    // The recipient must be a customer (that is who the export promise is
+    // to); the route-providing Ni can be ANY other neighbor — a transit AS
+    // hears candidate routes from providers, peers, and customers alike.
+    // Explicit found flag: with asn_base == 0, AS 0 is a real AS, so the
+    // usual 0-as-none sentinel would misread it.
+    bool recipient_found = false;
+    for (const bgp::AsNumber customer : topology.graph.customers_of(prover)) {
+      if (!used.contains(customer)) {
+        hood.recipient = customer;
+        recipient_found = true;
+        break;
+      }
+    }
+    if (!recipient_found) continue;
+    for (const bgp::AsNumber neighbor : topology.graph.neighbors(prover)) {
+      if (neighbor == hood.recipient || used.contains(neighbor)) continue;
+      hood.providers.push_back(neighbor);
+      if (hood.providers.size() >= max_providers) break;
+    }
+    if (hood.providers.size() < min_providers) continue;
+    for (const bgp::AsNumber member : hood.members()) used.insert(member);
+    selected.push_back(std::move(hood));
+  }
+  return selected;
+}
+
+}  // namespace pvr::scenario

@@ -1,0 +1,83 @@
+// Seeded power-law AS topology generation for the scenario harness.
+//
+// generate_gao_rexford (src/bgp/topology.h) grows a hierarchy one provider
+// pick at a time with an O(n) scan per pick; good enough for the BGP
+// benches but quadratic in spirit and without tier labels. This generator
+// is the scenario subsystem's replacement: preferential attachment over a
+// repeated-endpoints vector (each AS appears once per adjacent link, so a
+// uniform draw IS a degree-proportional draw — O(1) per pick), explicit
+// tier labels, and customer/provider/peer edges that respect the
+// Gao–Rexford structure. 10k+ ASes generate in well under a second, and a
+// (params, seed) pair always yields the identical graph.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "bgp/topology.h"
+
+namespace pvr::scenario {
+
+enum class Tier : std::uint8_t {
+  kTier1 = 0,  // settlement-free clique at the top
+  kTransit = 1,  // regional transit: has both providers and customers
+  kStub = 2,   // edge AS: providers only
+};
+
+struct TopologyParams {
+  std::size_t as_count = 1000;
+  std::size_t tier1_count = 8;       // fully meshed peer clique
+  // Fraction of non-tier-1 ASes that are transit (the rest are stubs).
+  double transit_fraction = 0.25;
+  // Providers per new AS: 1 + Bernoulli(multihoming_probability) extras,
+  // capped at max_providers. Preferential by degree.
+  double multihoming_probability = 0.4;
+  std::size_t max_providers = 3;
+  // Lateral peering probability between a new transit AS and one earlier
+  // transit AS of similar degree.
+  double peer_probability = 0.1;
+  bgp::AsNumber asn_base = 1;  // ASes are numbered asn_base..asn_base+n-1
+};
+
+struct GeneratedTopology {
+  bgp::AsGraph graph;
+  std::map<bgp::AsNumber, Tier> tiers;
+
+  [[nodiscard]] Tier tier_of(bgp::AsNumber asn) const {
+    return tiers.at(asn);
+  }
+  [[nodiscard]] std::size_t count_in_tier(Tier tier) const;
+  [[nodiscard]] std::size_t max_degree() const;
+};
+
+// Deterministic in (params, seed). Throws std::invalid_argument when
+// as_count < tier1_count + 1 or tier1_count == 0.
+[[nodiscard]] GeneratedTopology generate_topology(const TopologyParams& params,
+                                                  std::uint64_t seed);
+
+// One PVR Figure-1 neighborhood carved out of a generated topology: a
+// transit prover with its (route-providing) upstream neighbors and one
+// customer as the recipient.
+struct Neighborhood {
+  bgp::AsNumber prover = 0;
+  std::vector<bgp::AsNumber> providers;
+  bgp::AsNumber recipient = 0;
+
+  [[nodiscard]] std::vector<bgp::AsNumber> members() const;
+  // The verifier set of this neighborhood: providers then the recipient —
+  // the ONE ordering world construction, engine submission, and scoring
+  // all share.
+  [[nodiscard]] std::vector<bgp::AsNumber> verifiers() const;
+};
+
+// Greedily selects up to `count` pairwise-disjoint neighborhoods whose
+// prover has >= min_providers upstream neighbors (capped at max_providers
+// per neighborhood) and at least one customer. Deterministic: provers are
+// considered in ascending ASN order. Disjointness keeps every AS in
+// exactly one PvrNode role.
+[[nodiscard]] std::vector<Neighborhood> select_neighborhoods(
+    const GeneratedTopology& topology, std::size_t count,
+    std::size_t min_providers, std::size_t max_providers);
+
+}  // namespace pvr::scenario

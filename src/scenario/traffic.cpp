@@ -1,0 +1,72 @@
+#include "scenario/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "crypto/drbg.h"
+
+namespace pvr::scenario {
+
+namespace {
+
+// Exponential draw with the given mean, floored at 1 µs so arrivals always
+// advance simulated time.
+[[nodiscard]] net::SimTime exponential(crypto::Drbg& rng, double mean_us) {
+  const double u = rng.uniform_unit();
+  const double draw = -mean_us * std::log(1.0 - u);
+  return std::max<net::SimTime>(1, static_cast<net::SimTime>(draw));
+}
+
+}  // namespace
+
+bgp::Ipv4Prefix round_prefix(std::size_t round_index) {
+  // 10.H.L.0/24: 65536 distinct prefixes before wrapping.
+  const auto index = static_cast<std::uint32_t>(round_index & 0xFFFFu);
+  return bgp::Ipv4Prefix(0x0A000000u | (index << 8), 24);
+}
+
+std::vector<RoundArrival> generate_arrivals(const TrafficParams& params,
+                                            std::size_t neighborhoods,
+                                            std::size_t total_rounds,
+                                            std::uint64_t seed) {
+  if (neighborhoods == 0) {
+    throw std::invalid_argument("generate_arrivals: no neighborhoods");
+  }
+  crypto::Drbg rng(seed, "scenario-traffic");
+  std::vector<RoundArrival> arrivals;
+  arrivals.reserve(total_rounds);
+
+  net::SimTime clock = 1000;  // leave t=0 for node startup
+  std::size_t in_burst = 0;
+  for (std::size_t r = 0; r < total_rounds; ++r) {
+    switch (params.process) {
+      case ArrivalProcess::kUniform:
+        clock += std::max<net::SimTime>(
+            1, static_cast<net::SimTime>(params.mean_interarrival_us));
+        break;
+      case ArrivalProcess::kPoisson:
+        clock += exponential(rng, params.mean_interarrival_us);
+        break;
+      case ArrivalProcess::kBursty:
+        // burst_size arrivals share one nominal instant (their spread comes
+        // from the per-round jitter), then an exponential gap.
+        if (in_burst == 0) clock += exponential(rng, params.mean_interarrival_us);
+        in_burst = (in_burst + 1) % std::max<std::size_t>(1, params.burst_size);
+        break;
+    }
+    const net::SimTime jitter =
+        params.start_jitter_us == 0 ? 0 : rng.uniform(params.start_jitter_us);
+    arrivals.push_back(RoundArrival{.neighborhood = r % neighborhoods,
+                                    .prefix = round_prefix(r / neighborhoods),
+                                    .epoch = 1,
+                                    .at = clock + jitter});
+  }
+  std::stable_sort(arrivals.begin(), arrivals.end(),
+                   [](const RoundArrival& a, const RoundArrival& b) {
+                     return a.at < b.at;
+                   });
+  return arrivals;
+}
+
+}  // namespace pvr::scenario

@@ -1,0 +1,63 @@
+// Seeded arrival processes for scenario round traffic.
+//
+// Every workload before this subsystem started its rounds at hand-picked
+// instants (usually all at t=0), so the per-prefix collection windows and
+// the batching deadline (PvrConfig::batch_deadline > collect_window) were
+// never exercised under realistic jitter. The traffic model generates the
+// start_round arrival schedule: Poisson (exponential inter-arrivals),
+// bursty (bursts of simultaneous-ish arrivals separated by gaps), or
+// uniform spacing — each with per-prefix jitter, deterministic in
+// (params, seed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/prefix.h"
+#include "net/simulator.h"
+
+namespace pvr::scenario {
+
+enum class ArrivalProcess : std::uint8_t {
+  kUniform = 0,  // fixed spacing (+ jitter)
+  kPoisson = 1,  // exponential inter-arrivals
+  kBursty = 2,   // bursts of burst_size arrivals, exponential gaps
+};
+
+struct TrafficParams {
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  // Mean µs between consecutive round arrivals (Poisson/uniform), or
+  // between bursts (bursty).
+  double mean_interarrival_us = 2500;
+  std::size_t burst_size = 8;
+  // Per-round start jitter: the prover's start_round fires uniformly in
+  // [0, start_jitter_us) after the nominal arrival (+ input lead, below).
+  net::SimTime start_jitter_us = 1000;
+  // Providers announce their inputs uniformly in [0, input_jitter_us)
+  // after the nominal arrival; the prover starts only after the full
+  // jitter span, so an input can never miss its own round's collection
+  // window because of jitter alone (link latency must stay below
+  // collect_window, which the runner enforces).
+  net::SimTime input_jitter_us = 2000;
+};
+
+// One scheduled protocol round of one neighborhood.
+struct RoundArrival {
+  std::size_t neighborhood = 0;
+  bgp::Ipv4Prefix prefix;
+  std::uint64_t epoch = 1;
+  net::SimTime at = 0;  // nominal arrival (input jitter measured from here)
+};
+
+// The prefix the r-th round of a neighborhood runs over (10.x.y.0/24,
+// unique per round index; neighborhoods may reuse prefixes because rounds
+// are keyed by the full (prover, prefix, epoch) ProtocolId).
+[[nodiscard]] bgp::Ipv4Prefix round_prefix(std::size_t round_index);
+
+// Generates `total_rounds` arrivals round-robined across `neighborhoods`,
+// ordered by arrival time. Deterministic in (params, counts, seed).
+[[nodiscard]] std::vector<RoundArrival> generate_arrivals(
+    const TrafficParams& params, std::size_t neighborhoods,
+    std::size_t total_rounds, std::uint64_t seed);
+
+}  // namespace pvr::scenario

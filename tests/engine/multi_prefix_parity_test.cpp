@@ -9,6 +9,7 @@
 
 #include "core/evidence.h"
 #include "core/pvr_speaker.h"
+#include "crypto/commitment.h"
 #include "engine/verification_engine.h"
 
 namespace pvr::engine {
@@ -176,6 +177,90 @@ TEST(MultiPrefixParityTest, UnsaltedEngineMatchesSaltedEngine) {
         << "verifier " << verifier;
   }
   EXPECT_EQ(salted_engine.sink().total(), unsalted_engine.sink().total());
+}
+
+// Chunked pair enumeration: a round with a huge observed-bundle set has
+// O(pairs) equivocation checks; defer_finalize_checks must bound the task
+// count at ceil(pairs / finalize_chunk_pairs) per kind while the fold
+// stays byte-identical to the sequential path AND to chunk size 1 (the
+// legacy one-task-per-pair split).
+TEST(MultiPrefixParityTest, ChunkedPairChecksBoundTasksAndFoldIdentically) {
+  constexpr std::size_t kVariants = 10;  // + the honest bundle = 11 -> 55 pairs
+  constexpr bgp::AsNumber kVerifier = 300;
+
+  // Crafts kVariants distinct prover-signed bundles for round `id` and
+  // injects them into the verifier as if an equivocating prover had sent
+  // them; identical seeds make the three worlds' states byte-identical.
+  const auto inject_variants = [](Figure1Handles& handles,
+                                  const ProtocolId& id) {
+    crypto::Drbg rng(99, "chunk-test-variants");
+    core::PvrNode& node = handles.world->node(kVerifier);
+    for (std::size_t v = 0; v < kVariants; ++v) {
+      core::CommitmentBundle bundle{
+          .id = id, .op = core::OperatorKind::kMinimum, .max_len = 4, .bits = {}};
+      for (std::size_t b = 0; b < 4; ++b) {
+        bundle.bits.push_back(crypto::commit_bit(true, rng).first);
+      }
+      const core::SignedMessage signed_bundle = core::sign_message(
+          id.prover, handles.keys->private_keys.at(id.prover).priv,
+          bundle.encode());
+      node.on_message(handles.world->sim,
+                      net::Message{.from = id.prover,
+                                   .to = kVerifier,
+                                   .channel = core::kBundleChannel,
+                                   .payload = signed_bundle.encode()});
+    }
+  };
+  const auto make_world = [&](std::size_t chunk_pairs) {
+    Figure1Setup setup{.seed = 52, .provider_count = 4};
+    setup.finalize_chunk_pairs = chunk_pairs;
+    Figure1Handles handles = core::make_figure1_world(setup);
+    Figure1World& world = *handles.world;
+    world.sim.schedule(0, [&world, &handles] {
+      for (std::size_t i = 0; i < world.providers.size(); ++i) {
+        world.node(world.providers[i])
+            .provide_input(world.sim, 1, handles.prefix,
+                           route_len(3 + i, world.providers[i], handles.prefix));
+      }
+      world.node(world.prover).start_round(world.sim, 1, handles.prefix);
+    });
+    world.sim.run();
+    inject_variants(handles, handles.round_id(1));
+    return handles;
+  };
+
+  Figure1Handles sequential = make_world(32);
+  Figure1Handles chunked = make_world(32);
+  Figure1Handles per_pair = make_world(1);
+  const ProtocolId id = sequential.round_id(1);
+
+  sequential.world->node(kVerifier).finalize_round(id);
+  ASSERT_FALSE(sequential.world->node(kVerifier).evidence().empty());
+
+  // 11 observed bundles -> 55 pairs: ceil(55/32) = 2 chunks + the role
+  // check at the default chunk size, 55 + 1 tasks at chunk size 1.
+  const auto run_split = [&](Figure1Handles& handles,
+                             std::size_t expected_tasks) {
+    core::PvrNode& node = handles.world->node(kVerifier);
+    std::optional<core::DeferredRoundChecks> checks =
+        node.defer_finalize_checks(id);
+    ASSERT_TRUE(checks.has_value());
+    EXPECT_EQ(checks->checks.size(), expected_tasks);
+    core::RoundFindings folded;
+    for (auto& check : checks->checks) {
+      core::fold_round_findings(folded, check());
+    }
+    node.apply_round_findings(id, folded);
+  };
+  run_split(chunked, 3);
+  run_split(per_pair, 56);
+
+  const std::string expected =
+      evidence_fingerprint(sequential.world->node(kVerifier).evidence());
+  EXPECT_EQ(evidence_fingerprint(chunked.world->node(kVerifier).evidence()),
+            expected);
+  EXPECT_EQ(evidence_fingerprint(per_pair.world->node(kVerifier).evidence()),
+            expected);
 }
 
 // The two prefixes of one (prover, epoch) hash to different shards only if

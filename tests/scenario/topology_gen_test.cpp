@@ -1,0 +1,115 @@
+// The scenario topology generator: determinism, scale, tier structure, and
+// neighborhood selection.
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <set>
+
+#include "scenario/topology_gen.h"
+
+namespace pvr::scenario {
+namespace {
+
+[[nodiscard]] bool same_graph(const GeneratedTopology& a,
+                              const GeneratedTopology& b) {
+  if (a.tiers != b.tiers) return false;
+  if (a.graph.link_count() != b.graph.link_count()) return false;
+  for (const bgp::AsNumber asn : a.graph.as_numbers()) {
+    if (a.graph.neighbors(asn) != b.graph.neighbors(asn)) return false;
+  }
+  return true;
+}
+
+TEST(TopologyGenTest, DeterministicInSeed) {
+  const TopologyParams params{.as_count = 500};
+  const GeneratedTopology first = generate_topology(params, 42);
+  const GeneratedTopology second = generate_topology(params, 42);
+  EXPECT_TRUE(same_graph(first, second));
+
+  const GeneratedTopology other = generate_topology(params, 43);
+  EXPECT_FALSE(same_graph(first, other));
+}
+
+TEST(TopologyGenTest, ScalesTo10kAsesConnected) {
+  const TopologyParams params{.as_count = 10'000, .tier1_count = 10};
+  const GeneratedTopology topology = generate_topology(params, 7);
+  ASSERT_EQ(topology.graph.as_count(), 10'000u);
+
+  // Every AS attaches to at least one earlier provider, so the graph is
+  // connected: BFS from the first tier-1 AS must reach everyone.
+  std::set<bgp::AsNumber> seen = {params.asn_base};
+  std::queue<bgp::AsNumber> frontier;
+  frontier.push(params.asn_base);
+  while (!frontier.empty()) {
+    const bgp::AsNumber asn = frontier.front();
+    frontier.pop();
+    for (const bgp::AsNumber neighbor : topology.graph.neighbors(asn)) {
+      if (seen.insert(neighbor).second) frontier.push(neighbor);
+    }
+  }
+  EXPECT_EQ(seen.size(), 10'000u);
+
+  // Power-law shape: the hubs' degree dwarfs the mean (preferential
+  // attachment; a uniform-attachment graph would stay near the mean).
+  const double mean_degree =
+      2.0 * static_cast<double>(topology.graph.link_count()) / 10'000.0;
+  EXPECT_GT(static_cast<double>(topology.max_degree()), 20.0 * mean_degree);
+}
+
+TEST(TopologyGenTest, TierStructureHolds) {
+  const TopologyParams params{.as_count = 800, .tier1_count = 6};
+  const GeneratedTopology topology = generate_topology(params, 11);
+  EXPECT_EQ(topology.count_in_tier(Tier::kTier1), 6u);
+  EXPECT_GT(topology.count_in_tier(Tier::kTransit), 0u);
+  EXPECT_GT(topology.count_in_tier(Tier::kStub), 0u);
+
+  // Tier-1 clique: mutual settlement-free peers.
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = i + 1; j < 6; ++j) {
+      const auto rel = topology.graph.relationship(
+          params.asn_base + static_cast<bgp::AsNumber>(i),
+          params.asn_base + static_cast<bgp::AsNumber>(j));
+      ASSERT_TRUE(rel.has_value());
+      EXPECT_EQ(*rel, bgp::Relationship::kPeer);
+    }
+  }
+  // Stubs sell no transit: no customers anywhere.
+  for (const auto& [asn, tier] : topology.tiers) {
+    if (tier == Tier::kStub) {
+      EXPECT_TRUE(topology.graph.customers_of(asn).empty())
+          << "stub " << asn << " has customers";
+    }
+  }
+}
+
+TEST(TopologyGenTest, NeighborhoodsAreDisjointAndQualified) {
+  const GeneratedTopology topology =
+      generate_topology({.as_count = 1000}, 3);
+  const std::vector<Neighborhood> hoods =
+      select_neighborhoods(topology, 8, 4, 5);
+  ASSERT_GE(hoods.size(), 4u);
+
+  std::set<bgp::AsNumber> used;
+  for (const Neighborhood& hood : hoods) {
+    EXPECT_GE(hood.providers.size(), 4u);
+    EXPECT_LE(hood.providers.size(), 5u);
+    // The recipient must be the prover's customer.
+    const auto rel = topology.graph.relationship(hood.prover, hood.recipient);
+    ASSERT_TRUE(rel.has_value());
+    EXPECT_EQ(*rel, bgp::Relationship::kCustomer);
+    for (const bgp::AsNumber member : hood.members()) {
+      EXPECT_TRUE(used.insert(member).second)
+          << "AS " << member << " appears in two neighborhoods";
+    }
+  }
+}
+
+TEST(TopologyGenTest, RejectsBadParams) {
+  EXPECT_THROW(generate_topology({.as_count = 3, .tier1_count = 5}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(generate_topology({.as_count = 10, .tier1_count = 0}, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pvr::scenario

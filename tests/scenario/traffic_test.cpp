@@ -1,0 +1,78 @@
+// Arrival-process generation: determinism, ordering, and process shape.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "scenario/traffic.h"
+
+namespace pvr::scenario {
+namespace {
+
+TEST(TrafficTest, DeterministicAndSorted) {
+  const TrafficParams params{.process = ArrivalProcess::kPoisson,
+                             .mean_interarrival_us = 1500};
+  const auto first = generate_arrivals(params, 4, 200, 9);
+  const auto second = generate_arrivals(params, 4, 200, 9);
+  ASSERT_EQ(first.size(), 200u);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].at, second[i].at);
+    EXPECT_EQ(first[i].neighborhood, second[i].neighborhood);
+    EXPECT_EQ(first[i].prefix, second[i].prefix);
+    if (i > 0) EXPECT_GE(first[i].at, first[i - 1].at);
+  }
+}
+
+TEST(TrafficTest, RoundsSpreadAcrossNeighborhoodsWithUniquePrefixes) {
+  const auto arrivals = generate_arrivals({}, 5, 100, 1);
+  std::map<std::size_t, std::size_t> per_hood;
+  std::map<std::pair<std::size_t, bgp::Ipv4Prefix>, std::size_t> per_round;
+  for (const RoundArrival& arrival : arrivals) {
+    per_hood[arrival.neighborhood] += 1;
+    per_round[{arrival.neighborhood, arrival.prefix}] += 1;
+  }
+  ASSERT_EQ(per_hood.size(), 5u);
+  for (const auto& [hood, count] : per_hood) EXPECT_EQ(count, 20u);
+  // Within one neighborhood every round runs over its own prefix.
+  for (const auto& [key, count] : per_round) EXPECT_EQ(count, 1u);
+}
+
+TEST(TrafficTest, PoissonMeanRoughlyMatches) {
+  const TrafficParams params{.process = ArrivalProcess::kPoisson,
+                             .mean_interarrival_us = 2000,
+                             .start_jitter_us = 0};
+  const auto arrivals = generate_arrivals(params, 1, 2000, 3);
+  const double span =
+      static_cast<double>(arrivals.back().at - arrivals.front().at);
+  const double mean = span / static_cast<double>(arrivals.size() - 1);
+  EXPECT_GT(mean, 1500.0);
+  EXPECT_LT(mean, 2500.0);
+}
+
+TEST(TrafficTest, BurstyArrivalsShareTheNominalInstant) {
+  const TrafficParams params{.process = ArrivalProcess::kBursty,
+                             .mean_interarrival_us = 50'000,
+                             .burst_size = 6,
+                             .start_jitter_us = 0};
+  const auto arrivals = generate_arrivals(params, 2, 60, 5);
+  std::map<net::SimTime, std::size_t> groups;
+  for (const RoundArrival& arrival : arrivals) groups[arrival.at] += 1;
+  ASSERT_EQ(groups.size(), 10u);  // 60 arrivals in bursts of 6
+  for (const auto& [at, count] : groups) EXPECT_EQ(count, 6u);
+}
+
+TEST(TrafficTest, UniformSpacingIsExactWithoutJitter) {
+  const TrafficParams params{.process = ArrivalProcess::kUniform,
+                             .mean_interarrival_us = 750,
+                             .start_jitter_us = 0};
+  const auto arrivals = generate_arrivals(params, 1, 10, 1);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_EQ(arrivals[i].at - arrivals[i - 1].at, 750u);
+  }
+}
+
+TEST(TrafficTest, RejectsZeroNeighborhoods) {
+  EXPECT_THROW(generate_arrivals({}, 0, 10, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pvr::scenario
