@@ -7,16 +7,27 @@
 //   1. determinism: the report fingerprint must be byte-identical across
 //      1/2/8 engine workers (primary seed) and the gates must hold on a
 //      second seed as well;
-//   2. gates: detection_rate == 1.0, false_evidence == 0,
-//      audit_failures == 0 in EVERY run;
-//   3. coalescing: equivocation_storm must batch staggered arrivals into
+//   2. online parity: the ONLINE pipeline (rounds verified as their
+//      windows settle, engine drained every 1/7/64 collection windows of
+//      sim time, settled state GC'd) must reproduce the offline
+//      fingerprint byte-for-byte;
+//   3. gates: detection_rate == 1.0, false_evidence == 0,
+//      audit_failures == 0, verify_failures == 0 in EVERY run;
+//   4. coalescing: equivocation_storm must batch staggered arrivals into
 //      shared windows (batch_deadline > collect_window doing real work);
-//   4. throughput: the full --rounds run at 8 workers is the measured row.
+//   5. throughput: the full --rounds run at 8 workers is the measured row,
+//      plus one LONG online trace (--online-rounds, default
+//      max(4 * rounds, 2000)) of the storm scenario whose peak open-round
+//      count must stay under a bound derived from the spec's timing —
+//      the memory claim of DESIGN.md §10, gated in CI.
 //
-// One JSON line per scenario (the format check_bench_regression.py gates
-// on), plus a summary line. Exits nonzero when any gate fails.
+// One JSON line per scenario plus a scenarios_gate verdict row and one
+// scenarios_online row (the formats check_bench_regression.py gates on),
+// plus a summary line. Exits nonzero when any gate fails.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench_common.h"
@@ -28,11 +39,29 @@ namespace {
 struct ScenarioGate {
   bool ok = true;
   bool deterministic = true;
+  bool online_parity = true;
 };
 
 [[nodiscard]] bool gates_hold(const scenario::ScenarioReport& report) {
   return report.detection_rate == 1.0 && report.false_evidence == 0 &&
-         report.audit_failures == 0;
+         report.audit_failures == 0 && report.verify_failures == 0;
+}
+
+// Spec-derived ceiling for the online long trace's peak open-round count:
+// rounds stay open for at most collection window + batching deadline +
+// settle horizon + one drain interval, and arrive at one per
+// mean_interarrival_us round-robined over the neighborhoods. 6x absorbs
+// Poisson clumping and partial batches; an unbounded (GC-less) node would
+// instead peak near the full trace length.
+[[nodiscard]] std::uint64_t peak_bound_for(const scenario::ScenarioSpec& spec,
+                                           const scenario::ScenarioReport& report) {
+  const std::uint64_t span_us = spec.collect_window + spec.batch_deadline +
+                                report.settle_horizon_us +
+                                spec.drain_interval_us;
+  const std::uint64_t per_hood_interarrival_us =
+      std::max<std::uint64_t>(1, spec.traffic.mean_interarrival_us *
+                                     spec.neighborhoods);
+  return 6 * std::max<std::uint64_t>(1, span_us / per_hood_interarrival_us);
 }
 
 }  // namespace
@@ -42,19 +71,43 @@ int main(int argc, char** argv) {
   using namespace pvr;
   using namespace pvr::bench;
 
+  // --online-rounds=N sizes the long online trace independently of the
+  // offline sweep, so CI can run a focused online smoke leg. Parsed (and
+  // stripped) before the shared --seed/--rounds handling.
+  std::size_t online_rounds_flag = 0;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--online-rounds=", 0) == 0) {
+      online_rounds_flag = std::strtoull(argv[i] + 16, nullptr, 10);
+      if (online_rounds_flag == 0) {
+        std::fprintf(stderr, "bench_scenarios: bad --online-rounds value\n");
+        return 2;
+      }
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  argv[kept] = nullptr;
+
   const BenchArgs args = parse_bench_args(&argc, argv);
   const std::size_t rounds = args.rounds.value_or(600);
-  // The determinism cross-checks rerun each scenario four times; a reduced
-  // round count keeps the sweep CI-sized while the measured run stays full.
+  // The determinism cross-checks rerun each scenario several times; a
+  // reduced round count keeps the sweep CI-sized while the measured run
+  // stays full.
   const std::size_t det_rounds = std::max<std::size_t>(60, rounds / 10);
+  const std::size_t online_rounds =
+      online_rounds_flag != 0 ? online_rounds_flag
+                              : std::max<std::size_t>(4 * rounds, 2000);
 
   std::printf("scenario sweep: %zu rounds/scenario (determinism checks at "
-              "%zu), seed %llu\n\n",
-              rounds, det_rounds,
+              "%zu, online long trace at %zu), seed %llu\n\n",
+              rounds, det_rounds, online_rounds,
               static_cast<unsigned long long>(args.seed));
-  std::printf("%-22s %-8s %-7s %-9s %-7s %-6s %-6s %-9s %-11s %-10s\n",
+  std::printf("%-22s %-8s %-7s %-9s %-7s %-6s %-6s %-9s %-11s %-10s %-7s\n",
               "scenario", "workers", "rounds", "windows", "detect", "false",
-              "audit", "coalesce", "rounds/sec", "determ");
+              "audit", "coalesce", "rounds/sec", "determ", "online");
 
   bool all_ok = true;
   for (const std::string& name : scenario::scenario_names()) {
@@ -65,17 +118,34 @@ int main(int argc, char** argv) {
     // own workload, so fingerprints are compared within a seed; the gates
     // must hold in every cell.
     for (const std::uint64_t seed : {args.seed, args.seed + 1}) {
+      std::string seed_fingerprint;
       for (const std::size_t workers : {1u, 2u, 8u}) {
         scenario::ScenarioSpec spec =
             scenario::named_scenario(name, seed, det_rounds);
         spec.workers = workers;
         const scenario::ScenarioReport report = scenario::run_scenario(spec);
-        if (workers == 1) fingerprint_at_1 = report.fingerprint();
-        if (report.fingerprint() != fingerprint_at_1) {
+        if (workers == 1) {
+          seed_fingerprint = report.fingerprint();
+          if (seed == args.seed) fingerprint_at_1 = seed_fingerprint;
+        }
+        if (report.fingerprint() != seed_fingerprint) {
           gate.deterministic = false;
         }
         if (!gates_hold(report)) gate.ok = false;
       }
+    }
+
+    // Online parity: drain cadences from every collection window to so
+    // coarse the trace mostly settles between drains — the fingerprint
+    // must match the offline run byte-for-byte either way (primary seed).
+    for (const net::SimTime windows : {1u, 7u, 64u}) {
+      scenario::ScenarioSpec spec =
+          scenario::named_scenario(name, args.seed, det_rounds);
+      spec.online = true;
+      spec.drain_interval_us = spec.collect_window * windows;
+      const scenario::ScenarioReport report = scenario::run_scenario(spec);
+      if (report.fingerprint() != fingerprint_at_1) gate.online_parity = false;
+      if (!gates_hold(report)) gate.ok = false;
     }
 
     // The measured run: full round count, 8 workers, primary seed.
@@ -88,7 +158,7 @@ int main(int argc, char** argv) {
     if (name == "equivocation_storm" && !report.coalesced) gate.ok = false;
 
     std::printf("%-22s %-8zu %-7llu %-9llu %-7.4f %-6llu %-6llu %-9s "
-                "%-11.1f %-10s\n",
+                "%-11.1f %-10s %-7s\n",
                 name.c_str(), report.workers,
                 static_cast<unsigned long long>(report.rounds_started),
                 static_cast<unsigned long long>(report.windows_fired),
@@ -96,17 +166,62 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report.false_evidence),
                 static_cast<unsigned long long>(report.audit_failures),
                 report.coalesced ? "yes" : "no", report.rounds_per_sec,
-                gate.deterministic ? "yes" : "DIVERGED");
+                gate.deterministic ? "yes" : "DIVERGED",
+                gate.online_parity ? "yes" : "DIVERGED");
 
     std::printf("%s\n", report.to_json_line().c_str());
-    // The JSON row above carries the measured run; determinism verdict and
-    // gate outcome ride in a trailing compact row the regression gate reads.
+    // The JSON row above carries the measured run; determinism and parity
+    // verdicts ride in a trailing compact row the regression gate reads.
     std::printf("{\"bench\":\"scenarios_gate\",\"scenario\":\"%s\","
-                "\"seed\":%llu,\"deterministic\":%s,\"gates_ok\":%s}\n",
+                "\"seed\":%llu,\"deterministic\":%s,\"online_parity\":%s,"
+                "\"gates_ok\":%s}\n",
                 name.c_str(), static_cast<unsigned long long>(args.seed),
                 gate.deterministic ? "true" : "false",
+                gate.online_parity ? "true" : "false",
                 gate.ok ? "true" : "false");
-    all_ok = all_ok && gate.ok && gate.deterministic;
+    all_ok = all_ok && gate.ok && gate.deterministic && gate.online_parity;
+  }
+
+  // The long online trace: the storm scenario at online_rounds, verified
+  // entirely through the interleaved pipeline. This is the row that gates
+  // the memory claim — peak_open_rounds must stay under the spec-derived
+  // bound — and that a drain failure (verify_failures) cannot hide in.
+  {
+    scenario::ScenarioSpec spec = scenario::named_scenario(
+        "equivocation_storm", args.seed, online_rounds);
+    spec.online = true;
+    const scenario::ScenarioReport report = scenario::run_scenario(spec);
+    const std::uint64_t bound = peak_bound_for(spec, report);
+    const bool online_ok = gates_hold(report) &&
+                           report.peak_open_rounds <= bound &&
+                           report.drain_batches > 1;
+    std::printf("\nonline long trace: %llu rounds, peak_open_rounds %llu "
+                "(bound %llu), drain_batches %llu, verify_failures %llu, "
+                "%.1f rounds/sec %s\n",
+                static_cast<unsigned long long>(report.rounds_started),
+                static_cast<unsigned long long>(report.peak_open_rounds),
+                static_cast<unsigned long long>(bound),
+                static_cast<unsigned long long>(report.drain_batches),
+                static_cast<unsigned long long>(report.verify_failures),
+                report.rounds_per_sec, online_ok ? "ok" : "FAIL");
+    std::printf("{\"bench\":\"scenarios_online\",\"scenario\":\"%s\","
+                "\"seed\":%llu,\"rounds\":%llu,\"detection_rate\":%.4f,"
+                "\"false_evidence\":%llu,\"verify_failures\":%llu,"
+                "\"peak_open_rounds\":%llu,\"peak_bound\":%llu,"
+                "\"drain_batches\":%llu,\"settle_horizon_us\":%llu,"
+                "\"rounds_per_sec\":%.1f}\n",
+                spec.name.c_str(),
+                static_cast<unsigned long long>(args.seed),
+                static_cast<unsigned long long>(report.rounds_started),
+                report.detection_rate,
+                static_cast<unsigned long long>(report.false_evidence),
+                static_cast<unsigned long long>(report.verify_failures),
+                static_cast<unsigned long long>(report.peak_open_rounds),
+                static_cast<unsigned long long>(bound),
+                static_cast<unsigned long long>(report.drain_batches),
+                static_cast<unsigned long long>(report.settle_horizon_us),
+                report.rounds_per_sec);
+    all_ok = all_ok && online_ok;
   }
 
   std::printf("\nresult: %s\n", all_ok ? "PASS" : "FAIL");

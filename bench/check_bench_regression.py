@@ -13,13 +13,21 @@ Rules (exit 1 on any violation):
      the baseline and the fresh engine_throughput rows must not drop more
      than --max-regression (default 25%);
   4. every adversarial scenario row ({"bench": "scenarios", ...}) must
-     report detection_rate == 1.0 and false_evidence == 0 (an attack the
-     shipped evidence checks miss, or an honest AS framed, is a correctness
-     failure), and every {"bench": "scenarios_gate"} row must carry
-     deterministic == true and gates_ok == true;
+     report detection_rate == 1.0, false_evidence == 0, and
+     verify_failures == 0 (an attack the shipped evidence checks miss, an
+     honest AS framed, or a verification task that crashed and was
+     swallowed, is a correctness failure), and every
+     {"bench": "scenarios_gate"} row must carry deterministic == true,
+     online_parity == true (the online pipeline reproduced the offline
+     fingerprint byte-for-byte), and gates_ok == true;
   5. when the fresh run contains a scenarios sweep at all, it must cover at
      least the three named scenarios — a silently shrinking matrix would
-     pass rule 4 vacuously.
+     pass rule 4 vacuously;
+  6. the fresh run must carry the online long-trace row
+     ({"bench": "scenarios_online"}) whenever it has a scenarios sweep, and
+     that row must report verify_failures == 0, detection_rate == 1.0,
+     false_evidence == 0, and peak_open_rounds <= peak_bound — the online
+     pipeline's bounded-memory claim (DESIGN.md §10) gated as a number.
 
 Speedup ratios (speedup_8v1, speedup_8v1_intra, agg_speedup) are NOT gated
 here: they depend on the runner's core count, and the 1-core container that
@@ -120,10 +128,17 @@ def main():
         if row.get("audit_failures", 0) != 0:
             failures.append(
                 f"{label} audit_failures == {row.get('audit_failures')!r}")
+        if row.get("verify_failures", 0) != 0:
+            failures.append(
+                f"{label} verify_failures == {row.get('verify_failures')!r} "
+                "(a verification task crashed and its findings were lost)")
     for row in gate_rows:
         label = f"scenario {row.get('scenario')!r}"
         if row.get("deterministic") is not True:
             failures.append(f"{label} diverged across worker counts")
+        if row.get("online_parity") is not True:
+            failures.append(
+                f"{label} online run diverged from the offline fingerprint")
         if row.get("gates_ok") is not True:
             failures.append(f"{label} reported gates_ok:false")
     if scenario_rows or gate_rows:
@@ -132,6 +147,31 @@ def main():
                      "drop_replay_chaos"):
             if name not in covered:
                 failures.append(f"scenario sweep is missing {name!r}")
+
+    # 6. Online long trace: bounded memory, no swallowed verification
+    # failures. Required whenever the scenarios sweep ran at all.
+    online_rows = [row for row in fresh
+                   if row.get("bench") == "scenarios_online"]
+    if (scenario_rows or gate_rows) and not online_rows:
+        failures.append("fresh run has a scenarios sweep but no "
+                        "scenarios_online long-trace row")
+    for row in online_rows:
+        label = f"online scenario {row.get('scenario')!r}"
+        if row.get("verify_failures", 0) != 0:
+            failures.append(
+                f"{label} verify_failures == {row.get('verify_failures')!r}")
+        if row.get("detection_rate") != 1.0:
+            failures.append(
+                f"{label} detection_rate == {row.get('detection_rate')!r}")
+        if row.get("false_evidence", 0) != 0:
+            failures.append(
+                f"{label} false_evidence == {row.get('false_evidence')!r}")
+        peak = row.get("peak_open_rounds")
+        bound = row.get("peak_bound")
+        if peak is None or bound is None or peak > bound:
+            failures.append(
+                f"{label} peak_open_rounds {peak!r} exceeds bound {bound!r} "
+                "(online GC no longer bounds memory by open windows)")
 
     if failures:
         for failure in failures:

@@ -61,7 +61,10 @@ PvrNode::PvrNode(PvrConfig config)
 
 PvrNode::RoundState& PvrNode::round_state(const ProtocolId& id) {
   const auto [it, inserted] = rounds_.try_emplace(id);
-  if (inserted) round_index_.emplace(id, &it->second);
+  if (inserted) {
+    round_index_.emplace(id, &it->second);
+    peak_open_rounds_ = std::max(peak_open_rounds_, rounds_.size());
+  }
   return it->second;
 }
 
@@ -263,6 +266,11 @@ void PvrNode::run_prover_batch(net::Simulator& sim, std::uint64_t epoch,
     send(sim, config_.recipient, kExportChannel,
          round.result.export_statement.encode());
   }
+
+  // Window-closed event, after every message of the batch is on the wire:
+  // subscribers (the online scenario pipeline) learn exactly which rounds
+  // this window committed, in deterministic simulated-time order.
+  if (on_window_closed_) on_window_closed_(epoch, prefixes);
 }
 
 void PvrNode::observe_bundle(net::Simulator& sim, const SignedMessage& bundle,
@@ -319,26 +327,22 @@ void PvrNode::observe_root(net::Simulator& sim, const SignedMessage& signed_root
   if (root.prover != config_.prover || signed_root.signer != config_.prover) {
     return;
   }
-  // A forged root (claimed signer, garbage signature) must never pollute
-  // round state, trigger escalation, or get relayed onward.
+  // Dedup BEFORE the signature check: every relayed/replayed copy of an
+  // already-seen root costs one digest lookup instead of an RSA verify (a
+  // mesh of V verifiers delivers each root O(V) times). The first copy of
+  // a payload still has to prove itself — a forged root (claimed signer,
+  // garbage signature) is dropped before it can enter the dedup set,
+  // pollute round state, trigger escalation, or get relayed onward. The
+  // lookup must not create the per-epoch map entry either (seen_roots_ is
+  // never pruned, so default-constructing on an attacker-chosen epoch
+  // would grow memory on unverified traffic).
+  const RootKey key{root.prover, root.epoch};
+  const crypto::Digest digest = crypto::sha256(std::span(signed_root.payload));
+  const auto seen_it = seen_roots_.find(key);
+  if (seen_it != seen_roots_.end() && seen_it->second.contains(digest)) return;
   if (!verify_message(*config_.directory, signed_root)) return;
-  if (!remember_distinct(seen_roots_[RootKey{root.prover, root.epoch}],
-                         signed_root)) {
-    return;
-  }
-  // Attach to every open round this window claims. The signed prefix list
-  // names those rounds exactly, so each is one hash lookup — with
-  // thousands of simultaneously open rounds per node this must never scan
-  // them all (tests/core/root_attachment_test.cpp is the regression).
-  for (const bgp::Ipv4Prefix& prefix : root.prefixes) {
-    const ProtocolId id{
-        .prover = root.prover, .prefix = prefix, .epoch = root.epoch};
-    if (RoundState* round = find_round(id)) {
-      if (remember_distinct(round->observed_roots, signed_root)) {
-        escalate_round(sim, origin, *round);
-      }
-    }
-  }
+  seen_roots_[key].insert(digest);
+  attach_root(sim, signed_root, root, origin);
   if (hops < config_.gossip_hop_budget) {
     for (const bgp::AsNumber peer : gossip_peers()) {
       if (peer == origin) continue;
@@ -347,6 +351,27 @@ void PvrNode::observe_root(net::Simulator& sim, const SignedMessage& signed_root
              wrap_hops(static_cast<std::uint8_t>(hops + 1),
                        signed_root.encode()));
       }
+    }
+  }
+}
+
+void PvrNode::attach_root(net::Simulator& sim, const SignedMessage& signed_root,
+                          const AggregatedBundle& root, bgp::AsNumber origin) {
+  // Attach to the round of every prefix this window claims. The signed
+  // prefix list names those rounds exactly, so each is one map lookup —
+  // with thousands of simultaneously open rounds per node this must never
+  // scan them all (tests/core/root_attachment_test.cpp is the regression).
+  // State is CREATED for claimed rounds this node has not heard of yet
+  // (e.g. its direct agg message is still in flight or was lost), so a
+  // witnessed root conflict is provable at finalize without any deferred
+  // scan — the old finalize-time walk over every root the epoch ever saw
+  // was O(windows) per round and unusable on long traces.
+  for (const bgp::Ipv4Prefix& prefix : root.prefixes) {
+    const ProtocolId id{
+        .prover = root.prover, .prefix = prefix, .epoch = root.epoch};
+    RoundState& round = round_state(id);
+    if (remember_distinct(round.observed_roots, signed_root)) {
+      escalate_round(sim, origin, round);
     }
   }
 }
@@ -364,19 +389,6 @@ void PvrNode::escalate_round(net::Simulator& sim, bgp::AsNumber origin,
       if (sim.connected(config_.asn, peer)) {
         send(sim, peer, kGossipChannel, wrap_hops(0, bundle.encode()));
       }
-    }
-  }
-}
-
-void PvrNode::attach_seen_roots(const ProtocolId& id, RoundState& round) const {
-  const auto it = seen_roots_.find(RootKey{id.prover, id.epoch});
-  if (it == seen_roots_.end()) return;
-  for (const SignedMessage& root_env : it->second) {
-    try {
-      if (AggregatedBundle::decode(root_env.payload).covers(id.prefix)) {
-        (void)remember_distinct(round.observed_roots, root_env);
-      }
-    } catch (const std::out_of_range&) {
     }
   }
 }
@@ -410,10 +422,10 @@ void PvrNode::open_aggregated(net::Simulator& sim,
         !round.bundle.has_value()) {
       round.bundle = opening.bundle;
     }
-    // Roots gossiped before this message arrived belong to the round too.
-    attach_seen_roots(decoded.id, round);
-    // observe_root below escalates only on a NEW root; if the conflict was
-    // already known, the round just opened still needs its bundles spread.
+    // Roots gossiped before this message arrived were already attached on
+    // arrival (attach_root creates round state), and observe_root below
+    // escalates only on a NEW root — so if the conflict was already known,
+    // the round just opened still needs its bundles spread.
     escalate_round(sim, origin, round);
   }
   observe_root(sim, message.signed_root, origin, 0);
@@ -623,7 +635,6 @@ void PvrNode::finalize_round(const ProtocolId& id) {
   RoundState& round = round_state(id);
   if (round.finalized) return;
   round.finalized = true;
-  attach_seen_roots(id, round);
   apply_round_findings(id, check_round(config_, round));
 }
 
@@ -631,7 +642,6 @@ std::optional<DeferredRound> PvrNode::defer_finalize(const ProtocolId& id) {
   RoundState& round = round_state(id);
   if (round.finalized) return std::nullopt;
   round.finalized = true;
-  attach_seen_roots(id, round);
 
   // Snapshot by value: the closure must stay valid and thread-safe even if
   // the node keeps receiving messages for other rounds meanwhile.
@@ -647,7 +657,6 @@ std::optional<DeferredRoundChecks> PvrNode::defer_finalize_checks(
   RoundState& round = round_state(id);
   if (round.finalized) return std::nullopt;
   round.finalized = true;
-  attach_seen_roots(id, round);
 
   // One immutable snapshot shared by every check closure: the parts only
   // ever read it, so they can run on any workers concurrently. Pair checks
@@ -688,6 +697,26 @@ void PvrNode::apply_round_findings(const ProtocolId& id, RoundFindings findings)
                    std::make_move_iterator(findings.evidence.begin()),
                    std::make_move_iterator(findings.evidence.end()));
   if (findings.accepted.has_value()) accepted_[id] = *findings.accepted;
+}
+
+bool PvrNode::gc_finalized(const ProtocolId& id) {
+  // The prover holds no RoundState for its own rounds — its per-round
+  // weight is the collected-inputs table, released unconditionally once a
+  // settled round is collected (rounds_run_ keeps re-commit protection).
+  collected_inputs_.erase(id);
+  const auto it = rounds_.find(id);
+  if (it == rounds_.end()) return false;
+  const RoundState& round = it->second;
+  // Retention: unfinalized rounds still owe their checks, and a witnessed
+  // root conflict that has not yet escalated keeps its proof material — a
+  // bundle arriving later must still find the conflicting roots so the
+  // full-bundle spread can go out. Both states are transient in practice
+  // (conflicted rounds escalate as soon as they hold any bundle).
+  if (!round.finalized) return false;
+  if (round.observed_roots.size() >= 2 && !round.escalated) return false;
+  round_index_.erase(id);
+  rounds_.erase(it);
+  return true;
 }
 
 std::optional<bgp::Route> PvrNode::accepted_route(const ProtocolId& id) const {

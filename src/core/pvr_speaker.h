@@ -35,6 +35,7 @@
 
 #include "core/bundle_aggregation.h"
 #include "core/min_protocol.h"
+#include "crypto/sha256.h"
 #include "net/gossip.h"
 #include "net/simulator.h"
 
@@ -119,11 +120,26 @@ struct DeferredRoundChecks {
 // wins (it is the only part that sets one).
 void fold_round_findings(RoundFindings& into, RoundFindings part);
 
+// Prover-side notification that one collection window just fired: the
+// epoch and the prefixes whose rounds were run and fanned out as one
+// aggregation batch. Fires inside the simulator event that closed the
+// window, AFTER every wire message of the batch has been sent, so a
+// subscriber observes window closes in deterministic simulated-time order.
+using WindowCloseHandler = std::function<void(
+    std::uint64_t epoch, const std::vector<bgp::Ipv4Prefix>& prefixes)>;
+
 class PvrNode : public net::Node {
  public:
   explicit PvrNode(PvrConfig config);
 
   void on_message(net::Simulator& sim, const net::Message& message) override;
+
+  // Subscribes to window-close events (prover role only fires them). The
+  // online scenario pipeline uses this to learn which rounds exist without
+  // polling; at most one handler is active (nullptr clears).
+  void set_window_close_handler(WindowCloseHandler handler) {
+    on_window_closed_ = std::move(handler);
+  }
 
   // Provider-side: sign and send `route` to the prover for round
   // (prover, prefix, epoch). Pass nullopt to explicitly provide nothing
@@ -163,6 +179,33 @@ class PvrNode : public net::Node {
   // log and accepted-route table. Must be called from the thread that owns
   // the node (i.e. after the engine has drained).
   void apply_round_findings(const ProtocolId& id, RoundFindings findings);
+
+  // Online-mode GC: releases the per-round state of a round the CALLER
+  // knows is settled (no message referencing it can still arrive — the
+  // scenario runner waits out a conservative propagation horizon after the
+  // window closes). Retention rules — nothing is pruned when the round
+  //   - was never finalized (its checks still need the state), or
+  //   - still carries an unescalated root conflict with bundles to spread
+  //     (a witnessed conflict whose proof material must survive until the
+  //     escalation gossip has gone out).
+  // Prunes the RoundState, the round's slot in the root index, and (on the
+  // prover) the collected inputs. Deliverables — evidence_, accepted_ —
+  // and the tiny re-commit / root-dedup guards are never touched, so a
+  // duplicate or replayed message arriving for a pruned round is still
+  // recognized and dropped instead of re-creating state. Returns true when
+  // the round's state was released.
+  bool gc_finalized(const ProtocolId& id);
+
+  // Rounds currently holding state, and the high-water mark since
+  // construction. The online pipeline's memory claim is exactly
+  // "peak_open_rounds() stays bounded by concurrently-open windows, not
+  // trace length" (tests/scenario/online_pipeline_test.cpp asserts it).
+  [[nodiscard]] std::size_t open_rounds() const noexcept {
+    return rounds_.size();
+  }
+  [[nodiscard]] std::size_t peak_open_rounds() const noexcept {
+    return peak_open_rounds_;
+  }
 
   [[nodiscard]] const std::vector<Evidence>& evidence() const noexcept {
     return evidence_;
@@ -240,6 +283,12 @@ class PvrNode : public net::Node {
   // Unpacks a pvr.bundle.agg message from the prover into per-round state.
   void open_aggregated(net::Simulator& sim, const AggregatedBundleMessage& message,
                        bgp::AsNumber origin);
+  // Attaches a verified signed root to the round of every prefix its window
+  // claims, creating round state as needed (the claimed rounds are exactly
+  // the rounds this neighborhood's prover ran, so creation is bounded by
+  // the prover's own signing rate and GC'd like any other round state).
+  void attach_root(net::Simulator& sim, const SignedMessage& signed_root,
+                   const AggregatedBundle& root, bgp::AsNumber origin);
   // Root gossip carries no bundle contents, so once a round has TWO
   // distinct signed roots claiming it (same window signed twice, or the
   // batch-split evasion where each victim group gets its own window), this
@@ -253,10 +302,6 @@ class PvrNode : public net::Node {
   // gossiped root.
   void escalate_round(net::Simulator& sim, bgp::AsNumber origin,
                       RoundState& round);
-  // Finalize-time safety net (e.g. for rounds whose direct agg message was
-  // lost): attaches every seen root whose window claims the round's
-  // prefix, so witnessed root conflicts stay provable.
-  void attach_seen_roots(const ProtocolId& id, RoundState& round) const;
   void run_prover_batch(net::Simulator& sim, std::uint64_t epoch,
                         const std::vector<bgp::Ipv4Prefix>& prefixes);
   [[nodiscard]] std::vector<bgp::AsNumber> gossip_peers() const;
@@ -301,14 +346,28 @@ class PvrNode : public net::Node {
   // Prover-side: rounds already run, so a re-announced prefix can never
   // make an honest prover commit to one round twice.
   std::set<ProtocolId> rounds_run_;
-  // Verifier-side: distinct signed roots seen per (prover, epoch) (also
-  // covers roots gossiped before the direct agg message arrived).
-  std::map<RootKey, std::vector<SignedMessage>> seen_roots_;
+  // Verifier-side first-seen dedup of signed roots per (prover, epoch),
+  // keyed by the SHA-256 of the root payload. Roots attach to their claimed
+  // rounds ON ARRIVAL (attach_root creates round state as needed), so this
+  // holds digests only — one dedup membership check replaces both the old
+  // linear distinct-scan per gossiped copy and the finalize-time decode
+  // scan over every root the epoch ever saw. Deliberately NOT pruned by
+  // gc_finalized: a stale replayed root must keep hitting the dedup (and
+  // not re-create state or re-gossip) after its rounds were collected. At
+  // 32 bytes per window it is — alongside the other deliberate survivors:
+  // the evidence_/accepted_ result logs and the rounds_run_ guard, all a
+  // few dozen bytes per round — orders of magnitude below the
+  // message-bearing per-round state GC releases; "bounded by open
+  // windows" is a claim about that heavyweight state (RoundState with its
+  // signed messages, collected inputs), which peak_open_rounds() gates.
+  std::map<RootKey, std::set<crypto::Digest>> seen_roots_;
   std::vector<Evidence> evidence_;
   std::map<ProtocolId, bgp::Route> accepted_;
+  WindowCloseHandler on_window_closed_;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t rounds_started_ = 0;
   std::uint64_t windows_fired_ = 0;
+  std::size_t peak_open_rounds_ = 0;
 };
 
 // Convenience: builds the full Figure-1 world (star topology links between

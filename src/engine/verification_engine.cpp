@@ -49,7 +49,7 @@ std::size_t VerificationEngine::submit(
   return ticket;
 }
 
-EngineReport VerificationEngine::drain() {
+EngineReport VerificationEngine::drain(bool rethrow_errors) {
   std::vector<RoundOutcome> raw = scheduler_.drain();
   EngineReport report;
   report.outcomes.reserve(groups_.size());
@@ -72,6 +72,7 @@ EngineReport VerificationEngine::drain() {
       // A failed round contributes no findings (its node stays finalized
       // with none) — even the parts that succeeded.
       folded.findings = core::RoundFindings{};
+      report.failed_rounds += 1;
       if (!first_error) first_error = folded.error;
     } else {
       report.violations += folded.findings.evidence.size();
@@ -88,7 +89,7 @@ EngineReport VerificationEngine::drain() {
   // restart at 0), failed drain or not.
   groups_.clear();
   // Rethrow only after every successful round's findings were delivered.
-  if (first_error) std::rethrow_exception(first_error);
+  if (first_error && rethrow_errors) std::rethrow_exception(first_error);
   return report;
 }
 

@@ -59,6 +59,10 @@ struct EngineReport {
   std::uint64_t rounds = 0;
   std::uint64_t violations = 0;
   std::uint64_t signatures_verified = 0;
+  // Rounds whose closure threw (their outcomes carry the exception and no
+  // findings). Long-lived online pipelines drain with rethrow_errors =
+  // false and GATE on this count instead of unwinding mid-simulation.
+  std::uint64_t failed_rounds = 0;
 };
 
 class VerificationEngine {
@@ -75,11 +79,17 @@ class VerificationEngine {
 
   // Blocks until all submitted rounds have run; applies node findings back
   // to their nodes, records all evidence into the sink (submission order),
-  // and returns the aggregate report. If any round's closure threw, the
-  // first exception is rethrown AFTER every successful round's findings
-  // were delivered and owner bookkeeping was reset — a failed round loses
-  // only its own findings (its node stays finalized with none).
-  EngineReport drain();
+  // and returns the aggregate report. Incremental by design: a long-lived
+  // engine alternates submit batches and drains, each drain returning that
+  // batch's findings. If any round's closure threw it is counted in
+  // EngineReport::failed_rounds and, when `rethrow_errors` (the default),
+  // the first exception is rethrown AFTER every successful round's
+  // findings were delivered and owner bookkeeping was reset — a failed
+  // round loses only its own findings (its node stays finalized with
+  // none). Online pipelines pass rethrow_errors = false and gate on the
+  // count: a mid-simulation unwind would abandon every not-yet-submitted
+  // round, which is worse than finishing the trace with one round short.
+  EngineReport drain(bool rethrow_errors = true);
 
   [[nodiscard]] EvidenceSink& sink() noexcept { return sink_; }
   [[nodiscard]] const core::KeyDirectory& directory() const noexcept {

@@ -109,6 +109,28 @@ void Simulator::schedule_after(SimTime delay, std::function<void()> fn) {
   schedule(now_ + delay, std::move(fn));
 }
 
+void Simulator::schedule_periodic(SimTime interval, std::function<void()> fn) {
+  if (interval == 0) {
+    throw std::invalid_argument("Simulator::schedule_periodic: zero interval");
+  }
+  periodic_.push_back(PeriodicTask{.interval = interval, .fn = std::move(fn)});
+  arm_periodic(periodic_.size() - 1, now_ + interval);
+}
+
+void Simulator::arm_periodic(std::size_t index, SimTime at) {
+  armed_periodic_ += 1;
+  schedule(at, [this, index] {
+    armed_periodic_ -= 1;
+    periodic_[index].fn();
+    // Re-arm only while real work remains. Counting armed periodic ticks out
+    // of the queue keeps two periodic tasks from ticking forever on each
+    // other's events once every message has been delivered.
+    if (queue_.size() > armed_periodic_) {
+      arm_periodic(index, now_ + periodic_[index].interval);
+    }
+  });
+}
+
 void Simulator::start_pending_nodes() {
   if (started_) return;
   started_ = true;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -137,6 +138,17 @@ class Simulator {
   void schedule(SimTime at, std::function<void()> fn);
   void schedule_after(SimTime delay, std::function<void()> fn);
 
+  // Runs `fn` every `interval` µs of simulated time, first at now + interval.
+  // The tick re-arms itself only while OTHER events remain queued (periodic
+  // ticks don't count each other as work), so an armed periodic task never
+  // keeps run() from terminating: the tick after the last real event is the
+  // final one. Callbacks run interleaved with message delivery in the
+  // deterministic event order and may submit external work (e.g. an engine
+  // drain), but anything they schedule back into the simulator counts as
+  // real work and extends the ticking. Throws std::invalid_argument on a
+  // zero interval.
+  void schedule_periodic(SimTime interval, std::function<void()> fn);
+
   // Dispatches events until the queue is empty or `until` is reached.
   void run();
   void run_until(SimTime until);
@@ -158,7 +170,13 @@ class Simulator {
     }
   };
 
+  struct PeriodicTask {
+    SimTime interval;
+    std::function<void()> fn;
+  };
+
   void start_pending_nodes();
+  void arm_periodic(std::size_t index, SimTime at);
   [[nodiscard]] const LinkConfig* link_between(NodeId a, NodeId b) const noexcept;
 
   crypto::Drbg rng_;
@@ -169,6 +187,10 @@ class Simulator {
   std::map<NodeId, std::unique_ptr<Node>> nodes_;
   std::map<std::pair<NodeId, NodeId>, LinkConfig> links_;  // key: minmax order
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  // deque: a periodic callback may itself call schedule_periodic, and the
+  // push_back must not relocate the PeriodicTask whose fn is mid-execution.
+  std::deque<PeriodicTask> periodic_;
+  std::size_t armed_periodic_ = 0;  // periodic tick events now in queue_
   SimStats stats_;
 };
 

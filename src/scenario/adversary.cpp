@@ -19,6 +19,14 @@ namespace {
   return channel.rfind(core::kGossipChannel, 0) == 0;
 }
 
+// Replayed copies of a captured root are re-injected at
+// kReplayStepUs * (1 + i) after the capture (i-th replay of that message),
+// so a strategy replaying up to R copies per message has a replay lag of
+// exactly kReplayStepUs * R — the max_replay_lag() overrides below quote
+// that product and must stay in sync with the schedule in
+// make_chaos_interceptor.
+constexpr net::SimTime kReplayStepUs = 10'000;
+
 // Shared interceptor state. Strategies compose drop/delay/replay rules on
 // top of it; kept in a shared_ptr because net::Interceptor is copyable.
 struct WireChaosState {
@@ -69,7 +77,7 @@ struct WireChaosState {
           net::Message replay = message;
           replay.payload[0] = 0;  // stale copy reinjected as if fresh
           const net::SimTime at =
-              sim.now() + 10'000 + 10'000 * static_cast<net::SimTime>(i);
+              sim.now() + kReplayStepUs * (1 + static_cast<net::SimTime>(i));
           sim.schedule(at, [&sim, replay = std::move(replay)]() mutable {
             sim.send(std::move(replay));
           });
@@ -152,6 +160,12 @@ class DelayReplayStrategy final : public AdversaryStrategy {
   [[nodiscard]] core::ProverMisbehavior prover_misbehavior() const override {
     return {.equivocate = true};
   }
+  [[nodiscard]] net::SimTime max_extra_delay() const override {
+    return 5'000;
+  }
+  [[nodiscard]] net::SimTime max_replay_lag() const override {
+    return kReplayStepUs * 2;  // replays_per_message below
+  }
   void install(net::Simulator& sim, const std::vector<Neighborhood>& hoods,
                const std::vector<bool>& attacked, std::uint64_t seed) override {
     (void)attacked;  // the hostile wire does not spare honest neighborhoods
@@ -209,6 +223,9 @@ class ReplayRelayStrategy final : public AdversaryStrategy {
   [[nodiscard]] std::vector<core::ViolationKind> expected_kinds()
       const override {
     return {};
+  }
+  [[nodiscard]] net::SimTime max_replay_lag() const override {
+    return kReplayStepUs * 3;  // replays_per_message below
   }
   void install(net::Simulator& sim, const std::vector<Neighborhood>& hoods,
                const std::vector<bool>& attacked, std::uint64_t seed) override {

@@ -52,6 +52,17 @@ class AdversaryStrategy {
     return {};
   }
 
+  // Wire-interference bounds the ONLINE runner folds into its settle
+  // horizon (how long after a window closes a round's messages can still
+  // be in flight). max_extra_delay() bounds the extra µs the interceptor
+  // can add to any single message; max_replay_lag() bounds how long after
+  // capturing a message the strategy can re-inject a copy (the copy then
+  // propagates under max_extra_delay again). A strategy that understates
+  // these breaks the online==offline fingerprint parity gate, which is
+  // exactly how an understatement is caught.
+  [[nodiscard]] virtual net::SimTime max_extra_delay() const { return 0; }
+  [[nodiscard]] virtual net::SimTime max_replay_lag() const { return 0; }
+
   // Installs wire-level interference (drop/delay/replay) once the world is
   // built. `attacked[h]` says whether hoods[h]'s prover mounts the attack:
   // pure wire chaos (drops, delays, replays) deliberately hits honest

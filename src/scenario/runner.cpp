@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <deque>
 #include <map>
 #include <memory>
 #include <set>
@@ -94,6 +95,39 @@ void append_covered_rounds(const core::Evidence& item,
                     .communities = {}};
 }
 
+// Per-hood node pointers, resolved ONCE at world-build time. The pre-PR-5
+// runner re-did a dynamic_cast<core::PvrNode&> inside every hot scheduling
+// lambda (per provider input, per start_round) and again per verifier at
+// verification and scoring time; the cached pointers make those paths a
+// plain indexed load (measured in bench_scenarios' rounds_per_sec).
+struct HoodNodes {
+  core::PvrNode* prover = nullptr;
+  std::vector<core::PvrNode*> providers;  // Neighborhood::providers order
+  std::vector<core::PvrNode*> verifiers;  // Neighborhood::verifiers() order
+  std::vector<core::PvrNode*> members;    // prover + verifiers
+};
+
+// Conservative bound on how long after its window closes a round can still
+// be referenced by an in-flight message. After the prover's fan-out (one
+// hop), the signed root floods the verifier mesh (the hop budget bounds
+// each chain), the adversary may re-inject one captured copy after its
+// replay lag (which floods again from a reset hop count), and every root
+// arrival can trigger at most one escalation per verifier, each spreading
+// bundles for another budget-bounded chain. Every hop costs at most the
+// runner's latency ceiling plus the adversary's per-message delay bound.
+// Soundness is enforced empirically: an understated horizon snapshots a
+// round before its last message and breaks the online==offline fingerprint
+// parity the tests and bench gate on.
+[[nodiscard]] net::SimTime settle_horizon_for(const ScenarioSpec& spec,
+                                              const AdversaryStrategy& adversary,
+                                              std::size_t max_verifiers) {
+  const net::SimTime per_hop = kMaxLatency + adversary.max_extra_delay();
+  const net::SimTime chain =
+      static_cast<net::SimTime>(spec.gossip_hop_budget) + 1;
+  const net::SimTime cascades = static_cast<net::SimTime>(max_verifiers) + 2;
+  return per_hop * (chain * cascades + 1) + adversary.max_replay_lag();
+}
+
 // Evenly spreads `fraction` of `count` indices (floor-difference trick):
 // attacked and honest neighborhoods interleave instead of clustering.
 [[nodiscard]] std::vector<bool> spread_attacked(std::size_t count,
@@ -128,7 +162,7 @@ std::string ScenarioReport::fingerprint() const {
 }
 
 std::string ScenarioReport::to_json_line() const {
-  char buffer[1024];
+  char buffer[1536];
   std::snprintf(
       buffer, sizeof(buffer),
       "{\"bench\":\"scenarios\",\"scenario\":\"%s\",\"adversary\":\"%s\","
@@ -138,14 +172,17 @@ std::string ScenarioReport::to_json_line() const {
       "\"attacked_rounds\":%" PRIu64 ",\"detected_rounds\":%" PRIu64
       ",\"detection_rate\":%.4f,\"evidence_total\":%" PRIu64
       ",\"false_evidence\":%" PRIu64 ",\"audit_failures\":%" PRIu64
+      ",\"verify_failures\":%" PRIu64 ",\"online\":%s"
+      ",\"peak_open_rounds\":%" PRIu64 ",\"drain_batches\":%" PRIu64
       ",\"bytes_total\":%" PRIu64 ",\"bytes_gossip\":%" PRIu64
       ",\"gossip_messages\":%" PRIu64
       ",\"sim_ms\":%.1f,\"verify_ms\":%.1f,\"rounds_per_sec\":%.1f}",
       scenario.c_str(), adversary.c_str(), seed, workers, as_count,
       neighborhoods, rounds_started, windows_fired, coalesced ? "true" : "false",
       attacked_rounds, detected_rounds, detection_rate, evidence_total,
-      false_evidence, audit_failures, bytes_total, bytes_gossip,
-      gossip_messages, sim_ms, verify_ms, rounds_per_sec);
+      false_evidence, audit_failures, verify_failures,
+      online ? "true" : "false", peak_open_rounds, drain_batches, bytes_total,
+      bytes_gossip, gossip_messages, sim_ms, verify_ms, rounds_per_sec);
   return buffer;
 }
 
@@ -154,11 +191,16 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
     throw std::invalid_argument(
         "run_scenario: collect_window must exceed the max link latency");
   }
+  if (spec.online && spec.drain_interval_us == 0) {
+    throw std::invalid_argument(
+        "run_scenario: online mode needs a nonzero drain_interval_us");
+  }
   ScenarioReport report;
   report.scenario = spec.name;
   report.adversary = spec.adversary;
   report.seed = spec.seed;
   report.workers = spec.workers;
+  report.online = spec.online;
 
   // 1. Topology and neighborhoods.
   const GeneratedTopology topology =
@@ -202,12 +244,16 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
   report.pvr_nodes = participants.size();
 
   // 4. World: one PvrNode per participant, star + verifier-mesh links with
-  // jittered latencies.
+  // jittered latencies. Node pointers are resolved here, once — the
+  // scheduling lambdas, the verification loops, and the scoring pass below
+  // all reuse them instead of re-running a dynamic_cast per event.
   net::Simulator sim(spec.seed);
   crypto::Drbg link_rng(spec.seed, "scenario-links");
+  std::vector<HoodNodes> hood_nodes(hoods.size());
   for (std::size_t h = 0; h < hoods.size(); ++h) {
     const Neighborhood& hood = hoods[h];
-    const auto add_node = [&](bgp::AsNumber asn, core::PvrRole role) {
+    const auto add_node = [&](bgp::AsNumber asn,
+                              core::PvrRole role) -> core::PvrNode* {
       core::PvrConfig config{
           .asn = asn,
           .role = role,
@@ -227,13 +273,22 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
           .gossip_hop_budget = spec.gossip_hop_budget,
           .finalize_chunk_pairs = spec.finalize_chunk_pairs,
       };
-      sim.add_node(asn, std::make_unique<core::PvrNode>(std::move(config)));
+      auto node = std::make_unique<core::PvrNode>(std::move(config));
+      core::PvrNode* raw = node.get();
+      sim.add_node(asn, std::move(node));
+      return raw;
     };
-    add_node(hood.prover, core::PvrRole::kProver);
-    add_node(hood.recipient, core::PvrRole::kRecipient);
+    HoodNodes& nodes = hood_nodes[h];
+    nodes.prover = add_node(hood.prover, core::PvrRole::kProver);
+    core::PvrNode* recipient = add_node(hood.recipient, core::PvrRole::kRecipient);
     for (const bgp::AsNumber provider : hood.providers) {
-      add_node(provider, core::PvrRole::kProvider);
+      nodes.providers.push_back(add_node(provider, core::PvrRole::kProvider));
     }
+    // Same order as Neighborhood::verifiers(): providers, then recipient.
+    nodes.verifiers = nodes.providers;
+    nodes.verifiers.push_back(recipient);
+    nodes.members = nodes.verifiers;
+    nodes.members.push_back(nodes.prover);
 
     const auto jittered = [&] {
       return net::LinkConfig{
@@ -257,44 +312,133 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
   crypto::Drbg input_rng(spec.seed, "scenario-inputs");
   for (const RoundArrival& arrival : arrivals) {
     const Neighborhood& hood = hoods[arrival.neighborhood];
-    for (const bgp::AsNumber provider : hood.providers) {
+    const HoodNodes& nodes = hood_nodes[arrival.neighborhood];
+    for (std::size_t p = 0; p < hood.providers.size(); ++p) {
+      const bgp::AsNumber provider = hood.providers[p];
+      core::PvrNode* provider_node = nodes.providers[p];
       const net::SimTime jitter = spec.traffic.input_jitter_us == 0
                                       ? 0
                                       : input_rng.uniform(spec.traffic.input_jitter_us);
       const std::size_t length = 1 + input_rng.uniform(spec.max_len);
-      sim.schedule(arrival.at + jitter, [&sim, arrival, provider, length] {
-        auto& node = dynamic_cast<core::PvrNode&>(sim.node(provider));
-        node.provide_input(sim, arrival.epoch, arrival.prefix,
-                           provider_route(arrival.prefix, provider, length));
+      sim.schedule(arrival.at + jitter,
+                   [&sim, arrival, provider, provider_node, length] {
+        provider_node->provide_input(
+            sim, arrival.epoch, arrival.prefix,
+            provider_route(arrival.prefix, provider, length));
       });
     }
-    sim.schedule(arrival.at + spec.traffic.input_jitter_us, [&sim, &hood,
-                                                             arrival] {
-      auto& node = dynamic_cast<core::PvrNode&>(sim.node(hood.prover));
-      node.start_round(sim, arrival.epoch, arrival.prefix);
+    core::PvrNode* prover_node = nodes.prover;
+    sim.schedule(arrival.at + spec.traffic.input_jitter_us,
+                 [&sim, prover_node, arrival] {
+      prover_node->start_round(sim, arrival.epoch, arrival.prefix);
     });
+  }
+
+  // 6. Engine-backed verification. Offline: run to quiescence, submit every
+  // round, one drain. Online (the paper's deployment model): each prover's
+  // window-close event queues its rounds; once a round's settle horizon has
+  // passed, a periodic in-simulation drain submits it to the long-lived
+  // engine, folds the findings back, and GCs the settled state — so memory
+  // tracks concurrently-open windows, not trace length. Either way the
+  // engine drains with rethrow_errors = false: a round whose closure threw
+  // is COUNTED (report.verify_failures, gated nonzero-fatal by the bench
+  // and CI) instead of silently discarded like the pre-PR-5
+  // `(void)engine.drain()` — or, worse, aborting the whole trace.
+  engine::VerificationEngine engine({.workers = spec.workers},
+                                    &keys.directory);
+  double verify_ms = 0;
+
+  struct SettledEntry {
+    net::SimTime settled_at = 0;
+    std::size_t hood = 0;
+    core::ProtocolId id;
+  };
+  std::deque<SettledEntry> pending;  // window-close order == settle order
+  std::vector<SettledEntry> batch;
+  const net::SimTime settle_horizon =
+      spec.settle_horizon_us != 0
+          ? spec.settle_horizon_us
+          : settle_horizon_for(spec, *adversary, [&] {
+              std::size_t most = 0;
+              for (const Neighborhood& hood : hoods) {
+                most = std::max(most, hood.providers.size() + 1);
+              }
+              return most;
+            }());
+
+  const auto flush_settled = [&](bool flush_all) {
+    batch.clear();
+    while (!pending.empty() &&
+           (flush_all || pending.front().settled_at <= sim.now())) {
+      batch.push_back(pending.front());
+      pending.pop_front();
+    }
+    if (batch.empty()) return;
+    const double t0 = now_ms();
+    for (const SettledEntry& entry : batch) {
+      for (core::PvrNode* verifier : hood_nodes[entry.hood].verifiers) {
+        (void)engine.submit_node_round(*verifier, entry.id);
+      }
+    }
+    const engine::EngineReport drained = engine.drain(/*rethrow_errors=*/false);
+    report.verify_failures += drained.failed_rounds;
+    report.drain_batches += 1;
+    for (const SettledEntry& entry : batch) {
+      for (core::PvrNode* member : hood_nodes[entry.hood].members) {
+        (void)member->gc_finalized(entry.id);
+      }
+    }
+    verify_ms += now_ms() - t0;
+  };
+
+  if (spec.online) {
+    report.settle_horizon_us = settle_horizon;
+    for (std::size_t h = 0; h < hoods.size(); ++h) {
+      const bgp::AsNumber prover = hoods[h].prover;
+      hood_nodes[h].prover->set_window_close_handler(
+          [&sim, &pending, settle_horizon, h, prover](
+              std::uint64_t epoch, const std::vector<bgp::Ipv4Prefix>& prefixes) {
+            const net::SimTime settled_at = sim.now() + settle_horizon;
+            for (const bgp::Ipv4Prefix& prefix : prefixes) {
+              pending.push_back(SettledEntry{
+                  .settled_at = settled_at,
+                  .hood = h,
+                  .id = core::ProtocolId{
+                      .prover = prover, .prefix = prefix, .epoch = epoch}});
+            }
+          });
+    }
+    sim.schedule_periodic(spec.drain_interval_us,
+                          [&flush_settled] { flush_settled(false); });
   }
 
   const double t_sim = now_ms();
   sim.run();
-  report.sim_ms = now_ms() - t_sim;
+  report.sim_ms = now_ms() - t_sim - verify_ms;  // drains ran interleaved
 
-  // 6. Engine-backed verification of every round, one drain.
-  engine::VerificationEngine engine({.workers = spec.workers},
-                                    &keys.directory);
-  const double t_verify = now_ms();
-  for (const RoundArrival& arrival : arrivals) {
-    const Neighborhood& hood = hoods[arrival.neighborhood];
-    const core::ProtocolId id{.prover = hood.prover,
-                              .prefix = arrival.prefix,
-                              .epoch = arrival.epoch};
-    for (const bgp::AsNumber verifier : hood.verifiers()) {
-      auto& node = dynamic_cast<core::PvrNode&>(sim.node(verifier));
-      (void)engine.submit_node_round(node, id);
+  if (spec.online) {
+    // Tail flush: rounds whose settle horizon outlived the trace (plus any
+    // final partial batch). The simulator is quiescent, so these submit
+    // against exactly the state the offline path would have seen.
+    // (flush_settled times itself into verify_ms.)
+    flush_settled(true);
+  } else {
+    const double t_verify = now_ms();
+    for (const RoundArrival& arrival : arrivals) {
+      const Neighborhood& hood = hoods[arrival.neighborhood];
+      const core::ProtocolId id{.prover = hood.prover,
+                                .prefix = arrival.prefix,
+                                .epoch = arrival.epoch};
+      for (core::PvrNode* verifier : hood_nodes[arrival.neighborhood].verifiers) {
+        (void)engine.submit_node_round(*verifier, id);
+      }
     }
+    const engine::EngineReport drained = engine.drain(/*rethrow_errors=*/false);
+    report.verify_failures += drained.failed_rounds;
+    report.drain_batches += 1;
+    verify_ms += now_ms() - t_verify;
   }
-  (void)engine.drain();
-  report.verify_ms = now_ms() - t_verify;
+  report.verify_ms = verify_ms;
 
   // 7. Score.
   const core::Auditor auditor(&keys.directory);
@@ -310,9 +454,11 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
   }
 
   std::set<core::ProtocolId> detected;
-  for (const Neighborhood& hood : hoods) {
-    for (const bgp::AsNumber verifier : hood.verifiers()) {
-      const auto& node = dynamic_cast<core::PvrNode&>(sim.node(verifier));
+  for (std::size_t h = 0; h < hoods.size(); ++h) {
+    const std::vector<bgp::AsNumber> verifier_asns = hoods[h].verifiers();
+    for (std::size_t v = 0; v < verifier_asns.size(); ++v) {
+      const bgp::AsNumber verifier = verifier_asns[v];
+      const core::PvrNode& node = *hood_nodes[h].verifiers[v];
       for (const core::Evidence& item : node.evidence()) {
         report.evidence_total += 1;
         if (!attacked_provers.contains(item.accused)) {
@@ -343,10 +489,14 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
           : static_cast<double>(detected.size()) /
                 static_cast<double>(attacked_rounds.size());
 
-  for (const Neighborhood& hood : hoods) {
-    const auto& prover = dynamic_cast<core::PvrNode&>(sim.node(hood.prover));
-    report.rounds_started += prover.rounds_started();
-    report.windows_fired += prover.windows_fired();
+  for (const HoodNodes& nodes : hood_nodes) {
+    report.rounds_started += nodes.prover->rounds_started();
+    report.windows_fired += nodes.prover->windows_fired();
+    for (const core::PvrNode* member : nodes.members) {
+      report.peak_open_rounds =
+          std::max(report.peak_open_rounds,
+                   static_cast<std::uint64_t>(member->peak_open_rounds()));
+    }
   }
   report.coalesced = report.windows_fired < report.rounds_started;
 

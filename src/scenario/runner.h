@@ -8,10 +8,14 @@
 // One run: generate a power-law topology, carve disjoint Figure-1
 // neighborhoods out of it, build PvrNodes over the simulator, arm the
 // adversary (prover misbehavior + wire interceptor), schedule jittered
-// round traffic, run to quiescence, verify every round through the
-// parallel engine, and score the outcome. Everything except the wall-clock
+// round traffic, verify every round through the parallel engine — either
+// offline (run to quiescence, then one drain) or online (ScenarioSpec::
+// online: rounds stream into a long-lived engine as their windows close,
+// drained every drain_interval_us of sim time, settled state GC'd) — and
+// score the outcome. Everything except the wall-clock and drain-schedule
 // fields of the report is a pure function of (spec) — fingerprint() is the
-// byte-identity the determinism gates compare across worker counts.
+// byte-identity the determinism gates compare across worker counts, drain
+// intervals, and online vs offline mode.
 #pragma once
 
 #include <cstdint>
@@ -46,6 +50,21 @@ struct ScenarioSpec {
   std::size_t workers = 8;
   std::size_t key_bits = 512;
   std::uint32_t max_len = 16;
+  // Online verification (the paper's deployment model): rounds are
+  // submitted to a long-lived engine as their windows close and the engine
+  // drains every drain_interval_us of SIMULATED time, with settled rounds
+  // GC'd so memory is bounded by concurrently-open windows instead of
+  // trace length. false = legacy offline mode (verify after global
+  // quiescence). The report fingerprint is byte-identical in both modes
+  // at any worker count and any drain interval (DESIGN.md §10).
+  bool online = false;
+  net::SimTime drain_interval_us = 25'000;
+  // How long after a window closes the runner waits before treating the
+  // window's rounds as settled (no message referencing them can still be
+  // in flight). 0 = derive a conservative bound from the link latency
+  // ceiling, gossip hop budget, neighborhood size, and the adversary's
+  // declared wire slack. Only consulted in online mode.
+  net::SimTime settle_horizon_us = 0;
 };
 
 struct ScenarioReport {
@@ -69,6 +88,23 @@ struct ScenarioReport {
   std::uint64_t evidence_total = 0;
   std::uint64_t false_evidence = 0;   // evidence accusing an honest AS
   std::uint64_t audit_failures = 0;   // provable evidence the Auditor rejected
+  // Engine rounds whose verification closure threw (EngineReport::
+  // failed_rounds summed over every drain). The pre-PR-5 runner discarded
+  // drain()'s result entirely, silently swallowing exactly these; the
+  // bench and the CI regression gate now fail on any nonzero value.
+  std::uint64_t verify_failures = 0;
+  // Online-mode memory accounting: the highest open-round count any single
+  // node reached (PvrNode::peak_open_rounds, maxed over all nodes), and
+  // the number of interleaved engine drains. Both depend on the drain
+  // schedule, so neither joins the fingerprint — the GC tests gate
+  // peak_open_rounds against a bound derived from the spec instead.
+  std::uint64_t peak_open_rounds = 0;
+  std::uint64_t drain_batches = 0;
+  bool online = false;
+  // The settle horizon the online run used (spec override or the derived
+  // default; 0 offline), so harnesses can compute memory bounds from the
+  // same number the runner actually waited out.
+  net::SimTime settle_horizon_us = 0;
   // Wire accounting (per channel group).
   std::uint64_t bytes_input = 0;
   std::uint64_t bytes_bundle = 0;        // pvr.bundle + pvr.bundle.agg

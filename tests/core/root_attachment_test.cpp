@@ -1,9 +1,11 @@
 // Regression coverage for indexed root attachment: a node with thousands
 // of simultaneously open rounds must attach a late-gossiped aggregation
-// root to exactly the rounds its signed window claims (one hash lookup per
+// root to exactly the rounds its signed window claims (one map lookup per
 // claimed prefix — the pre-index code scanned every open round per root),
-// and the finalize-time seen_roots_ safety net must still cover orphan
-// rounds that did not exist when the root arrived.
+// and a round that did not exist when its roots arrived must still prove
+// the conflict at finalize (attach_root creates the round state on
+// arrival; the old finalize-time decode scan over every seen root is
+// gone — it was O(windows) per round, unusable on long online traces).
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -124,9 +126,9 @@ TEST(RootAttachmentTest, OrphanRoundStillGetsSeenRootsAtFinalize) {
   PvrNode& observer = world.handles.world->node(
       world.handles.world->providers[0]);
 
-  // The orphan round did not exist when the roots arrived, so the index
-  // never saw it; the finalize-time seen_roots_ scan (the preserved legacy
-  // path) must still attach both covering roots and prove the conflict.
+  // The orphan round did not exist when the roots arrived; attach_root
+  // must have created its state and attached both covering roots then, so
+  // finalize still proves the conflict without any deferred scan.
   observer.finalize_round(world.orphan_id);
   ASSERT_EQ(observer.evidence().size(), 1u);
   EXPECT_EQ(observer.evidence().front().kind, ViolationKind::kEquivocation);

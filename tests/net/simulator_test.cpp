@@ -120,6 +120,62 @@ TEST(SimulatorTest, SchedulePastThrows) {
   EXPECT_THROW(sim.schedule(50, [] {}), std::invalid_argument);
 }
 
+TEST(SimulatorTest, PeriodicTicksInterleaveAndStopAfterLastRealEvent) {
+  Simulator sim(1);
+  std::vector<SimTime> ticks;
+  // Real work at 10, 250, 990; ticks every 100 starting at 100. The tick
+  // that finds the queue empty (after the 990 event, at t=1000) is the
+  // LAST one — an armed periodic task must never keep run() alive.
+  sim.schedule(10, [] {});
+  sim.schedule(250, [] {});
+  sim.schedule(990, [] {});
+  sim.schedule_periodic(100, [&] { ticks.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(ticks, (std::vector<SimTime>{100, 200, 300, 400, 500, 600, 700,
+                                         800, 900, 1000}));
+  EXPECT_EQ(sim.now(), 1000u);
+}
+
+TEST(SimulatorTest, TwoPeriodicTasksDoNotKeepEachOtherAlive) {
+  Simulator sim(1);
+  std::size_t fast = 0;
+  std::size_t slow = 0;
+  sim.schedule(500, [] {});
+  sim.schedule_periodic(100, [&] { fast += 1; });
+  sim.schedule_periodic(170, [&] { slow += 1; });
+  sim.run();
+  // Each other's pending ticks must not count as work, or the pair would
+  // re-arm forever once the real event at 500 has run.
+  EXPECT_LE(fast, 7u);
+  EXPECT_LE(slow, 5u);
+  EXPECT_GE(fast, 5u);
+  EXPECT_GE(slow, 3u);
+}
+
+TEST(SimulatorTest, PeriodicWithZeroIntervalThrows) {
+  Simulator sim(1);
+  EXPECT_THROW(sim.schedule_periodic(0, [] {}), std::invalid_argument);
+}
+
+TEST(SimulatorTest, PeriodicCallbackMayRegisterAnotherPeriodicTask) {
+  Simulator sim(1);
+  std::size_t inner = 0;
+  bool registered = false;
+  sim.schedule(1000, [] {});
+  sim.schedule_periodic(100, [&] {
+    if (registered) return;
+    registered = true;
+    // Several registrations from INSIDE a periodic callback: the storage
+    // growth must not relocate the task whose fn is currently executing
+    // (ASan would flag the use-after-move if it did).
+    for (int i = 0; i < 8; ++i) {
+      sim.schedule_periodic(300, [&] { inner += 1; });
+    }
+  });
+  sim.run();
+  EXPECT_GT(inner, 0u);
+}
+
 TEST(SimulatorTest, LossyLinkDropsRoughlyAtRate) {
   Simulator sim(42);
   sim.add_node(1, std::make_unique<Recorder>());
