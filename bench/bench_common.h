@@ -12,6 +12,7 @@
 #include "core/keys.h"
 #include "core/min_protocol.h"
 #include "core/pvr_speaker.h"
+#include "obs/metrics.h"
 
 namespace pvr::bench {
 
@@ -70,6 +71,20 @@ struct BenchArgs {
   return args;
 }
 
+// Emits the process-wide metrics snapshot as one JSON row, tagged with the
+// bench that produced it — the `obs_snapshot` row bench/run_all.sh requires
+// from every bench so BENCH_*.json carries the counters alongside the
+// bench's own rows. Printed in both obs build flavors (all-zero counters
+// under -DPVR_OBS=OFF keep the run_all.sh contract build-independent).
+inline void emit_obs_snapshot(const char* bench_name) {
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::global().snapshot();
+  std::printf("{\"bench\":\"obs_snapshot\",\"source\":\"%s\",\"seed\":%llu,"
+              "\"obs_enabled\":%s,%s}\n",
+              bench_name, static_cast<unsigned long long>(bench_seed()),
+              obs::kCompiledIn ? "true" : "false",
+              snapshot.to_json_fields().c_str());
+}
+
 // Shared main for the Google-Benchmark benches: strips --seed (which
 // benchmark::Initialize would reject) before the benchmark flag parser
 // runs, then emits the one JSON row bench/run_all.sh requires from every
@@ -85,6 +100,7 @@ struct BenchArgs {
     benchmark::Shutdown();                                          \
     std::printf("{\"bench\":\"" name "\",\"seed\":%llu}\n",         \
                 static_cast<unsigned long long>(args.seed));        \
+    pvr::bench::emit_obs_snapshot(name);                            \
     return 0;                                                       \
   }
 

@@ -189,5 +189,6 @@ int main(int argc, char** argv) {
               "\"all_ok\":%s}\n",
               static_cast<unsigned long long>(args.seed), kRounds,
               all_ok ? "true" : "false");
+  pvr::bench::emit_obs_snapshot("detection");
   return all_ok ? 0 : 1;
 }

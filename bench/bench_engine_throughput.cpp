@@ -352,5 +352,6 @@ int main(int argc, char** argv) {
               rps_intra_8, rps_intra_8 / rps_intra_1,
               deterministic ? "true" : "false", agg_aps_best / naive_aps,
               std::thread::hardware_concurrency());
+  pvr::bench::emit_obs_snapshot("engine_throughput");
   return deterministic && valid_single == valid_batch ? 0 : 1;
 }

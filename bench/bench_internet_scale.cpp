@@ -300,5 +300,6 @@ int main(int argc, char** argv) {
               gossip_reduction, total_reduction,
               static_cast<unsigned long long>(legacy.violations +
                                               aggregated.violations));
+  pvr::bench::emit_obs_snapshot("internet_scale");
   return legacy.violations + aggregated.violations == 0 ? 0 : 1;
 }

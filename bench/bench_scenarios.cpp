@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/trace.h"
 #include "scenario/runner.h"
 
 namespace pvr::bench {
@@ -72,9 +73,13 @@ int main(int argc, char** argv) {
   using namespace pvr::bench;
 
   // --online-rounds=N sizes the long online trace independently of the
-  // offline sweep, so CI can run a focused online smoke leg. Parsed (and
-  // stripped) before the shared --seed/--rounds handling.
+  // offline sweep, so CI can run a focused online smoke leg;
+  // --trace-out=FILE arms Chrome trace capture for the long online trace
+  // (written when that run finishes — open in chrome://tracing or
+  // Perfetto). Both parsed (and stripped) before the shared --seed/--rounds
+  // handling.
   std::size_t online_rounds_flag = 0;
+  std::string trace_out;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -82,6 +87,12 @@ int main(int argc, char** argv) {
       online_rounds_flag = std::strtoull(argv[i] + 16, nullptr, 10);
       if (online_rounds_flag == 0) {
         std::fprintf(stderr, "bench_scenarios: bad --online-rounds value\n");
+        return 2;
+      }
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
+      if (trace_out.empty()) {
+        std::fprintf(stderr, "bench_scenarios: bad --trace-out value\n");
         return 2;
       }
     } else {
@@ -190,7 +201,24 @@ int main(int argc, char** argv) {
     scenario::ScenarioSpec spec = scenario::named_scenario(
         "equivocation_storm", args.seed, online_rounds);
     spec.online = true;
+    // Trace capture covers exactly this run: the long online trace is the
+    // one whose round lifecycle / worker occupancy is worth looking at.
+    if (!trace_out.empty() && !obs::kCompiledIn) {
+      std::fprintf(stderr,
+                   "bench_scenarios: --trace-out ignored, tracing compiled "
+                   "out (-DPVR_OBS=OFF)\n");
+    }
+    if (!trace_out.empty()) (void)obs::TraceWriter::global().open(trace_out);
     const scenario::ScenarioReport report = scenario::run_scenario(spec);
+    if (!trace_out.empty() && obs::kCompiledIn) {
+      if (obs::TraceWriter::global().close()) {
+        std::fprintf(stderr, "bench_scenarios: trace written to %s\n",
+                     trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "bench_scenarios: could not write trace to %s\n",
+                     trace_out.c_str());
+      }
+    }
     const std::uint64_t bound = peak_bound_for(spec, report);
     const bool online_ok = gates_hold(report) &&
                            report.peak_open_rounds <= bound &&
@@ -209,6 +237,8 @@ int main(int argc, char** argv) {
                 "\"false_evidence\":%llu,\"verify_failures\":%llu,"
                 "\"peak_open_rounds\":%llu,\"peak_bound\":%llu,"
                 "\"drain_batches\":%llu,\"settle_horizon_us\":%llu,"
+                "\"p50_settle_us\":%llu,\"p99_settle_us\":%llu,"
+                "\"rsa_verifies\":%llu,\"sig_cache_hits\":%llu,"
                 "\"rounds_per_sec\":%.1f}\n",
                 spec.name.c_str(),
                 static_cast<unsigned long long>(args.seed),
@@ -220,10 +250,15 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(bound),
                 static_cast<unsigned long long>(report.drain_batches),
                 static_cast<unsigned long long>(report.settle_horizon_us),
+                static_cast<unsigned long long>(report.p50_settle_us),
+                static_cast<unsigned long long>(report.p99_settle_us),
+                static_cast<unsigned long long>(report.rsa_verifies),
+                static_cast<unsigned long long>(report.sig_cache_hits),
                 report.rounds_per_sec);
     all_ok = all_ok && online_ok;
   }
 
+  emit_obs_snapshot("scenarios");
   std::printf("\nresult: %s\n", all_ok ? "PASS" : "FAIL");
   return all_ok ? 0 : 1;
 }

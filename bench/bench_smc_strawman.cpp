@@ -110,5 +110,6 @@ int main(int argc, char** argv) {
               "\"pvr_ms_5p\":%.2f,\"smc_modeled_s_5p\":%.2f}\n",
               static_cast<unsigned long long>(args.seed), five.pvr_ms,
               five.smc_modeled_s);
+  pvr::bench::emit_obs_snapshot("smc_strawman");
   return 0;
 }

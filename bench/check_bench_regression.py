@@ -27,7 +27,15 @@ Rules (exit 1 on any violation):
      ({"bench": "scenarios_online"}) whenever it has a scenarios sweep, and
      that row must report verify_failures == 0, detection_rate == 1.0,
      false_evidence == 0, and peak_open_rounds <= peak_bound — the online
-     pipeline's bounded-memory claim (DESIGN.md §10) gated as a number.
+     pipeline's bounded-memory claim (DESIGN.md §10) gated as a number;
+  7. every scenarios_online row must carry a p99_settle_us field (the
+     settle-latency quantile ROADMAP item 4 gates on — a row without it
+     means the obs wiring silently fell out of the runner), and when the
+     baseline's scenarios_online row also carries one, the fresh p99 must
+     not exceed baseline * (1 + --max-regression). Settle latency is SIM
+     time, so unlike wall-clock throughput it is host-independent; the
+     quantile is a log2-bucket upper edge, so a >25% jump means the p99
+     genuinely crossed into a later drain cycle.
 
 Speedup ratios (speedup_8v1, speedup_8v1_intra, agg_speedup) are NOT gated
 here: they depend on the runner's core count, and the 1-core container that
@@ -172,6 +180,33 @@ def main():
             failures.append(
                 f"{label} peak_open_rounds {peak!r} exceeds bound {bound!r} "
                 "(online GC no longer bounds memory by open windows)")
+
+    # 7. Settle-latency gate: p99_settle_us required on every fresh
+    # scenarios_online row, and regression-bounded against the baseline's
+    # row when the baseline already carries the field (pre-obs baselines
+    # don't; the presence requirement alone still applies to fresh runs).
+    baseline_online = find_bench(baseline, "scenarios_online")
+    for row in online_rows:
+        label = f"online scenario {row.get('scenario')!r}"
+        fresh_p99 = row.get("p99_settle_us")
+        if fresh_p99 is None:
+            failures.append(
+                f"{label} carries no p99_settle_us field — the settle "
+                "latency instrumentation fell out of the runner")
+            continue
+        if baseline_online is None:
+            continue
+        base_p99 = baseline_online.get("p99_settle_us")
+        if base_p99 is None or base_p99 <= 0:
+            continue
+        ceiling = base_p99 * (1.0 + args.max_regression)
+        verdict = "ok" if fresh_p99 <= ceiling else "REGRESSION"
+        print(f"p99_settle_us: baseline {base_p99} -> fresh {fresh_p99} "
+              f"(ceiling {ceiling:.0f}) {verdict}")
+        if fresh_p99 > ceiling:
+            failures.append(
+                f"{label} p99_settle_us regressed "
+                f">{args.max_regression:.0%}: {base_p99} -> {fresh_p99}")
 
     if failures:
         for failure in failures:

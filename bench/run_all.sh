@@ -53,6 +53,15 @@ for bench in "${BUILD_DIR}"/bench_*; do
   else
     grep -E '^\{.*\}$' "${BUILD_DIR}/${name}.out" | tee -a "${RESULTS}"
   fi
+  # Every bench must also persist its metrics snapshot (all-zero counters
+  # under -DPVR_OBS=OFF, but the row itself is build-flavor independent),
+  # so BENCH_*.json carries the obs counters alongside the bench's rows.
+  obs_lines="$(grep -cE '^\{"bench":"obs_snapshot"' "${BUILD_DIR}/${name}.out" || true)"
+  if [ "${obs_lines}" -eq 0 ]; then
+    echo "error: ${name} emitted no obs_snapshot row (see ${BUILD_DIR}/${name}.out)" >&2
+    ok=false
+    STATUS=1
+  fi
   # Always append the run metadata line; it is the authoritative ok/fail
   # record for this bench.
   echo "{\"bench\":\"${name}\",\"ok\":${ok},\"seconds\":${elapsed},\"seed\":${SEED}}" \

@@ -4,6 +4,9 @@
 #include <iterator>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace pvr::core {
 
 namespace {
@@ -207,6 +210,13 @@ void PvrNode::run_prover_batch(net::Simulator& sim, std::uint64_t epoch,
   }
   if (batch.empty()) return;
   windows_fired_ += 1;
+  PVR_OBS_COUNT(node_windows_closed, 1);
+  if (obs::TraceWriter::global().active()) {
+    obs::TraceWriter::global().sim_instant(
+        "window.close", config_.asn, static_cast<std::uint64_t>(sim.now()),
+        "{\"epoch\":" + std::to_string(epoch) +
+            ",\"prefixes\":" + std::to_string(batch.size()) + "}");
+  }
 
   // Publish the bundles. When equivocating, the first half of the providers
   // get the conflicting variant.
@@ -339,7 +349,10 @@ void PvrNode::observe_root(net::Simulator& sim, const SignedMessage& signed_root
   const RootKey key{root.prover, root.epoch};
   const crypto::Digest digest = crypto::sha256(std::span(signed_root.payload));
   const auto seen_it = seen_roots_.find(key);
-  if (seen_it != seen_roots_.end() && seen_it->second.contains(digest)) return;
+  if (seen_it != seen_roots_.end() && seen_it->second.contains(digest)) {
+    PVR_OBS_COUNT(crypto_sig_cache_hits, 1);
+    return;
+  }
   if (!verify_message(*config_.directory, signed_root)) return;
   seen_roots_[key].insert(digest);
   attach_root(sim, signed_root, root, origin);
@@ -716,6 +729,7 @@ bool PvrNode::gc_finalized(const ProtocolId& id) {
   if (round.observed_roots.size() >= 2 && !round.escalated) return false;
   round_index_.erase(id);
   rounds_.erase(it);
+  PVR_OBS_COUNT(node_rounds_gced, 1);
   return true;
 }
 

@@ -5,6 +5,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace pvr::crypto {
 
 namespace {
@@ -283,6 +285,9 @@ Bignum::DivMod Bignum::divmod(const Bignum& divisor) const {
 }
 
 Bignum Bignum::mulmod(const Bignum& rhs, const Bignum& m) const {
+  // Counting here also covers powmod, whose square-and-multiply ladder
+  // funnels every modular step through mulmod.
+  PVR_OBS_COUNT(crypto_mulmod_calls, 1);
   return (*this * rhs) % m;
 }
 

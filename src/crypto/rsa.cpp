@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "crypto/encoding.h"
+#include "obs/metrics.h"
 
 namespace pvr::crypto {
 
@@ -155,6 +156,7 @@ std::vector<std::uint8_t> rsa_sign(const RsaPrivateKey& key,
   const std::vector<std::uint8_t> em = emsa_pkcs1_v15(message, k);
   const Bignum m = Bignum::from_bytes_be(em);
   const Bignum s = rsa_private_apply(key, m);
+  PVR_OBS_COUNT(crypto_rsa_signs, 1);
   return s.to_bytes_be(k);
 }
 
@@ -164,6 +166,7 @@ bool rsa_verify(const RsaPublicKey& key, std::span<const std::uint8_t> message,
   if (signature.size() != k) return false;
   const Bignum s = Bignum::from_bytes_be(signature);
   if (s >= key.n) return false;
+  PVR_OBS_COUNT(crypto_rsa_verifies, 1);
   const Bignum m = rsa_public_apply(key, s);
   std::vector<std::uint8_t> em;
   try {
@@ -177,6 +180,7 @@ bool rsa_verify(const RsaPublicKey& key, std::span<const std::uint8_t> message,
 std::vector<bool> rsa_verify_batch(const RsaPublicKey& key,
                                    std::span<const RsaBatchItem> items) {
   std::vector<bool> out(items.size(), false);
+  PVR_OBS_COUNT(crypto_rsa_batched, items.size());
   const std::size_t k = key.modulus_bytes();
   // Structural screening first; members failing it cannot verify and need
   // no exponentiation at all.
@@ -190,6 +194,7 @@ std::vector<bool> rsa_verify_batch(const RsaPublicKey& key,
     } catch (const std::length_error&) {
       continue;
     }
+    PVR_OBS_COUNT(crypto_rsa_verifies, 1);
     out[i] = rsa_public_apply(key, s) == encoded;
   }
   return out;

@@ -3,6 +3,8 @@
 #include <bit>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace pvr::crypto {
 
 namespace {
@@ -78,6 +80,7 @@ void Sha256::process_block(const std::uint8_t* block) noexcept {
 }
 
 void Sha256::update(std::span<const std::uint8_t> data) noexcept {
+  PVR_OBS_COUNT(crypto_bytes_hashed, data.size());
   total_len_ += data.size();
   std::size_t offset = 0;
   if (buffer_len_ > 0) {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace pvr::engine {
 
 RoundScheduler::RoundScheduler(SchedulerConfig config)
@@ -85,10 +88,18 @@ bool RoundScheduler::run_one(std::unique_lock<std::mutex>& lock) {
 
     lock.unlock();
     RoundOutcome outcome{.id = task.id, .findings = {}, .error = nullptr};
-    try {
-      outcome.findings = task.work();
-    } catch (...) {
-      outcome.error = std::current_exception();
+    {
+      // The span brackets only the work closure: one lane per worker
+      // thread, so an open trace shows engine occupancy directly.
+      const obs::TraceSpan span("engine.task", "engine");
+      const std::uint64_t start_us = obs::wall_clock_us();
+      try {
+        outcome.findings = task.work();
+      } catch (...) {
+        outcome.error = std::current_exception();
+      }
+      PVR_OBS_COUNT(engine_tasks, 1);
+      PVR_OBS_RECORD(engine_task_us, obs::wall_clock_us() - start_us);
     }
     lock.lock();
 

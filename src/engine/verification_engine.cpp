@@ -1,5 +1,8 @@
 #include "engine/verification_engine.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace pvr::engine {
 
 VerificationEngine::VerificationEngine(EngineConfig config,
@@ -50,6 +53,9 @@ std::size_t VerificationEngine::submit(
 }
 
 EngineReport VerificationEngine::drain(bool rethrow_errors) {
+  const obs::TraceSpan drain_span("engine.drain", "engine");
+  PVR_OBS_COUNT(engine_drains, 1);
+  PVR_OBS_RECORD(scenario_drain_rounds, groups_.size());
   std::vector<RoundOutcome> raw = scheduler_.drain();
   EngineReport report;
   report.outcomes.reserve(groups_.size());
@@ -85,6 +91,7 @@ EngineReport VerificationEngine::drain(bool rethrow_errors) {
     report.outcomes.push_back(std::move(folded));
   }
   report.rounds = report.outcomes.size();
+  PVR_OBS_COUNT(engine_rounds_folded, report.rounds);
   // Group bookkeeping must never survive into the next batch (tickets
   // restart at 0), failed drain or not.
   groups_.clear();

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace pvr::net {
 
 namespace {
@@ -69,6 +72,7 @@ void Simulator::send(Message message) {
     throw std::logic_error("Simulator::send: no link between nodes");
   }
   ChannelStats& channel_stats = stats_.per_channel[message.channel];
+  PVR_OBS_COUNT(sim_messages, 1);
   stats_.messages_sent += 1;
   stats_.bytes_sent += message.wire_size();
   channel_stats.messages_sent += 1;
@@ -121,6 +125,11 @@ void Simulator::arm_periodic(std::size_t index, SimTime at) {
   armed_periodic_ += 1;
   schedule(at, [this, index] {
     armed_periodic_ -= 1;
+    PVR_OBS_COUNT(sim_ticks, 1);
+    if (obs::TraceWriter::global().active()) {
+      obs::TraceWriter::global().sim_instant("sim.tick", index,
+                                             static_cast<std::uint64_t>(now_));
+    }
     periodic_[index].fn();
     // Re-arm only while real work remains. Counting armed periodic ticks out
     // of the queue keeps two periodic tasks from ticking forever on each
@@ -147,6 +156,7 @@ void Simulator::run_until(SimTime until) {
     Event event = queue_.top();
     queue_.pop();
     now_ = event.at;
+    PVR_OBS_COUNT(sim_events, 1);
     event.action();
   }
   if (queue_.empty() && until != ~SimTime{0}) now_ = until;

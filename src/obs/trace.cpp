@@ -1,0 +1,193 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+namespace pvr::obs {
+
+namespace {
+
+[[nodiscard]] std::uint64_t steady_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Minimal JSON string escape for the (static, ASCII) names we emit plus
+// any caller-provided args passthrough keys. Control chars become \u00XX.
+void append_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+bool TraceWriter::open(std::string path) {
+  if constexpr (!kCompiledIn) return false;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (active_.load(std::memory_order_relaxed)) {
+    // Previous capture is abandoned, not flushed: re-open mid-run means the
+    // caller wants a fresh file, and a partial flush would need the lock we
+    // already hold. Keep it simple; callers close() between captures.
+    events_.clear();
+  }
+  path_ = std::move(path);
+  events_.clear();
+  events_.reserve(4096);
+  dropped_.store(0, std::memory_order_relaxed);
+  open_wall_ns_.store(steady_ns(), std::memory_order_relaxed);
+  active_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+bool TraceWriter::close() {
+  if constexpr (!kCompiledIn) return false;
+  std::vector<Event> events;
+  std::string path;
+  std::uint64_t dropped = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!active_.load(std::memory_order_relaxed)) return true;
+    active_.store(false, std::memory_order_relaxed);
+    events.swap(events_);
+    path.swap(path_);
+    dropped = dropped_.load(std::memory_order_relaxed);
+  }
+
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+
+  std::string out;
+  out.reserve(events.size() * 96 + 1024);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  // Process-name metadata so the viewer labels the two clock domains.
+  out +=
+      "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"wall-clock\"}},\n";
+  out +=
+      "{\"ph\":\"M\",\"pid\":2,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"sim-time\"}},\n";
+  bool first = true;
+  for (const Event& event : events) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"ph\":\"";
+    out += event.phase;
+    out += "\",\"pid\":";
+    out += std::to_string(static_cast<unsigned>(event.track));
+    out += ",\"tid\":";
+    out += std::to_string(event.tid);
+    out += ",\"ts\":";
+    out += std::to_string(event.ts_us);
+    if (event.phase == 'X') {
+      out += ",\"dur\":";
+      out += std::to_string(event.dur_us);
+    }
+    if (event.phase == 'i') out += ",\"s\":\"t\"";  // thread-scoped instant
+    out += ",\"cat\":\"";
+    append_escaped(out, event.category);
+    out += "\",\"name\":\"";
+    append_escaped(out, event.name);
+    out += '"';
+    if (!event.args_json.empty()) {
+      out += ",\"args\":";
+      out += event.args_json;  // caller supplies a complete JSON object
+    }
+    out += '}';
+  }
+  out += "\n]";
+  if (dropped != 0) {
+    out += ",\"droppedEvents\":";
+    out += std::to_string(dropped);
+  }
+  out += "}\n";
+
+  const bool ok = std::fwrite(out.data(), 1, out.size(), file) == out.size();
+  return std::fclose(file) == 0 && ok;
+}
+
+std::uint64_t TraceWriter::wall_now_us() const noexcept {
+  if constexpr (!kCompiledIn) return 0;
+  if (!active()) return 0;
+  const std::uint64_t base = open_wall_ns_.load(std::memory_order_relaxed);
+  const std::uint64_t now = steady_ns();
+  return now >= base ? (now - base) / 1000 : 0;
+}
+
+void TraceWriter::complete(const char* name, const char* category,
+                           Track track, std::uint64_t tid, std::uint64_t ts_us,
+                           std::uint64_t dur_us, std::string args_json) {
+  if (!active()) return;
+  push(Event{.name = name,
+             .category = category,
+             .phase = 'X',
+             .track = track,
+             .tid = tid,
+             .ts_us = ts_us,
+             .dur_us = dur_us,
+             .args_json = std::move(args_json)});
+}
+
+void TraceWriter::instant(const char* name, const char* category, Track track,
+                          std::uint64_t tid, std::uint64_t ts_us,
+                          std::string args_json) {
+  if (!active()) return;
+  push(Event{.name = name,
+             .category = category,
+             .phase = 'i',
+             .track = track,
+             .tid = tid,
+             .ts_us = ts_us,
+             .dur_us = 0,
+             .args_json = std::move(args_json)});
+}
+
+void TraceWriter::push(Event event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!active_.load(std::memory_order_relaxed)) return;
+  if (events_.size() >= kMaxEvents) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::size_t TraceWriter::event_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::uint64_t TraceWriter::thread_lane() noexcept {
+  static std::atomic<std::uint64_t> next{0};
+  thread_local const std::uint64_t lane =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return lane;
+}
+
+TraceWriter& TraceWriter::global() {
+  // Leaked like the metrics registry: spans may close during static
+  // destruction of instrumented objects.
+  static TraceWriter* const instance = new TraceWriter();
+  return *instance;
+}
+
+}  // namespace pvr::obs

@@ -1,0 +1,167 @@
+// RAII trace spans emitting Chrome trace-event JSON.
+//
+// `TraceWriter::global().open("trace.json")` arms capture (the scenario
+// harness wires `--trace-out=FILE` to exactly this); `close()` writes one
+// JSON object loadable in chrome://tracing or https://ui.perfetto.dev.
+// While capture is off — the default — every record call is one relaxed
+// atomic load and an early return, and under -DPVR_OBS=OFF the entire
+// class body compiles away (see the `if constexpr (kCompiledIn)` guards).
+//
+// Two processes partition the timeline (DESIGN.md §11):
+//   pid 1 "wall-clock"  — RAII TraceSpans: engine worker occupancy (one
+//                         lane per worker thread), drains, sim.run, the
+//                         scenario phases. Timestamps are steady-clock µs
+//                         since open().
+//   pid 2 "sim-time"    — explicit sim_span/sim_instant events: the round
+//                         lifecycle (window close -> settle), drain ticks.
+//                         Timestamps are simulated µs; lanes (tid) are
+//                         caller-chosen (the runner uses the neighborhood
+//                         index so each hood's rounds stack together).
+//
+// Both sections share one x-axis in the viewer; the pid split keeps the
+// two clock domains from visually interleaving.
+//
+// Thread safety: record calls append under a mutex (tracing is a
+// diagnostic path; the hot no-trace case never takes it). The buffer is
+// capped — past kMaxEvents further events are counted and dropped, so a
+// million-round trace degrades instead of eating the heap.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"  // for PVR_OBS_ENABLED / kCompiledIn
+
+namespace pvr::obs {
+
+// The two clock domains, used as the trace-event pid.
+enum class Track : std::uint8_t { kWall = 1, kSim = 2 };
+
+class TraceWriter {
+ public:
+  static constexpr std::size_t kMaxEvents = 1u << 19;  // ~524k
+
+  // Starts capture into `path` (written on close()). Returns false — and
+  // stays inactive — when tracing is compiled out. Re-opening while active
+  // first closes the previous capture.
+  bool open(std::string path);
+
+  // Writes the buffered events as Chrome trace JSON and disarms capture.
+  // No-op when inactive. Returns false when the file could not be written.
+  bool close();
+
+  [[nodiscard]] bool active() const noexcept {
+    if constexpr (!kCompiledIn) return false;
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  // Wall timestamp in µs since open() (0 when inactive).
+  [[nodiscard]] std::uint64_t wall_now_us() const noexcept;
+
+  // A completed span. `args_json` is either empty or a full JSON object
+  // ("{\"k\":1}") placed verbatim into the event's "args".
+  void complete(const char* name, const char* category, Track track,
+                std::uint64_t tid, std::uint64_t ts_us, std::uint64_t dur_us,
+                std::string args_json = {});
+
+  // A zero-duration marker.
+  void instant(const char* name, const char* category, Track track,
+               std::uint64_t tid, std::uint64_t ts_us,
+               std::string args_json = {});
+
+  // Sim-time helpers: timestamps are simulated µs, lane is caller-chosen.
+  void sim_span(const char* name, std::uint64_t lane, std::uint64_t start_us,
+                std::uint64_t end_us, std::string args_json = {}) {
+    if (!active()) return;
+    complete(name, "sim", Track::kSim, lane, start_us,
+             end_us >= start_us ? end_us - start_us : 0,
+             std::move(args_json));
+  }
+  void sim_instant(const char* name, std::uint64_t lane, std::uint64_t ts_us,
+                   std::string args_json = {}) {
+    if (!active()) return;
+    instant(name, "sim", Track::kSim, lane, ts_us, std::move(args_json));
+  }
+
+  [[nodiscard]] std::size_t event_count() const;
+  [[nodiscard]] std::uint64_t dropped_events() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  // Stable small lane id for the calling thread (wall spans from engine
+  // workers each get their own lane).
+  [[nodiscard]] static std::uint64_t thread_lane() noexcept;
+
+  [[nodiscard]] static TraceWriter& global();
+
+ private:
+  struct Event {
+    const char* name;      // static-storage strings only
+    const char* category;  // static-storage strings only
+    char phase;            // 'X' complete, 'i' instant
+    Track track;
+    std::uint64_t tid;
+    std::uint64_t ts_us;
+    std::uint64_t dur_us;
+    std::string args_json;
+  };
+
+  void push(Event event);
+
+  std::atomic<bool> active_{false};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> open_wall_ns_{0};  // steady_clock at open()
+  mutable std::mutex mutex_;
+  std::string path_;
+  std::vector<Event> events_;
+};
+
+// RAII wall-clock span: captures the start on construction, emits one
+// complete event on destruction. Inactive tracing costs one atomic load
+// at each end; -DPVR_OBS=OFF compiles the whole object away.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "pvr",
+                     std::string args_json = {}) {
+    if constexpr (kCompiledIn) {
+      TraceWriter& writer = TraceWriter::global();
+      if (writer.active()) {
+        name_ = name;
+        category_ = category;
+        args_json_ = std::move(args_json);
+        start_us_ = writer.wall_now_us();
+        armed_ = true;
+      }
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if constexpr (kCompiledIn) {
+      if (!armed_) return;
+      TraceWriter& writer = TraceWriter::global();
+      // A capture closed mid-span just drops the span.
+      if (!writer.active()) return;
+      const std::uint64_t end_us = writer.wall_now_us();
+      writer.complete(name_, category_, Track::kWall,
+                      TraceWriter::thread_lane(), start_us_,
+                      end_us >= start_us_ ? end_us - start_us_ : 0,
+                      std::move(args_json_));
+    }
+  }
+
+ private:
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  std::string args_json_;
+  std::uint64_t start_us_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace pvr::obs

@@ -14,6 +14,8 @@
 #include "core/evidence.h"
 #include "core/pvr_speaker.h"
 #include "engine/verification_engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pvr::scenario {
 
@@ -162,7 +164,7 @@ std::string ScenarioReport::fingerprint() const {
 }
 
 std::string ScenarioReport::to_json_line() const {
-  char buffer[1536];
+  char buffer[2048];
   std::snprintf(
       buffer, sizeof(buffer),
       "{\"bench\":\"scenarios\",\"scenario\":\"%s\",\"adversary\":\"%s\","
@@ -174,6 +176,8 @@ std::string ScenarioReport::to_json_line() const {
       ",\"false_evidence\":%" PRIu64 ",\"audit_failures\":%" PRIu64
       ",\"verify_failures\":%" PRIu64 ",\"online\":%s"
       ",\"peak_open_rounds\":%" PRIu64 ",\"drain_batches\":%" PRIu64
+      ",\"p50_settle_us\":%" PRIu64 ",\"p99_settle_us\":%" PRIu64
+      ",\"rsa_verifies\":%" PRIu64 ",\"sig_cache_hits\":%" PRIu64
       ",\"bytes_total\":%" PRIu64 ",\"bytes_gossip\":%" PRIu64
       ",\"gossip_messages\":%" PRIu64
       ",\"sim_ms\":%.1f,\"verify_ms\":%.1f,\"rounds_per_sec\":%.1f}",
@@ -181,7 +185,8 @@ std::string ScenarioReport::to_json_line() const {
       neighborhoods, rounds_started, windows_fired, coalesced ? "true" : "false",
       attacked_rounds, detected_rounds, detection_rate, evidence_total,
       false_evidence, audit_failures, verify_failures,
-      online ? "true" : "false", peak_open_rounds, drain_batches, bytes_total,
+      online ? "true" : "false", peak_open_rounds, drain_batches,
+      p50_settle_us, p99_settle_us, rsa_verifies, sig_cache_hits, bytes_total,
       bytes_gossip, gossip_messages, sim_ms, verify_ms, rounds_per_sec);
   return buffer;
 }
@@ -201,6 +206,17 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
   report.seed = spec.seed;
   report.workers = spec.workers;
   report.online = spec.online;
+
+  // Crypto profile baseline: the report's rsa_verifies/sig_cache_hits are
+  // this run's delta of the process-wide counters (scenario runs are
+  // sequential within a process). Both stay 0 under -DPVR_OBS=OFF.
+  const obs::HotMetrics& hot = obs::MetricsRegistry::global().hot;
+  const std::uint64_t rsa_verifies_before = hot.crypto_rsa_verifies.value();
+  const std::uint64_t cache_hits_before = hot.crypto_sig_cache_hits.value();
+  // Settle latencies aggregate through a local histogram so the report
+  // carries them in BOTH obs build flavors (the global scenario.settle_us
+  // histogram additionally feeds obs snapshots when hooks are compiled in).
+  obs::Histogram settle_hist;
 
   // 1. Topology and neighborhoods.
   const GeneratedTopology topology =
@@ -375,6 +391,7 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
     }
     if (batch.empty()) return;
     const double t0 = now_ms();
+    const obs::TraceSpan flush_span("scenario.drain_flush", "scenario");
     for (const SettledEntry& entry : batch) {
       for (core::PvrNode* verifier : hood_nodes[entry.hood].verifiers) {
         (void)engine.submit_node_round(*verifier, entry.id);
@@ -383,9 +400,24 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
     const engine::EngineReport drained = engine.drain(/*rethrow_errors=*/false);
     report.verify_failures += drained.failed_rounds;
     report.drain_batches += 1;
+    obs::TraceWriter& tracer = obs::TraceWriter::global();
     for (const SettledEntry& entry : batch) {
       for (core::PvrNode* member : hood_nodes[entry.hood].members) {
         (void)member->gc_finalized(entry.id);
+      }
+      // Settle latency in SIM time: the round's window closed at
+      // settled_at - settle_horizon; this drain is when its verification
+      // folded and its state was released. Identical at any worker count
+      // (the drain schedule is simulated), wider at longer drain intervals.
+      const net::SimTime close_at = entry.settled_at - settle_horizon;
+      const std::uint64_t latency =
+          static_cast<std::uint64_t>(sim.now() - close_at);
+      settle_hist.record(latency);
+      PVR_OBS_RECORD(scenario_settle_us, latency);
+      if (tracer.active()) {
+        tracer.sim_span("round.settle", entry.hood,
+                        static_cast<std::uint64_t>(close_at),
+                        static_cast<std::uint64_t>(sim.now()));
       }
     }
     verify_ms += now_ms() - t0;
@@ -413,7 +445,10 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
   }
 
   const double t_sim = now_ms();
-  sim.run();
+  {
+    const obs::TraceSpan sim_span("scenario.sim_run", "scenario");
+    sim.run();
+  }
   report.sim_ms = now_ms() - t_sim - verify_ms;  // drains ran interleaved
 
   if (spec.online) {
@@ -511,6 +546,12 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
   report.bytes_reveal_export = stats.channel_group("pvr.reveal").bytes_sent +
                                stats.channel_group("pvr.export").bytes_sent;
   report.bytes_total = stats.channel_group("pvr.").bytes_sent;
+
+  report.p50_settle_us = settle_hist.quantile(0.5);
+  report.p99_settle_us = settle_hist.quantile(0.99);
+  report.rsa_verifies = hot.crypto_rsa_verifies.value() - rsa_verifies_before;
+  report.sig_cache_hits =
+      hot.crypto_sig_cache_hits.value() - cache_hits_before;
 
   const double elapsed_ms = report.sim_ms + report.verify_ms;
   report.rounds_per_sec =

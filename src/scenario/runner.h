@@ -112,6 +112,19 @@ struct ScenarioReport {
   std::uint64_t bytes_reveal_export = 0;
   std::uint64_t bytes_total = 0;         // all pvr.* channels
   std::uint64_t gossip_messages = 0;
+  // Settle latency (online mode): sim-time µs from a round's window close
+  // to the drain that verified and GC'd it, aggregated over every round
+  // through a log-bucket histogram (quantiles are bucket upper edges).
+  // Deterministic at any worker count, but a function of the drain
+  // schedule — like drain_batches, reported and regression-gated (rule 7)
+  // yet excluded from fingerprint(). 0 in offline mode.
+  std::uint64_t p50_settle_us = 0;
+  std::uint64_t p99_settle_us = 0;
+  // Crypto profile for this run (global obs counter deltas): RSA verify
+  // exponentiations performed and verified-root dedup hits that skipped
+  // one. Zero under -DPVR_OBS=OFF, so excluded from fingerprint().
+  std::uint64_t rsa_verifies = 0;
+  std::uint64_t sig_cache_hits = 0;
   // Wall clock — excluded from fingerprint().
   double sim_ms = 0;
   double verify_ms = 0;

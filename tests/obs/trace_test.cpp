@@ -1,0 +1,161 @@
+// TraceWriter/TraceSpan contracts: inactive capture is a no-op, close()
+// writes parseable Chrome trace JSON, spans nest across threads (the TSan
+// leg runs this binary), a capture closed mid-span drops the span instead
+// of corrupting the buffer, and the event cap degrades to counting drops.
+//
+// Tests that need an armed capture use the GLOBAL writer (TraceSpan is
+// hard-wired to it) and close it before returning so no capture leaks into
+// the scenario-level tests in this binary.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace pvr::obs {
+namespace {
+
+[[nodiscard]] std::string temp_path(const char* leaf) {
+  return ::testing::TempDir() + leaf;
+}
+
+[[nodiscard]] std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(TraceWriterTest, InactiveWriterDropsEverything) {
+  TraceWriter writer;
+  EXPECT_FALSE(writer.active());
+  EXPECT_EQ(writer.wall_now_us(), 0u);
+  writer.complete("x", "test", Track::kWall, 0, 0, 1);
+  writer.instant("y", "test", Track::kSim, 0, 0);
+  writer.sim_span("z", 0, 0, 5);
+  EXPECT_EQ(writer.event_count(), 0u);
+  // Closing an inactive writer is a benign no-op when compiled in; the
+  // OFF flavor reports false from both open() and close() uniformly.
+  EXPECT_EQ(writer.close(), kCompiledIn);
+}
+
+TEST(TraceWriterTest, OpenArmsOnlyWhenCompiledIn) {
+  TraceWriter writer;
+  EXPECT_EQ(writer.open(temp_path("obs_open_test.json")), kCompiledIn);
+  EXPECT_EQ(writer.active(), kCompiledIn);
+  writer.close();
+}
+
+TEST(TraceWriterTest, CloseWritesParseableChromeTraceJson) {
+  if (!kCompiledIn) GTEST_SKIP() << "tracing compiled out (-DPVR_OBS=OFF)";
+  const std::string path = temp_path("obs_trace_shape.json");
+  TraceWriter writer;
+  ASSERT_TRUE(writer.open(path));
+  writer.complete("engine.task", "engine", Track::kWall, 3, 10, 25,
+                  "{\"epoch\":7}");
+  writer.instant("window.close", "sim", Track::kSim, 42, 1000);
+  writer.sim_span("round.settle", 2, 1000, 4000);
+  static const char kQuoted[] = "quo\"te";
+  writer.instant(kQuoted, "test", Track::kSim, 0, 1);
+  EXPECT_EQ(writer.event_count(), 4u);
+  ASSERT_TRUE(writer.close());
+  EXPECT_FALSE(writer.active());
+  EXPECT_EQ(writer.event_count(), 0u);  // buffer handed to the file
+
+  const std::string json = slurp(path);
+  // Chrome trace-event envelope plus the two clock-domain process rows.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"wall-clock\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"sim-time\"}"), std::string::npos);
+  // Complete event: phase X on pid 1 with a duration and passthrough args.
+  EXPECT_NE(json.find("\"ph\":\"X\",\"pid\":1,\"tid\":3,\"ts\":10,"
+                      "\"dur\":25"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"epoch\":7}"), std::string::npos);
+  // Instant event: phase i on pid 2, thread-scoped.
+  EXPECT_NE(json.find("\"ph\":\"i\",\"pid\":2,\"tid\":42,\"ts\":1000,"
+                      "\"s\":\"t\""),
+            std::string::npos);
+  // sim_span computes the duration from the two sim timestamps.
+  EXPECT_NE(json.find("\"ts\":1000,\"dur\":3000"), std::string::npos);
+  // Names are JSON-escaped on the way out.
+  EXPECT_NE(json.find("quo\\\"te"), std::string::npos);
+  EXPECT_EQ(json.find("\"droppedEvents\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceWriterTest, BufferCapCountsDropsInsteadOfGrowing) {
+  if (!kCompiledIn) GTEST_SKIP() << "tracing compiled out (-DPVR_OBS=OFF)";
+  const std::string path = temp_path("obs_trace_cap.json");
+  TraceWriter writer;
+  ASSERT_TRUE(writer.open(path));
+  for (std::size_t i = 0; i < TraceWriter::kMaxEvents + 10; ++i) {
+    writer.instant("tick", "test", Track::kSim, 0, i);
+  }
+  EXPECT_EQ(writer.event_count(), TraceWriter::kMaxEvents);
+  EXPECT_EQ(writer.dropped_events(), 10u);
+  ASSERT_TRUE(writer.close());
+  const std::string json = slurp(path);
+  EXPECT_NE(json.find("\"droppedEvents\":10"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// The shape the engine worker pool produces: nested spans from several
+// threads at once, all appending to the shared global writer. TSan runs
+// this binary, so a data race in the append path fails here.
+TEST(TraceSpanTest, SpansNestAcrossThreads) {
+  if (!kCompiledIn) GTEST_SKIP() << "tracing compiled out (-DPVR_OBS=OFF)";
+  const std::string path = temp_path("obs_trace_threads.json");
+  TraceWriter& writer = TraceWriter::global();
+  ASSERT_TRUE(writer.open(path));
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kIters; ++i) {
+        const TraceSpan outer("outer", "test");
+        const TraceSpan inner("inner", "test");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(writer.event_count(),
+            static_cast<std::size_t>(kThreads) * kIters * 2);
+  ASSERT_TRUE(writer.close());
+  std::remove(path.c_str());
+}
+
+TEST(TraceSpanTest, SpanOutlivingCaptureIsDropped) {
+  if (!kCompiledIn) GTEST_SKIP() << "tracing compiled out (-DPVR_OBS=OFF)";
+  const std::string path = temp_path("obs_trace_midclose.json");
+  TraceWriter& writer = TraceWriter::global();
+  ASSERT_TRUE(writer.open(path));
+  {
+    const TraceSpan span("straddler", "test");
+    ASSERT_TRUE(writer.close());
+    // Destructor runs here with capture disarmed: the span must vanish
+    // without reviving the buffer.
+  }
+  EXPECT_FALSE(writer.active());
+  EXPECT_EQ(writer.event_count(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSpanTest, SpanWithoutCaptureIsNoOp) {
+  ASSERT_FALSE(TraceWriter::global().active());
+  const TraceSpan span("idle", "test");
+  EXPECT_EQ(TraceWriter::global().event_count(), 0u);
+}
+
+}  // namespace
+}  // namespace pvr::obs
