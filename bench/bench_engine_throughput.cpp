@@ -214,6 +214,16 @@ int main(int argc, char** argv) {
     std::printf("%-8zu %-10zu %-12.1f %-9.2f  %.16s\n", workers, rounds,
                 result.rounds_per_sec, result.rounds_per_sec / rps_at_1,
                 result.digest.c_str());
+    // One JSON row per sweep cell, each carrying hw_threads so the
+    // regression gate can tell a genuine scaling loss from a host that
+    // never had the cores to scale on (rule: speedups gated only when
+    // hw_threads > 1).
+    std::printf("{\"bench\":\"engine_sweep\",\"seed\":%llu,\"workers\":%zu,"
+                "\"rounds\":%zu,\"rounds_per_sec\":%.1f,\"speedup\":%.2f,"
+                "\"hw_threads\":%u}\n",
+                static_cast<unsigned long long>(args.seed), workers, rounds,
+                result.rounds_per_sec, result.rounds_per_sec / rps_at_1,
+                std::thread::hardware_concurrency());
   }
   std::printf("(thread-level speedup is bounded by physical cores: this host "
               "has %u)\n\n",
@@ -239,9 +249,22 @@ int main(int argc, char** argv) {
   std::printf("%-22s %-10d %-12.1f %-9.2f\n", "salted", 1, rps_intra_1, 1.0);
   std::printf("%-22s %-10d %-12.1f %-9.2f\n\n", "salted", 8, rps_intra_8,
               rps_intra_8 / rps_intra_1);
-  for (const SweepResult* result :
-       {&unsalted_hot_8, &salted_hot_1, &salted_hot_8}) {
-    if (result->digest != digest_at_1) deterministic = false;
+  struct IntraRow {
+    const char* variant;
+    int workers;
+    const SweepResult* result;
+  };
+  for (const IntraRow& row :
+       {IntraRow{"unsalted", 8, &unsalted_hot_8},
+        IntraRow{"salted", 1, &salted_hot_1},
+        IntraRow{"salted", 8, &salted_hot_8}}) {
+    if (row.result->digest != digest_at_1) deterministic = false;
+    std::printf("{\"bench\":\"engine_sweep_intra\",\"seed\":%llu,"
+                "\"variant\":\"%s\",\"workers\":%d,\"rounds_per_sec\":%.1f,"
+                "\"hw_threads\":%u}\n",
+                static_cast<unsigned long long>(args.seed), row.variant,
+                row.workers, row.result->rounds_per_sec,
+                std::thread::hardware_concurrency());
   }
 
   // --- 2. Merkle-aggregated bundle mode ------------------------------------

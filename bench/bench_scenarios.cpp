@@ -8,9 +8,10 @@
 //      1/2/8 engine workers (primary seed) and the gates must hold on a
 //      second seed as well;
 //   2. online parity: the ONLINE pipeline (rounds verified as their
-//      windows settle, engine drained every 1/7/64 collection windows of
-//      sim time, settled state GC'd) must reproduce the offline
-//      fingerprint byte-for-byte;
+//      windows settle, batches sealed every 1/7/64 collection windows of
+//      sim time and harvested one tick later — DESIGN.md §12 double
+//      buffering, ON by default — settled state GC'd) must reproduce the
+//      offline fingerprint byte-for-byte;
 //   3. gates: detection_rate == 1.0, false_evidence == 0,
 //      audit_failures == 0, verify_failures == 0 in EVERY run;
 //   4. coalescing: equivocation_storm must batch staggered arrivals into
@@ -19,7 +20,11 @@
 //      plus one LONG online trace (--online-rounds, default
 //      max(4 * rounds, 2000)) of the storm scenario whose peak open-round
 //      count must stay under a bound derived from the spec's timing —
-//      the memory claim of DESIGN.md §10, gated in CI.
+//      the memory claim of DESIGN.md §10, gated in CI — and whose
+//      scenarios_online row now also records the pipelining evidence
+//      (wall_ms, sim_ms, verify_ms, pipeline_overlap_ratio, hw_threads):
+//      overlap ratio must be > 0 everywhere, and on multi-core hosts
+//      wall_ms must undercut sim_ms + verify_ms.
 //
 // One JSON line per scenario plus a scenarios_gate verdict row and one
 // scenarios_online row (the formats check_bench_regression.py gates on),
@@ -220,25 +225,40 @@ int main(int argc, char** argv) {
       }
     }
     const std::uint64_t bound = peak_bound_for(spec, report);
+    // pipeline_overlap_ratio > 0 is the overlap proof that holds on ANY
+    // host (the fold window was in flight while the simulator advanced);
+    // wall_ms < sim_ms + verify_ms is the true-parallelism inequality and
+    // only gated when the host actually has multiple hardware threads
+    // (here and in check_bench_regression.py rule 8).
+    const bool overlap_ok =
+        report.pipeline_overlap_ratio > 0.0 &&
+        (report.hw_threads <= 1 ||
+         report.wall_ms < report.sim_ms + report.verify_ms);
     const bool online_ok = gates_hold(report) &&
                            report.peak_open_rounds <= bound &&
-                           report.drain_batches > 1;
+                           report.drain_batches > 1 && overlap_ok;
     std::printf("\nonline long trace: %llu rounds, peak_open_rounds %llu "
                 "(bound %llu), drain_batches %llu, verify_failures %llu, "
+                "wall %.1f ms (sim %.1f + verify %.1f, overlap %.2f), "
                 "%.1f rounds/sec %s\n",
                 static_cast<unsigned long long>(report.rounds_started),
                 static_cast<unsigned long long>(report.peak_open_rounds),
                 static_cast<unsigned long long>(bound),
                 static_cast<unsigned long long>(report.drain_batches),
                 static_cast<unsigned long long>(report.verify_failures),
-                report.rounds_per_sec, online_ok ? "ok" : "FAIL");
+                report.wall_ms, report.sim_ms, report.verify_ms,
+                report.pipeline_overlap_ratio, report.rounds_per_sec,
+                online_ok ? "ok" : "FAIL");
     std::printf("{\"bench\":\"scenarios_online\",\"scenario\":\"%s\","
                 "\"seed\":%llu,\"rounds\":%llu,\"detection_rate\":%.4f,"
                 "\"false_evidence\":%llu,\"verify_failures\":%llu,"
                 "\"peak_open_rounds\":%llu,\"peak_bound\":%llu,"
-                "\"drain_batches\":%llu,\"settle_horizon_us\":%llu,"
+                "\"peak_root_digests\":%llu,\"drain_batches\":%llu,"
+                "\"settle_horizon_us\":%llu,"
                 "\"p50_settle_us\":%llu,\"p99_settle_us\":%llu,"
                 "\"rsa_verifies\":%llu,\"sig_cache_hits\":%llu,"
+                "\"hw_threads\":%zu,\"sim_ms\":%.1f,\"verify_ms\":%.1f,"
+                "\"wall_ms\":%.1f,\"pipeline_overlap_ratio\":%.4f,"
                 "\"rounds_per_sec\":%.1f}\n",
                 spec.name.c_str(),
                 static_cast<unsigned long long>(args.seed),
@@ -248,12 +268,15 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report.verify_failures),
                 static_cast<unsigned long long>(report.peak_open_rounds),
                 static_cast<unsigned long long>(bound),
+                static_cast<unsigned long long>(report.peak_root_digests),
                 static_cast<unsigned long long>(report.drain_batches),
                 static_cast<unsigned long long>(report.settle_horizon_us),
                 static_cast<unsigned long long>(report.p50_settle_us),
                 static_cast<unsigned long long>(report.p99_settle_us),
                 static_cast<unsigned long long>(report.rsa_verifies),
                 static_cast<unsigned long long>(report.sig_cache_hits),
+                report.hw_threads, report.sim_ms, report.verify_ms,
+                report.wall_ms, report.pipeline_overlap_ratio,
                 report.rounds_per_sec);
     all_ok = all_ok && online_ok;
   }

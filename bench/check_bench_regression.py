@@ -35,12 +35,22 @@ Rules (exit 1 on any violation):
      not exceed baseline * (1 + --max-regression). Settle latency is SIM
      time, so unlike wall-clock throughput it is host-independent; the
      quantile is a log2-bucket upper edge, so a >25% jump means the p99
-     genuinely crossed into a later drain cycle.
+     genuinely crossed into a later drain cycle;
+  8. every scenarios_online row must carry the pipelining-evidence fields
+     wall_ms and pipeline_overlap_ratio (DESIGN.md §12 — a row without
+     them means the double-buffered drain fell out of the runner), the
+     overlap ratio must be > 0 (some verification fold genuinely ran while
+     the simulator advanced — true on any host, including 1-core
+     containers), and when the row reports hw_threads > 1 the measured
+     wall_ms must undercut sim_ms + verify_ms (the true-parallelism
+     inequality: pipelining hid verification time behind the simulation).
 
-Speedup ratios (speedup_8v1, speedup_8v1_intra, agg_speedup) are NOT gated
-here: they depend on the runner's core count, and the 1-core container that
-produces some baselines would make any ratio gate meaningless. The absolute
-rounds/sec floors below catch real throughput regressions on any host.
+Speedup ratios (speedup_8v1, speedup_8v1_intra, agg_speedup) are gated
+ONLY when BOTH the fresh and baseline engine_throughput rows report
+hw_threads > 1: they depend on the runner's core count, and the 1-core
+container that produces some baselines would make any ratio gate
+meaningless there. The absolute rounds/sec floors below catch real
+throughput regressions on any host.
 
 Usage: check_bench_regression.py FRESH_JSONL BASELINE_JSON [--max-regression 0.25]
 """
@@ -50,6 +60,10 @@ import json
 import sys
 
 THROUGHPUT_KEYS = ("rounds_per_sec_1w", "rounds_per_sec_8w")
+
+# Worker-scaling ratios: only meaningful when the host can actually run
+# workers in parallel, so these are gated iff BOTH rows carry hw_threads > 1.
+SPEEDUP_KEYS = ("speedup_8v1", "speedup_8v1_intra")
 
 
 def load_rows(path):
@@ -118,6 +132,26 @@ def main():
                     failures.append(
                         f"{key} regressed >{args.max_regression:.0%}: "
                         f"{old:.1f} -> {new:.1f}")
+            # Speedup ratios: gated only when both hosts could actually
+            # scale (hw_threads > 1 in fresh AND baseline rows); a 1-core
+            # runner legitimately reports ratios near or below 1.0.
+            if (fresh_engine.get("hw_threads", 0) > 1
+                    and baseline_engine.get("hw_threads", 0) > 1):
+                for key in SPEEDUP_KEYS:
+                    if key not in fresh_engine or key not in baseline_engine:
+                        continue
+                    old, new = baseline_engine[key], fresh_engine[key]
+                    floor = old * (1.0 - args.max_regression)
+                    verdict = "ok" if new >= floor else "REGRESSION"
+                    print(f"{key}: baseline {old:.2f} -> fresh {new:.2f} "
+                          f"(floor {floor:.2f}) {verdict}")
+                    if new < floor:
+                        failures.append(
+                            f"{key} regressed >{args.max_regression:.0%}: "
+                            f"{old:.2f} -> {new:.2f}")
+            else:
+                print("speedup ratios: skipped (hw_threads <= 1 on fresh "
+                      "or baseline host)")
 
     # 4 + 5. Adversarial scenarios: detection/false-evidence/determinism
     # gates plus matrix coverage.
@@ -207,6 +241,43 @@ def main():
             failures.append(
                 f"{label} p99_settle_us regressed "
                 f">{args.max_regression:.0%}: {base_p99} -> {fresh_p99}")
+
+    # 8. Pipelined-drain evidence: wall_ms + pipeline_overlap_ratio must be
+    # present on every fresh scenarios_online row, the overlap ratio must be
+    # positive (host-independent: the fold window was in flight before the
+    # harvest arrived), and on a multi-core host the wall clock must
+    # undercut the serial sum sim_ms + verify_ms.
+    for row in online_rows:
+        label = f"online scenario {row.get('scenario')!r}"
+        wall = row.get("wall_ms")
+        ratio = row.get("pipeline_overlap_ratio")
+        if wall is None or ratio is None:
+            failures.append(
+                f"{label} is missing wall_ms/pipeline_overlap_ratio — the "
+                "pipelined drain instrumentation fell out of the runner")
+            continue
+        if not ratio > 0:
+            failures.append(
+                f"{label} pipeline_overlap_ratio == {ratio!r} — no "
+                "verification overlapped the simulation (double buffering "
+                "is not pipelining)")
+        if row.get("hw_threads", 0) > 1:
+            sim_ms = row.get("sim_ms", 0)
+            verify_ms = row.get("verify_ms", 0)
+            serial = sim_ms + verify_ms
+            verdict = "ok" if wall < serial else "REGRESSION"
+            print(f"pipeline wall_ms: {wall:.1f} vs serial "
+                  f"{serial:.1f} (sim {sim_ms:.1f} + verify {verify_ms:.1f}) "
+                  f"{verdict}")
+            if not wall < serial:
+                failures.append(
+                    f"{label} wall_ms {wall} >= sim_ms + verify_ms "
+                    f"{serial} on a {row.get('hw_threads')}-thread host — "
+                    "pipelining hid no verification time")
+        else:
+            print(f"pipeline wall_ms inequality: skipped "
+                  f"(hw_threads == {row.get('hw_threads')!r}); "
+                  f"overlap ratio {ratio:.4f} gated instead")
 
     if failures:
         for failure in failures:

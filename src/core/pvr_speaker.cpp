@@ -354,7 +354,11 @@ void PvrNode::observe_root(net::Simulator& sim, const SignedMessage& signed_root
     return;
   }
   if (!verify_message(*config_.directory, signed_root)) return;
-  seen_roots_[key].insert(digest);
+  if (seen_roots_[key].insert(digest).second) {
+    seen_root_digests_ += 1;
+    peak_seen_root_digests_ =
+        std::max(peak_seen_root_digests_, seen_root_digests_);
+  }
   attach_root(sim, signed_root, root, origin);
   if (hops < config_.gossip_hop_budget) {
     for (const bgp::AsNumber peer : gossip_peers()) {
@@ -730,6 +734,15 @@ bool PvrNode::gc_finalized(const ProtocolId& id) {
   round_index_.erase(id);
   rounds_.erase(it);
   PVR_OBS_COUNT(node_rounds_gced, 1);
+  return true;
+}
+
+bool PvrNode::gc_epoch_roots(bgp::AsNumber prover, std::uint64_t epoch) {
+  const auto it = seen_roots_.find(RootKey{prover, epoch});
+  if (it == seen_roots_.end()) return false;
+  seen_root_digests_ -= it->second.size();
+  seen_roots_.erase(it);
+  PVR_OBS_COUNT(node_root_epochs_gced, 1);
   return true;
 }
 

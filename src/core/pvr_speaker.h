@@ -196,6 +196,31 @@ class PvrNode : public net::Node {
   // the round's state was released.
   bool gc_finalized(const ProtocolId& id);
 
+  // Epoch-keyed GC of the verified-root dedup sets (the last unbounded
+  // per-window residual): releases every seen-root digest of
+  // (prover, epoch) at once. Only safe when the CALLER knows the epoch has
+  // fully settled — every one of its rounds past the settle horizon, which
+  // by construction includes the adversary's replay lag — because a
+  // replayed root arriving after retirement would miss the dedup, re-enter
+  // attach_root, re-create round state, and re-gossip. The online runner
+  // retires an epoch when its last settled round is harvested; the
+  // fingerprint-parity gates enforce the timing empirically. Returns true
+  // when the epoch held digests.
+  bool gc_epoch_roots(bgp::AsNumber prover, std::uint64_t epoch);
+
+  // Root-dedup footprint: epochs currently holding digest sets, digests
+  // held across them, and the high-water digest count since construction —
+  // the numbers the epoch-GC test bounds by open epochs on a long trace.
+  [[nodiscard]] std::size_t seen_root_epochs() const noexcept {
+    return seen_roots_.size();
+  }
+  [[nodiscard]] std::size_t seen_root_digests() const noexcept {
+    return seen_root_digests_;
+  }
+  [[nodiscard]] std::size_t peak_seen_root_digests() const noexcept {
+    return peak_seen_root_digests_;
+  }
+
   // Rounds currently holding state, and the high-water mark since
   // construction. The online pipeline's memory claim is exactly
   // "peak_open_rounds() stays bounded by concurrently-open windows, not
@@ -351,16 +376,17 @@ class PvrNode : public net::Node {
   // rounds ON ARRIVAL (attach_root creates round state as needed), so this
   // holds digests only — one dedup membership check replaces both the old
   // linear distinct-scan per gossiped copy and the finalize-time decode
-  // scan over every root the epoch ever saw. Deliberately NOT pruned by
+  // scan over every root the epoch ever saw. NOT pruned per round by
   // gc_finalized: a stale replayed root must keep hitting the dedup (and
-  // not re-create state or re-gossip) after its rounds were collected. At
-  // 32 bytes per window it is — alongside the other deliberate survivors:
-  // the evidence_/accepted_ result logs and the rounds_run_ guard, all a
-  // few dozen bytes per round — orders of magnitude below the
-  // message-bearing per-round state GC releases; "bounded by open
-  // windows" is a claim about that heavyweight state (RoundState with its
-  // signed messages, collected inputs), which peak_open_rounds() gates.
+  // not re-create state or re-gossip) while any of its epoch's rounds can
+  // still legally receive messages. Instead the sets retire a whole epoch
+  // at a time via gc_epoch_roots, once the caller has waited out the
+  // settle horizon (which bounds replay lag) for ALL of that epoch's
+  // rounds — so the dedup footprint tracks OPEN epochs, not trace length
+  // (peak_seen_root_digests() gates it alongside peak_open_rounds()).
   std::map<RootKey, std::set<crypto::Digest>> seen_roots_;
+  std::size_t seen_root_digests_ = 0;       // live digests across epochs
+  std::size_t peak_seen_root_digests_ = 0;
   std::vector<Evidence> evidence_;
   std::map<ProtocolId, bgp::Route> accepted_;
   WindowCloseHandler on_window_closed_;

@@ -1,6 +1,8 @@
 #include "engine/round_scheduler.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -64,6 +66,11 @@ std::size_t RoundScheduler::submit(const core::ProtocolId& id,
   std::size_t ticket;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    if (async_callback_) {
+      throw std::logic_error(
+          "RoundScheduler::submit: a begin_drain batch is still in flight "
+          "(tickets restart per batch — collect it first)");
+    }
     ticket = tasks_.size();
     const std::size_t shard =
         salt_shards_ ? shard_of(id, ticket) : shard_of(id);
@@ -109,6 +116,19 @@ bool RoundScheduler::run_one(std::unique_lock<std::mutex>& lock) {
     // The shard may have more queued work another worker can now take.
     if (!shard_queues_[shard].empty()) work_cv_.notify_one();
     drain_cv_.notify_all();
+    if (async_callback_ && completed_ == tasks_.size()) {
+      // This worker just finished the async batch's last task: it extracts
+      // the outcomes, resets the batch, and runs the completion callback
+      // with the lock released — the engine's fold executes HERE, on a
+      // worker thread, while the submitting thread is free to advance.
+      std::vector<RoundOutcome> outcomes = take_outcomes_locked();
+      std::function<void(std::vector<RoundOutcome>)> callback =
+          std::move(async_callback_);
+      async_callback_ = nullptr;
+      lock.unlock();
+      callback(std::move(outcomes));
+      lock.lock();
+    }
     return true;
   }
   return false;
@@ -123,10 +143,7 @@ void RoundScheduler::worker_loop() {
   }
 }
 
-std::vector<RoundOutcome> RoundScheduler::drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  drain_cv_.wait(lock, [this] { return completed_ == tasks_.size(); });
-
+std::vector<RoundOutcome> RoundScheduler::take_outcomes_locked() {
   std::vector<RoundOutcome> outcomes;
   outcomes.reserve(results_.size());
   for (std::optional<RoundOutcome>& result : results_) {
@@ -136,6 +153,39 @@ std::vector<RoundOutcome> RoundScheduler::drain() {
   results_.clear();
   completed_ = 0;
   return outcomes;
+}
+
+std::vector<RoundOutcome> RoundScheduler::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (async_callback_) {
+    throw std::logic_error(
+        "RoundScheduler::drain: a begin_drain batch is still in flight");
+  }
+  drain_cv_.wait(lock, [this] { return completed_ == tasks_.size(); });
+  return take_outcomes_locked();
+}
+
+void RoundScheduler::begin_drain(
+    std::function<void(std::vector<RoundOutcome>)> on_complete) {
+  std::vector<RoundOutcome> ready;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (async_callback_) {
+      throw std::logic_error(
+          "RoundScheduler::begin_drain: a batch is already in flight — at "
+          "most one async batch may be pending");
+    }
+    if (completed_ != tasks_.size()) {
+      // Workers still own tasks of this batch: the last one to finish
+      // invokes the callback (see run_one).
+      async_callback_ = std::move(on_complete);
+      return;
+    }
+    ready = take_outcomes_locked();
+  }
+  // Already quiesced (or empty batch): deliver synchronously, outside the
+  // lock so the callback may submit the next batch immediately.
+  on_complete(std::move(ready));
 }
 
 std::vector<std::uint64_t> RoundScheduler::shard_loads() const {

@@ -72,7 +72,22 @@ class RoundScheduler {
   // Blocks until every submitted round has run, then returns all outcomes
   // in submission order and resets the scheduler for the next batch.
   // Never throws for round failures: inspect RoundOutcome::error.
+  // Throws std::logic_error while an async batch (begin_drain) is pending.
   [[nodiscard]] std::vector<RoundOutcome> drain();
+
+  // Async half of the pipelined drain protocol: seals the current batch
+  // and registers `on_complete` to receive its outcomes (submission order,
+  // same contract as drain()). Non-blocking — if the batch already
+  // quiesced the callback runs synchronously on the calling thread;
+  // otherwise the WORKER that completes the batch's last task invokes it
+  // (with the scheduler lock released), which is where the engine's
+  // submission-ordered fold runs off the simulator thread. Until the
+  // callback has run, submit(), drain(), and a second begin_drain() throw
+  // std::logic_error: tickets restart at 0 per batch, so interleaving a
+  // new submission into an unfinished batch would corrupt the
+  // ticket-to-result mapping. At most ONE batch is ever in flight — the
+  // two-slot buffer the online runner builds on top (DESIGN.md §12).
+  void begin_drain(std::function<void(std::vector<RoundOutcome>)> on_complete);
 
   [[nodiscard]] std::size_t worker_count() const noexcept {
     return workers_.size();
@@ -104,6 +119,9 @@ class RoundScheduler {
   // nothing was runnable. Caller must hold `mutex_` (released while the
   // task body runs, reacquired before returning).
   bool run_one(std::unique_lock<std::mutex>& lock);
+  // Extracts the finished batch's outcomes and resets per-batch state.
+  // Caller must hold `mutex_` and have checked completed_ == tasks_.size().
+  [[nodiscard]] std::vector<RoundOutcome> take_outcomes_locked();
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;
@@ -117,6 +135,9 @@ class RoundScheduler {
   std::vector<std::uint64_t> shard_totals_;
   std::size_t completed_ = 0;
   bool salt_shards_ = true;
+  // Non-null while an async batch is in flight (begin_drain registered a
+  // callback the batch has not yet delivered to).
+  std::function<void(std::vector<RoundOutcome>)> async_callback_;
 
   std::vector<std::thread> workers_;
 };

@@ -31,9 +31,25 @@
 // Determinism: outcomes are applied in submission order after the pool has
 // quiesced, so node evidence logs and the sink's log are byte-identical
 // across worker counts (see DESIGN.md §"Engine").
+//
+// Pipelined (two-phase) drain — DESIGN.md §12: begin_drain() seals the
+// current batch and hands it to the worker pool WITHOUT blocking; the
+// worker that finishes the batch's last task folds every round's partial
+// findings (submission-ordered, the same core::fold_round_findings
+// reduction) into a completed-batch buffer. collect() then blocks only
+// until that fold is ready and performs the thread-owning half — node
+// apply_round_findings, sink recording — on the calling thread. drain()
+// remains the blocking composition begin_drain() + collect(), so every
+// legacy call site keeps the "after drain() returns, findings are applied"
+// contract; only callers that interleave simulation between the two phases
+// (the online scenario runner) migrate to the split protocol. At most one
+// batch is in flight: submit/begin_drain while one is pending throws.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
+#include <optional>
 #include <vector>
 
 #include "engine/evidence_sink.h"
@@ -63,6 +79,13 @@ struct EngineReport {
   // findings). Long-lived online pipelines drain with rethrow_errors =
   // false and GATE on this count instead of unwinding mid-simulation.
   std::uint64_t failed_rounds = 0;
+  // Wall-clock profile of the batch's async window (begin_drain to the
+  // last fold), and the portion of it that elapsed BEFORE the caller came
+  // back to collect — i.e. verification that overlapped whatever the
+  // caller did in between. A blocking drain() reports ~0 overlap; the
+  // pipelined runner sums these into pipeline_overlap_ratio.
+  double verify_wall_ms = 0;
+  double overlapped_ms = 0;
 };
 
 class VerificationEngine {
@@ -89,7 +112,26 @@ class VerificationEngine {
   // none). Online pipelines pass rethrow_errors = false and gate on the
   // count: a mid-simulation unwind would abandon every not-yet-submitted
   // round, which is worse than finishing the trace with one round short.
+  // Equivalent to begin_drain() + collect(rethrow_errors).
   EngineReport drain(bool rethrow_errors = true);
+
+  // Phase one of the pipelined drain: seals the submitted batch and hands
+  // it to the worker pool, returning immediately. The submission-ordered
+  // fold runs on the worker that completes the batch's last task. Throws
+  // std::logic_error if a batch is already in flight. Safe on an empty
+  // batch (collect() then returns an empty report).
+  void begin_drain();
+
+  // Phase two: blocks until the in-flight batch's fold is ready, then — on
+  // the calling thread, which must be the thread that owns the submitted
+  // nodes — applies findings back to their nodes, records evidence into
+  // the sink (submission order), and returns the batch's report. Error
+  // semantics match drain(). Throws std::logic_error when no batch is in
+  // flight.
+  EngineReport collect(bool rethrow_errors = true);
+
+  // True between begin_drain() and the matching collect().
+  [[nodiscard]] bool has_pending() const noexcept { return pending_; }
 
   [[nodiscard]] EvidenceSink& sink() noexcept { return sink_; }
   [[nodiscard]] const core::KeyDirectory& directory() const noexcept {
@@ -113,11 +155,28 @@ class VerificationEngine {
     std::size_t parts = 1;
   };
 
+  // One folded batch parked between the worker-side fold and collect():
+  // the immutable hand-off unit of the two-slot pipeline. `folded` holds
+  // one fully-reduced RoundOutcome per group (same order as `groups`).
+  struct CompletedBatch {
+    std::vector<TaskGroup> groups;
+    std::vector<RoundOutcome> folded;
+    double begin_ms = 0;  // wall clock at begin_drain
+    double done_ms = 0;   // wall clock when the fold finished
+  };
+
   const core::KeyDirectory* directory_;  // not owned
   bool intra_round_checks_;
   RoundScheduler scheduler_;
   EvidenceSink sink_;
   std::vector<TaskGroup> groups_;  // submission order
+  // Pipelined-drain state. `pending_` is only touched by the submitting
+  // thread (begin_drain/collect are thread-compatible like submit); the
+  // completed batch crosses threads under `done_mutex_`.
+  bool pending_ = false;
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+  std::optional<CompletedBatch> done_;
 };
 
 // Submits every verifier of `world` (providers, then the recipient) for

@@ -106,6 +106,7 @@ constexpr HotScalar kHotScalars[] = {
     {"engine.drains", Domain::kSim, &HotMetrics::engine_drains},
     {"engine.rounds_folded", Domain::kSim, &HotMetrics::engine_rounds_folded},
     {"engine.tasks", Domain::kSim, &HotMetrics::engine_tasks},
+    {"node.root_epochs_gced", Domain::kSim, &HotMetrics::node_root_epochs_gced},
     {"node.rounds_gced", Domain::kSim, &HotMetrics::node_rounds_gced},
     {"node.windows_closed", Domain::kSim, &HotMetrics::node_windows_closed},
     {"sim.events", Domain::kSim, &HotMetrics::sim_events},
@@ -114,6 +115,7 @@ constexpr HotScalar kHotScalars[] = {
 };
 
 constexpr HotHist kHotHists[] = {
+    {"engine.overlap_us", Domain::kWall, &HotMetrics::engine_overlap_us},
     {"engine.task_us", Domain::kWall, &HotMetrics::engine_task_us},
     {"scenario.drain_rounds", Domain::kSim, &HotMetrics::scenario_drain_rounds},
     {"scenario.settle_us", Domain::kSim, &HotMetrics::scenario_settle_us},

@@ -204,9 +204,11 @@ struct HotMetrics {
   Counter crypto_bytes_hashed;    // bytes fed through SHA-256 update()
   // Engine.
   Counter engine_tasks;           // scheduler tasks executed
-  Counter engine_drains;          // VerificationEngine::drain calls
+  Counter engine_drains;          // batches sealed (begin_drain / drain)
   Counter engine_rounds_folded;   // task groups folded back into rounds
   Histogram engine_task_us;       // WALL: per-task execution time
+  Histogram engine_overlap_us;    // WALL: per-batch verification overlapped
+                                  // with the submitting thread being away
   // Simulator.
   Counter sim_events;             // events dispatched by run_until
   Counter sim_messages;           // Simulator::send calls
@@ -214,6 +216,7 @@ struct HotMetrics {
   // Node / round lifecycle.
   Counter node_windows_closed;    // prover collection windows fired
   Counter node_rounds_gced;       // rounds released by gc_finalized
+  Counter node_root_epochs_gced;  // root-dedup epochs retired by gc_epoch_roots
   // Scenario pipeline.
   Histogram scenario_settle_us;   // sim-time window-close -> settled
   Histogram scenario_drain_rounds;  // rounds submitted per drain batch

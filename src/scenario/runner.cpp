@@ -9,10 +9,13 @@
 #include <memory>
 #include <set>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 
 #include "core/bundle_aggregation.h"
 #include "core/evidence.h"
 #include "core/pvr_speaker.h"
+#include "crypto/sha256.h"
 #include "engine/verification_engine.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -179,15 +182,18 @@ std::string ScenarioReport::to_json_line() const {
       ",\"p50_settle_us\":%" PRIu64 ",\"p99_settle_us\":%" PRIu64
       ",\"rsa_verifies\":%" PRIu64 ",\"sig_cache_hits\":%" PRIu64
       ",\"bytes_total\":%" PRIu64 ",\"bytes_gossip\":%" PRIu64
-      ",\"gossip_messages\":%" PRIu64
-      ",\"sim_ms\":%.1f,\"verify_ms\":%.1f,\"rounds_per_sec\":%.1f}",
+      ",\"gossip_messages\":%" PRIu64 ",\"peak_root_digests\":%" PRIu64
+      ",\"hw_threads\":%zu,\"sim_ms\":%.1f,\"verify_ms\":%.1f"
+      ",\"wall_ms\":%.1f,\"pipeline_overlap_ratio\":%.4f"
+      ",\"rounds_per_sec\":%.1f}",
       scenario.c_str(), adversary.c_str(), seed, workers, as_count,
       neighborhoods, rounds_started, windows_fired, coalesced ? "true" : "false",
       attacked_rounds, detected_rounds, detection_rate, evidence_total,
       false_evidence, audit_failures, verify_failures,
       online ? "true" : "false", peak_open_rounds, drain_batches,
       p50_settle_us, p99_settle_us, rsa_verifies, sig_cache_hits, bytes_total,
-      bytes_gossip, gossip_messages, sim_ms, verify_ms, rounds_per_sec);
+      bytes_gossip, gossip_messages, peak_root_digests, hw_threads, sim_ms,
+      verify_ms, wall_ms, pipeline_overlap_ratio, rounds_per_sec);
   return buffer;
 }
 
@@ -362,7 +368,10 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
   // `(void)engine.drain()` — or, worse, aborting the whole trace.
   engine::VerificationEngine engine({.workers = spec.workers},
                                     &keys.directory);
-  double verify_ms = 0;
+  const bool pipelined = spec.online && spec.pipelined;
+  double verify_blocked_ms = 0;  // sim-thread wall time spent on verification
+  double overlapped_ms = 0;      // fold time that overlapped the simulation
+  double fold_window_ms = 0;     // total async fold window across batches
 
   struct SettledEntry {
     net::SimTime settled_at = 0;
@@ -370,7 +379,27 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
     core::ProtocolId id;
   };
   std::deque<SettledEntry> pending;  // window-close order == settle order
+  // The two-slot batch buffer (DESIGN.md §12): `batch` is the slot being
+  // gathered and sealed this tick; `inflight` is the previous batch, owned
+  // by the engine's workers until the next tick harvests it. Entries are
+  // immutable after sealing — the engine verifies over the shared_ptr
+  // RoundState snapshots defer_finalize_checks took at submit time, so the
+  // simulator mutating live node state in between cannot race the checks.
   std::vector<SettledEntry> batch;
+  std::vector<SettledEntry> inflight;
+  bool inflight_active = false;
+
+  // Rounds left to harvest per (hood, epoch): when the count hits zero,
+  // every round of the epoch is past its settle horizon AND harvested, so
+  // the epoch's seen-root dedup digests retire (gc_epoch_roots).
+  std::map<std::pair<std::size_t, std::uint64_t>, std::uint64_t>
+      epoch_rounds_left;
+  if (spec.online) {
+    for (const RoundArrival& arrival : arrivals) {
+      epoch_rounds_left[{arrival.neighborhood, arrival.epoch}] += 1;
+    }
+  }
+
   const net::SimTime settle_horizon =
       spec.settle_horizon_us != 0
           ? spec.settle_horizon_us
@@ -382,7 +411,49 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
               return most;
             }());
 
-  const auto flush_settled = [&](bool flush_all) {
+  const auto consume_report = [&](const engine::EngineReport& drained) {
+    report.verify_failures += drained.failed_rounds;
+    report.drain_batches += 1;
+    overlapped_ms += drained.overlapped_ms;
+    fold_window_ms += drained.verify_wall_ms;
+  };
+
+  // Harvest the in-flight batch: collect() applies its folded findings to
+  // the nodes (one tick after submission), then the settled state is GC'd
+  // and fully-harvested epochs retire their root-dedup digests.
+  const auto harvest = [&] {
+    if (!inflight_active) return;
+    const double t0 = now_ms();
+    const obs::TraceSpan span("scenario.harvest", "scenario");
+    consume_report(engine.collect(/*rethrow_errors=*/false));
+    for (const SettledEntry& entry : inflight) {
+      for (core::PvrNode* member : hood_nodes[entry.hood].members) {
+        (void)member->gc_finalized(entry.id);
+      }
+      const auto left = epoch_rounds_left.find({entry.hood, entry.id.epoch});
+      if (left != epoch_rounds_left.end() && --left->second == 0) {
+        // The settle horizon bounds gossip chains AND the adversary's
+        // replay lag, so with every round of this (hood, epoch) harvested,
+        // no message referencing the epoch's roots can still arrive — a
+        // late replay after this retirement would miss the dedup and
+        // re-create round state, which the fingerprint-parity gates would
+        // catch (same empirical enforcement as the horizon itself).
+        const bgp::AsNumber prover = hoods[entry.hood].prover;
+        for (core::PvrNode* member : hood_nodes[entry.hood].members) {
+          (void)member->gc_epoch_roots(prover, entry.id.epoch);
+        }
+        epoch_rounds_left.erase(left);
+      }
+    }
+    inflight.clear();
+    inflight_active = false;
+    verify_blocked_ms += now_ms() - t0;
+  };
+
+  // Gather every settled round and seal them as the next batch: submit all
+  // verifier rounds, then begin_drain hands the batch to the workers
+  // WITHOUT blocking (pipelined mode harvests it next tick).
+  const auto submit_settled = [&](bool flush_all) {
     batch.clear();
     while (!pending.empty() &&
            (flush_all || pending.front().settled_at <= sim.now())) {
@@ -392,23 +463,16 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
     if (batch.empty()) return;
     const double t0 = now_ms();
     const obs::TraceSpan flush_span("scenario.drain_flush", "scenario");
+    obs::TraceWriter& tracer = obs::TraceWriter::global();
     for (const SettledEntry& entry : batch) {
       for (core::PvrNode* verifier : hood_nodes[entry.hood].verifiers) {
         (void)engine.submit_node_round(*verifier, entry.id);
       }
-    }
-    const engine::EngineReport drained = engine.drain(/*rethrow_errors=*/false);
-    report.verify_failures += drained.failed_rounds;
-    report.drain_batches += 1;
-    obs::TraceWriter& tracer = obs::TraceWriter::global();
-    for (const SettledEntry& entry : batch) {
-      for (core::PvrNode* member : hood_nodes[entry.hood].members) {
-        (void)member->gc_finalized(entry.id);
-      }
-      // Settle latency in SIM time: the round's window closed at
-      // settled_at - settle_horizon; this drain is when its verification
-      // folded and its state was released. Identical at any worker count
-      // (the drain schedule is simulated), wider at longer drain intervals.
+      // Settle latency in SIM time, recorded at SUBMISSION: the round's
+      // window closed at settled_at - settle_horizon and this tick is when
+      // its verification was sealed. Identical at any worker count (the
+      // drain schedule is simulated) and identical pipelined or not — the
+      // harvest landing one tick later must not widen the gated quantiles.
       const net::SimTime close_at = entry.settled_at - settle_horizon;
       const std::uint64_t latency =
           static_cast<std::uint64_t>(sim.now() - close_at);
@@ -420,7 +484,10 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
                         static_cast<std::uint64_t>(sim.now()));
       }
     }
-    verify_ms += now_ms() - t0;
+    engine.begin_drain();
+    inflight.swap(batch);
+    inflight_active = true;
+    verify_blocked_ms += now_ms() - t0;
   };
 
   if (spec.online) {
@@ -440,8 +507,22 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
             }
           });
     }
-    sim.schedule_periodic(spec.drain_interval_us,
-                          [&flush_settled] { flush_settled(false); });
+    if (pipelined) {
+      // Pipelined tick: harvest batch N (findings applied one tick late),
+      // then seal batch N+1 — the workers verify it while the simulator
+      // advances toward the next tick.
+      sim.schedule_periodic(spec.drain_interval_us, [&] {
+        harvest();
+        submit_settled(false);
+      });
+    } else {
+      // Synchronous A/B schedule (pre-pipelining): seal and immediately
+      // harvest inside one tick — blocking engine.drain semantics.
+      sim.schedule_periodic(spec.drain_interval_us, [&] {
+        submit_settled(false);
+        harvest();
+      });
+    }
   }
 
   const double t_sim = now_ms();
@@ -449,14 +530,19 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
     const obs::TraceSpan sim_span("scenario.sim_run", "scenario");
     sim.run();
   }
-  report.sim_ms = now_ms() - t_sim - verify_ms;  // drains ran interleaved
+  // Drain work ran interleaved on this thread; subtract the blocked share.
+  report.sim_ms = now_ms() - t_sim - verify_blocked_ms;
 
   if (spec.online) {
-    // Tail flush: rounds whose settle horizon outlived the trace (plus any
-    // final partial batch). The simulator is quiescent, so these submit
-    // against exactly the state the offline path would have seen.
-    // (flush_settled times itself into verify_ms.)
-    flush_settled(true);
+    // Tail barrier: harvest whatever the final tick left in flight, then
+    // flush the rounds whose settle horizon outlived the trace (plus any
+    // final partial batch) and harvest those too. The simulator is
+    // quiescent, so these submit against exactly the state the offline
+    // path would have seen — after this barrier, online == offline.
+    report.harvest_pending_at_end = inflight_active;
+    harvest();
+    submit_settled(true);
+    harvest();
   } else {
     const double t_verify = now_ms();
     for (const RoundArrival& arrival : arrivals) {
@@ -468,12 +554,13 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
         (void)engine.submit_node_round(*verifier, id);
       }
     }
-    const engine::EngineReport drained = engine.drain(/*rethrow_errors=*/false);
-    report.verify_failures += drained.failed_rounds;
-    report.drain_batches += 1;
-    verify_ms += now_ms() - t_verify;
+    consume_report(engine.drain(/*rethrow_errors=*/false));
+    verify_blocked_ms += now_ms() - t_verify;
   }
-  report.verify_ms = verify_ms;
+  report.wall_ms = now_ms() - t_sim;
+  report.verify_ms = verify_blocked_ms + overlapped_ms;
+  report.pipeline_overlap_ratio =
+      fold_window_ms > 0 ? overlapped_ms / fold_window_ms : 0.0;
 
   // 7. Score.
   const core::Auditor auditor(&keys.directory);
@@ -489,6 +576,7 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
   }
 
   std::set<core::ProtocolId> detected;
+  crypto::Sha256 evidence_hasher;
   for (std::size_t h = 0; h < hoods.size(); ++h) {
     const std::vector<bgp::AsNumber> verifier_asns = hoods[h].verifiers();
     for (std::size_t v = 0; v < verifier_asns.size(); ++v) {
@@ -496,6 +584,14 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
       const core::PvrNode& node = *hood_nodes[h].verifiers[v];
       for (const core::Evidence& item : node.evidence()) {
         report.evidence_total += 1;
+        // Hash the evidence log IN ORDER (node order, then log order): the
+        // digest pins the application order the two-slot pipeline must
+        // preserve, not just the counts the fingerprint covers.
+        evidence_hasher.update(item.to_string());
+        for (const core::SignedMessage& msg : item.messages) {
+          evidence_hasher.update(
+              std::span<const std::uint8_t>(msg.payload));
+        }
         if (!attacked_provers.contains(item.accused)) {
           report.false_evidence += 1;
           continue;
@@ -516,6 +612,7 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
       }
     }
   }
+  report.evidence_digest = crypto::digest_hex(evidence_hasher.finalize());
   report.attacked_rounds = attacked_rounds.size();
   report.detected_rounds = detected.size();
   report.detection_rate =
@@ -531,6 +628,12 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
       report.peak_open_rounds =
           std::max(report.peak_open_rounds,
                    static_cast<std::uint64_t>(member->peak_open_rounds()));
+      report.peak_root_digests = std::max(
+          report.peak_root_digests,
+          static_cast<std::uint64_t>(member->peak_seen_root_digests()));
+      report.final_root_epochs =
+          std::max(report.final_root_epochs,
+                   static_cast<std::uint64_t>(member->seen_root_epochs()));
     }
   }
   report.coalesced = report.windows_fired < report.rounds_started;
@@ -553,11 +656,14 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
   report.sig_cache_hits =
       hot.crypto_sig_cache_hits.value() - cache_hits_before;
 
-  const double elapsed_ms = report.sim_ms + report.verify_ms;
+  // Throughput over MEASURED elapsed time: with pipelining, wall_ms can be
+  // less than sim_ms + verify_ms (the overlapped share is counted in both),
+  // and the rate should credit that overlap.
+  report.hw_threads = std::thread::hardware_concurrency();
   report.rounds_per_sec =
-      elapsed_ms <= 0.0 ? 0.0
-                        : static_cast<double>(report.rounds_started) /
-                              (elapsed_ms / 1000.0);
+      report.wall_ms <= 0.0 ? 0.0
+                            : static_cast<double>(report.rounds_started) /
+                                  (report.wall_ms / 1000.0);
   return report;
 }
 

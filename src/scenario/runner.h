@@ -59,6 +59,15 @@ struct ScenarioSpec {
   // at any worker count and any drain interval (DESIGN.md §10).
   bool online = false;
   net::SimTime drain_interval_us = 25'000;
+  // Pipelined online verification (DESIGN.md §12, the default): each drain
+  // tick first HARVESTS the previous batch's folded findings (applying
+  // them one tick late) and then seals the next batch with a non-blocking
+  // begin_drain, so engine workers verify batch N while the simulator
+  // advances toward batch N+1's tick. false = the pre-PR-7 synchronous
+  // schedule (submit + blocking drain inside one tick) — kept as the A/B
+  // leg the interleaving stress tests compare evidence logs against.
+  // Ignored offline. The fingerprint is byte-identical either way.
+  bool pipelined = true;
   // How long after a window closes the runner waits before treating the
   // window's rounds as settled (no message referencing them can still be
   // in flight). 0 = derive a conservative bound from the link latency
@@ -101,6 +110,17 @@ struct ScenarioReport {
   std::uint64_t peak_open_rounds = 0;
   std::uint64_t drain_batches = 0;
   bool online = false;
+  // Whether the trace ended with a sealed batch still in flight (the tail
+  // barrier then harvested it) — the state the final-flush parity test
+  // forces. Always false offline / non-pipelined.
+  bool harvest_pending_at_end = false;
+  // Root-dedup footprint (epoch-keyed seen-root GC): the highest live
+  // digest count any node reached, and the epochs still holding digests
+  // after the run (0 once every epoch retired). Drain-schedule-dependent,
+  // so excluded from fingerprint(); the epoch-GC test bounds the peak by
+  // open epochs instead.
+  std::uint64_t peak_root_digests = 0;
+  std::uint64_t final_root_epochs = 0;
   // The settle horizon the online run used (spec override or the derived
   // default; 0 offline), so harnesses can compute memory bounds from the
   // same number the runner actually waited out.
@@ -125,10 +145,28 @@ struct ScenarioReport {
   // one. Zero under -DPVR_OBS=OFF, so excluded from fingerprint().
   std::uint64_t rsa_verifies = 0;
   std::uint64_t sig_cache_hits = 0;
-  // Wall clock — excluded from fingerprint().
+  // SHA-256 (hex) over every node's evidence log in node order — a strict
+  // superset of the fingerprint's evidence COUNT: it pins the APPLICATION
+  // ORDER, which the two-slot pipeline must preserve batch by batch.
+  // Deterministic per verification schedule (identical pipelined vs
+  // synchronous at the same drain schedule — the stress test's assertion)
+  // but mode-dependent (offline applies in arrival order, online in settle
+  // order), so excluded from fingerprint().
+  std::string evidence_digest;
+  // Wall clock — excluded from fingerprint(). sim_ms is the simulator's
+  // own wall time (drain work subtracted), verify_ms the total
+  // verification cost (sim-thread blocked time + worker time that
+  // overlapped the simulation), wall_ms the measured end-to-end elapsed
+  // time. With pipelining doing real work on a multi-core host,
+  // wall_ms < sim_ms + verify_ms — the bench-gated inequality; on any
+  // host, pipeline_overlap_ratio (overlapped fold time / total fold
+  // window) is > 0 whenever batches verified while the simulator advanced.
   double sim_ms = 0;
   double verify_ms = 0;
+  double wall_ms = 0;
+  double pipeline_overlap_ratio = 0;
   double rounds_per_sec = 0;
+  std::size_t hw_threads = 0;  // std::thread::hardware_concurrency()
 
   // Every deterministic field, one canonical string. Two runs of the same
   // spec — at ANY worker count — must produce identical fingerprints.

@@ -57,10 +57,12 @@ std::vector<RoundArrival> generate_arrivals(const TrafficParams& params,
     }
     const net::SimTime jitter =
         params.start_jitter_us == 0 ? 0 : rng.uniform(params.start_jitter_us);
-    arrivals.push_back(RoundArrival{.neighborhood = r % neighborhoods,
-                                    .prefix = round_prefix(r / neighborhoods),
-                                    .epoch = 1,
-                                    .at = clock + jitter});
+    arrivals.push_back(RoundArrival{
+        .neighborhood = r % neighborhoods,
+        .prefix = round_prefix(r / neighborhoods),
+        .epoch = params.rounds_per_epoch == 0 ? 1
+                                              : 1 + r / params.rounds_per_epoch,
+        .at = clock + jitter});
   }
   std::stable_sort(arrivals.begin(), arrivals.end(),
                    [](const RoundArrival& a, const RoundArrival& b) {

@@ -39,6 +39,12 @@ struct TrafficParams {
   // window because of jitter alone (link latency must stay below
   // collect_window, which the runner enforces).
   net::SimTime input_jitter_us = 2000;
+  // Epoch rotation: arrival r carries epoch 1 + r / rounds_per_epoch, so a
+  // long trace spreads its rounds over successive epochs instead of piling
+  // every window's root digest into epoch 1 — the workload the epoch-keyed
+  // seen-root GC (PvrNode::gc_epoch_roots) needs to show its footprint
+  // tracks OPEN epochs. 0 (default) keeps the legacy single-epoch trace.
+  std::size_t rounds_per_epoch = 0;
 };
 
 // One scheduled protocol round of one neighborhood.
