@@ -24,7 +24,7 @@ std::uint32_t BgpSpeaker::local_pref_for(AsNumber neighbor) const {
   return config_.provider_local_pref;
 }
 
-void BgpSpeaker::on_start(net::Simulator& sim) {
+void BgpSpeaker::on_start(net::Transport& sim) {
   for (const Ipv4Prefix& prefix : config_.originated) {
     Route route{
         .prefix = prefix,
@@ -40,14 +40,14 @@ void BgpSpeaker::on_start(net::Simulator& sim) {
   }
 }
 
-void BgpSpeaker::on_message(net::Simulator& sim, const net::Message& message) {
+void BgpSpeaker::on_message(net::Transport& sim, const net::Message& message) {
   if (message.channel != kUpdateChannel) return;  // not ours (PVR channels)
   ++updates_received_;
   const BgpUpdate update = BgpUpdate::decode(message.payload);
   handle_update(sim, message.from, update);
 }
 
-void BgpSpeaker::handle_update(net::Simulator& sim, AsNumber from,
+void BgpSpeaker::handle_update(net::Transport& sim, AsNumber from,
                                const BgpUpdate& update) {
   if (update.withdraw) {
     auto it = rib_in_.find(update.prefix);
@@ -79,7 +79,7 @@ void BgpSpeaker::handle_update(net::Simulator& sim, AsNumber from,
   run_decision(sim, update.prefix);
 }
 
-void BgpSpeaker::run_decision(net::Simulator& sim, const Ipv4Prefix& prefix) {
+void BgpSpeaker::run_decision(net::Transport& sim, const Ipv4Prefix& prefix) {
   // Originated prefixes never change their loc-RIB entry.
   for (const Ipv4Prefix& originated : config_.originated) {
     if (originated == prefix) return;
@@ -107,7 +107,7 @@ void BgpSpeaker::run_decision(net::Simulator& sim, const Ipv4Prefix& prefix) {
   export_route(sim, prefix, chosen, learned_from);
 }
 
-void BgpSpeaker::export_route(net::Simulator& sim, const Ipv4Prefix& prefix,
+void BgpSpeaker::export_route(net::Transport& sim, const Ipv4Prefix& prefix,
                               const std::optional<Route>& chosen,
                               AsNumber learned_from) {
   const bool originated_here = learned_from == config_.asn;
@@ -149,7 +149,7 @@ void BgpSpeaker::export_route(net::Simulator& sim, const Ipv4Prefix& prefix,
   }
 }
 
-void BgpSpeaker::send_update(net::Simulator& sim, AsNumber to,
+void BgpSpeaker::send_update(net::Transport& sim, AsNumber to,
                              const BgpUpdate& update) {
   ++updates_sent_;
   sim.send({.from = config_.asn,

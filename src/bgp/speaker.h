@@ -36,8 +36,8 @@ class BgpSpeaker : public net::Node {
  public:
   explicit BgpSpeaker(SpeakerConfig config);
 
-  void on_start(net::Simulator& sim) override;
-  void on_message(net::Simulator& sim, const net::Message& message) override;
+  void on_start(net::Transport& sim) override;
+  void on_message(net::Transport& sim, const net::Message& message) override;
 
   [[nodiscard]] AsNumber asn() const noexcept { return config_.asn; }
   // Current best route for a prefix, if any.
@@ -54,7 +54,7 @@ class BgpSpeaker : public net::Node {
 
  protected:
   // Hook: called after the decision process ran for `prefix`.
-  virtual void after_decision(net::Simulator& sim, const Ipv4Prefix& prefix,
+  virtual void after_decision(net::Transport& sim, const Ipv4Prefix& prefix,
                               const std::vector<Route>& candidates,
                               const std::optional<Route>& chosen) {
     (void)sim; (void)prefix; (void)candidates; (void)chosen;
@@ -69,11 +69,11 @@ class BgpSpeaker : public net::Node {
   [[nodiscard]] const SpeakerConfig& config() const noexcept { return config_; }
 
  private:
-  void handle_update(net::Simulator& sim, AsNumber from, const BgpUpdate& update);
-  void run_decision(net::Simulator& sim, const Ipv4Prefix& prefix);
-  void export_route(net::Simulator& sim, const Ipv4Prefix& prefix,
+  void handle_update(net::Transport& sim, AsNumber from, const BgpUpdate& update);
+  void run_decision(net::Transport& sim, const Ipv4Prefix& prefix);
+  void export_route(net::Transport& sim, const Ipv4Prefix& prefix,
                     const std::optional<Route>& chosen, AsNumber learned_from);
-  void send_update(net::Simulator& sim, AsNumber to, const BgpUpdate& update);
+  void send_update(net::Transport& sim, AsNumber to, const BgpUpdate& update);
   [[nodiscard]] std::uint32_t local_pref_for(AsNumber neighbor) const;
 
   SpeakerConfig config_;

@@ -5,6 +5,7 @@
 
 #include "core/bundle_aggregation.h"
 #include "core/min_protocol.h"
+#include "crypto/encoding.h"
 
 namespace pvr::core {
 
@@ -27,6 +28,39 @@ std::string to_string(ViolationKind kind) {
 std::string Evidence::to_string() const {
   return core::to_string(kind) + " against AS" + std::to_string(accused) +
          " (reported by AS" + std::to_string(reporter) + "): " + detail;
+}
+
+std::vector<std::uint8_t> Evidence::encode() const {
+  crypto::ByteWriter writer;
+  writer.put_u8(static_cast<std::uint8_t>(kind));
+  writer.put_u32(accused);
+  writer.put_u32(reporter);
+  writer.put_u32(index);
+  writer.put_u32(static_cast<std::uint32_t>(messages.size()));
+  for (const SignedMessage& message : messages) {
+    writer.put_bytes(message.encode());
+  }
+  writer.put_string(detail);
+  return writer.take();
+}
+
+Evidence Evidence::decode(std::span<const std::uint8_t> data) {
+  crypto::ByteReader reader(data);
+  Evidence evidence;
+  evidence.kind = static_cast<ViolationKind>(reader.get_u8());
+  evidence.accused = reader.get_u32();
+  evidence.reporter = reader.get_u32();
+  evidence.index = reader.get_u32();
+  const std::uint32_t count = reader.get_u32();
+  evidence.messages.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    evidence.messages.push_back(SignedMessage::decode(reader.get_bytes()));
+  }
+  evidence.detail = reader.get_string();
+  if (!reader.exhausted()) {
+    throw std::out_of_range("Evidence::decode: trailing bytes");
+  }
+  return evidence;
 }
 
 Auditor::Auditor(const KeyDirectory* directory) : directory_(directory) {

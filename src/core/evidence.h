@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,12 @@ struct Evidence {
   std::string detail;  // human-readable diagnosis
 
   [[nodiscard]] std::string to_string() const;
+
+  // Canonical wire form (ByteWriter layout): evidence is self-contained by
+  // design, so a serialized item validates anywhere — the multiprocess node
+  // processes ship their verifiers' logs back to the conductor with this.
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static Evidence decode(std::span<const std::uint8_t> data);
 };
 
 // Third-party evidence validation. Holds only public keys; never sees

@@ -76,7 +76,7 @@ PvrNode::RoundState* PvrNode::find_round(const ProtocolId& id) {
   return it == round_index_.end() ? nullptr : it->second;
 }
 
-void PvrNode::send(net::Simulator& sim, bgp::AsNumber to, const char* channel,
+void PvrNode::send(net::Transport& sim, bgp::AsNumber to, const char* channel,
                    std::vector<std::uint8_t> payload) {
   net::Message message{.from = config_.asn,
                        .to = to,
@@ -97,7 +97,7 @@ std::vector<bgp::AsNumber> PvrNode::gossip_peers() const {
   return peers;
 }
 
-void PvrNode::provide_input(net::Simulator& sim, std::uint64_t epoch,
+void PvrNode::provide_input(net::Transport& sim, std::uint64_t epoch,
                             const bgp::Ipv4Prefix& prefix,
                             const std::optional<bgp::Route>& route) {
   if (config_.role != PvrRole::kProvider) {
@@ -119,7 +119,7 @@ void PvrNode::provide_input(net::Simulator& sim, std::uint64_t epoch,
   send(sim, config_.prover, kInputChannel, signed_input.encode());
 }
 
-void PvrNode::start_round(net::Simulator& sim, std::uint64_t epoch,
+void PvrNode::start_round(net::Transport& sim, std::uint64_t epoch,
                           const bgp::Ipv4Prefix& prefix) {
   if (config_.role != PvrRole::kProver) {
     throw std::logic_error("start_round: not the prover");
@@ -163,7 +163,7 @@ void PvrNode::start_round(net::Simulator& sim, std::uint64_t epoch,
   schedule_window_fire(sim, epoch, std::move(window));
 }
 
-void PvrNode::schedule_window_fire(net::Simulator& sim, std::uint64_t epoch,
+void PvrNode::schedule_window_fire(net::Transport& sim, std::uint64_t epoch,
                                    std::shared_ptr<CollectionWindow> window) {
   sim.schedule(window->fire_at, [this, &sim, epoch, window] {
     if (sim.now() < window->fire_at) {
@@ -183,7 +183,7 @@ void PvrNode::schedule_window_fire(net::Simulator& sim, std::uint64_t epoch,
   });
 }
 
-void PvrNode::run_prover_batch(net::Simulator& sim, std::uint64_t epoch,
+void PvrNode::run_prover_batch(net::Transport& sim, std::uint64_t epoch,
                                const std::vector<bgp::Ipv4Prefix>& prefixes) {
   struct PrefixRound {
     ProtocolId id;
@@ -283,7 +283,7 @@ void PvrNode::run_prover_batch(net::Simulator& sim, std::uint64_t epoch,
   if (on_window_closed_) on_window_closed_(epoch, prefixes);
 }
 
-void PvrNode::observe_bundle(net::Simulator& sim, const SignedMessage& bundle,
+void PvrNode::observe_bundle(net::Transport& sim, const SignedMessage& bundle,
                              bgp::AsNumber origin, std::uint8_t hops) {
   CommitmentBundle decoded;
   try {
@@ -326,7 +326,7 @@ void PvrNode::observe_bundle(net::Simulator& sim, const SignedMessage& bundle,
   }
 }
 
-void PvrNode::observe_root(net::Simulator& sim, const SignedMessage& signed_root,
+void PvrNode::observe_root(net::Transport& sim, const SignedMessage& signed_root,
                            bgp::AsNumber origin, std::uint8_t hops) {
   AggregatedBundle root;
   try {
@@ -372,7 +372,7 @@ void PvrNode::observe_root(net::Simulator& sim, const SignedMessage& signed_root
   }
 }
 
-void PvrNode::attach_root(net::Simulator& sim, const SignedMessage& signed_root,
+void PvrNode::attach_root(net::Transport& sim, const SignedMessage& signed_root,
                           const AggregatedBundle& root, bgp::AsNumber origin) {
   // Attach to the round of every prefix this window claims. The signed
   // prefix list names those rounds exactly, so each is one map lookup —
@@ -393,7 +393,7 @@ void PvrNode::attach_root(net::Simulator& sim, const SignedMessage& signed_root,
   }
 }
 
-void PvrNode::escalate_round(net::Simulator& sim, bgp::AsNumber origin,
+void PvrNode::escalate_round(net::Transport& sim, bgp::AsNumber origin,
                              RoundState& round) {
   if (round.escalated || round.observed_roots.size() < 2 ||
       round.observed_bundles.empty()) {
@@ -410,7 +410,7 @@ void PvrNode::escalate_round(net::Simulator& sim, bgp::AsNumber origin,
   }
 }
 
-void PvrNode::open_aggregated(net::Simulator& sim,
+void PvrNode::open_aggregated(net::Transport& sim,
                               const AggregatedBundleMessage& message,
                               bgp::AsNumber origin) {
   AggregatedBundle root;
@@ -448,7 +448,7 @@ void PvrNode::open_aggregated(net::Simulator& sim,
   observe_root(sim, message.signed_root, origin, 0);
 }
 
-void PvrNode::on_message(net::Simulator& sim, const net::Message& message) {
+void PvrNode::on_message(net::Transport& sim, const net::Message& message) {
   if (message.channel == kInputChannel && config_.role == PvrRole::kProver) {
     SignedMessage envelope;
     try {

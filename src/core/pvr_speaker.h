@@ -1,4 +1,6 @@
-// PVR protocol endpoints on the simulated network.
+// PVR protocol endpoints. Nodes program against the abstract net::Transport
+// (net/transport.h) — the deterministic simulator and the socket backend
+// both drive the same code.
 //
 // One PvrNode per AS in the Figure-1 scenario: the prover A, the providers
 // N1..Nk, and the recipient B. The harness drives rounds:
@@ -132,7 +134,7 @@ class PvrNode : public net::Node {
  public:
   explicit PvrNode(PvrConfig config);
 
-  void on_message(net::Simulator& sim, const net::Message& message) override;
+  void on_message(net::Transport& sim, const net::Message& message) override;
 
   // Subscribes to window-close events (prover role only fires them). The
   // online scenario pipeline uses this to learn which rounds exist without
@@ -144,7 +146,7 @@ class PvrNode : public net::Node {
   // Provider-side: sign and send `route` to the prover for round
   // (prover, prefix, epoch). Pass nullopt to explicitly provide nothing
   // (bookkeeping only).
-  void provide_input(net::Simulator& sim, std::uint64_t epoch,
+  void provide_input(net::Transport& sim, std::uint64_t epoch,
                      const bgp::Ipv4Prefix& prefix,
                      const std::optional<bgp::Route>& route);
 
@@ -152,8 +154,22 @@ class PvrNode : public net::Node {
   // `epoch` (opening one if none is pending). When the window elapses, the
   // prover runs every pending prefix of the epoch as one aggregation batch
   // and fans out the results.
-  void start_round(net::Simulator& sim, std::uint64_t epoch,
+  void start_round(net::Transport& sim, std::uint64_t epoch,
                    const bgp::Ipv4Prefix& prefix);
+
+  // Deprecated transitional overloads (kept for one PR cycle so
+  // Simulator-typed call sites compile): forward through the simulator's
+  // canonical SimTransport. Prefer passing `sim.transport()` — or any other
+  // net::Transport — directly.
+  void provide_input(net::Simulator& sim, std::uint64_t epoch,
+                     const bgp::Ipv4Prefix& prefix,
+                     const std::optional<bgp::Route>& route) {
+    provide_input(sim.transport(), epoch, prefix, route);
+  }
+  void start_round(net::Simulator& sim, std::uint64_t epoch,
+                   const bgp::Ipv4Prefix& prefix) {
+    start_round(sim.transport(), epoch, prefix);
+  }
 
   // Verifier-side sequential fallback: runs all checks for round `id` over
   // the messages received so far. Call after the simulator has quiesced.
@@ -296,23 +312,23 @@ class PvrNode : public net::Node {
   [[nodiscard]] static RoundFindings check_round(const PvrConfig& config,
                                                  const RoundState& round);
 
-  void send(net::Simulator& sim, bgp::AsNumber to, const char* channel,
+  void send(net::Transport& sim, bgp::AsNumber to, const char* channel,
             std::vector<std::uint8_t> payload);
   // Records a signed per-prefix bundle; in legacy wire mode relays it on
   // pvr.gossip (skipping `origin`) while `hops` is under the budget.
-  void observe_bundle(net::Simulator& sim, const SignedMessage& bundle,
+  void observe_bundle(net::Transport& sim, const SignedMessage& bundle,
                       bgp::AsNumber origin, std::uint8_t hops);
   // Records a signed aggregation root and relays it on pvr.gossip.root.
-  void observe_root(net::Simulator& sim, const SignedMessage& signed_root,
+  void observe_root(net::Transport& sim, const SignedMessage& signed_root,
                     bgp::AsNumber origin, std::uint8_t hops);
   // Unpacks a pvr.bundle.agg message from the prover into per-round state.
-  void open_aggregated(net::Simulator& sim, const AggregatedBundleMessage& message,
+  void open_aggregated(net::Transport& sim, const AggregatedBundleMessage& message,
                        bgp::AsNumber origin);
   // Attaches a verified signed root to the round of every prefix its window
   // claims, creating round state as needed (the claimed rounds are exactly
   // the rounds this neighborhood's prover ran, so creation is bounded by
   // the prover's own signing rate and GC'd like any other round state).
-  void attach_root(net::Simulator& sim, const SignedMessage& signed_root,
+  void attach_root(net::Transport& sim, const SignedMessage& signed_root,
                    const AggregatedBundle& root, bgp::AsNumber origin);
   // Root gossip carries no bundle contents, so once a round has TWO
   // distinct signed roots claiming it (same window signed twice, or the
@@ -325,9 +341,9 @@ class PvrNode : public net::Node {
   // just attached to), never by scanning every open round — with thousands
   // of simultaneously open rounds per node the scan would be O(n) per
   // gossiped root.
-  void escalate_round(net::Simulator& sim, bgp::AsNumber origin,
+  void escalate_round(net::Transport& sim, bgp::AsNumber origin,
                       RoundState& round);
-  void run_prover_batch(net::Simulator& sim, std::uint64_t epoch,
+  void run_prover_batch(net::Transport& sim, std::uint64_t epoch,
                         const std::vector<bgp::Ipv4Prefix>& prefixes);
   [[nodiscard]] std::vector<bgp::AsNumber> gossip_peers() const;
 
@@ -339,7 +355,7 @@ class PvrNode : public net::Node {
     net::SimTime fire_at = 0;
     std::vector<bgp::Ipv4Prefix> prefixes;
   };
-  void schedule_window_fire(net::Simulator& sim, std::uint64_t epoch,
+  void schedule_window_fire(net::Transport& sim, std::uint64_t epoch,
                             std::shared_ptr<CollectionWindow> window);
 
   // All round-state creation funnels through here so the hash index stays

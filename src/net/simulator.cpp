@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "net/message_trace.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -78,7 +79,7 @@ void Simulator::send(Message message) {
   channel_stats.messages_sent += 1;
   channel_stats.bytes_sent += message.wire_size();
   InterceptDecision intercept;
-  if (interceptor_) intercept = interceptor_(*this, message);
+  if (interceptor_) intercept = interceptor_(transport_, message);
   if (intercept.drop) {
     stats_.messages_dropped += 1;
     channel_stats.messages_dropped += 1;
@@ -96,7 +97,8 @@ void Simulator::send(Message message) {
              if (it == nodes_.end()) return;  // node removed mid-flight
              stats_.messages_delivered += 1;
              stats_.per_channel[msg.channel].messages_delivered += 1;
-             it->second->on_message(*this, msg);
+             if (trace_ != nullptr) trace_->record_delivery(now_, msg);
+             it->second->on_message(transport_, msg);
            });
 }
 
@@ -143,7 +145,7 @@ void Simulator::arm_periodic(std::size_t index, SimTime at) {
 void Simulator::start_pending_nodes() {
   if (started_) return;
   started_ = true;
-  for (auto& [id, node] : nodes_) node->on_start(*this);
+  for (auto& [id, node] : nodes_) node->on_start(transport_);
 }
 
 void Simulator::run() { run_until(~SimTime{0}); }

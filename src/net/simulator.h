@@ -5,6 +5,11 @@
 // configurable latency and drop probability; all randomness is drawn from a
 // seeded DRBG, so a (seed, topology, workload) triple always replays the
 // exact same execution.
+//
+// The message-plane surface (Message, Node, Interceptor, stats) lives in
+// net/transport.h; the simulator is one BACKEND of that interface, exposed
+// through the `SimTransport` returned by transport(). World construction —
+// add_node, connect, run — remains concrete simulator API.
 #pragma once
 
 #include <cstdint>
@@ -12,107 +17,22 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <optional>
 #include <queue>
-#include <string>
-#include <string_view>
 #include <vector>
 
 #include "crypto/drbg.h"
+#include "net/transport.h"
 
 namespace pvr::net {
-
-using NodeId = std::uint32_t;
-using SimTime = std::uint64_t;  // microseconds
-
-// Payloads larger than one chunk (aggregated commitment bundles routinely
-// exceed 64 KiB) are carried in multiple chunks, each with its own header.
-inline constexpr std::size_t kWireChunkPayload = 64 * 1024;
-inline constexpr std::size_t kWireChunkHeader = 6;  // 4B offset + 2B length
-
-struct Message {
-  NodeId from = 0;
-  NodeId to = 0;
-  std::string channel;  // protocol multiplexing key, e.g. "bgp.update"
-  std::vector<std::uint8_t> payload;
-
-  [[nodiscard]] std::size_t wire_size() const noexcept {
-    // 8B addressing + 2B channel length + channel + 4B payload length
-    // (a 2B field could not frame an aggregated bundle) + payload, plus one
-    // chunk header per 64 KiB chunk beyond the first.
-    const std::size_t base = 8 + 2 + channel.size() + 4 + payload.size();
-    const std::size_t extra_chunks =
-        payload.empty() ? 0 : (payload.size() - 1) / kWireChunkPayload;
-    return base + extra_chunks * kWireChunkHeader;
-  }
-};
-
-class Simulator;
-
-// Verdict of a wire interceptor for one message (scenario adversaries:
-// selective droppers, delayers). Replay is built on top of this — the hook
-// may capture the message and call Simulator::send again later.
-struct InterceptDecision {
-  bool drop = false;       // swallow the message (counted as dropped)
-  SimTime extra_delay = 0; // added on top of the link latency
-};
-
-// Runs inside Simulator::send for every message on an existing link,
-// BEFORE the link's random drop draw, so adversarial interference is
-// deterministic and independent of link loss. The hook may itself call
-// send()/schedule() on the simulator (e.g. to replay a captured message);
-// such re-sends pass through the interceptor again, so replay loops must
-// be bounded by the hook's own state.
-using Interceptor = std::function<InterceptDecision(Simulator&, const Message&)>;
-
-// Base class for protocol endpoints. Handlers run inside Simulator::run().
-class Node {
- public:
-  virtual ~Node() = default;
-  // Called once before the first event is dispatched.
-  virtual void on_start(Simulator& sim) { (void)sim; }
-  virtual void on_message(Simulator& sim, const Message& message) = 0;
-};
-
-struct LinkConfig {
-  SimTime latency = 1000;  // one-way, microseconds
-  double drop_probability = 0.0;
-};
-
-struct ChannelStats {
-  std::uint64_t messages_sent = 0;
-  std::uint64_t messages_delivered = 0;
-  std::uint64_t messages_dropped = 0;
-  std::uint64_t bytes_sent = 0;
-};
-
-struct SimStats {
-  std::uint64_t messages_sent = 0;
-  std::uint64_t messages_delivered = 0;
-  std::uint64_t messages_dropped = 0;
-  std::uint64_t bytes_sent = 0;
-  // Per-channel breakdown so experiments can attribute bytes to BGP vs.
-  // PVR vs. gossip traffic (keys are Message::channel values).
-  std::map<std::string, ChannelStats> per_channel;
-
-  // Sums the stats of every channel whose name starts with `prefix`
-  // (e.g. "pvr." covers input/bundle/reveal/export/gossip).
-  [[nodiscard]] ChannelStats channel_group(std::string_view prefix) const {
-    ChannelStats total;
-    for (const auto& [channel, stats] : per_channel) {
-      if (channel.rfind(prefix, 0) != 0) continue;
-      total.messages_sent += stats.messages_sent;
-      total.messages_delivered += stats.messages_delivered;
-      total.messages_dropped += stats.messages_dropped;
-      total.bytes_sent += stats.bytes_sent;
-    }
-    return total;
-  }
-};
 
 class Simulator {
  public:
   explicit Simulator(std::uint64_t seed);
+
+  // The canonical Transport view of this simulator — what delivery
+  // callbacks receive and what Transport-typed APIs should be handed
+  // (`node.provide_input(sim.transport(), ...)`).
+  [[nodiscard]] SimTransport& transport() noexcept { return transport_; }
 
   // Registers a node. Throws std::invalid_argument on duplicate id.
   void add_node(NodeId id, std::unique_ptr<Node> node);
@@ -128,11 +48,23 @@ class Simulator {
 
   // Sends over an existing link; throws std::logic_error if none exists.
   // Delivery happens at now + latency unless the link drops the message.
+  // The active interceptor (a Transport-level concept, see
+  // Transport::set_interceptor) runs first: its drop/extra_delay verdict is
+  // applied BEFORE the link's random drop draw, so adversarial interference
+  // never perturbs the link-loss RNG stream.
   void send(Message message);
 
-  // Installs (or clears, with nullptr) the wire interceptor. At most one is
-  // active; scenario adversaries compose their behaviors inside one hook.
+  // Installs (or clears, with nullptr) the wire interceptor. Interception
+  // is part of the Transport interface — adversaries should install hooks
+  // through `transport().set_interceptor()` so they work on any backend;
+  // this method is the simulator-backend implementation of it. The hook
+  // receives the canonical SimTransport, never the Simulator itself.
   void set_interceptor(Interceptor interceptor);
+
+  // Attaches a delivery trace recorder (Transport::set_trace's backend
+  // implementation). Every delivered message is appended in delivery
+  // order. nullptr detaches.
+  void set_trace(MessageTrace* trace) noexcept { trace_ = trace; }
 
   // Runs `fn` at absolute simulated time `at` (>= now).
   void schedule(SimTime at, std::function<void()> fn);
@@ -180,7 +112,9 @@ class Simulator {
   [[nodiscard]] const LinkConfig* link_between(NodeId a, NodeId b) const noexcept;
 
   crypto::Drbg rng_;
+  SimTransport transport_{*this};
   Interceptor interceptor_;
+  MessageTrace* trace_ = nullptr;  // not owned
   SimTime now_ = 0;
   std::uint64_t next_sequence_ = 0;
   bool started_ = false;

@@ -1,0 +1,324 @@
+#include "net/socket_transport.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "crypto/encoding.h"
+#include "net/message_trace.h"
+
+namespace pvr::net {
+
+namespace {
+
+[[nodiscard]] std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport() : start_ns_(steady_ns()) {}
+
+SocketTransport::~SocketTransport() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+std::uint16_t SocketTransport::listen(std::uint16_t port) {
+  if (listen_fd_ >= 0) {
+    throw std::logic_error("SocketTransport::listen: already listening");
+  }
+  listen_fd_ = listen_loopback(port);
+  return port;
+}
+
+void SocketTransport::add_node(NodeId id, Node* node) {
+  if (node == nullptr) {
+    throw std::invalid_argument("SocketTransport::add_node: null node");
+  }
+  if (!nodes_.emplace(id, node).second) {
+    throw std::invalid_argument("SocketTransport::add_node: duplicate id");
+  }
+  if (started_nodes_) node->on_start(*this);
+}
+
+void SocketTransport::connect_to(std::uint16_t port) {
+  auto conn = std::make_unique<Conn>();
+  conn->frame = std::make_unique<FrameConn>(connect_loopback(port));
+  send_hello(*conn);
+  conns_.push_back(std::move(conn));
+}
+
+void SocketTransport::drop_peer(NodeId peer) {
+  const auto it = routes_.find(peer);
+  if (it == routes_.end()) return;
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    if (conns_[i].get() == it->second) {
+      teardown(i);
+      return;
+    }
+  }
+}
+
+void SocketTransport::send_hello(Conn& conn) {
+  crypto::ByteWriter writer;
+  writer.put_u32(static_cast<std::uint32_t>(nodes_.size()));
+  for (const auto& [id, node] : nodes_) writer.put_u32(id);
+  conn.frame->append(kFrameHello, writer.data());
+}
+
+SocketTransport::Conn* SocketTransport::route(NodeId id) const {
+  const auto it = routes_.find(id);
+  return it == routes_.end() ? nullptr : it->second;
+}
+
+bool SocketTransport::connected(NodeId a, NodeId b) const {
+  if (a == b) return false;
+  const bool a_local = nodes_.contains(a);
+  const bool b_local = nodes_.contains(b);
+  if (a_local && b_local) return true;
+  if (a_local) return route(b) != nullptr;
+  if (b_local) return route(a) != nullptr;
+  return false;
+}
+
+std::vector<NodeId> SocketTransport::neighbors_of(NodeId id) const {
+  std::vector<NodeId> out;
+  if (nodes_.contains(id)) {
+    for (const auto& [local, node] : nodes_) {
+      if (local != id) out.push_back(local);
+    }
+    for (const auto& [remote, conn] : routes_) out.push_back(remote);
+  } else if (route(id) != nullptr) {
+    for (const auto& [local, node] : nodes_) out.push_back(local);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void SocketTransport::set_interceptor(Interceptor interceptor) {
+  interceptor_ = std::move(interceptor);
+}
+
+SimTime SocketTransport::now() const {
+  return (steady_ns() - start_ns_) / 1000;
+}
+
+void SocketTransport::schedule(SimTime at, std::function<void()> fn) {
+  timers_.push(Timer{.due = std::max(at, now()),
+                     .sequence = timer_sequence_++,
+                     .interval = 0,
+                     .fn = std::move(fn)});
+}
+
+void SocketTransport::schedule_periodic(SimTime interval,
+                                        std::function<void()> fn) {
+  if (interval == 0) {
+    throw std::invalid_argument(
+        "SocketTransport::schedule_periodic: zero interval");
+  }
+  timers_.push(Timer{.due = now() + interval,
+                     .sequence = timer_sequence_++,
+                     .interval = interval,
+                     .fn = std::move(fn)});
+}
+
+void SocketTransport::send(Message message) {
+  const bool to_local = nodes_.contains(message.to);
+  Conn* conn = to_local ? nullptr : route(message.to);
+  if (!to_local && conn == nullptr) {
+    throw std::logic_error("SocketTransport::send: no connection to peer");
+  }
+  ChannelStats& channel_stats = stats_.per_channel[message.channel];
+  stats_.messages_sent += 1;
+  stats_.bytes_sent += message.wire_size();
+  channel_stats.messages_sent += 1;
+  channel_stats.bytes_sent += message.wire_size();
+  InterceptDecision intercept;
+  if (interceptor_) intercept = interceptor_(*this, message);
+  if (intercept.drop) {
+    stats_.messages_dropped += 1;
+    channel_stats.messages_dropped += 1;
+    return;
+  }
+  const auto transmit = [this, to_local](Message msg) {
+    if (to_local) {
+      deliver_local(msg);
+      return;
+    }
+    // Re-resolve the route: the connection may have died (or been replaced)
+    // since an interceptor-delayed send was queued. A vanished peer at
+    // transmit time is a silent loss, exactly like the wire losing it.
+    Conn* target = route(msg.to);
+    if (target == nullptr) return;
+    target->frame->append(kFrameMessage, encode_message_body(msg));
+    if (!target->frame->flush()) {
+      for (std::size_t i = 0; i < conns_.size(); ++i) {
+        if (conns_[i].get() == target) {
+          teardown(i);
+          break;
+        }
+      }
+    }
+  };
+  if (intercept.extra_delay > 0) {
+    schedule(now() + intercept.extra_delay,
+             [transmit, msg = std::move(message)]() mutable {
+               transmit(std::move(msg));
+             });
+  } else {
+    transmit(std::move(message));
+  }
+}
+
+void SocketTransport::deliver_local(const Message& message) {
+  const auto it = nodes_.find(message.to);
+  if (it == nodes_.end()) return;
+  stats_.messages_delivered += 1;
+  stats_.per_channel[message.channel].messages_delivered += 1;
+  if (trace_ != nullptr) trace_->record_delivery(now(), message);
+  it->second->on_message(*this, message);
+}
+
+void SocketTransport::handle_frame(Conn& conn, std::uint8_t type,
+                                   std::span<const std::uint8_t> body) {
+  if (type == kFrameHello) {
+    crypto::ByteReader reader(body);
+    const std::uint32_t count = reader.get_u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const NodeId id = reader.get_u32();
+      conn.remote_nodes.push_back(id);
+      routes_[id] = &conn;
+    }
+    conn.hello_received = true;
+    return;
+  }
+  if (type == kFrameMessage) {
+    deliver_local(decode_message_body(body));
+    return;
+  }
+  throw std::invalid_argument("SocketTransport: unexpected frame type");
+}
+
+void SocketTransport::teardown(std::size_t conn_index) {
+  Conn* conn = conns_[conn_index].get();
+  for (const NodeId id : conn->remote_nodes) {
+    const auto it = routes_.find(id);
+    if (it != routes_.end() && it->second == conn) routes_.erase(it);
+  }
+  conn->frame->close();
+  conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(conn_index));
+}
+
+void SocketTransport::fire_due_timers() {
+  while (!timers_.empty() && timers_.top().due <= now()) {
+    Timer timer = timers_.top();
+    timers_.pop();
+    timer.fn();
+    if (timer.interval > 0 && !stopped_) {
+      timers_.push(Timer{.due = now() + timer.interval,
+                         .sequence = timer_sequence_++,
+                         .interval = timer.interval,
+                         .fn = std::move(timer.fn)});
+    }
+  }
+}
+
+void SocketTransport::poll_once(int timeout_ms) {
+  if (!started_nodes_) {
+    started_nodes_ = true;
+    for (auto& [id, node] : nodes_) node->on_start(*this);
+  }
+
+  int timeout = timeout_ms;
+  if (!timers_.empty()) {
+    const SimTime current = now();
+    const SimTime wait_us =
+        timers_.top().due > current ? timers_.top().due - current : 0;
+    const int wait_ms = static_cast<int>(wait_us / 1000);
+    timeout = timeout < 0 ? wait_ms : std::min(timeout, wait_ms);
+  }
+
+  std::vector<pollfd> fds;
+  fds.reserve(conns_.size() + 1);
+  if (listen_fd_ >= 0) {
+    fds.push_back(pollfd{.fd = listen_fd_, .events = POLLIN, .revents = 0});
+  }
+  for (const auto& conn : conns_) {
+    short events = POLLIN;
+    if (conn->frame->has_pending_out()) events |= POLLOUT;
+    fds.push_back(pollfd{.fd = conn->frame->fd(), .events = events,
+                         .revents = 0});
+  }
+  if (!fds.empty()) {
+    (void)::poll(fds.data(), fds.size(), timeout);
+  }
+
+  std::size_t index = 0;
+  if (listen_fd_ >= 0) {
+    if ((fds[0].revents & POLLIN) != 0) {
+      int fd = -1;
+      while ((fd = accept_connection(listen_fd_)) >= 0) {
+        auto conn = std::make_unique<Conn>();
+        conn->frame = std::make_unique<FrameConn>(fd);
+        send_hello(*conn);
+        conns_.push_back(std::move(conn));
+      }
+    }
+    index = 1;
+  }
+
+  // Walk a snapshot of the connection list: handlers may add connections
+  // (never remove — teardown is deferred to the sweep below).
+  std::vector<Conn*> dead;
+  const std::size_t existing = conns_.size();
+  for (std::size_t c = 0; c < existing && index + c < fds.size(); ++c) {
+    Conn* conn = conns_[c].get();
+    const short revents = fds[index + c].revents;
+    if (revents == 0) continue;
+    bool alive = true;
+    if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      alive = conn->frame->read_frames(
+          [this, conn](std::uint8_t type, std::span<const std::uint8_t> body) {
+            handle_frame(*conn, type, body);
+          });
+    }
+    if (alive && (revents & POLLOUT) != 0) alive = conn->frame->flush();
+    if (!alive) dead.push_back(conn);
+  }
+  for (Conn* conn : dead) {
+    for (std::size_t c = 0; c < conns_.size(); ++c) {
+      if (conns_[c].get() == conn) {
+        teardown(c);
+        break;
+      }
+    }
+  }
+
+  fire_due_timers();
+
+  // Opportunistic flush of anything handlers queued this iteration.
+  for (std::size_t c = 0; c < conns_.size();) {
+    if (!conns_[c]->frame->flush()) {
+      teardown(c);
+    } else {
+      ++c;
+    }
+  }
+}
+
+void SocketTransport::run_for(SimTime duration_us) {
+  const SimTime deadline = now() + duration_us;
+  while (!stopped_ && now() < deadline) {
+    const SimTime left = deadline - now();
+    poll_once(static_cast<int>(std::min<SimTime>(left / 1000 + 1, 50)));
+  }
+}
+
+}  // namespace pvr::net

@@ -1,0 +1,135 @@
+// The real-socket Transport backend: TCP over IPv4 loopback, length-framed
+// with the canonical message encoding (net/frame.h), driven by a
+// single-threaded nonblocking poll(2) event loop.
+//
+// One SocketTransport instance is one PROCESS'S message plane: it hosts the
+// local nodes (add_node), accepts inbound connections (listen), and dials
+// outbound ones (connect_to). Peer identity is learned from the hello
+// frame each side sends on connect — a connection becomes a usable link
+// (connected() true, sends routed) only after the peer's hello arrives, so
+// callers pump the loop until the topology is up. A connection loss tears
+// down every route through it: connected() turns false, queued partial
+// frames are discarded (disconnect-mid-message), and further send()s to
+// that peer throw std::logic_error — exactly the no-link contract the
+// simulator backend enforces.
+//
+// Determinism: none. The loop is wall-clock driven and delivery interleaving
+// across peers is whatever the kernel gives us. Reproducibility comes from
+// recording a MessageTrace (set_trace) and replaying it through the
+// deterministic simulator path (DESIGN.md §13).
+//
+// Threading: single-threaded by design — every method including send() and
+// the node callbacks runs on the thread calling poll_once()/run_for().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/transport.h"
+
+namespace pvr::net {
+
+class SocketTransport final : public Transport {
+ public:
+  SocketTransport();
+  ~SocketTransport() override;
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  // --- world construction (backend-specific, like Simulator's) ---
+
+  // Starts accepting loopback connections; port 0 picks an ephemeral port.
+  // Returns the bound port.
+  std::uint16_t listen(std::uint16_t port = 0);
+
+  // Registers a local protocol endpoint (borrowed; must outlive the
+  // transport). Its on_start runs at the first loop iteration.
+  void add_node(NodeId id, Node* node);
+
+  // Dials a loopback peer. The link becomes usable once hellos cross —
+  // poll until connected() reports the pair.
+  void connect_to(std::uint16_t port);
+
+  // Abruptly closes the connection carrying `peer` (if any): routes drop,
+  // unread partial frames are lost — the disconnect-mid-message case.
+  void drop_peer(NodeId peer);
+
+  // --- event loop ---
+
+  // One iteration: accept, read (delivering complete frames), flush, fire
+  // due timers. Blocks at most `timeout_ms` (clamped down to the next
+  // timer deadline).
+  void poll_once(int timeout_ms);
+
+  // Pumps poll_once until `duration_us` of wall time passes or stop() is
+  // called.
+  void run_for(SimTime duration_us);
+
+  void stop() noexcept { stopped_ = true; }
+  [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+
+  // --- Transport interface ---
+
+  [[nodiscard]] std::string_view backend_name() const noexcept override {
+    return "socket";
+  }
+  void send(Message message) override;
+  [[nodiscard]] bool connected(NodeId a, NodeId b) const override;
+  [[nodiscard]] std::vector<NodeId> neighbors_of(NodeId id) const override;
+  void set_interceptor(Interceptor interceptor) override;
+  [[nodiscard]] SimTime now() const override;  // wall µs since construction
+  void schedule(SimTime at, std::function<void()> fn) override;
+  void schedule_periodic(SimTime interval, std::function<void()> fn) override;
+  [[nodiscard]] const SimStats& stats() const override { return stats_; }
+  void set_trace(MessageTrace* trace) override { trace_ = trace; }
+
+ private:
+  struct Conn {
+    std::unique_ptr<FrameConn> frame;
+    std::vector<NodeId> remote_nodes;  // learned from the peer's hello
+    bool hello_received = false;
+  };
+
+  struct Timer {
+    SimTime due = 0;
+    std::uint64_t sequence = 0;   // FIFO tiebreak at equal due times
+    SimTime interval = 0;         // 0 = one-shot
+    std::function<void()> fn;
+  };
+  struct TimerOrder {
+    bool operator()(const Timer& a, const Timer& b) const noexcept {
+      return a.due != b.due ? a.due > b.due : a.sequence > b.sequence;
+    }
+  };
+
+  void send_hello(Conn& conn);
+  void handle_frame(Conn& conn, std::uint8_t type,
+                    std::span<const std::uint8_t> body);
+  void deliver_local(const Message& message);
+  void teardown(std::size_t conn_index);
+  void fire_due_timers();
+  [[nodiscard]] Conn* route(NodeId id) const;
+
+  std::uint64_t start_ns_ = 0;
+  bool started_nodes_ = false;
+  bool stopped_ = false;
+  int listen_fd_ = -1;
+
+  std::map<NodeId, Node*> nodes_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::map<NodeId, Conn*> routes_;
+
+  std::priority_queue<Timer, std::vector<Timer>, TimerOrder> timers_;
+  std::uint64_t timer_sequence_ = 0;
+
+  Interceptor interceptor_;
+  SimStats stats_;
+  MessageTrace* trace_ = nullptr;
+};
+
+}  // namespace pvr::net

@@ -54,7 +54,7 @@ struct WireChaosState {
 // replay: the budget and first-seen dedup must stop it, not the hop count).
 [[nodiscard]] net::Interceptor make_chaos_interceptor(
     std::shared_ptr<WireChaosState> state) {
-  return [state](net::Simulator& sim,
+  return [state](net::Transport& sim,
                  const net::Message& message) -> net::InterceptDecision {
     if (!is_gossip_channel(message.channel)) return {};
     if (state->muted.contains(message.from)) return {.drop = true};
@@ -141,7 +141,7 @@ class SelectiveDropStrategy final : public AdversaryStrategy {
   [[nodiscard]] core::ProverMisbehavior prover_misbehavior() const override {
     return {.equivocate = true};
   }
-  void install(net::Simulator& sim, const std::vector<Neighborhood>& hoods,
+  void install(net::Transport& sim, const std::vector<Neighborhood>& hoods,
                const std::vector<bool>& attacked, std::uint64_t seed) override {
     (void)attacked;  // the hostile wire does not spare honest neighborhoods
     auto state = std::make_shared<WireChaosState>(seed);
@@ -166,7 +166,7 @@ class DelayReplayStrategy final : public AdversaryStrategy {
   [[nodiscard]] net::SimTime max_replay_lag() const override {
     return kReplayStepUs * 2;  // replays_per_message below
   }
-  void install(net::Simulator& sim, const std::vector<Neighborhood>& hoods,
+  void install(net::Transport& sim, const std::vector<Neighborhood>& hoods,
                const std::vector<bool>& attacked, std::uint64_t seed) override {
     (void)attacked;  // the hostile wire does not spare honest neighborhoods
     auto state = std::make_shared<WireChaosState>(seed);
@@ -195,7 +195,7 @@ class ColludingPairStrategy final : public AdversaryStrategy {
     if (hood.providers.empty()) return {};
     return {hood.providers.front()};
   }
-  void install(net::Simulator& sim, const std::vector<Neighborhood>& hoods,
+  void install(net::Transport& sim, const std::vector<Neighborhood>& hoods,
                const std::vector<bool>& attacked, std::uint64_t seed) override {
     auto state = std::make_shared<WireChaosState>(seed);
     // Only attacked neighborhoods HAVE an accomplice: muting a provider in
@@ -227,7 +227,7 @@ class ReplayRelayStrategy final : public AdversaryStrategy {
   [[nodiscard]] net::SimTime max_replay_lag() const override {
     return kReplayStepUs * 3;  // replays_per_message below
   }
-  void install(net::Simulator& sim, const std::vector<Neighborhood>& hoods,
+  void install(net::Transport& sim, const std::vector<Neighborhood>& hoods,
                const std::vector<bool>& attacked, std::uint64_t seed) override {
     (void)hoods;
     (void)attacked;

@@ -1,8 +1,8 @@
 // Pluggable adversary strategies for the scenario harness.
 //
 // Every strategy drives misbehavior through the SHIPPED machinery — the
-// prover's ProverMisbehavior knobs and wire-level interference via
-// net::Simulator's interceptor hook — never through bespoke test code, so
+// prover's ProverMisbehavior knobs and wire-level interference via the
+// net::Transport interceptor hook — never through bespoke test code, so
 // an attack a strategy mounts can only be caught by the evidence checks
 // the production verifiers actually run. The strategy also states its
 // contract: which ViolationKind(s) must catch the attack (the runner
@@ -17,7 +17,7 @@
 
 #include "core/evidence.h"
 #include "core/min_protocol.h"
-#include "net/simulator.h"
+#include "net/transport.h"
 #include "scenario/topology_gen.h"
 
 namespace pvr::scenario {
@@ -70,7 +70,7 @@ class AdversaryStrategy {
   // anything tied to the attack itself (e.g. muting a colluding verifier)
   // must be scoped to the attacked neighborhoods the runner scores
   // against. Default: none.
-  virtual void install(net::Simulator& sim,
+  virtual void install(net::Transport& sim,
                        const std::vector<Neighborhood>& hoods,
                        const std::vector<bool>& attacked, std::uint64_t seed) {
     (void)sim;

@@ -1,0 +1,809 @@
+#include "scenario/multiprocess.h"
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/evidence.h"
+#include "core/pvr_speaker.h"
+#include "crypto/encoding.h"
+#include "engine/verification_engine.h"
+#include "net/frame.h"
+#include "net/simulator.h"
+
+namespace pvr::scenario {
+
+namespace {
+
+constexpr std::uint8_t kGrantApp = 0;
+constexpr std::uint8_t kGrantTimer = 1;
+constexpr std::uint8_t kGrantDeliver = 2;
+constexpr std::uint8_t kActionSend = 0;
+constexpr std::uint8_t kActionSchedule = 1;
+
+[[nodiscard]] std::pair<net::NodeId, net::NodeId> norm_pair(net::NodeId a,
+                                                            net::NodeId b) {
+  return a < b ? std::pair{a, b} : std::pair{b, a};
+}
+
+// ---------------------------------------------------------------------------
+// Child side: the lockstep transport and grant server.
+// ---------------------------------------------------------------------------
+
+struct SendAction {
+  std::uint64_t cookie = 0;
+  net::NodeId from = 0;
+  net::NodeId to = 0;
+  std::string channel;
+  std::uint32_t payload_size = 0;
+};
+
+struct ScheduleAction {
+  net::SimTime at = 0;
+  std::uint64_t timer_id = 0;
+};
+
+struct Action {
+  bool is_send = false;
+  SendAction send;
+  ScheduleAction schedule;
+};
+
+// The node-process message plane. Executes ONLY inside a conductor grant:
+// now() is the granted event time, send() relays real bytes to the owning
+// peer process (or buffers locally) and RECORDS the send so the conductor
+// can mirror it as a placeholder, schedule() parks the closure until the
+// conductor grants the timer.
+class LockstepTransport final : public net::Transport {
+ public:
+  LockstepTransport(const WorldPlan& plan, std::size_t process_index,
+                    std::size_t processes)
+      : plan_(&plan), process_index_(process_index), processes_(processes) {
+    for (const PlannedLink& link : plan.links) {
+      links_.insert(norm_pair(link.a, link.b));
+      adjacency_[link.a].push_back(link.b);
+      adjacency_[link.b].push_back(link.a);
+    }
+  }
+
+  // Peer relay hookup (owned by the grant server loop).
+  std::function<void(std::size_t owner, std::uint64_t cookie,
+                     const net::Message& message)>
+      relay;
+
+  void begin_grant(net::SimTime at) {
+    now_ = at;
+    actions_.clear();
+  }
+  [[nodiscard]] const std::vector<Action>& actions() const noexcept {
+    return actions_;
+  }
+  [[nodiscard]] std::map<std::uint64_t, net::Message>& local_buffer() noexcept {
+    return buffer_;
+  }
+  [[nodiscard]] std::function<void()> take_timer(std::uint64_t id) {
+    const auto it = timers_.find(id);
+    if (it == timers_.end()) {
+      throw std::runtime_error("lockstep: grant for unknown timer");
+    }
+    std::function<void()> fn = std::move(it->second);
+    timers_.erase(it);
+    return fn;
+  }
+
+  [[nodiscard]] std::string_view backend_name() const noexcept override {
+    return "lockstep";
+  }
+
+  void send(net::Message message) override {
+    if (!links_.contains(norm_pair(message.from, message.to))) {
+      throw std::logic_error("LockstepTransport::send: no link between nodes");
+    }
+    const std::uint64_t cookie =
+        (static_cast<std::uint64_t>(process_index_ + 1) << 40) |
+        next_cookie_++;
+    actions_.push_back(Action{
+        .is_send = true,
+        .send = SendAction{
+            .cookie = cookie,
+            .from = message.from,
+            .to = message.to,
+            .channel = message.channel,
+            .payload_size = static_cast<std::uint32_t>(message.payload.size())},
+        .schedule = {}});
+    const std::size_t owner = owner_of(*plan_, message.to, processes_);
+    if (owner == process_index_) {
+      buffer_.emplace(cookie, std::move(message));
+    } else {
+      relay(owner, cookie, message);
+    }
+  }
+
+  [[nodiscard]] bool connected(net::NodeId a, net::NodeId b) const override {
+    return links_.contains(norm_pair(a, b));
+  }
+  [[nodiscard]] std::vector<net::NodeId> neighbors_of(
+      net::NodeId id) const override {
+    const auto it = adjacency_.find(id);
+    return it == adjacency_.end() ? std::vector<net::NodeId>{} : it->second;
+  }
+  void set_interceptor(net::Interceptor interceptor) override {
+    if (interceptor) {
+      throw std::logic_error(
+          "LockstepTransport: interception runs on the conductor");
+    }
+  }
+  [[nodiscard]] net::SimTime now() const override { return now_; }
+  void schedule(net::SimTime at, std::function<void()> fn) override {
+    const std::uint64_t id = next_timer_++;
+    timers_.emplace(id, std::move(fn));
+    actions_.push_back(Action{
+        .is_send = false,
+        .send = {},
+        .schedule = ScheduleAction{.at = at, .timer_id = id}});
+  }
+  void schedule_periodic(net::SimTime interval,
+                         std::function<void()> fn) override {
+    (void)interval;
+    (void)fn;
+    throw std::logic_error("LockstepTransport: periodic tasks unsupported");
+  }
+  [[nodiscard]] const net::SimStats& stats() const override { return stats_; }
+  void set_trace(net::MessageTrace* trace) override { (void)trace; }
+
+ private:
+  const WorldPlan* plan_;
+  std::size_t process_index_;
+  std::size_t processes_;
+  std::set<std::pair<net::NodeId, net::NodeId>> links_;
+  std::map<net::NodeId, std::vector<net::NodeId>> adjacency_;
+  net::SimTime now_ = 0;
+  std::vector<Action> actions_;
+  std::map<std::uint64_t, std::function<void()>> timers_;
+  std::uint64_t next_timer_ = 1;
+  std::uint64_t next_cookie_ = 1;
+  std::map<std::uint64_t, net::Message> buffer_;  // cookies owned locally
+  net::SimStats stats_;  // empty: the conductor's simulator keeps the books
+};
+
+struct LocalVerifier {
+  std::size_t hood = 0;
+  std::size_t verifier_index = 0;
+  core::PvrNode* node = nullptr;
+};
+
+struct LocalProver {
+  std::size_t hood = 0;
+  core::PvrNode* node = nullptr;
+};
+
+}  // namespace
+
+std::size_t owner_of(const WorldPlan& plan, bgp::AsNumber asn,
+                     std::size_t processes) {
+  const auto it = std::lower_bound(plan.participants.begin(),
+                                   plan.participants.end(), asn);
+  if (it == plan.participants.end() || *it != asn) {
+    throw std::invalid_argument("owner_of: unknown participant");
+  }
+  return static_cast<std::size_t>(it - plan.participants.begin()) % processes;
+}
+
+int run_node_process(const std::string& scenario, std::uint64_t seed,
+                     std::size_t rounds, std::size_t process_index,
+                     std::size_t processes, std::uint16_t control_port) {
+  const ScenarioSpec spec = named_scenario(scenario, seed, rounds);
+  const WorldPlan plan = plan_world(spec);
+
+  // Data plane: listen for higher-index peers, dial lower-index ones.
+  std::uint16_t data_port = 0;
+  const int data_listen = net::listen_loopback(data_port);
+
+  net::FrameConn control(net::connect_loopback(control_port));
+  {
+    crypto::ByteWriter hello;
+    hello.put_u32(static_cast<std::uint32_t>(process_index));
+    hello.put_u16(data_port);
+    control.append(net::kFrameHello, hello.data());
+    if (!control.flush_all()) return 2;
+  }
+
+  std::uint8_t type = 0;
+  std::vector<std::uint8_t> body;
+  if (!control.read_one_frame(type, body) || type != net::kFramePeers) {
+    return 2;
+  }
+  std::map<std::size_t, std::uint16_t> peer_ports;
+  {
+    crypto::ByteReader reader(body);
+    const std::uint32_t count = reader.get_u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::size_t index = reader.get_u32();
+      peer_ports[index] = reader.get_u16();
+    }
+  }
+
+  std::map<std::size_t, std::unique_ptr<net::FrameConn>> peers;
+  for (const auto& [index, port] : peer_ports) {
+    if (index >= process_index) continue;
+    auto conn = std::make_unique<net::FrameConn>(net::connect_loopback(port));
+    crypto::ByteWriter hello;
+    hello.put_u32(static_cast<std::uint32_t>(process_index));
+    conn->append(net::kFrameHello, hello.data());
+    if (!conn->flush_all()) return 2;
+    peers.emplace(index, std::move(conn));
+  }
+  while (peers.size() + 1 < processes) {
+    pollfd pfd{.fd = data_listen, .events = POLLIN, .revents = 0};
+    if (::poll(&pfd, 1, 10'000) < 0 && errno != EINTR) return 2;
+    const int fd = net::accept_connection(data_listen);
+    if (fd < 0) continue;
+    auto conn = std::make_unique<net::FrameConn>(fd);
+    std::uint8_t peer_type = 0;
+    std::vector<std::uint8_t> peer_body;
+    if (!conn->read_one_frame(peer_type, peer_body) ||
+        peer_type != net::kFrameHello) {
+      return 2;
+    }
+    crypto::ByteReader reader(peer_body);
+    peers.emplace(reader.get_u32(), std::move(conn));
+  }
+  control.append(net::kFrameReady, {});
+  if (!control.flush_all()) return 2;
+
+  // Local shard of the world: every participant this process owns.
+  LockstepTransport transport(plan, process_index, processes);
+  std::vector<std::unique_ptr<core::PvrNode>> owned;
+  std::map<net::NodeId, core::PvrNode*> local_nodes;
+  std::vector<LocalVerifier> local_verifiers;
+  std::vector<LocalProver> local_provers;
+  for (std::size_t h = 0; h < plan.hoods.size(); ++h) {
+    const Neighborhood& hood = plan.hoods[h];
+    const auto adopt = [&](bgp::AsNumber asn,
+                           core::PvrRole role) -> core::PvrNode* {
+      if (owner_of(plan, asn, processes) != process_index) return nullptr;
+      owned.push_back(std::make_unique<core::PvrNode>(
+          plan.node_config(spec, h, asn, role)));
+      core::PvrNode* raw = owned.back().get();
+      local_nodes.emplace(asn, raw);
+      return raw;
+    };
+    if (core::PvrNode* prover = adopt(hood.prover, core::PvrRole::kProver)) {
+      local_provers.push_back(LocalProver{.hood = h, .node = prover});
+    }
+    const std::vector<bgp::AsNumber> verifier_asns = hood.verifiers();
+    for (std::size_t v = 0; v < verifier_asns.size(); ++v) {
+      const core::PvrRole role = v + 1 == verifier_asns.size()
+                                     ? core::PvrRole::kRecipient
+                                     : core::PvrRole::kProvider;
+      if (core::PvrNode* node = adopt(verifier_asns[v], role)) {
+        local_verifiers.push_back(
+            LocalVerifier{.hood = h, .verifier_index = v, .node = node});
+      }
+    }
+  }
+
+  // Relayed real messages from peer processes, keyed by cookie. Entries are
+  // kept after delivery so an interceptor-replayed placeholder can be
+  // granted a second time.
+  std::map<std::uint64_t, net::Message> relayed;
+  const auto drain_peer = [&](net::FrameConn& conn) {
+    const bool alive = conn.read_frames(
+        [&](std::uint8_t frame_type, std::span<const std::uint8_t> data) {
+          if (frame_type != net::kFrameMessage) {
+            throw std::runtime_error("lockstep: unexpected peer frame");
+          }
+          crypto::ByteReader reader(data);
+          const std::uint64_t cookie = reader.get_u64();
+          net::Message message = net::decode_message_body(
+              std::span<const std::uint8_t>(data).subspan(8));
+          relayed.emplace(cookie, std::move(message));
+        });
+    if (!alive) throw std::runtime_error("lockstep: peer connection lost");
+  };
+  const auto drain_peers = [&] {
+    for (auto& [index, conn] : peers) drain_peer(*conn);
+  };
+
+  transport.relay = [&](std::size_t owner, std::uint64_t cookie,
+                        const net::Message& message) {
+    crypto::ByteWriter writer;
+    writer.put_u64(cookie);
+    const std::vector<std::uint8_t> encoded =
+        net::encode_message_body(message);
+    writer.put_raw(encoded);
+    peers.at(owner)->append(net::kFrameMessage, writer.data());
+  };
+
+  const auto await_message = [&](std::uint64_t cookie) -> net::Message {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (std::chrono::steady_clock::now() < deadline) {
+      {
+        const auto local = transport.local_buffer().find(cookie);
+        if (local != transport.local_buffer().end()) return local->second;
+      }
+      const auto remote = relayed.find(cookie);
+      if (remote != relayed.end()) return remote->second;
+      std::vector<pollfd> fds;
+      for (const auto& [index, conn] : peers) {
+        fds.push_back(pollfd{.fd = conn->fd(), .events = POLLIN,
+                             .revents = 0});
+      }
+      if (!fds.empty()) (void)::poll(fds.data(), fds.size(), 100);
+      drain_peers();
+    }
+    throw std::runtime_error("lockstep: granted message never arrived");
+  };
+
+  net::MessageTrace shard;
+
+  // NOTE: peer connections are drained only inside await_message — a peer
+  // drops its connections the moment it finishes, and a drain at the loop
+  // top would misread that teardown race as a mid-run failure.
+  while (true) {
+    if (!control.read_one_frame(type, body)) return 2;
+    if (type == net::kFrameGrant) {
+      crypto::ByteReader reader(body);
+      const std::uint8_t kind = reader.get_u8();
+      const net::SimTime at = reader.get_u64();
+      transport.begin_grant(at);
+      if (kind == kGrantApp) {
+        const AppEvent& event = plan.app_events.at(reader.get_u32());
+        core::PvrNode* node = local_nodes.at(event.actor);
+        if (event.is_input) {
+          node->provide_input(
+              transport, event.epoch, event.prefix,
+              provider_route(event.prefix, event.actor, event.route_length));
+        } else {
+          node->start_round(transport, event.epoch, event.prefix);
+        }
+      } else if (kind == kGrantTimer) {
+        transport.take_timer(reader.get_u64())();
+      } else if (kind == kGrantDeliver) {
+        const std::uint64_t cookie = reader.get_u64();
+        const std::uint64_t trace_seq = reader.get_u64();
+        const net::Message message = await_message(cookie);
+        shard.append(net::TraceEntry{
+            .sequence = trace_seq, .at = at, .message = message});
+        local_nodes.at(message.to)->on_message(transport, message);
+      } else {
+        return 2;
+      }
+      // Real bytes first (so a granted delivery can never outrun them),
+      // then the ordered action list back to the conductor.
+      for (auto& [index, conn] : peers) {
+        if (conn->has_pending_out() && !conn->flush_all()) return 2;
+      }
+      crypto::ByteWriter done;
+      done.put_u32(static_cast<std::uint32_t>(transport.actions().size()));
+      for (const Action& action : transport.actions()) {
+        if (action.is_send) {
+          done.put_u8(kActionSend);
+          done.put_u64(action.send.cookie);
+          done.put_u32(action.send.from);
+          done.put_u32(action.send.to);
+          done.put_string(action.send.channel);
+          done.put_u32(action.send.payload_size);
+        } else {
+          done.put_u8(kActionSchedule);
+          done.put_u64(action.schedule.at);
+          done.put_u64(action.schedule.timer_id);
+        }
+      }
+      control.append(net::kFrameDone, done.data());
+      if (!control.flush_all()) return 2;
+      continue;
+    }
+    if (type == net::kFrameFinish) break;
+    return 2;
+  }
+
+  // Offline verification of the local verifier shard, exactly the runner's
+  // loop restricted to locally-owned nodes. Evidence is engine-order
+  // deterministic, so shards concatenate into the monolithic logs.
+  engine::VerificationEngine engine({.workers = spec.workers},
+                                    &plan.keys.directory);
+  for (const RoundArrival& arrival : plan.arrivals) {
+    const core::ProtocolId id{
+        .prover = plan.hoods[arrival.neighborhood].prover,
+        .prefix = arrival.prefix,
+        .epoch = arrival.epoch};
+    for (const LocalVerifier& verifier : local_verifiers) {
+      if (verifier.hood != arrival.neighborhood) continue;
+      (void)engine.submit_node_round(*verifier.node, id);
+    }
+  }
+  const engine::EngineReport drained = engine.drain(/*rethrow_errors=*/false);
+
+  crypto::ByteWriter result;
+  result.put_u64(drained.failed_rounds);
+  result.put_u32(static_cast<std::uint32_t>(local_provers.size()));
+  for (const LocalProver& prover : local_provers) {
+    result.put_u32(plan.hoods[prover.hood].prover);
+    result.put_u64(prover.node->rounds_started());
+    result.put_u64(prover.node->windows_fired());
+  }
+  result.put_u32(static_cast<std::uint32_t>(local_verifiers.size()));
+  for (const LocalVerifier& verifier : local_verifiers) {
+    result.put_u32(static_cast<std::uint32_t>(verifier.hood));
+    result.put_u32(static_cast<std::uint32_t>(verifier.verifier_index));
+    const std::vector<core::Evidence>& log = verifier.node->evidence();
+    result.put_u32(static_cast<std::uint32_t>(log.size()));
+    for (const core::Evidence& item : log) result.put_bytes(item.encode());
+  }
+  result.put_u32(static_cast<std::uint32_t>(shard.entries.size()));
+  for (const net::TraceEntry& entry : shard.entries) {
+    result.put_u64(entry.sequence);
+    result.put_u64(entry.at);
+    result.put_bytes(net::encode_message_body(entry.message));
+  }
+  control.append(net::kFrameResult, result.data());
+  if (!control.flush_all()) return 2;
+  ::close(data_listen);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Conductor side.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Conductor;
+
+// Conductor-side stand-in for a remote node: a placeholder delivery means
+// "the real message may now be delivered at its owner".
+class ProxyNode final : public net::Node {
+ public:
+  explicit ProxyNode(Conductor* conductor) noexcept : conductor_(conductor) {}
+  void on_message(net::Transport& transport,
+                  const net::Message& message) override;
+
+ private:
+  Conductor* conductor_;
+};
+
+struct ChildProc {
+  pid_t pid = -1;
+  std::unique_ptr<net::FrameConn> control;
+  std::uint16_t data_port = 0;
+};
+
+class Conductor {
+ public:
+  explicit Conductor(const MultiprocessOptions& options)
+      : options_(options),
+        spec_(named_scenario(options.scenario, options.seed, options.rounds)),
+        plan_(plan_world(spec_)),
+        sim_(spec_.seed) {
+    if (options_.processes < 1) {
+      throw std::invalid_argument("conductor: need at least one process");
+    }
+    if (plan_.adversary->max_replay_lag() > 0) {
+      // Replay re-injects a captured placeholder; the cookie re-grant path
+      // handles it, but it is not exercised by the gated demo — refuse
+      // rather than silently claim parity for it.
+      throw std::invalid_argument(
+          "conductor: replaying adversaries are not supported multiprocess");
+    }
+  }
+
+  MultiprocessResult run();
+
+  void on_placeholder(const net::Message& message) {
+    const std::size_t owner =
+        owner_of(plan_, message.to, options_.processes);
+    crypto::ByteWriter grant;
+    grant.put_u8(kGrantDeliver);
+    grant.put_u64(sim_.now());
+    grant.put_u64(message.cookie);
+    grant.put_u64(next_trace_sequence_++);
+    grant_and_apply(owner, grant.data());
+  }
+
+ private:
+  void spawn_children(std::uint16_t control_port);
+  void handshake(int control_listen);
+  void grant_and_apply(std::size_t child,
+                       std::span<const std::uint8_t> grant_body);
+  void collect_results(MultiprocessResult& out);
+  void reap_children();
+
+  MultiprocessOptions options_;
+  ScenarioSpec spec_;
+  WorldPlan plan_;
+  net::Simulator sim_;
+  std::vector<ChildProc> children_;
+  std::uint64_t next_trace_sequence_ = 0;
+};
+
+void ProxyNode::on_message(net::Transport& transport,
+                           const net::Message& message) {
+  (void)transport;
+  conductor_->on_placeholder(message);
+}
+
+void Conductor::spawn_children(std::uint16_t control_port) {
+  children_.resize(options_.processes);
+  for (std::size_t i = 0; i < options_.processes; ++i) {
+    const pid_t pid = ::fork();
+    if (pid < 0) throw std::runtime_error("conductor: fork failed");
+    if (pid == 0) {
+      char seed[32], rounds[32], index[32], procs[32], port[32];
+      std::snprintf(seed, sizeof(seed), "%llu",
+                    static_cast<unsigned long long>(options_.seed));
+      std::snprintf(rounds, sizeof(rounds), "%zu", options_.rounds);
+      std::snprintf(index, sizeof(index), "%zu", i);
+      std::snprintf(procs, sizeof(procs), "%zu", options_.processes);
+      std::snprintf(port, sizeof(port), "%u", control_port);
+      ::execl(options_.self_exe.c_str(), options_.self_exe.c_str(), "--node",
+              options_.scenario.c_str(), seed, rounds, index, procs, port,
+              static_cast<char*>(nullptr));
+      ::_exit(127);  // exec failed
+    }
+    children_[i].pid = pid;
+  }
+}
+
+void Conductor::handshake(int control_listen) {
+  std::size_t connected = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (connected < options_.processes) {
+    if (std::chrono::steady_clock::now() > deadline) {
+      throw std::runtime_error("conductor: children did not connect");
+    }
+    pollfd pfd{.fd = control_listen, .events = POLLIN, .revents = 0};
+    if (::poll(&pfd, 1, 1000) < 0 && errno != EINTR) {
+      throw std::runtime_error("conductor: poll failed");
+    }
+    const int fd = net::accept_connection(control_listen);
+    if (fd < 0) continue;
+    auto conn = std::make_unique<net::FrameConn>(fd);
+    std::uint8_t type = 0;
+    std::vector<std::uint8_t> body;
+    if (!conn->read_one_frame(type, body) || type != net::kFrameHello) {
+      throw std::runtime_error("conductor: bad child hello");
+    }
+    crypto::ByteReader reader(body);
+    const std::size_t index = reader.get_u32();
+    children_.at(index).control = std::move(conn);
+    children_[index].data_port = reader.get_u16();
+    connected += 1;
+  }
+  // Everyone is in: publish the peer table, await readiness.
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    crypto::ByteWriter peers;
+    peers.put_u32(static_cast<std::uint32_t>(children_.size() - 1));
+    for (std::size_t j = 0; j < children_.size(); ++j) {
+      if (j == i) continue;
+      peers.put_u32(static_cast<std::uint32_t>(j));
+      peers.put_u16(children_[j].data_port);
+    }
+    children_[i].control->append(net::kFramePeers, peers.data());
+    if (!children_[i].control->flush_all()) {
+      throw std::runtime_error("conductor: child hung up");
+    }
+  }
+  for (ChildProc& child : children_) {
+    std::uint8_t type = 0;
+    std::vector<std::uint8_t> body;
+    if (!child.control->read_one_frame(type, body) ||
+        type != net::kFrameReady) {
+      throw std::runtime_error("conductor: child failed to become ready");
+    }
+  }
+}
+
+void Conductor::grant_and_apply(std::size_t child,
+                                std::span<const std::uint8_t> grant_body) {
+  net::FrameConn& control = *children_.at(child).control;
+  control.append(net::kFrameGrant, grant_body);
+  if (!control.flush_all()) {
+    throw std::runtime_error("conductor: child hung up mid-grant");
+  }
+  std::uint8_t type = 0;
+  std::vector<std::uint8_t> body;
+  if (!control.read_one_frame(type, body) || type != net::kFrameDone) {
+    throw std::runtime_error("conductor: missing done reply");
+  }
+  // Mirror the child's actions into the deterministic queue, in execution
+  // order — this is what pins sequence parity with the monolithic run.
+  crypto::ByteReader reader(body);
+  const std::uint32_t count = reader.get_u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint8_t kind = reader.get_u8();
+    if (kind == kActionSend) {
+      net::Message placeholder;
+      placeholder.cookie = reader.get_u64();
+      placeholder.from = reader.get_u32();
+      placeholder.to = reader.get_u32();
+      placeholder.channel = reader.get_string();
+      placeholder.payload.resize(reader.get_u32());  // size-true, zero-filled
+      sim_.send(std::move(placeholder));
+    } else if (kind == kActionSchedule) {
+      const net::SimTime at = reader.get_u64();
+      const std::uint64_t timer_id = reader.get_u64();
+      sim_.schedule(at, [this, child, timer_id] {
+        crypto::ByteWriter grant;
+        grant.put_u8(kGrantTimer);
+        grant.put_u64(sim_.now());
+        grant.put_u64(timer_id);
+        grant_and_apply(child, grant.data());
+      });
+    } else {
+      throw std::runtime_error("conductor: malformed action");
+    }
+  }
+}
+
+void Conductor::collect_results(MultiprocessResult& out) {
+  std::map<std::pair<std::size_t, std::size_t>, std::vector<core::Evidence>>
+      evidence;
+  for (std::size_t h = 0; h < plan_.hoods.size(); ++h) {
+    const std::size_t verifiers = plan_.hoods[h].verifiers().size();
+    for (std::size_t v = 0; v < verifiers; ++v) evidence[{h, v}];
+  }
+  std::map<net::NodeId, net::TraceProverMeta> provers;
+
+  for (ChildProc& child : children_) {
+    child.control->append(net::kFrameFinish, {});
+    if (!child.control->flush_all()) {
+      throw std::runtime_error("conductor: child hung up at finish");
+    }
+  }
+  for (ChildProc& child : children_) {
+    std::uint8_t type = 0;
+    std::vector<std::uint8_t> body;
+    if (!child.control->read_one_frame(type, body) ||
+        type != net::kFrameResult) {
+      throw std::runtime_error("conductor: missing result");
+    }
+    crypto::ByteReader reader(body);
+    out.report.verify_failures += reader.get_u64();
+    const std::uint32_t prover_count = reader.get_u32();
+    for (std::uint32_t i = 0; i < prover_count; ++i) {
+      net::TraceProverMeta meta;
+      meta.node = reader.get_u32();
+      meta.rounds_started = reader.get_u64();
+      meta.windows_fired = reader.get_u64();
+      provers.emplace(meta.node, meta);
+    }
+    const std::uint32_t verifier_count = reader.get_u32();
+    for (std::uint32_t i = 0; i < verifier_count; ++i) {
+      const std::size_t hood = reader.get_u32();
+      const std::size_t index = reader.get_u32();
+      const std::uint32_t items = reader.get_u32();
+      std::vector<core::Evidence>& log = evidence.at({hood, index});
+      for (std::uint32_t item = 0; item < items; ++item) {
+        log.push_back(core::Evidence::decode(reader.get_bytes()));
+      }
+    }
+    const std::uint32_t entry_count = reader.get_u32();
+    for (std::uint32_t i = 0; i < entry_count; ++i) {
+      net::TraceEntry entry;
+      entry.sequence = reader.get_u64();
+      entry.at = reader.get_u64();
+      entry.message = net::decode_message_body(reader.get_bytes());
+      out.trace.append(std::move(entry));
+    }
+  }
+  out.trace.sort_by_sequence();
+  out.trace.scenario = spec_.name;
+  out.trace.seed = spec_.seed;
+  out.trace.backend = "multiprocess";
+  out.trace.stats = sim_.stats();
+  for (const auto& [node, meta] : provers) out.trace.provers.push_back(meta);
+
+  // Score and account exactly like the monolithic runner.
+  out.report.scenario = spec_.name;
+  out.report.adversary = spec_.adversary;
+  out.report.seed = spec_.seed;
+  out.report.workers = spec_.workers;
+  out.report.online = false;
+  out.report.as_count = plan_.topology.graph.as_count();
+  out.report.neighborhoods = plan_.hoods.size();
+  out.report.pvr_nodes = plan_.participants.size();
+  for (const auto& [node, meta] : provers) {
+    out.report.rounds_started += meta.rounds_started;
+    out.report.windows_fired += meta.windows_fired;
+  }
+  out.report.coalesced = out.report.windows_fired < out.report.rounds_started;
+  out.report.drain_batches = 1;
+  out.report.hw_threads = std::thread::hardware_concurrency();
+  score_evidence(plan_,
+                 [&evidence](std::size_t h, std::size_t v)
+                     -> const std::vector<core::Evidence>& {
+                   return evidence.at({h, v});
+                 },
+                 out.report);
+  fill_byte_accounting(sim_.stats(), out.report);
+}
+
+void Conductor::reap_children() {
+  for (ChildProc& child : children_) {
+    if (child.pid <= 0) continue;
+    int status = 0;
+    (void)::waitpid(child.pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      throw std::runtime_error("conductor: node process failed");
+    }
+  }
+}
+
+MultiprocessResult Conductor::run() {
+  std::uint16_t control_port = 0;
+  const int control_listen = net::listen_loopback(control_port);
+  spawn_children(control_port);
+  try {
+    handshake(control_listen);
+
+    // The conductor's deterministic world: proxies, the planned links, the
+    // adversary's wire hook, and the planned app schedule as grants.
+    for (const bgp::AsNumber asn : plan_.participants) {
+      sim_.add_node(asn, std::make_unique<ProxyNode>(this));
+    }
+    for (const PlannedLink& link : plan_.links) {
+      sim_.connect(link.a, link.b, link.config);
+    }
+    plan_.adversary->install(sim_.transport(), plan_.hoods, plan_.attacked,
+                             spec_.seed);
+    for (std::size_t k = 0; k < plan_.app_events.size(); ++k) {
+      const AppEvent& event = plan_.app_events[k];
+      const std::size_t owner =
+          owner_of(plan_, event.actor, options_.processes);
+      sim_.schedule(event.at, [this, owner, k] {
+        crypto::ByteWriter grant;
+        grant.put_u8(kGrantApp);
+        grant.put_u64(sim_.now());
+        grant.put_u32(static_cast<std::uint32_t>(k));
+        grant_and_apply(owner, grant.data());
+      });
+    }
+
+    sim_.run();
+
+    MultiprocessResult result;
+    collect_results(result);
+    reap_children();
+    ::close(control_listen);
+    return result;
+  } catch (...) {
+    for (ChildProc& child : children_) {
+      if (child.pid > 0) {
+        ::kill(child.pid, SIGKILL);
+        int status = 0;
+        (void)::waitpid(child.pid, &status, 0);
+      }
+    }
+    ::close(control_listen);
+    throw;
+  }
+}
+
+}  // namespace
+
+MultiprocessResult run_conductor(const MultiprocessOptions& options) {
+  if (options.self_exe.empty()) {
+    throw std::invalid_argument("run_conductor: self_exe required");
+  }
+  Conductor conductor(options);
+  return conductor.run();
+}
+
+}  // namespace pvr::scenario

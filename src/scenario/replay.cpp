@@ -1,0 +1,200 @@
+#include "scenario/replay.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/evidence.h"
+#include "core/pvr_speaker.h"
+#include "engine/verification_engine.h"
+#include "net/simulator.h"
+#include "scenario/world.h"
+
+namespace pvr::scenario {
+
+namespace {
+
+// The replay message plane: a clock and an event queue (borrowed from a
+// node-less Simulator), with the send side sunk. Every message a replayed
+// node emits was already recorded as a delivery in the trace, so re-sending
+// would double-deliver; connected() == false and empty neighbors_of()
+// additionally keep the gossip relays and escalation fan-outs quiet (their
+// local state transitions — escalation flags, dedup — still happen exactly
+// as in the recorded run, where the sends DID go out and were recorded).
+class ReplayTransport final : public net::Transport {
+ public:
+  explicit ReplayTransport(net::Simulator& clock) noexcept : clock_(&clock) {}
+
+  [[nodiscard]] std::string_view backend_name() const noexcept override {
+    return "replay";
+  }
+  void send(net::Message message) override { (void)message; }
+  [[nodiscard]] bool connected(net::NodeId a, net::NodeId b) const override {
+    (void)a;
+    (void)b;
+    return false;
+  }
+  [[nodiscard]] std::vector<net::NodeId> neighbors_of(
+      net::NodeId id) const override {
+    (void)id;
+    return {};
+  }
+  void set_interceptor(net::Interceptor interceptor) override {
+    (void)interceptor;  // no wire to intercept — trace deliveries are final
+  }
+  [[nodiscard]] net::SimTime now() const override { return clock_->now(); }
+  void schedule(net::SimTime at, std::function<void()> fn) override {
+    clock_->schedule(at, std::move(fn));
+  }
+  void schedule_periodic(net::SimTime interval,
+                         std::function<void()> fn) override {
+    clock_->schedule_periodic(interval, std::move(fn));
+  }
+  [[nodiscard]] const net::SimStats& stats() const override { return stats_; }
+  void set_trace(net::MessageTrace* trace) override { (void)trace; }
+
+ private:
+  net::Simulator* clock_;  // not owned
+  net::SimStats stats_;    // empty: the recorded run's stats travel in the trace
+};
+
+struct ReplayHood {
+  std::vector<core::PvrNode*> providers;  // Neighborhood::providers order
+  std::vector<core::PvrNode*> verifiers;  // Neighborhood::verifiers() order
+};
+
+}  // namespace
+
+ScenarioReport replay_trace(const ScenarioSpec& spec,
+                            const net::MessageTrace& trace,
+                            std::size_t workers) {
+  if (!trace.scenario.empty() &&
+      (trace.scenario != spec.name || trace.seed != spec.seed)) {
+    throw std::invalid_argument(
+        "replay_trace: trace identity does not match the spec");
+  }
+  WorldPlan plan = plan_world(spec);
+
+  ScenarioReport report;
+  report.scenario = spec.name;
+  report.adversary = spec.adversary;
+  report.seed = spec.seed;
+  report.workers = workers;
+  report.online = false;
+  report.as_count = plan.topology.graph.as_count();
+  report.neighborhoods = plan.hoods.size();
+  report.pvr_nodes = plan.participants.size();
+
+  // The Simulator serves purely as clock + ordered event queue here: no
+  // nodes are registered with it and nothing sends through it, so its rng
+  // and stats stay untouched. Events are scheduled in the canonical order
+  // (app inputs first, then trace deliveries in recorded global order), so
+  // its FIFO tiebreak reproduces the recorded same-time ordering.
+  net::Simulator clock(spec.seed);
+  ReplayTransport transport(clock);
+
+  std::vector<std::unique_ptr<core::PvrNode>> owned;
+  std::map<net::NodeId, core::PvrNode*> by_id;
+  std::vector<ReplayHood> hood_nodes(plan.hoods.size());
+  for (std::size_t h = 0; h < plan.hoods.size(); ++h) {
+    const Neighborhood& hood = plan.hoods[h];
+    const auto add_node = [&](bgp::AsNumber asn,
+                              core::PvrRole role) -> core::PvrNode* {
+      owned.push_back(std::make_unique<core::PvrNode>(
+          plan.node_config(spec, h, asn, role)));
+      core::PvrNode* raw = owned.back().get();
+      by_id.emplace(asn, raw);
+      return raw;
+    };
+    (void)add_node(hood.prover, core::PvrRole::kProver);
+    core::PvrNode* recipient =
+        add_node(hood.recipient, core::PvrRole::kRecipient);
+    for (const bgp::AsNumber provider : hood.providers) {
+      hood_nodes[h].providers.push_back(
+          add_node(provider, core::PvrRole::kProvider));
+    }
+    hood_nodes[h].verifiers = hood_nodes[h].providers;
+    hood_nodes[h].verifiers.push_back(recipient);
+  }
+
+  // Provider own-input state: verify-as-provider compares the revealed
+  // input against what the provider itself supplied, so the plan's
+  // provide_input events re-run (their sends are sunk — the prover learns
+  // the input from the trace delivery, exactly like the recorded run).
+  // start_round events deliberately do NOT re-run: the prover's window
+  // machinery would schedule dynamic events that cannot reproduce the
+  // recorded sequence interleaving, and every message it produced is in
+  // the trace already.
+  for (const AppEvent& event : plan.app_events) {
+    if (!event.is_input) continue;
+    core::PvrNode* provider_node =
+        hood_nodes[event.hood].providers[event.provider_index];
+    clock.schedule(event.at, [&transport, provider_node, event] {
+      provider_node->provide_input(
+          transport, event.epoch, event.prefix,
+          provider_route(event.prefix, event.actor, event.route_length));
+    });
+  }
+
+  std::vector<net::TraceEntry> entries = trace.entries;
+  std::sort(entries.begin(), entries.end(),
+            [](const net::TraceEntry& a, const net::TraceEntry& b) {
+              return a.sequence < b.sequence;
+            });
+  for (net::TraceEntry& entry : entries) {
+    if (entry.at < clock.now()) {
+      throw std::invalid_argument("replay_trace: trace timestamps regress");
+    }
+    clock.schedule(entry.at,
+                   [&transport, &by_id, entry = std::move(entry)] {
+                     const auto it = by_id.find(entry.message.to);
+                     if (it != by_id.end()) {
+                       it->second->on_message(transport, entry.message);
+                     }
+                   });
+  }
+
+  clock.run();
+
+  // Offline verification over the planned rounds at the requested worker
+  // count — the engine's evidence is byte-identical at any (DESIGN.md §9).
+  engine::VerificationEngine engine({.workers = workers},
+                                    &plan.keys.directory);
+  for (const RoundArrival& arrival : plan.arrivals) {
+    const core::ProtocolId id{
+        .prover = plan.hoods[arrival.neighborhood].prover,
+        .prefix = arrival.prefix,
+        .epoch = arrival.epoch};
+    for (core::PvrNode* verifier : hood_nodes[arrival.neighborhood].verifiers) {
+      (void)engine.submit_node_round(*verifier, id);
+    }
+  }
+  const engine::EngineReport drained = engine.drain(/*rethrow_errors=*/false);
+  report.verify_failures = drained.failed_rounds;
+  report.drain_batches = 1;
+
+  score_evidence(plan,
+                 [&hood_nodes](std::size_t h, std::size_t v)
+                     -> const std::vector<core::Evidence>& {
+                   return hood_nodes[h].verifiers[v]->evidence();
+                 },
+                 report);
+
+  // Prover counters and wire accounting come from the recorded run — the
+  // replay neither runs prover windows nor re-sends bytes.
+  for (const net::TraceProverMeta& prover : trace.provers) {
+    report.rounds_started += prover.rounds_started;
+    report.windows_fired += prover.windows_fired;
+  }
+  report.coalesced = report.windows_fired < report.rounds_started;
+  fill_byte_accounting(trace.stats, report);
+
+  report.hw_threads = std::thread::hardware_concurrency();
+  return report;
+}
+
+}  // namespace pvr::scenario

@@ -12,92 +12,21 @@
 #include <thread>
 #include <utility>
 
-#include "core/bundle_aggregation.h"
 #include "core/evidence.h"
 #include "core/pvr_speaker.h"
-#include "crypto/sha256.h"
 #include "engine/verification_engine.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "scenario/world.h"
 
 namespace pvr::scenario {
 
 namespace {
 
-// The runner's link latencies are drawn from [kMinLatency, kMaxLatency);
-// collect_window must exceed kMaxLatency so a provider input sent at the
-// prover's start instant still lands inside the collection window.
-constexpr net::SimTime kMinLatency = 500;
-constexpr net::SimTime kMaxLatency = 1500;
-
 [[nodiscard]] double now_ms() {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
-}
-
-// Evidence is self-contained signed artifacts; recovering which rounds an
-// item covers means decoding them. A bundle/reveal/export names its round
-// exactly; an aggregation root names (prover, epoch) plus every claimed
-// prefix. Decoding failures are expected (each payload matches exactly one
-// schema) and simply contribute nothing.
-void append_covered_rounds(const core::Evidence& item,
-                           std::vector<core::ProtocolId>& out) {
-  for (const core::SignedMessage& message : item.messages) {
-    try {
-      out.push_back(core::CommitmentBundle::decode(message.payload).id);
-      continue;
-    } catch (const std::out_of_range&) {
-    }
-    try {
-      const core::AggregatedBundle root =
-          core::AggregatedBundle::decode(message.payload);
-      for (const bgp::Ipv4Prefix& prefix : root.prefixes) {
-        out.push_back(core::ProtocolId{
-            .prover = root.prover, .prefix = prefix, .epoch = root.epoch});
-      }
-      continue;
-    } catch (const std::out_of_range&) {
-    }
-    try {
-      out.push_back(core::RevealToProvider::decode(message.payload).id);
-      continue;
-    } catch (const std::out_of_range&) {
-    }
-    try {
-      out.push_back(core::RevealToRecipient::decode(message.payload).id);
-      continue;
-    } catch (const std::out_of_range&) {
-    }
-    try {
-      out.push_back(core::ExportStatement::decode(message.payload).id);
-    } catch (const std::out_of_range&) {
-    }
-  }
-}
-
-// Liveness classes are detectable but not third-party provable; everything
-// else must convince the Auditor (audit_failures counts the exceptions).
-[[nodiscard]] bool auditor_provable(core::ViolationKind kind) {
-  return kind != core::ViolationKind::kMissingReveal &&
-         kind != core::ViolationKind::kBadSignature;
-}
-
-[[nodiscard]] bgp::Route provider_route(const bgp::Ipv4Prefix& prefix,
-                                        bgp::AsNumber provider,
-                                        std::size_t length) {
-  std::vector<bgp::AsNumber> hops;
-  hops.push_back(provider);
-  for (std::size_t i = 1; i < length; ++i) {
-    hops.push_back(static_cast<bgp::AsNumber>(60000 + i));
-  }
-  return bgp::Route{.prefix = prefix,
-                    .path = bgp::AsPath(std::move(hops)),
-                    .next_hop = provider,
-                    .local_pref = 100,
-                    .med = 0,
-                    .origin = bgp::Origin::kIgp,
-                    .communities = {}};
 }
 
 // Per-hood node pointers, resolved ONCE at world-build time. The pre-PR-5
@@ -111,40 +40,6 @@ struct HoodNodes {
   std::vector<core::PvrNode*> verifiers;  // Neighborhood::verifiers() order
   std::vector<core::PvrNode*> members;    // prover + verifiers
 };
-
-// Conservative bound on how long after its window closes a round can still
-// be referenced by an in-flight message. After the prover's fan-out (one
-// hop), the signed root floods the verifier mesh (the hop budget bounds
-// each chain), the adversary may re-inject one captured copy after its
-// replay lag (which floods again from a reset hop count), and every root
-// arrival can trigger at most one escalation per verifier, each spreading
-// bundles for another budget-bounded chain. Every hop costs at most the
-// runner's latency ceiling plus the adversary's per-message delay bound.
-// Soundness is enforced empirically: an understated horizon snapshots a
-// round before its last message and breaks the online==offline fingerprint
-// parity the tests and bench gate on.
-[[nodiscard]] net::SimTime settle_horizon_for(const ScenarioSpec& spec,
-                                              const AdversaryStrategy& adversary,
-                                              std::size_t max_verifiers) {
-  const net::SimTime per_hop = kMaxLatency + adversary.max_extra_delay();
-  const net::SimTime chain =
-      static_cast<net::SimTime>(spec.gossip_hop_budget) + 1;
-  const net::SimTime cascades = static_cast<net::SimTime>(max_verifiers) + 2;
-  return per_hop * (chain * cascades + 1) + adversary.max_replay_lag();
-}
-
-// Evenly spreads `fraction` of `count` indices (floor-difference trick):
-// attacked and honest neighborhoods interleave instead of clustering.
-[[nodiscard]] std::vector<bool> spread_attacked(std::size_t count,
-                                                double fraction) {
-  std::vector<bool> attacked(count, false);
-  const double f = std::clamp(fraction, 0.0, 1.0);
-  for (std::size_t i = 0; i < count; ++i) {
-    attacked[i] = static_cast<std::size_t>(static_cast<double>(i + 1) * f) >
-                  static_cast<std::size_t>(static_cast<double>(i) * f);
-  }
-  return attacked;
-}
 
 }  // namespace
 
@@ -197,11 +92,8 @@ std::string ScenarioReport::to_json_line() const {
   return buffer;
 }
 
-ScenarioReport run_scenario(const ScenarioSpec& spec) {
-  if (spec.collect_window <= kMaxLatency) {
-    throw std::invalid_argument(
-        "run_scenario: collect_window must exceed the max link latency");
-  }
+ScenarioReport run_scenario(const ScenarioSpec& spec,
+                            net::MessageTrace* record) {
   if (spec.online && spec.drain_interval_us == 0) {
     throw std::invalid_argument(
         "run_scenario: online mode needs a nonzero drain_interval_us");
@@ -224,78 +116,30 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
   // histogram additionally feeds obs snapshots when hooks are compiled in).
   obs::Histogram settle_hist;
 
-  // 1. Topology and neighborhoods.
-  const GeneratedTopology topology =
-      generate_topology(spec.topology, spec.seed);
-  report.as_count = topology.graph.as_count();
-  const std::vector<Neighborhood> hoods = select_neighborhoods(
-      topology, spec.neighborhoods, spec.min_providers, spec.max_providers);
-  if (hoods.empty()) {
-    throw std::runtime_error(
-        "run_scenario: topology yielded no qualifying neighborhood");
-  }
+  // 1–3. The deterministic world plan: topology, neighborhoods, adversary,
+  // keys, link latencies, and the jittered round schedule — shared with the
+  // trace replayer and the multiprocess conductor, which must re-derive the
+  // identical world (world.h).
+  WorldPlan plan = plan_world(spec);
+  const std::vector<Neighborhood>& hoods = plan.hoods;
+  report.as_count = plan.topology.graph.as_count();
   report.neighborhoods = hoods.size();
-
-  // 2. Adversary plan.
-  const std::unique_ptr<AdversaryStrategy> adversary =
-      make_adversary(spec.adversary);
-  const core::ProverMisbehavior misbehavior = adversary->prover_misbehavior();
-  const std::vector<bool> attacked =
-      spread_attacked(hoods.size(), misbehavior.honest() ? 0.0
-                                                         : spec.attacked_fraction);
-  std::set<bgp::AsNumber> attacked_provers;
-  std::set<bgp::AsNumber> colluders;
-  for (std::size_t h = 0; h < hoods.size(); ++h) {
-    if (!attacked[h]) continue;
-    attacked_provers.insert(hoods[h].prover);
-    for (const bgp::AsNumber colluder : adversary->colluders(hoods[h])) {
-      colluders.insert(colluder);
-    }
-  }
-
-  // 3. Keys for every participant.
-  std::vector<bgp::AsNumber> participants;
-  for (const Neighborhood& hood : hoods) {
-    const std::vector<bgp::AsNumber> members = hood.members();
-    participants.insert(participants.end(), members.begin(), members.end());
-  }
-  std::sort(participants.begin(), participants.end());
-  crypto::Drbg key_rng(spec.seed, "scenario-keys");
-  const core::AsKeyPairs keys =
-      core::generate_keys(participants, key_rng, spec.key_bits);
-  report.pvr_nodes = participants.size();
+  report.pvr_nodes = plan.participants.size();
 
   // 4. World: one PvrNode per participant, star + verifier-mesh links with
-  // jittered latencies. Node pointers are resolved here, once — the
-  // scheduling lambdas, the verification loops, and the scoring pass below
-  // all reuse them instead of re-running a dynamic_cast per event.
+  // the planned jittered latencies. Node pointers are resolved here, once —
+  // the scheduling lambdas, the verification loops, and the scoring pass
+  // below all reuse them instead of re-running a dynamic_cast per event.
   net::Simulator sim(spec.seed);
-  crypto::Drbg link_rng(spec.seed, "scenario-links");
+  net::Transport& transport = sim.transport();
+  if (record != nullptr) sim.set_trace(record);
   std::vector<HoodNodes> hood_nodes(hoods.size());
   for (std::size_t h = 0; h < hoods.size(); ++h) {
     const Neighborhood& hood = hoods[h];
     const auto add_node = [&](bgp::AsNumber asn,
                               core::PvrRole role) -> core::PvrNode* {
-      core::PvrConfig config{
-          .asn = asn,
-          .role = role,
-          .directory = &keys.directory,
-          .private_key = &keys.private_keys.at(asn).priv,
-          .op = core::OperatorKind::kMinimum,
-          .max_len = spec.max_len,
-          .prover = hood.prover,
-          .providers = hood.providers,
-          .recipient = hood.recipient,
-          .collect_window = spec.collect_window,
-          .batch_deadline = spec.batch_deadline,
-          .misbehavior = role == core::PvrRole::kProver && attacked[h]
-                             ? misbehavior
-                             : core::ProverMisbehavior{},
-          .rng_seed = spec.seed,
-          .gossip_hop_budget = spec.gossip_hop_budget,
-          .finalize_chunk_pairs = spec.finalize_chunk_pairs,
-      };
-      auto node = std::make_unique<core::PvrNode>(std::move(config));
+      auto node = std::make_unique<core::PvrNode>(
+          plan.node_config(spec, h, asn, role));
       core::PvrNode* raw = node.get();
       sim.add_node(asn, std::move(node));
       return raw;
@@ -311,49 +155,29 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
     nodes.verifiers.push_back(recipient);
     nodes.members = nodes.verifiers;
     nodes.members.push_back(nodes.prover);
-
-    const auto jittered = [&] {
-      return net::LinkConfig{
-          .latency = kMinLatency + link_rng.uniform(kMaxLatency - kMinLatency)};
-    };
-    const std::vector<bgp::AsNumber> verifiers = hood.verifiers();
-    for (const bgp::AsNumber verifier : verifiers) {
-      sim.connect(hood.prover, verifier, jittered());
-    }
-    for (std::size_t i = 0; i < verifiers.size(); ++i) {
-      for (std::size_t j = i + 1; j < verifiers.size(); ++j) {
-        sim.connect(verifiers[i], verifiers[j], jittered());
-      }
-    }
   }
-  adversary->install(sim, hoods, attacked, spec.seed);
+  for (const PlannedLink& link : plan.links) {
+    sim.connect(link.a, link.b, link.config);
+  }
+  plan.adversary->install(transport, hoods, plan.attacked, spec.seed);
 
-  // 5. Jittered round traffic.
-  const std::vector<RoundArrival> arrivals = generate_arrivals(
-      spec.traffic, hoods.size(), spec.rounds, spec.seed);
-  crypto::Drbg input_rng(spec.seed, "scenario-inputs");
-  for (const RoundArrival& arrival : arrivals) {
-    const Neighborhood& hood = hoods[arrival.neighborhood];
-    const HoodNodes& nodes = hood_nodes[arrival.neighborhood];
-    for (std::size_t p = 0; p < hood.providers.size(); ++p) {
-      const bgp::AsNumber provider = hood.providers[p];
-      core::PvrNode* provider_node = nodes.providers[p];
-      const net::SimTime jitter = spec.traffic.input_jitter_us == 0
-                                      ? 0
-                                      : input_rng.uniform(spec.traffic.input_jitter_us);
-      const std::size_t length = 1 + input_rng.uniform(spec.max_len);
-      sim.schedule(arrival.at + jitter,
-                   [&sim, arrival, provider, provider_node, length] {
+  // 5. Jittered round traffic, scheduled in the plan's canonical order so
+  // same-time events keep their historical sequence tiebreak.
+  for (const AppEvent& event : plan.app_events) {
+    if (event.is_input) {
+      core::PvrNode* provider_node =
+          hood_nodes[event.hood].providers[event.provider_index];
+      sim.schedule(event.at, [&transport, provider_node, event] {
         provider_node->provide_input(
-            sim, arrival.epoch, arrival.prefix,
-            provider_route(arrival.prefix, provider, length));
+            transport, event.epoch, event.prefix,
+            provider_route(event.prefix, event.actor, event.route_length));
+      });
+    } else {
+      core::PvrNode* prover_node = hood_nodes[event.hood].prover;
+      sim.schedule(event.at, [&transport, prover_node, event] {
+        prover_node->start_round(transport, event.epoch, event.prefix);
       });
     }
-    core::PvrNode* prover_node = nodes.prover;
-    sim.schedule(arrival.at + spec.traffic.input_jitter_us,
-                 [&sim, prover_node, arrival] {
-      prover_node->start_round(sim, arrival.epoch, arrival.prefix);
-    });
   }
 
   // 6. Engine-backed verification. Offline: run to quiescence, submit every
@@ -367,7 +191,7 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
   // and CI) instead of silently discarded like the pre-PR-5
   // `(void)engine.drain()` — or, worse, aborting the whole trace.
   engine::VerificationEngine engine({.workers = spec.workers},
-                                    &keys.directory);
+                                    &plan.keys.directory);
   const bool pipelined = spec.online && spec.pipelined;
   double verify_blocked_ms = 0;  // sim-thread wall time spent on verification
   double overlapped_ms = 0;      // fold time that overlapped the simulation
@@ -395,7 +219,7 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
   std::map<std::pair<std::size_t, std::uint64_t>, std::uint64_t>
       epoch_rounds_left;
   if (spec.online) {
-    for (const RoundArrival& arrival : arrivals) {
+    for (const RoundArrival& arrival : plan.arrivals) {
       epoch_rounds_left[{arrival.neighborhood, arrival.epoch}] += 1;
     }
   }
@@ -403,7 +227,7 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
   const net::SimTime settle_horizon =
       spec.settle_horizon_us != 0
           ? spec.settle_horizon_us
-          : settle_horizon_for(spec, *adversary, [&] {
+          : settle_horizon_for(spec, *plan.adversary, [&] {
               std::size_t most = 0;
               for (const Neighborhood& hood : hoods) {
                 most = std::max(most, hood.providers.size() + 1);
@@ -545,7 +369,7 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
     harvest();
   } else {
     const double t_verify = now_ms();
-    for (const RoundArrival& arrival : arrivals) {
+    for (const RoundArrival& arrival : plan.arrivals) {
       const Neighborhood& hood = hoods[arrival.neighborhood];
       const core::ProtocolId id{.prover = hood.prover,
                                 .prefix = arrival.prefix,
@@ -562,64 +386,15 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
   report.pipeline_overlap_ratio =
       fold_window_ms > 0 ? overlapped_ms / fold_window_ms : 0.0;
 
-  // 7. Score.
-  const core::Auditor auditor(&keys.directory);
-  const std::vector<core::ViolationKind> expected =
-      adversary->expected_kinds();
-  std::set<core::ProtocolId> attacked_rounds;
-  for (const RoundArrival& arrival : arrivals) {
-    const Neighborhood& hood = hoods[arrival.neighborhood];
-    if (!attacked_provers.contains(hood.prover)) continue;
-    attacked_rounds.insert(core::ProtocolId{.prover = hood.prover,
-                                            .prefix = arrival.prefix,
-                                            .epoch = arrival.epoch});
-  }
-
-  std::set<core::ProtocolId> detected;
-  crypto::Sha256 evidence_hasher;
-  for (std::size_t h = 0; h < hoods.size(); ++h) {
-    const std::vector<bgp::AsNumber> verifier_asns = hoods[h].verifiers();
-    for (std::size_t v = 0; v < verifier_asns.size(); ++v) {
-      const bgp::AsNumber verifier = verifier_asns[v];
-      const core::PvrNode& node = *hood_nodes[h].verifiers[v];
-      for (const core::Evidence& item : node.evidence()) {
-        report.evidence_total += 1;
-        // Hash the evidence log IN ORDER (node order, then log order): the
-        // digest pins the application order the two-slot pipeline must
-        // preserve, not just the counts the fingerprint covers.
-        evidence_hasher.update(item.to_string());
-        for (const core::SignedMessage& msg : item.messages) {
-          evidence_hasher.update(
-              std::span<const std::uint8_t>(msg.payload));
-        }
-        if (!attacked_provers.contains(item.accused)) {
-          report.false_evidence += 1;
-          continue;
-        }
-        if (auditor_provable(item.kind) && !auditor.validate(item)) {
-          report.audit_failures += 1;
-        }
-        if (colluders.contains(verifier)) continue;
-        if (std::find(expected.begin(), expected.end(), item.kind) ==
-            expected.end()) {
-          continue;
-        }
-        std::vector<core::ProtocolId> covered;
-        append_covered_rounds(item, covered);
-        for (const core::ProtocolId& id : covered) {
-          if (attacked_rounds.contains(id)) detected.insert(id);
-        }
-      }
-    }
-  }
-  report.evidence_digest = crypto::digest_hex(evidence_hasher.finalize());
-  report.attacked_rounds = attacked_rounds.size();
-  report.detected_rounds = detected.size();
-  report.detection_rate =
-      attacked_rounds.empty()
-          ? 1.0
-          : static_cast<double>(detected.size()) /
-                static_cast<double>(attacked_rounds.size());
+  // 7. Score: the canonical pass shared with replay and the multiprocess
+  // conductor (world.h) — identical evidence logs in identical order must
+  // score identically wherever they were produced.
+  score_evidence(plan,
+                 [&hood_nodes](std::size_t h, std::size_t v)
+                     -> const std::vector<core::Evidence>& {
+                   return hood_nodes[h].verifiers[v]->evidence();
+                 },
+                 report);
 
   for (const HoodNodes& nodes : hood_nodes) {
     report.rounds_started += nodes.prover->rounds_started();
@@ -638,17 +413,25 @@ ScenarioReport run_scenario(const ScenarioSpec& spec) {
   }
   report.coalesced = report.windows_fired < report.rounds_started;
 
-  const net::SimStats& stats = sim.stats();
-  report.bytes_input = stats.channel_group(core::kInputChannel).bytes_sent;
-  // kBundleChannel is a prefix of kBundleAggChannel, kGossipChannel of
-  // kGossipRootChannel: each group covers both wire modes.
-  report.bytes_bundle = stats.channel_group(core::kBundleChannel).bytes_sent;
-  const net::ChannelStats gossip = stats.channel_group(core::kGossipChannel);
-  report.bytes_gossip = gossip.bytes_sent;
-  report.gossip_messages = gossip.messages_sent;
-  report.bytes_reveal_export = stats.channel_group("pvr.reveal").bytes_sent +
-                               stats.channel_group("pvr.export").bytes_sent;
-  report.bytes_total = stats.channel_group("pvr.").bytes_sent;
+  fill_byte_accounting(sim.stats(), report);
+
+  // Finalize the recorded trace: identity, the run's wire stats, and the
+  // per-prover round counters replay_trace() reports instead of replaying
+  // the provers' dynamic window machinery (DESIGN.md §13).
+  if (record != nullptr) {
+    sim.set_trace(nullptr);
+    record->scenario = spec.name;
+    record->seed = spec.seed;
+    record->backend = "sim";
+    record->stats = sim.stats();
+    record->provers.clear();
+    for (std::size_t h = 0; h < hoods.size(); ++h) {
+      record->provers.push_back(net::TraceProverMeta{
+          .node = hoods[h].prover,
+          .rounds_started = hood_nodes[h].prover->rounds_started(),
+          .windows_fired = hood_nodes[h].prover->windows_fired()});
+    }
+  }
 
   report.p50_settle_us = settle_hist.quantile(0.5);
   report.p99_settle_us = settle_hist.quantile(0.99);

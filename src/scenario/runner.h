@@ -23,6 +23,7 @@
 #include <string_view>
 #include <vector>
 
+#include "net/message_trace.h"
 #include "scenario/adversary.h"
 #include "scenario/topology_gen.h"
 #include "scenario/traffic.h"
@@ -178,7 +179,13 @@ struct ScenarioReport {
 // generated topology cannot supply a single qualifying neighborhood, and
 // std::invalid_argument on specs whose timing cannot work (collect_window
 // must exceed the max link latency or inputs could miss their windows).
-[[nodiscard]] ScenarioReport run_scenario(const ScenarioSpec& spec);
+//
+// When `record` is non-null, the run additionally records its ordered
+// delivery trace (plus wire stats and prover counters) into it — the
+// artifact scenario::replay_trace() re-verifies to an identical
+// fingerprint (DESIGN.md §13).
+[[nodiscard]] ScenarioReport run_scenario(const ScenarioSpec& spec,
+                                          net::MessageTrace* record = nullptr);
 
 // Named presets — the scenario matrix bench_scenarios and CI sweep.
 // "equivocation_storm", "batch_split_evasion", "drop_replay_chaos".

@@ -1,0 +1,112 @@
+// The deterministic world plan shared by every scenario entry point.
+//
+// run_scenario (runner.cpp), the trace replayer (replay.h), and the
+// multiprocess conductor/participants (multiprocess.h) must all construct
+// the SAME world from a ScenarioSpec: same topology, same neighborhoods,
+// same keys, same link latencies, same jittered arrival schedule — or the
+// fingerprint parity the transport work is gated on would be vacuous.
+// plan_world() is that single derivation: a pure function of the spec
+// (every DRBG stream it consumes is seeded from spec.seed with a fixed
+// personalization string), producing a value two processes can re-derive
+// independently and agree on byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/pvr_speaker.h"
+#include "scenario/runner.h"
+
+namespace pvr::scenario {
+
+// The runner's link latencies are drawn from [kMinScenarioLatency,
+// kMaxScenarioLatency); collect_window must exceed the ceiling so a
+// provider input sent at the prover's start instant still lands inside the
+// collection window.
+inline constexpr net::SimTime kMinScenarioLatency = 500;
+inline constexpr net::SimTime kMaxScenarioLatency = 1500;
+
+struct PlannedLink {
+  bgp::AsNumber a = 0;
+  bgp::AsNumber b = 0;
+  net::LinkConfig config;
+};
+
+// One harness-driven protocol action: a provider's provide_input or the
+// prover's start_round, with every jitter/length draw already materialized
+// so two processes schedule identical closures at identical times. The
+// vector order IS the runner's historical scheduling order (per arrival:
+// each provider's input, then the prover start), which pins the simulator
+// event-sequence tiebreak for same-time events.
+struct AppEvent {
+  net::SimTime at = 0;
+  bool is_input = false;           // true: provide_input, false: start_round
+  std::size_t hood = 0;
+  std::size_t provider_index = 0;  // inputs: index into hoods[hood].providers
+  bgp::AsNumber actor = 0;         // the provider or prover ASN
+  std::uint64_t epoch = 1;
+  bgp::Ipv4Prefix prefix;
+  std::size_t route_length = 0;    // inputs only
+};
+
+struct WorldPlan {
+  GeneratedTopology topology;
+  std::vector<Neighborhood> hoods;
+  std::unique_ptr<AdversaryStrategy> adversary;
+  core::ProverMisbehavior misbehavior;  // applied to attacked provers
+  std::vector<bool> attacked;           // per hood
+  std::set<bgp::AsNumber> attacked_provers;
+  std::set<bgp::AsNumber> colluders;
+  std::vector<bgp::AsNumber> participants;  // sorted, every hood member
+  core::AsKeyPairs keys;
+  std::vector<PlannedLink> links;
+  std::vector<RoundArrival> arrivals;
+  std::vector<AppEvent> app_events;
+
+  // The PvrConfig the canonical runner builds for `asn` playing `role` in
+  // hoods[hood] — replay and the multiprocess participants construct nodes
+  // from exactly this.
+  [[nodiscard]] core::PvrConfig node_config(const ScenarioSpec& spec,
+                                            std::size_t hood,
+                                            bgp::AsNumber asn,
+                                            core::PvrRole role) const;
+};
+
+// Derives the full plan. Throws like run_scenario: std::invalid_argument
+// on unworkable timing, std::runtime_error when the topology yields no
+// qualifying neighborhood.
+[[nodiscard]] WorldPlan plan_world(const ScenarioSpec& spec);
+
+// The synthetic provider route for a round (path length `length`).
+[[nodiscard]] bgp::Route provider_route(const bgp::Ipv4Prefix& prefix,
+                                        bgp::AsNumber provider,
+                                        std::size_t length);
+
+// Conservative settle-horizon bound (see the runner's derivation comment).
+[[nodiscard]] net::SimTime settle_horizon_for(const ScenarioSpec& spec,
+                                              const AdversaryStrategy& adversary,
+                                              std::size_t max_verifiers);
+
+// Evidence accessor: the log of hoods[hood].verifiers()[verifier_index],
+// however the caller stores it (live node, replayed node, or evidence
+// shipped back from a node process).
+using EvidenceAccessor = std::function<const std::vector<core::Evidence>&(
+    std::size_t hood, std::size_t verifier_index)>;
+
+// The canonical scoring pass: walks every verifier's evidence log in
+// (hood, verifier) order and fills evidence_total / false_evidence /
+// audit_failures / attacked_rounds / detected_rounds / detection_rate /
+// evidence_digest on `report`. Identical logs in identical order produce
+// identical fields — which is how a replayed or distributed run proves it
+// reproduced the canonical one.
+void score_evidence(const WorldPlan& plan, const EvidenceAccessor& evidence_of,
+                    ScenarioReport& report);
+
+// Byte accounting from a stats snapshot — the live simulator's, or the
+// recorded SimStats a MessageTrace carries.
+void fill_byte_accounting(const net::SimStats& stats, ScenarioReport& report);
+
+}  // namespace pvr::scenario

@@ -204,7 +204,7 @@ TEST(MultiPrefixParityTest, ChunkedPairChecksBoundTasksAndFoldIdentically) {
       const core::SignedMessage signed_bundle = core::sign_message(
           id.prover, handles.keys->private_keys.at(id.prover).priv,
           bundle.encode());
-      node.on_message(handles.world->sim,
+      node.on_message(handles.world->sim.transport(),
                       net::Message{.from = id.prover,
                                    .to = kVerifier,
                                    .channel = core::kBundleChannel,

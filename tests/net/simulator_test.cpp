@@ -18,7 +18,7 @@ class Recorder : public Node {
 
   explicit Recorder(bool echo = false) : echo_(echo) {}
 
-  void on_message(Simulator& sim, const Message& message) override {
+  void on_message(Transport& sim, const Message& message) override {
     deliveries_.push_back({sim.now(), message});
     if (echo_) {
       sim.send({.from = message.to,

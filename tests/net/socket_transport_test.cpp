@@ -1,0 +1,179 @@
+// Socket-backend internals: the canonical message-body codec (chunking at
+// the 64 KiB boundary, malformed-input rejection), FrameConn reassembly
+// across partial reads, the disconnect-mid-message contract (a torn
+// trailing frame is discarded, never delivered), and the wall-clock timer
+// wheel.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/socket_transport.h"
+
+namespace pvr::net {
+namespace {
+
+[[nodiscard]] std::vector<std::uint8_t> patterned(std::size_t size) {
+  std::vector<std::uint8_t> out(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    out[i] = static_cast<std::uint8_t>((i * 131) & 0xFF);
+  }
+  return out;
+}
+
+TEST(MessageBodyCodecTest, RoundTripsEveryChunkBoundary) {
+  for (const std::size_t size :
+       {std::size_t{0}, std::size_t{1}, kWireChunkPayload - 1,
+        kWireChunkPayload, kWireChunkPayload + 1, 3 * kWireChunkPayload + 17}) {
+    const Message message{.from = 11,
+                          .to = 22,
+                          .channel = "pvr.bundle",
+                          .payload = patterned(size)};
+    const std::vector<std::uint8_t> body = encode_message_body(message);
+    // The canonical encoding IS the byte-accounting model.
+    EXPECT_EQ(body.size(), message.wire_size()) << "payload size " << size;
+    const Message decoded = decode_message_body(body);
+    EXPECT_EQ(decoded.from, message.from);
+    EXPECT_EQ(decoded.to, message.to);
+    EXPECT_EQ(decoded.channel, message.channel);
+    EXPECT_EQ(decoded.payload, message.payload) << "payload size " << size;
+    EXPECT_EQ(decoded.cookie, 0u);  // never serialized
+  }
+}
+
+TEST(MessageBodyCodecTest, RejectsTruncationAndBadChunkHeaders) {
+  const Message message{.from = 1,
+                        .to = 2,
+                        .channel = "pvr.gossip",
+                        .payload = patterned(kWireChunkPayload + 100)};
+  std::vector<std::uint8_t> body = encode_message_body(message);
+
+  std::vector<std::uint8_t> truncated(body.begin(), body.end() - 1);
+  EXPECT_THROW((void)decode_message_body(truncated), std::out_of_range);
+
+  // Corrupt the second chunk's offset field (right after the first chunk).
+  const std::size_t offset_pos =
+      8 + 2 + message.channel.size() + 4 + kWireChunkPayload;
+  body[offset_pos] ^= 0x01;
+  EXPECT_THROW((void)decode_message_body(body), std::invalid_argument);
+}
+
+TEST(FrameConnTest, ReassemblesFramesAcrossPartialReads) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  FrameConn reader(fds[0]);
+
+  const std::vector<std::uint8_t> body = patterned(300);
+  std::vector<std::uint8_t> wire;
+  const std::uint32_t total = static_cast<std::uint32_t>(1 + body.size());
+  wire.push_back(static_cast<std::uint8_t>(total >> 24));
+  wire.push_back(static_cast<std::uint8_t>(total >> 16));
+  wire.push_back(static_cast<std::uint8_t>(total >> 8));
+  wire.push_back(static_cast<std::uint8_t>(total));
+  wire.push_back(kFrameMessage);
+  wire.insert(wire.end(), body.begin(), body.end());
+
+  std::vector<std::vector<std::uint8_t>> frames;
+  const auto on_frame = [&](std::uint8_t type,
+                            std::span<const std::uint8_t> data) {
+    EXPECT_EQ(type, kFrameMessage);
+    frames.emplace_back(data.begin(), data.end());
+  };
+
+  // Drip the frame in three fragments: no frame until the last byte lands.
+  ASSERT_EQ(::send(fds[1], wire.data(), 10, 0), 10);
+  EXPECT_TRUE(reader.read_frames(on_frame));
+  EXPECT_TRUE(frames.empty());
+  ASSERT_EQ(::send(fds[1], wire.data() + 10, 100, 0), 100);
+  EXPECT_TRUE(reader.read_frames(on_frame));
+  EXPECT_TRUE(frames.empty());
+  const std::size_t rest = wire.size() - 110;
+  ASSERT_EQ(::send(fds[1], wire.data() + 110, rest, 0),
+            static_cast<ssize_t>(rest));
+  EXPECT_TRUE(reader.read_frames(on_frame));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0], body);
+  ::close(fds[1]);
+}
+
+TEST(FrameConnTest, DisconnectMidMessageDiscardsTornFrame) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  FrameConn reader(fds[0]);
+
+  // A complete frame followed by the first half of another, then a close:
+  // the complete one is delivered, the torn one never is.
+  const std::vector<std::uint8_t> first = {0, 0, 0, 2, kFrameHello, 0xAA};
+  const std::vector<std::uint8_t> torn = {0, 0, 1, 0, kFrameMessage, 1, 2, 3};
+  ASSERT_EQ(::send(fds[1], first.data(), first.size(), 0),
+            static_cast<ssize_t>(first.size()));
+  ASSERT_EQ(::send(fds[1], torn.data(), torn.size(), 0),
+            static_cast<ssize_t>(torn.size()));
+  ::close(fds[1]);
+
+  std::size_t delivered = 0;
+  const bool alive =
+      reader.read_frames([&](std::uint8_t type,
+                             std::span<const std::uint8_t> data) {
+        delivered += 1;
+        EXPECT_EQ(type, kFrameHello);
+        ASSERT_EQ(data.size(), 1u);
+        EXPECT_EQ(data[0], 0xAA);
+      });
+  EXPECT_FALSE(alive) << "closed peer must report the connection dead";
+  EXPECT_EQ(delivered, 1u) << "the torn trailing frame must be discarded";
+}
+
+TEST(SocketTransportTest, TimersFireInOrderAndPeriodicsRepeatUntilStop) {
+  SocketTransport transport;
+  std::vector<int> fired;
+  const SimTime base = transport.now();
+  transport.schedule(base + 4000, [&] { fired.push_back(2); });
+  transport.schedule(base + 1000, [&] { fired.push_back(1); });
+  std::size_t ticks = 0;
+  transport.schedule_periodic(2000, [&] {
+    ticks += 1;
+    if (ticks >= 3) transport.stop();
+  });
+  transport.run_for(2'000'000);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], 1);
+  EXPECT_EQ(fired[1], 2);
+  EXPECT_EQ(ticks, 3u) << "periodic must repeat until stop()";
+}
+
+TEST(SocketTransportTest, HelloHandshakePopulatesRoutesAndNeighbors) {
+  struct Sink final : Node {
+    void on_message(Transport&, const Message&) override {}
+  };
+  Sink a_node;
+  Sink b_node;
+  SocketTransport a;
+  SocketTransport b;
+  a.add_node(1, &a_node);
+  b.add_node(2, &b_node);
+  const std::uint16_t port = b.listen(0);
+  a.connect_to(port);
+  for (int i = 0; i < 2000 && !(a.connected(1, 2) && b.connected(1, 2)); ++i) {
+    a.poll_once(1);
+    b.poll_once(1);
+  }
+  ASSERT_TRUE(a.connected(1, 2));
+  ASSERT_TRUE(b.connected(1, 2));
+  EXPECT_EQ(a.neighbors_of(1), std::vector<NodeId>{2});
+  EXPECT_EQ(b.neighbors_of(2), std::vector<NodeId>{1});
+
+  // Abrupt local drop: the peer learns on its next read.
+  a.drop_peer(2);
+  EXPECT_FALSE(a.connected(1, 2));
+  for (int i = 0; i < 2000 && b.connected(1, 2); ++i) b.poll_once(1);
+  EXPECT_FALSE(b.connected(1, 2));
+}
+
+}  // namespace
+}  // namespace pvr::net
