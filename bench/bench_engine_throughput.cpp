@@ -362,6 +362,25 @@ int main(int argc, char** argv) {
               reveals.size() / batch_elapsed,
               valid_single == valid_batch ? "identical" : "DIVERGED!");
 
+  // Crypto profile row (ROADMAP item 3: profile before accelerating).
+  // verifies_per_sec is wall-clock measured over the per-message loop above
+  // so it stays meaningful under -DPVR_OBS=OFF; the quantiles come from the
+  // crypto.* wall histograms and read 0 in that flavor.
+  const obs::HotMetrics& hot = obs::MetricsRegistry::global().hot;
+  std::printf("{\"bench\":\"crypto_profile\",\"seed\":%llu,"
+              "\"verifies_per_sec\":%.1f,\"batched_verifies_per_sec\":%.1f,"
+              "\"rsa_verify_p50_us\":%llu,\"rsa_verify_p99_us\":%llu,"
+              "\"mulmod_p99_us\":%llu,\"hw_threads\":%u}\n",
+              static_cast<unsigned long long>(args.seed),
+              reveals.size() / single_elapsed, reveals.size() / batch_elapsed,
+              static_cast<unsigned long long>(
+                  hot.crypto_rsa_verify_us.quantile(0.5)),
+              static_cast<unsigned long long>(
+                  hot.crypto_rsa_verify_us.quantile(0.99)),
+              static_cast<unsigned long long>(
+                  hot.crypto_mulmod_us.quantile(0.99)),
+              std::thread::hardware_concurrency());
+
   std::printf("{\"bench\":\"engine_throughput\",\"seed\":%llu,\"rounds\":%zu,"
               "\"rounds_per_sec_1w\":%.1f,\"rounds_per_sec_8w\":%.1f,"
               "\"speedup_8v1\":%.2f,"

@@ -192,11 +192,11 @@ struct WireRow {
     for (std::size_t p = 0; p < prefixes.size(); ++p) {
       for (std::size_t i = 0; i < world.providers.size(); ++i) {
         world.node(world.providers[i])
-            .provide_input(world.sim, 1, prefixes[p],
+            .provide_input(world.sim.transport(), 1, prefixes[p],
                            wire_route(2 + (p + i) % 6, world.providers[i],
                                       prefixes[p]));
       }
-      world.node(world.prover).start_round(world.sim, 1, prefixes[p]);
+      world.node(world.prover).start_round(world.sim.transport(), 1, prefixes[p]);
     }
   });
   world.sim.run();

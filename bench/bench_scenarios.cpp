@@ -31,12 +31,14 @@
 // plus a summary line. Exits nonzero when any gate fails.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "bench_common.h"
 #include "obs/trace.h"
+#include "scenario/multiprocess.h"
 #include "scenario/runner.h"
 
 namespace pvr::bench {
@@ -76,6 +78,22 @@ struct ScenarioGate {
 int main(int argc, char** argv) {
   using namespace pvr;
   using namespace pvr::bench;
+
+  // Node-process re-exec path for the multiprocess leg below (the
+  // conductor spawns THIS binary with --node; same verb contract as
+  // example_multiprocess_world). The trailing slot is the per-process
+  // trace base, "-" when tracing is off.
+  if (argc >= 8 && std::strcmp(argv[1], "--node") == 0) {
+    std::string node_trace_base;
+    if (argc >= 9 && std::strcmp(argv[8], "-") != 0) node_trace_base = argv[8];
+    return scenario::run_node_process(
+        argv[2], std::strtoull(argv[3], nullptr, 10),
+        std::strtoull(argv[4], nullptr, 10),
+        std::strtoull(argv[5], nullptr, 10),
+        std::strtoull(argv[6], nullptr, 10),
+        static_cast<std::uint16_t>(std::strtoul(argv[7], nullptr, 10)),
+        node_trace_base);
+  }
 
   // --online-rounds=N sizes the long online trace independently of the
   // offline sweep, so CI can run a focused online smoke leg;
@@ -279,6 +297,58 @@ int main(int argc, char** argv) {
                 report.wall_ms, report.pipeline_overlap_ratio,
                 report.rounds_per_sec);
     all_ok = all_ok && online_ok;
+  }
+
+  // Multiprocess deployment leg (DESIGN.md §14): a short storm run sharded
+  // over 2 node processes + conductor. Gates BOTH parities — the report
+  // fingerprint against the monolithic run, and the merged metrics shards
+  // (conductor delta + every child's) against the single-process run's
+  // SIM-domain metrics fingerprint. The per-rank obs_snapshot rows carry a
+  // "rank" key; the single-process row above keeps its shape.
+  {
+    constexpr std::size_t kMpRounds = 24;
+    constexpr std::size_t kMpProcesses = 2;
+    scenario::MultiprocessOptions mp;
+    mp.scenario = "equivocation_storm";
+    mp.seed = args.seed;
+    mp.rounds = kMpRounds;
+    mp.processes = kMpProcesses;
+    mp.self_exe = argv[0];
+    const scenario::MultiprocessResult distributed =
+        scenario::run_conductor(mp);
+    const scenario::ScenarioReport reference = scenario::run_scenario(
+        scenario::named_scenario(mp.scenario, mp.seed, mp.rounds));
+    const bool fingerprint_parity =
+        distributed.report.fingerprint() == reference.fingerprint();
+    const bool obs_parity = distributed.merged_obs.sim_fingerprint() ==
+                            reference.obs_sim_fingerprint;
+    const bool mp_ok =
+        fingerprint_parity && obs_parity && gates_hold(distributed.report);
+    std::printf("\nmultiprocess leg: %zu rounds over %zu node processes — "
+                "fingerprint %s, obs aggregation %s (%zu stats polls)\n",
+                kMpRounds, kMpProcesses,
+                fingerprint_parity ? "parity" : "DIVERGED",
+                obs_parity ? "parity" : "DIVERGED",
+                distributed.stats_timeline.size());
+    std::printf("{\"bench\":\"scenarios_mp\",\"scenario\":\"%s\","
+                "\"seed\":%llu,\"rounds\":%zu,\"processes\":%zu,"
+                "\"fingerprint_parity\":%s,\"multiprocess_obs_parity\":%s,"
+                "\"stats_polls\":%zu,\"obs_enabled\":%s}\n",
+                mp.scenario.c_str(),
+                static_cast<unsigned long long>(mp.seed), kMpRounds,
+                kMpProcesses, fingerprint_parity ? "true" : "false",
+                obs_parity ? "true" : "false",
+                distributed.stats_timeline.size(),
+                obs::kCompiledIn ? "true" : "false");
+    for (std::size_t rank = 0; rank < distributed.child_obs.size(); ++rank) {
+      std::printf("{\"bench\":\"obs_snapshot\",\"source\":\"multiprocess_"
+                  "rank%zu\",\"rank\":%zu,\"seed\":%llu,\"obs_enabled\":%s,"
+                  "%s}\n",
+                  rank, rank, static_cast<unsigned long long>(mp.seed),
+                  obs::kCompiledIn ? "true" : "false",
+                  distributed.child_obs[rank].to_json_fields().c_str());
+    }
+    all_ok = all_ok && mp_ok;
   }
 
   emit_obs_snapshot("scenarios");

@@ -43,7 +43,19 @@ Rules (exit 1 on any violation):
      the simulator advanced — true on any host, including 1-core
      containers), and when the row reports hw_threads > 1 the measured
      wall_ms must undercut sim_ms + verify_ms (the true-parallelism
-     inequality: pipelining hid verification time behind the simulation).
+     inequality: pipelining hid verification time behind the simulation);
+  9. whenever the fresh run has an engine_throughput row it must also carry
+     the crypto_profile row with a verifies_per_sec field (ROADMAP item
+     3's profile-first gate — a missing row means the crypto profile fell
+     out of the bench), and when the baseline carries one too the fresh
+     verifies_per_sec must not drop more than --max-regression;
+  10. whenever the fresh run has a scenarios sweep it must carry the
+     multiprocess deployment row ({"bench": "scenarios_mp"}), and that row
+     must report fingerprint_parity == true AND
+     multiprocess_obs_parity == true — the distributed run reproduced the
+     monolithic report byte-for-byte and its merged metrics shards
+     reproduced the single-process SIM-domain metrics fingerprint
+     (DESIGN.md §14).
 
 Speedup ratios (speedup_8v1, speedup_8v1_intra, agg_speedup) are gated
 ONLY when BOTH the fresh and baseline engine_throughput rows report
@@ -278,6 +290,49 @@ def main():
             print(f"pipeline wall_ms inequality: skipped "
                   f"(hw_threads == {row.get('hw_threads')!r}); "
                   f"overlap ratio {ratio:.4f} gated instead")
+
+    # 9. Crypto profile: verifies_per_sec must ride along with every
+    # engine_throughput run, and is regression-bounded like the other
+    # wall-clock throughput floors once the baseline carries it.
+    if fresh_engine is not None:
+        fresh_profile = find_bench(fresh, "crypto_profile")
+        if fresh_profile is None or "verifies_per_sec" not in fresh_profile:
+            failures.append(
+                "fresh run has an engine_throughput row but no crypto_profile "
+                "row with verifies_per_sec — the crypto profile fell out of "
+                "the bench (ROADMAP item 3)")
+        else:
+            baseline_profile = find_bench(baseline, "crypto_profile")
+            base_vps = (baseline_profile or {}).get("verifies_per_sec")
+            if base_vps:
+                new_vps = fresh_profile["verifies_per_sec"]
+                floor = base_vps * (1.0 - args.max_regression)
+                verdict = "ok" if new_vps >= floor else "REGRESSION"
+                print(f"verifies_per_sec: baseline {base_vps:.1f} -> fresh "
+                      f"{new_vps:.1f} (floor {floor:.1f}) {verdict}")
+                if new_vps < floor:
+                    failures.append(
+                        f"verifies_per_sec regressed "
+                        f">{args.max_regression:.0%}: "
+                        f"{base_vps:.1f} -> {new_vps:.1f}")
+
+    # 10. Multiprocess deployment parity: the scenarios_mp row must be
+    # present alongside any scenarios sweep, and both parities must hold.
+    mp_rows = [row for row in fresh if row.get("bench") == "scenarios_mp"]
+    if (scenario_rows or gate_rows) and not mp_rows:
+        failures.append("fresh run has a scenarios sweep but no scenarios_mp "
+                        "multiprocess-deployment row (DESIGN.md §14)")
+    for row in mp_rows:
+        label = f"multiprocess scenario {row.get('scenario')!r}"
+        if row.get("fingerprint_parity") is not True:
+            failures.append(
+                f"{label} fingerprint_parity != true — the distributed run "
+                "diverged from the monolithic simulator run")
+        if row.get("multiprocess_obs_parity") is not True:
+            failures.append(
+                f"{label} multiprocess_obs_parity != true — the merged "
+                "metrics shards diverged from the single-process SIM-domain "
+                "fingerprint")
 
     if failures:
         for failure in failures:

@@ -43,10 +43,10 @@ std::vector<core::Evidence> run_world(bool equivocate) {
     const std::vector<std::size_t> lengths = {3, 4, 5, 6};
     for (std::size_t i = 0; i < world.providers.size(); ++i) {
       world.node(world.providers[i])
-          .provide_input(world.sim, 1, handles.prefix,
+          .provide_input(world.sim.transport(), 1, handles.prefix,
                          route_len(lengths[i], world.providers[i], handles.prefix));
     }
-    world.node(world.prover).start_round(world.sim, 1, handles.prefix);
+    world.node(world.prover).start_round(world.sim.transport(), 1, handles.prefix);
   });
   world.sim.run();
 

@@ -9,15 +9,26 @@
 //   2. the merged message trace the conductor collected replays through
 //      scenario::replay_trace (SimTransport machinery) to the same
 //      fingerprint at workers 1, 2, and 8,
-//   3. the attack is fully detected with zero false evidence.
+//   3. the attack is fully detected with zero false evidence,
+//   4. the conductor's merged metrics shards (its own delta + every
+//      child's) reproduce the single-process run's SIM-domain metrics
+//      fingerprint byte for byte (DESIGN.md §14).
 //
 //   ./example_multiprocess_world [--scenario=NAME] [--seed=N]
 //                                [--rounds=N] [--processes=N]
+//                                [--trace-out=BASE] [--obs-out=PATH]
+//
+// --trace-out arms Chrome tracing in every process and stitches the shards
+// into BASE.json; --obs-out appends the machine-readable parity row plus
+// one obs_snapshot row per rank and the polled stats timeline to PATH
+// (the socket-smoke CI artifacts).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "obs/metrics.h"
 #include "scenario/multiprocess.h"
 #include "scenario/replay.h"
 #include "scenario/runner.h"
@@ -27,17 +38,24 @@ int main(int argc, char** argv) {
 
   // Node-process re-exec path (spawned by the conductor, not by hand):
   //   --node <scenario> <seed> <rounds> <index> <processes> <control_port>
+  //          <trace_base|->
+  // The trailing slot carries the per-process trace base ("-" = tracing
+  // off; execl argv cannot carry an empty string).
   if (argc >= 8 && std::strcmp(argv[1], "--node") == 0) {
+    std::string trace_base;
+    if (argc >= 9 && std::strcmp(argv[8], "-") != 0) trace_base = argv[8];
     return scenario::run_node_process(
         argv[2], std::strtoull(argv[3], nullptr, 10),
         std::strtoull(argv[4], nullptr, 10),
         std::strtoull(argv[5], nullptr, 10),
         std::strtoull(argv[6], nullptr, 10),
-        static_cast<std::uint16_t>(std::strtoul(argv[7], nullptr, 10)));
+        static_cast<std::uint16_t>(std::strtoul(argv[7], nullptr, 10)),
+        trace_base);
   }
 
   scenario::MultiprocessOptions options;
   options.self_exe = argv[0];
+  std::string obs_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--scenario=", 11) == 0) {
       options.scenario = argv[i] + 11;
@@ -47,6 +65,10 @@ int main(int argc, char** argv) {
       options.rounds = std::strtoull(argv[i] + 9, nullptr, 10);
     } else if (std::strncmp(argv[i], "--processes=", 12) == 0) {
       options.processes = std::strtoull(argv[i] + 12, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      options.trace_base = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--obs-out=", 10) == 0) {
+      obs_out = argv[i] + 10;
     }
   }
 
@@ -90,6 +112,85 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("  fingerprint parity: distributed == simulated\n");
+
+  // Parity leg 4 (DESIGN.md §14): the merged metrics shards — conductor
+  // delta + every child's — must carry the exact SIM-domain section the
+  // single-process run recorded. Trivially equal (all zeros) under
+  // -DPVR_OBS=OFF, byte-identical counters when compiled in.
+  const bool obs_parity =
+      distributed.merged_obs.sim_fingerprint() == simulated.obs_sim_fingerprint;
+  if (!obs_parity) {
+    std::printf("FAIL: merged obs shards diverge from the single-process "
+                "run\n  sim:  %s\n  dist: %s\n",
+                simulated.obs_sim_fingerprint.c_str(),
+                distributed.merged_obs.sim_fingerprint().c_str());
+    return 1;
+  }
+  std::printf("  obs aggregation parity: %zu shards merged == single-process "
+              "(%zu stats polls)\n",
+              distributed.child_obs.size() + 1,
+              distributed.stats_timeline.size());
+  if (!distributed.merged_trace_path.empty()) {
+    std::printf("  merged trace: %s\n", distributed.merged_trace_path.c_str());
+  }
+
+  // Machine-readable artifact rows (socket-smoke CI): the parity gate row,
+  // one obs_snapshot row per rank, and a per-rank poll summary.
+  if (!obs_out.empty()) {
+    std::FILE* out = std::fopen(obs_out.c_str(), "w");
+    if (out == nullptr) {
+      std::printf("FAIL: cannot open --obs-out=%s\n", obs_out.c_str());
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\"bench\":\"multiprocess_obs\",\"scenario\":\"%s\","
+                 "\"seed\":%llu,\"rounds\":%zu,\"processes\":%zu,"
+                 "\"obs_enabled\":%s,\"multiprocess_obs_parity\":%s,"
+                 "\"stats_polls\":%zu}\n",
+                 options.scenario.c_str(),
+                 static_cast<unsigned long long>(options.seed), options.rounds,
+                 options.processes, obs::kCompiledIn ? "true" : "false",
+                 obs_parity ? "true" : "false",
+                 distributed.stats_timeline.size());
+    std::fprintf(out,
+                 "{\"bench\":\"obs_snapshot\",\"source\":\"multiprocess_"
+                 "merged\",\"seed\":%llu,\"obs_enabled\":%s,%s}\n",
+                 static_cast<unsigned long long>(options.seed),
+                 obs::kCompiledIn ? "true" : "false",
+                 distributed.merged_obs.to_json_fields().c_str());
+    for (std::size_t rank = 0; rank < distributed.child_obs.size(); ++rank) {
+      std::fprintf(out,
+                   "{\"bench\":\"obs_snapshot\",\"source\":\"multiprocess_"
+                   "rank%zu\",\"rank\":%zu,\"seed\":%llu,\"obs_enabled\":%s,"
+                   "%s}\n",
+                   rank, rank, static_cast<unsigned long long>(options.seed),
+                   obs::kCompiledIn ? "true" : "false",
+                   distributed.child_obs[rank].to_json_fields().c_str());
+    }
+    // Per-rank poll summary: how the live gauges moved over the run.
+    for (std::size_t rank = 0; rank < options.processes; ++rank) {
+      std::size_t polls = 0;
+      long long max_open = 0;
+      long long peak_open = 0;
+      unsigned long long last_verifies = 0;
+      unsigned long long last_sent = 0;
+      for (const auto& point : distributed.stats_timeline) {
+        if (point.rank != rank) continue;
+        polls += 1;
+        max_open = std::max<long long>(max_open, point.open_rounds);
+        peak_open = std::max<long long>(peak_open, point.peak_open_rounds);
+        last_verifies = point.rsa_verifies;
+        last_sent = point.messages_sent;
+      }
+      std::fprintf(out,
+                   "{\"bench\":\"obs_stats_poll\",\"rank\":%zu,\"polls\":%zu,"
+                   "\"max_open_rounds\":%lld,\"peak_open_rounds\":%lld,"
+                   "\"rsa_verifies\":%llu,\"messages_sent\":%llu}\n",
+                   rank, polls, max_open, peak_open, last_verifies, last_sent);
+    }
+    std::fclose(out);
+    std::printf("  obs rows: %s\n", obs_out.c_str());
+  }
 
   // Parity leg 2: the collected trace replays through the simulator-side
   // machinery to the same fingerprint at every worker count.

@@ -49,12 +49,12 @@ void run_scenario(const char* title, const core::ProverMisbehavior& misbehavior)
   world.sim.schedule(0, [&] {
     for (std::size_t i = 0; i < world.providers.size(); ++i) {
       world.node(world.providers[i])
-          .provide_input(world.sim, /*epoch=*/1, handles.prefix,
+          .provide_input(world.sim.transport(), /*epoch=*/1, handles.prefix,
                          route_len(lengths[i], world.providers[i], handles.prefix));
       std::printf("  N%zu (AS%u) provides a %zu-hop route\n", i + 1,
                   world.providers[i], lengths[i]);
     }
-    world.node(world.prover).start_round(world.sim, 1, handles.prefix);
+    world.node(world.prover).start_round(world.sim.transport(), 1, handles.prefix);
   });
   world.sim.run();
 

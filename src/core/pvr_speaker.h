@@ -157,20 +157,6 @@ class PvrNode : public net::Node {
   void start_round(net::Transport& sim, std::uint64_t epoch,
                    const bgp::Ipv4Prefix& prefix);
 
-  // Deprecated transitional overloads (kept for one PR cycle so
-  // Simulator-typed call sites compile): forward through the simulator's
-  // canonical SimTransport. Prefer passing `sim.transport()` — or any other
-  // net::Transport — directly.
-  void provide_input(net::Simulator& sim, std::uint64_t epoch,
-                     const bgp::Ipv4Prefix& prefix,
-                     const std::optional<bgp::Route>& route) {
-    provide_input(sim.transport(), epoch, prefix, route);
-  }
-  void start_round(net::Simulator& sim, std::uint64_t epoch,
-                   const bgp::Ipv4Prefix& prefix) {
-    start_round(sim.transport(), epoch, prefix);
-  }
-
   // Verifier-side sequential fallback: runs all checks for round `id` over
   // the messages received so far. Call after the simulator has quiesced.
   // The default path routes through engine::VerificationEngine instead

@@ -286,9 +286,13 @@ Bignum::DivMod Bignum::divmod(const Bignum& divisor) const {
 
 Bignum Bignum::mulmod(const Bignum& rhs, const Bignum& m) const {
   // Counting here also covers powmod, whose square-and-multiply ladder
-  // funnels every modular step through mulmod.
+  // funnels every modular step through mulmod. The timing pair folds away
+  // with the record under -DPVR_OBS=OFF (wall_clock_us is constexpr-0).
   PVR_OBS_COUNT(crypto_mulmod_calls, 1);
-  return (*this * rhs) % m;
+  const std::uint64_t t0 = obs::wall_clock_us();
+  Bignum out = (*this * rhs) % m;
+  PVR_OBS_RECORD(crypto_mulmod_us, obs::wall_clock_us() - t0);
+  return out;
 }
 
 Bignum Bignum::powmod(const Bignum& exponent, const Bignum& m) const {

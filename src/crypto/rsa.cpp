@@ -167,7 +167,9 @@ bool rsa_verify(const RsaPublicKey& key, std::span<const std::uint8_t> message,
   const Bignum s = Bignum::from_bytes_be(signature);
   if (s >= key.n) return false;
   PVR_OBS_COUNT(crypto_rsa_verifies, 1);
+  const std::uint64_t t0 = obs::wall_clock_us();
   const Bignum m = rsa_public_apply(key, s);
+  PVR_OBS_RECORD(crypto_rsa_verify_us, obs::wall_clock_us() - t0);
   std::vector<std::uint8_t> em;
   try {
     em = emsa_pkcs1_v15(message, k);
@@ -195,7 +197,9 @@ std::vector<bool> rsa_verify_batch(const RsaPublicKey& key,
       continue;
     }
     PVR_OBS_COUNT(crypto_rsa_verifies, 1);
+    const std::uint64_t t0 = obs::wall_clock_us();
     out[i] = rsa_public_apply(key, s) == encoded;
+    PVR_OBS_RECORD(crypto_rsa_verify_us, obs::wall_clock_us() - t0);
   }
   return out;
 }

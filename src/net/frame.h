@@ -34,6 +34,15 @@ namespace pvr::net {
 // verbs share one numbering so a connection can carry both.
 inline constexpr std::uint8_t kFrameHello = 1;    // body: u32 node id
 inline constexpr std::uint8_t kFrameMessage = 2;  // body: message encoding
+// Observability sidecar (DESIGN.md §14): a u64 trace-correlation cookie
+// for the kFrameMessage that immediately follows on the same connection.
+// Sent only while tracing is armed; never counted in SimStats byte
+// accounting (only kFrameMessage bodies are wire_size() bytes), so its
+// presence cannot perturb fingerprint parity.
+inline constexpr std::uint8_t kFrameObs = 3;
+// Live introspection: body [u8 kind: 0 request | 1 reply][reply: encoded
+// obs::StatsSample]. Answered by the host's obs::StatsServer.
+inline constexpr std::uint8_t kFrameStats = 4;
 // Multiprocess lockstep control plane (scenario/multiprocess.cpp).
 inline constexpr std::uint8_t kFramePeers = 16;
 inline constexpr std::uint8_t kFrameReady = 17;

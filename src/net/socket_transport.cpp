@@ -10,6 +10,8 @@
 
 #include "crypto/encoding.h"
 #include "net/message_trace.h"
+#include "obs/stats_server.h"
+#include "obs/trace.h"
 
 namespace pvr::net {
 
@@ -140,6 +142,20 @@ void SocketTransport::send(Message message) {
   stats_.bytes_sent += message.wire_size();
   channel_stats.messages_sent += 1;
   channel_stats.bytes_sent += message.wire_size();
+  // Causal span: while tracing is armed, every logical message gets a
+  // process-unique correlation cookie and a flow-start event; the cookie
+  // rides a kFrameObs sidecar to the peer (never the message body, never
+  // the byte accounting), so the delivery end of the arrow can carry the
+  // same id in another process's trace shard.
+  obs::TraceWriter& tracer = obs::TraceWriter::global();
+  if (tracer.active()) {
+    if (message.cookie == 0) {
+      message.cookie = (static_cast<std::uint64_t>(::getpid()) << 32) |
+                       ++next_flow_cookie_;
+    }
+    tracer.flow('s', "msg.flow", "flow", obs::Track::kWall, message.from,
+                now(), message.cookie);
+  }
   InterceptDecision intercept;
   if (interceptor_) intercept = interceptor_(*this, message);
   if (intercept.drop) {
@@ -157,6 +173,11 @@ void SocketTransport::send(Message message) {
     // transmit time is a silent loss, exactly like the wire losing it.
     Conn* target = route(msg.to);
     if (target == nullptr) return;
+    if (msg.cookie != 0 && obs::TraceWriter::global().active()) {
+      crypto::ByteWriter sidecar;
+      sidecar.put_u64(msg.cookie);
+      target->frame->append(kFrameObs, sidecar.data());
+    }
     target->frame->append(kFrameMessage, encode_message_body(msg));
     if (!target->frame->flush()) {
       for (std::size_t i = 0; i < conns_.size(); ++i) {
@@ -183,7 +204,28 @@ void SocketTransport::deliver_local(const Message& message) {
   stats_.messages_delivered += 1;
   stats_.per_channel[message.channel].messages_delivered += 1;
   if (trace_ != nullptr) trace_->record_delivery(now(), message);
+  if (message.cookie != 0) {
+    obs::TraceWriter& tracer = obs::TraceWriter::global();
+    if (tracer.active()) {
+      tracer.flow('f', "msg.flow", "flow", obs::Track::kWall, message.to,
+                  now(), message.cookie);
+    }
+  }
   it->second->on_message(*this, message);
+}
+
+void SocketTransport::request_stats(NodeId peer) {
+  Conn* conn = route(peer);
+  if (conn == nullptr) {
+    throw std::logic_error("SocketTransport::request_stats: no route");
+  }
+  const std::uint8_t kind = 0;  // request
+  conn->frame->append(kFrameStats, std::span<const std::uint8_t>(&kind, 1));
+  conn->frame->flush();
+}
+
+void SocketTransport::set_stats_handler(StatsHandler handler) {
+  stats_handler_ = std::move(handler);
 }
 
 void SocketTransport::handle_frame(Conn& conn, std::uint8_t type,
@@ -200,7 +242,33 @@ void SocketTransport::handle_frame(Conn& conn, std::uint8_t type,
     return;
   }
   if (type == kFrameMessage) {
-    deliver_local(decode_message_body(body));
+    Message message = decode_message_body(body);
+    if (conn.pending_cookie != 0) {
+      message.cookie = std::exchange(conn.pending_cookie, 0);
+    }
+    deliver_local(message);
+    return;
+  }
+  if (type == kFrameObs) {
+    crypto::ByteReader reader(body);
+    conn.pending_cookie = reader.get_u64();
+    return;
+  }
+  if (type == kFrameStats) {
+    crypto::ByteReader reader(body);
+    if (reader.get_u8() == 0) {  // request: answer with our sample
+      if (stats_server_ == nullptr) return;  // no sampler armed: ignore
+      crypto::ByteWriter reply;
+      reply.put_u8(1);
+      reply.put_raw(stats_server_->sample(now(), stats_).encode());
+      conn.frame->append(kFrameStats, reply.data());
+      return;
+    }
+    if (stats_handler_) {
+      const std::vector<std::uint8_t> sample_bytes(body.begin() + 1,
+                                                   body.end());
+      stats_handler_(obs::StatsSample::decode(sample_bytes));
+    }
     return;
   }
   throw std::invalid_argument("SocketTransport: unexpected frame type");

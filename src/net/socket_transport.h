@@ -32,6 +32,11 @@
 #include "net/frame.h"
 #include "net/transport.h"
 
+namespace pvr::obs {
+class StatsServer;
+struct StatsSample;
+}  // namespace pvr::obs
+
 namespace pvr::net {
 
 class SocketTransport final : public Transport {
@@ -73,6 +78,21 @@ class SocketTransport final : public Transport {
   void stop() noexcept { stopped_ = true; }
   [[nodiscard]] bool stopped() const noexcept { return stopped_; }
 
+  // --- live introspection (kFrameStats, DESIGN.md §14) ---
+
+  // Installs the sampler answering inbound kFrameStats requests (borrowed;
+  // nullptr disables). The reply carries the sampler's metrics delta plus
+  // this transport's stats() section.
+  void serve_stats(const obs::StatsServer* server) noexcept {
+    stats_server_ = server;
+  }
+  // Sends a one-frame stats request to `peer` (throws std::logic_error
+  // without a route, like send()). The reply arrives asynchronously via
+  // the handler below.
+  void request_stats(NodeId peer);
+  using StatsHandler = std::function<void(const obs::StatsSample&)>;
+  void set_stats_handler(StatsHandler handler);
+
   // --- Transport interface ---
 
   [[nodiscard]] std::string_view backend_name() const noexcept override {
@@ -93,6 +113,8 @@ class SocketTransport final : public Transport {
     std::unique_ptr<FrameConn> frame;
     std::vector<NodeId> remote_nodes;  // learned from the peer's hello
     bool hello_received = false;
+    // Cookie from a kFrameObs sidecar, consumed by the next kFrameMessage.
+    std::uint64_t pending_cookie = 0;
   };
 
   struct Timer {
@@ -130,6 +152,10 @@ class SocketTransport final : public Transport {
   Interceptor interceptor_;
   SimStats stats_;
   MessageTrace* trace_ = nullptr;
+
+  const obs::StatsServer* stats_server_ = nullptr;
+  StatsHandler stats_handler_;
+  std::uint64_t next_flow_cookie_ = 0;  // low half of allocated cookies
 };
 
 }  // namespace pvr::net

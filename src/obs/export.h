@@ -1,0 +1,47 @@
+// Cross-process observability export (DESIGN.md §14).
+//
+// Two pieces live here, both pure plumbing with no hot-path cost:
+//
+//  * The MetricsSnapshot wire codec + shard algebra (encode/decode/merge/
+//    delta, declared on the struct in metrics.h). Multiprocess children
+//    append their per-run snapshot delta to the kFrameResult control frame
+//    and the conductor merges all shards; because every kSim metric is a
+//    commutative sum over work items and the lockstep deployment executes
+//    exactly the monolithic simulator's work partitioned over processes,
+//    the merged kSim section is byte-identical to the single-process run —
+//    the parity CI gates at 3 and 5 processes.
+//
+//  * merge_traces(): stitches the per-process Chrome trace files (each
+//    child re-opens its own `trace.<pid>.json` after fork) into one
+//    timeline with a named process track per input, preserving the flow
+//    event ids that arrow send -> deliver -> verify across pids.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace pvr::obs {
+
+// Version byte leading every encoded snapshot; bumped on any layout change
+// so a mixed-version deployment fails loudly instead of merging garbage.
+inline constexpr std::uint16_t kSnapshotWireVersion = 1;
+
+// One per-process trace shard to stitch: the file TraceWriter wrote plus
+// the track label ("conductor", "proc0", ...) shown in the merged timeline.
+struct TraceShard {
+  std::string path;
+  std::string label;
+};
+
+// Merge N Chrome trace-event files (as written by TraceWriter) into one.
+// Each shard's events are re-homed onto per-shard pid lanes and labeled
+// with process_name metadata; flow-event ids pass through untouched, so
+// cross-process arrows survive. Returns the number of events merged.
+// Throws std::runtime_error when a shard file cannot be read.
+std::size_t merge_traces(const std::vector<TraceShard>& shards,
+                         const std::string& out_path);
+
+}  // namespace pvr::obs

@@ -103,7 +103,9 @@ constexpr HotScalar kHotScalars[] = {
     {"crypto.rsa_signs", Domain::kSim, &HotMetrics::crypto_rsa_signs},
     {"crypto.rsa_verifies", Domain::kSim, &HotMetrics::crypto_rsa_verifies},
     {"crypto.sig_cache_hits", Domain::kSim, &HotMetrics::crypto_sig_cache_hits},
-    {"engine.drains", Domain::kSim, &HotMetrics::engine_drains},
+    // kSched: one drain per offline run, but one per child process in a
+    // multiprocess deployment — schedule-shaped, so fingerprint-exempt.
+    {"engine.drains", Domain::kSched, &HotMetrics::engine_drains},
     {"engine.rounds_folded", Domain::kSim, &HotMetrics::engine_rounds_folded},
     {"engine.tasks", Domain::kSim, &HotMetrics::engine_tasks},
     {"node.root_epochs_gced", Domain::kSim, &HotMetrics::node_root_epochs_gced},
@@ -115,9 +117,13 @@ constexpr HotScalar kHotScalars[] = {
 };
 
 constexpr HotHist kHotHists[] = {
+    {"crypto.mulmod_us", Domain::kWall, &HotMetrics::crypto_mulmod_us},
+    {"crypto.rsa_verify_us", Domain::kWall, &HotMetrics::crypto_rsa_verify_us},
     {"engine.overlap_us", Domain::kWall, &HotMetrics::engine_overlap_us},
     {"engine.task_us", Domain::kWall, &HotMetrics::engine_task_us},
-    {"scenario.drain_rounds", Domain::kSim, &HotMetrics::scenario_drain_rounds},
+    // kSched: batch sizes depend on how rounds were sharded over processes.
+    {"scenario.drain_rounds", Domain::kSched,
+     &HotMetrics::scenario_drain_rounds},
     {"scenario.settle_us", Domain::kSim, &HotMetrics::scenario_settle_us},
 };
 

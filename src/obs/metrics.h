@@ -184,11 +184,16 @@ namespace detail {
   return detail::steady_now_us();
 }
 
-// Which export section a metric belongs to (DESIGN.md §11): kSim metrics
-// are deterministic functions of the spec and join sim_fingerprint();
-// kWall metrics are host timings and are exported but never gated on
-// determinism.
-enum class Domain : std::uint8_t { kSim, kWall };
+// Which export section a metric belongs to (DESIGN.md §11, §14): kSim
+// metrics are deterministic functions of the spec and join
+// sim_fingerprint(); kWall metrics are host timings and are exported but
+// never gated on determinism. kSched metrics are deterministic for a FIXED
+// execution schedule but depend on how the run was partitioned (drain
+// cadence, process count) — e.g. engine.drains is 1 for a single offline
+// drain but N when N child processes each drain their shard — so they are
+// exported unprefixed like kSim yet excluded from the fingerprint that the
+// distributed-aggregation parity gate compares.
+enum class Domain : std::uint8_t { kSim, kWall, kSched };
 
 // The well-known hot-path metrics, addressable as direct members so the
 // crypto and engine hot paths never pay a name lookup. All are kSim unless
@@ -202,6 +207,8 @@ struct HotMetrics {
   Counter crypto_sig_cache_hits;  // verified-root dedup hits (RSA skipped)
   Counter crypto_mulmod_calls;    // Bignum::mulmod invocations
   Counter crypto_bytes_hashed;    // bytes fed through SHA-256 update()
+  Histogram crypto_rsa_verify_us;  // WALL: per-verify exponentiation time
+  Histogram crypto_mulmod_us;      // WALL: per-mulmod time (item 3 profile)
   // Engine.
   Counter engine_tasks;           // scheduler tasks executed
   Counter engine_drains;          // batches sealed (begin_drain / drain)
@@ -243,6 +250,29 @@ struct MetricsSnapshot {
   // plus count/sum/p50/p99 per histogram. Wall metrics get a "wall_"
   // prefix so consumers can split the sections mechanically.
   [[nodiscard]] std::string to_json_fields() const;
+
+  // Cross-process export (src/obs/export.cpp, DESIGN.md §14). The wire
+  // format is versioned; decode() rejects an unknown version with
+  // std::invalid_argument rather than misparse.
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static MetricsSnapshot decode(const std::uint8_t* data,
+                                              std::size_t size);
+  [[nodiscard]] static MetricsSnapshot decode(
+      const std::vector<std::uint8_t>& bytes) {
+    return decode(bytes.data(), bytes.size());
+  }
+
+  // Commutative, associative shard union: entries with the same name add
+  // (scalars by value, histograms bucketwise); entries unique to either
+  // side carry over. A name carrying different domains on the two sides is
+  // a schema bug and throws std::invalid_argument.
+  void merge(const MetricsSnapshot& other);
+
+  // Counter-style difference `later - earlier` (missing-in-earlier reads
+  // as 0; subtraction saturates at 0): the per-run delta that isolates a
+  // child's grant-loop work from process-lifetime noise like keygen.
+  [[nodiscard]] static MetricsSnapshot delta(const MetricsSnapshot& later,
+                                             const MetricsSnapshot& earlier);
 };
 
 // Registry: the fixed HotMetrics plus dynamically named metrics. Named

@@ -1,0 +1,73 @@
+#include "obs/stats_server.h"
+
+#include <stdexcept>
+
+#include "crypto/encoding.h"
+#include "net/transport.h"
+#include "obs/export.h"
+
+namespace pvr::obs {
+
+namespace {
+// Bumped with kSnapshotWireVersion-style discipline: a sample embeds an
+// encoded MetricsSnapshot, so both versions gate decode.
+constexpr std::uint16_t kStatsWireVersion = 1;
+}  // namespace
+
+std::vector<std::uint8_t> StatsSample::encode() const {
+  crypto::ByteWriter writer;
+  writer.put_u16(kStatsWireVersion);
+  writer.put_u32(rank);
+  writer.put_u64(at_us);
+  writer.put_u64(static_cast<std::uint64_t>(open_rounds));
+  writer.put_u64(static_cast<std::uint64_t>(peak_open_rounds));
+  writer.put_u64(messages_sent);
+  writer.put_u64(messages_delivered);
+  writer.put_u64(messages_dropped);
+  writer.put_u64(bytes_sent);
+  writer.put_bytes(metrics.encode());
+  return writer.take();
+}
+
+StatsSample StatsSample::decode(const std::uint8_t* data, std::size_t size) {
+  crypto::ByteReader reader(std::span<const std::uint8_t>(data, size));
+  const std::uint16_t version = reader.get_u16();
+  if (version != kStatsWireVersion) {
+    throw std::invalid_argument("StatsSample::decode: wire version " +
+                                std::to_string(version) +
+                                " != " + std::to_string(kStatsWireVersion));
+  }
+  StatsSample out;
+  out.rank = reader.get_u32();
+  out.at_us = reader.get_u64();
+  out.open_rounds = static_cast<std::int64_t>(reader.get_u64());
+  out.peak_open_rounds = static_cast<std::int64_t>(reader.get_u64());
+  out.messages_sent = reader.get_u64();
+  out.messages_delivered = reader.get_u64();
+  out.messages_dropped = reader.get_u64();
+  out.bytes_sent = reader.get_u64();
+  const std::vector<std::uint8_t> snapshot_bytes = reader.get_bytes();
+  out.metrics = MetricsSnapshot::decode(snapshot_bytes);
+  return out;
+}
+
+StatsSample StatsServer::sample(std::uint64_t at_us,
+                                const net::SimStats& stats) const {
+  StatsSample out;
+  out.rank = rank_;
+  out.at_us = at_us;
+  if (gauges_) {
+    const Gauges gauges = gauges_();
+    out.open_rounds = gauges.open_rounds;
+    out.peak_open_rounds = gauges.peak_open_rounds;
+  }
+  out.messages_sent = stats.messages_sent;
+  out.messages_delivered = stats.messages_delivered;
+  out.messages_dropped = stats.messages_dropped;
+  out.bytes_sent = stats.bytes_sent;
+  out.metrics =
+      MetricsSnapshot::delta(MetricsRegistry::global().snapshot(), baseline_);
+  return out;
+}
+
+}  // namespace pvr::obs

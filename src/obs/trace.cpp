@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <utility>
@@ -55,8 +57,28 @@ bool TraceWriter::open(std::string path) {
   events_.reserve(4096);
   dropped_.store(0, std::memory_order_relaxed);
   open_wall_ns_.store(steady_ns(), std::memory_order_relaxed);
+  owner_pid_ = static_cast<int>(::getpid());
   active_.store(true, std::memory_order_relaxed);
   return true;
+}
+
+void TraceWriter::maybe_refresh_owner_locked() {
+  const int pid = static_cast<int>(::getpid());
+  if (pid == owner_pid_) return;
+  // Forked child: the buffered events (and the output path) belong to the
+  // parent. Start this process's own shard; the steady-clock epoch from
+  // open() is kept so parent and child timestamps share one x-axis in the
+  // merged timeline.
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+  std::string base = path_;
+  const std::string_view suffix = ".json";
+  if (base.size() >= suffix.size() &&
+      base.compare(base.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    base.resize(base.size() - suffix.size());
+  }
+  path_ = base + "." + std::to_string(pid) + ".json";
+  owner_pid_ = pid;
 }
 
 bool TraceWriter::close() {
@@ -67,6 +89,7 @@ bool TraceWriter::close() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (!active_.load(std::memory_order_relaxed)) return true;
+    maybe_refresh_owner_locked();
     active_.store(false, std::memory_order_relaxed);
     events.swap(events_);
     path.swap(path_);
@@ -103,6 +126,13 @@ bool TraceWriter::close() {
       out += std::to_string(event.dur_us);
     }
     if (event.phase == 'i') out += ",\"s\":\"t\"";  // thread-scoped instant
+    if (event.phase == 's' || event.phase == 't' || event.phase == 'f') {
+      out += ",\"id\":";
+      out += std::to_string(event.flow_id);
+      // bp:"e" binds the finish to the enclosing slice, which the viewers
+      // need to draw the arrow into the delivery span.
+      if (event.phase == 'f') out += ",\"bp\":\"e\"";
+    }
     out += ",\"cat\":\"";
     append_escaped(out, event.category);
     out += "\",\"name\":\"";
@@ -161,9 +191,24 @@ void TraceWriter::instant(const char* name, const char* category, Track track,
              .args_json = std::move(args_json)});
 }
 
+void TraceWriter::flow(char phase, const char* name, const char* category,
+                       Track track, std::uint64_t tid, std::uint64_t ts_us,
+                       std::uint64_t flow_id) {
+  if (!active()) return;
+  push(Event{.name = name,
+             .category = category,
+             .phase = phase,
+             .track = track,
+             .tid = tid,
+             .ts_us = ts_us,
+             .dur_us = 0,
+             .flow_id = flow_id});
+}
+
 void TraceWriter::push(Event event) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (!active_.load(std::memory_order_relaxed)) return;
+  maybe_refresh_owner_locked();
   if (events_.size() >= kMaxEvents) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;

@@ -73,6 +73,15 @@ class TraceWriter {
                std::uint64_t tid, std::uint64_t ts_us,
                std::string args_json = {});
 
+  // A flow event (DESIGN.md §14): phase 's' (start), 't' (step), or 'f'
+  // (finish). Every flow event carrying the same id joins one arrow chain
+  // in the viewer — across files, and therefore across processes once
+  // merge_traces() stitches the shards. The multiprocess plane uses the
+  // per-message 64-bit trace cookie as the id, so one logical message's
+  // send, conductor relay, and delivery become one arrow.
+  void flow(char phase, const char* name, const char* category, Track track,
+            std::uint64_t tid, std::uint64_t ts_us, std::uint64_t flow_id);
+
   // Sim-time helpers: timestamps are simulated µs, lane is caller-chosen.
   void sim_span(const char* name, std::uint64_t lane, std::uint64_t start_us,
                 std::uint64_t end_us, std::string args_json = {}) {
@@ -102,21 +111,29 @@ class TraceWriter {
   struct Event {
     const char* name;      // static-storage strings only
     const char* category;  // static-storage strings only
-    char phase;            // 'X' complete, 'i' instant
+    char phase;            // 'X' complete, 'i' instant, 's'/'t'/'f' flow
     Track track;
     std::uint64_t tid;
     std::uint64_t ts_us;
     std::uint64_t dur_us;
+    std::uint64_t flow_id = 0;  // flow phases only
     std::string args_json;
   };
 
   void push(Event event);
+  // Fork safety: a child inherits the parent's armed writer and buffered
+  // events. On the first record (or close) in a new pid, drop the
+  // inherited buffer and retarget the file to `<base>.<pid>.json`, so a
+  // child never rewrites its parent's trace and every process lands in its
+  // own shard for merge_traces(). Caller holds mutex_.
+  void maybe_refresh_owner_locked();
 
   std::atomic<bool> active_{false};
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::uint64_t> open_wall_ns_{0};  // steady_clock at open()
   mutable std::mutex mutex_;
   std::string path_;
+  int owner_pid_ = 0;  // pid that open()ed (or last adopted) the capture
   std::vector<Event> events_;
 };
 

@@ -24,6 +24,9 @@
 #include "engine/verification_engine.h"
 #include "net/frame.h"
 #include "net/simulator.h"
+#include "obs/export.h"
+#include "obs/stats_server.h"
+#include "obs/trace.h"
 
 namespace pvr::scenario {
 
@@ -116,6 +119,22 @@ class LockstepTransport final : public net::Transport {
     const std::uint64_t cookie =
         (static_cast<std::uint64_t>(process_index_ + 1) << 40) |
         next_cookie_++;
+    // Local byte accounting for live introspection (kFrameStats). The
+    // CONDUCTOR's simulator keeps the authoritative books the report is
+    // scored from; these per-process numbers feed the polled time series.
+    stats_.messages_sent += 1;
+    stats_.bytes_sent += message.wire_size();
+    net::ChannelStats& channel_stats = stats_.per_channel[message.channel];
+    channel_stats.messages_sent += 1;
+    channel_stats.bytes_sent += message.wire_size();
+    // The send half of the cross-process flow arrow: the cookie already
+    // travels to the owning process (it keys the relay), so the delivery
+    // end can emit the matching 'f' in its own trace shard.
+    obs::TraceWriter& tracer = obs::TraceWriter::global();
+    if (tracer.active()) {
+      tracer.flow('s', "msg.flow", "flow", obs::Track::kSim, message.from,
+                  now_, cookie);
+    }
     actions_.push_back(Action{
         .is_send = true,
         .send = SendAction{
@@ -131,6 +150,13 @@ class LockstepTransport final : public net::Transport {
     } else {
       relay(owner, cookie, message);
     }
+  }
+
+  // Called when a granted delivery lands on a local node, completing the
+  // sent/delivered pairing in the polled stats.
+  void note_delivered(const net::Message& message) {
+    stats_.messages_delivered += 1;
+    stats_.per_channel[message.channel].messages_delivered += 1;
   }
 
   [[nodiscard]] bool connected(net::NodeId a, net::NodeId b) const override {
@@ -177,7 +203,9 @@ class LockstepTransport final : public net::Transport {
   std::uint64_t next_timer_ = 1;
   std::uint64_t next_cookie_ = 1;
   std::map<std::uint64_t, net::Message> buffer_;  // cookies owned locally
-  net::SimStats stats_;  // empty: the conductor's simulator keeps the books
+  // This process's shard of the traffic (kFrameStats polls report it); the
+  // conductor's simulator keeps the authoritative report accounting.
+  net::SimStats stats_;
 };
 
 struct LocalVerifier {
@@ -205,7 +233,13 @@ std::size_t owner_of(const WorldPlan& plan, bgp::AsNumber asn,
 
 int run_node_process(const std::string& scenario, std::uint64_t seed,
                      std::size_t rounds, std::size_t process_index,
-                     std::size_t processes, std::uint16_t control_port) {
+                     std::size_t processes, std::uint16_t control_port,
+                     const std::string& trace_base) {
+  std::string trace_path;
+  if (!trace_base.empty()) {
+    trace_path = trace_base + "." + std::to_string(::getpid()) + ".json";
+    if (!obs::TraceWriter::global().open(trace_path)) trace_path.clear();
+  }
   const ScenarioSpec spec = named_scenario(scenario, seed, rounds);
   const WorldPlan plan = plan_world(spec);
 
@@ -352,11 +386,39 @@ int run_node_process(const std::string& scenario, std::uint64_t seed,
 
   net::MessageTrace shard;
 
+  // Observability: the metrics baseline isolates this process's RUN work
+  // (grant handlers + shard verification) from startup noise — plan_world
+  // keygen runs in every process and must not be multiply counted when the
+  // conductor merges the shard deltas. The StatsServer answers the
+  // conductor's kFrameStats polls with live gauges over the local nodes.
+  const obs::MetricsSnapshot obs_baseline =
+      obs::MetricsRegistry::global().snapshot();
+  obs::StatsServer stats_server(static_cast<std::uint32_t>(process_index));
+  stats_server.arm();
+  stats_server.set_gauges([&local_nodes] {
+    obs::StatsServer::Gauges gauges;
+    for (const auto& [asn, node] : local_nodes) {
+      gauges.open_rounds += static_cast<std::int64_t>(node->open_rounds());
+      gauges.peak_open_rounds =
+          std::max(gauges.peak_open_rounds,
+                   static_cast<std::int64_t>(node->peak_open_rounds()));
+    }
+    return gauges;
+  });
+
   // NOTE: peer connections are drained only inside await_message — a peer
   // drops its connections the moment it finishes, and a drain at the loop
   // top would misread that teardown race as a mid-run failure.
   while (true) {
     if (!control.read_one_frame(type, body)) return 2;
+    if (type == net::kFrameStats) {
+      crypto::ByteWriter reply;
+      reply.put_raw(
+          stats_server.sample(transport.now(), transport.stats()).encode());
+      control.append(net::kFrameStats, reply.data());
+      if (!control.flush_all()) return 2;
+      continue;
+    }
     if (type == net::kFrameGrant) {
       crypto::ByteReader reader(body);
       const std::uint8_t kind = reader.get_u8();
@@ -380,6 +442,15 @@ int run_node_process(const std::string& scenario, std::uint64_t seed,
         const net::Message message = await_message(cookie);
         shard.append(net::TraceEntry{
             .sequence = trace_seq, .at = at, .message = message});
+        transport.note_delivered(message);
+        obs::TraceWriter& tracer = obs::TraceWriter::global();
+        if (tracer.active()) {
+          // Anchor slice + finish half of the flow arrow whose 's' lives in
+          // the SENDING process's shard (same cookie).
+          tracer.sim_span("msg.deliver", message.to, at, at);
+          tracer.flow('f', "msg.flow", "flow", obs::Track::kSim, message.to,
+                      at, cookie);
+        }
         local_nodes.at(message.to)->on_message(transport, message);
       } else {
         return 2;
@@ -418,17 +489,21 @@ int run_node_process(const std::string& scenario, std::uint64_t seed,
   // deterministic, so shards concatenate into the monolithic logs.
   engine::VerificationEngine engine({.workers = spec.workers},
                                     &plan.keys.directory);
-  for (const RoundArrival& arrival : plan.arrivals) {
-    const core::ProtocolId id{
-        .prover = plan.hoods[arrival.neighborhood].prover,
-        .prefix = arrival.prefix,
-        .epoch = arrival.epoch};
-    for (const LocalVerifier& verifier : local_verifiers) {
-      if (verifier.hood != arrival.neighborhood) continue;
-      (void)engine.submit_node_round(*verifier.node, id);
+  engine::EngineReport drained;
+  {
+    const obs::TraceSpan verify_span("node.verify_shard", "scenario");
+    for (const RoundArrival& arrival : plan.arrivals) {
+      const core::ProtocolId id{
+          .prover = plan.hoods[arrival.neighborhood].prover,
+          .prefix = arrival.prefix,
+          .epoch = arrival.epoch};
+      for (const LocalVerifier& verifier : local_verifiers) {
+        if (verifier.hood != arrival.neighborhood) continue;
+        (void)engine.submit_node_round(*verifier.node, id);
+      }
     }
+    drained = engine.drain(/*rethrow_errors=*/false);
   }
-  const engine::EngineReport drained = engine.drain(/*rethrow_errors=*/false);
 
   crypto::ByteWriter result;
   result.put_u64(drained.failed_rounds);
@@ -452,6 +527,16 @@ int run_node_process(const std::string& scenario, std::uint64_t seed,
     result.put_u64(entry.at);
     result.put_bytes(net::encode_message_body(entry.message));
   }
+  // Observability shard: the run's metrics delta (conductor merges all
+  // shards) and this process's trace file, flushed before the result frame
+  // so the conductor can stitch immediately after reaping.
+  result.put_bytes(obs::MetricsSnapshot::delta(
+                       obs::MetricsRegistry::global().snapshot(), obs_baseline)
+                       .encode());
+  if (!trace_path.empty() && !obs::TraceWriter::global().close()) {
+    trace_path.clear();
+  }
+  result.put_string(trace_path);
   control.append(net::kFrameResult, result.data());
   if (!control.flush_all()) return 2;
   ::close(data_listen);
@@ -508,6 +593,14 @@ class Conductor {
   void on_placeholder(const net::Message& message) {
     const std::size_t owner =
         owner_of(plan_, message.to, options_.processes);
+    // The relay hop of the flow arrow: send ('s') and delivery ('f') live
+    // in child shards; this step ('t') pins the conductor's grant moment
+    // onto the same cookie chain in the merged timeline.
+    obs::TraceWriter& tracer = obs::TraceWriter::global();
+    if (tracer.active()) {
+      tracer.flow('t', "msg.flow", "flow", obs::Track::kSim, message.to,
+                  sim_.now(), message.cookie);
+    }
     crypto::ByteWriter grant;
     grant.put_u8(kGrantDeliver);
     grant.put_u64(sim_.now());
@@ -521,6 +614,7 @@ class Conductor {
   void handshake(int control_listen);
   void grant_and_apply(std::size_t child,
                        std::span<const std::uint8_t> grant_body);
+  void poll_child_stats(std::size_t child);
   void collect_results(MultiprocessResult& out);
   void reap_children();
 
@@ -530,6 +624,9 @@ class Conductor {
   net::Simulator sim_;
   std::vector<ChildProc> children_;
   std::uint64_t next_trace_sequence_ = 0;
+  obs::MetricsSnapshot obs_baseline_;
+  std::vector<MultiprocessResult::StatsPoint> stats_timeline_;
+  std::vector<std::string> child_trace_paths_;
 };
 
 void ProxyNode::on_message(net::Transport& transport,
@@ -551,9 +648,12 @@ void Conductor::spawn_children(std::uint16_t control_port) {
       std::snprintf(index, sizeof(index), "%zu", i);
       std::snprintf(procs, sizeof(procs), "%zu", options_.processes);
       std::snprintf(port, sizeof(port), "%u", control_port);
+      // "-" = no tracing: argv slots cannot be empty strings.
+      const std::string trace_arg =
+          options_.trace_base.empty() ? "-" : options_.trace_base;
       ::execl(options_.self_exe.c_str(), options_.self_exe.c_str(), "--node",
               options_.scenario.c_str(), seed, rounds, index, procs, port,
-              static_cast<char*>(nullptr));
+              trace_arg.c_str(), static_cast<char*>(nullptr));
       ::_exit(127);  // exec failed
     }
     children_[i].pid = pid;
@@ -650,6 +750,31 @@ void Conductor::grant_and_apply(std::size_t child,
       throw std::runtime_error("conductor: malformed action");
     }
   }
+  if (options_.poll_stats) poll_child_stats(child);
+}
+
+void Conductor::poll_child_stats(std::size_t child) {
+  net::FrameConn& control = *children_.at(child).control;
+  control.append(net::kFrameStats, {});
+  if (!control.flush_all()) {
+    throw std::runtime_error("conductor: child hung up at stats poll");
+  }
+  std::uint8_t type = 0;
+  std::vector<std::uint8_t> body;
+  if (!control.read_one_frame(type, body) || type != net::kFrameStats) {
+    throw std::runtime_error("conductor: missing stats reply");
+  }
+  const obs::StatsSample sample = obs::StatsSample::decode(body);
+  MultiprocessResult::StatsPoint point;
+  point.rank = sample.rank;
+  point.at_us = sample.at_us;
+  point.open_rounds = sample.open_rounds;
+  point.peak_open_rounds = sample.peak_open_rounds;
+  point.messages_sent = sample.messages_sent;
+  for (const auto& entry : sample.metrics.scalars) {
+    if (entry.name == "crypto.rsa_verifies") point.rsa_verifies = entry.value;
+  }
+  stats_timeline_.push_back(point);
 }
 
 void Conductor::collect_results(MultiprocessResult& out) {
@@ -702,6 +827,8 @@ void Conductor::collect_results(MultiprocessResult& out) {
       entry.message = net::decode_message_body(reader.get_bytes());
       out.trace.append(std::move(entry));
     }
+    out.child_obs.push_back(obs::MetricsSnapshot::decode(reader.get_bytes()));
+    child_trace_paths_.push_back(reader.get_string());
   }
   out.trace.sort_by_sequence();
   out.trace.scenario = spec_.name;
@@ -733,6 +860,18 @@ void Conductor::collect_results(MultiprocessResult& out) {
                  },
                  out.report);
   fill_byte_accounting(sim_.stats(), out.report);
+
+  // Cross-process aggregation: the conductor's own run delta (its
+  // simulator drove the schedule and the scoring pass just ran) merged
+  // with every child's shard delta. The kSim section of the merge must
+  // equal the single-process run byte-for-byte — callers gate on it
+  // against ScenarioReport::obs_sim_fingerprint.
+  out.merged_obs = obs::MetricsSnapshot::delta(
+      obs::MetricsRegistry::global().snapshot(), obs_baseline_);
+  for (const obs::MetricsSnapshot& shard : out.child_obs) {
+    out.merged_obs.merge(shard);
+  }
+  out.stats_timeline = std::move(stats_timeline_);
 }
 
 void Conductor::reap_children() {
@@ -751,6 +890,10 @@ MultiprocessResult Conductor::run() {
   const int control_listen = net::listen_loopback(control_port);
   spawn_children(control_port);
   try {
+    if (!options_.trace_base.empty()) {
+      (void)obs::TraceWriter::global().open(options_.trace_base +
+                                            ".conductor.json");
+    }
     handshake(control_listen);
 
     // The conductor's deterministic world: proxies, the planned links, the
@@ -776,12 +919,32 @@ MultiprocessResult Conductor::run() {
       });
     }
 
+    obs_baseline_ = obs::MetricsRegistry::global().snapshot();
     sim_.run();
 
     MultiprocessResult result;
     collect_results(result);
     reap_children();
     ::close(control_listen);
+
+    if (!options_.trace_base.empty()) {
+      std::vector<obs::TraceShard> shards;
+      if (obs::TraceWriter::global().close()) {
+        shards.push_back(obs::TraceShard{
+            .path = options_.trace_base + ".conductor.json",
+            .label = "conductor"});
+      }
+      for (std::size_t rank = 0; rank < child_trace_paths_.size(); ++rank) {
+        if (child_trace_paths_[rank].empty()) continue;
+        shards.push_back(
+            obs::TraceShard{.path = child_trace_paths_[rank],
+                            .label = "proc" + std::to_string(rank)});
+      }
+      if (!shards.empty()) {
+        result.merged_trace_path = options_.trace_base + ".json";
+        (void)obs::merge_traces(shards, result.merged_trace_path);
+      }
+    }
     return result;
   } catch (...) {
     for (ChildProc& child : children_) {

@@ -33,8 +33,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "net/message_trace.h"
+#include "obs/metrics.h"
 #include "scenario/runner.h"
 #include "scenario/world.h"
 
@@ -49,11 +51,42 @@ struct MultiprocessOptions {
   std::size_t rounds = 24;
   std::size_t processes = 3;  // node processes (the conductor is extra)
   std::string self_exe;       // argv[0]: re-exec'd with --node for children
+  // Distributed observability (DESIGN.md §14). `trace_base` != "" arms
+  // Chrome tracing in the conductor and every child ("<base>.conductor
+  // .json" / "<base>.<pid>.json") and stitches the shards into
+  // "<base>.json" after the run. `poll_stats` makes the conductor send a
+  // kFrameStats probe to the granted child after every grant cycle,
+  // accumulating the per-process time series below.
+  std::string trace_base;
+  bool poll_stats = true;
 };
 
 struct MultiprocessResult {
   ScenarioReport report;
   net::MessageTrace trace;  // merged shards, sorted by conductor sequence
+
+  // Cross-process metrics aggregation: each child ships the snapshot DELTA
+  // of its grant-loop + verification work in the result frame; merged_obs
+  // is the conductor's own delta merged with every child's. Its kSim
+  // section is byte-identical to the single-process run of the same spec
+  // (ScenarioReport::obs_sim_fingerprint) — the distributed-parity gate.
+  obs::MetricsSnapshot merged_obs;
+  std::vector<obs::MetricsSnapshot> child_obs;  // per-rank deltas
+
+  // One row per kFrameStats poll (every grant cycle when poll_stats).
+  struct StatsPoint {
+    std::uint32_t rank = 0;
+    std::uint64_t at_us = 0;  // lockstep (sim) time of the poll
+    std::int64_t open_rounds = 0;
+    std::int64_t peak_open_rounds = 0;
+    std::uint64_t rsa_verifies = 0;
+    std::uint64_t messages_sent = 0;
+  };
+  std::vector<StatsPoint> stats_timeline;
+
+  // Set when MultiprocessOptions::trace_base was given: the merged
+  // Perfetto-loadable timeline (obs::merge_traces output).
+  std::string merged_trace_path;
 };
 
 // Which node process owns `asn`: its index in the sorted participant list,
@@ -70,9 +103,12 @@ struct MultiprocessResult {
 
 // Node-process entry (invoked by the --node re-exec): serves lockstep
 // grants until the finish verb, then ships results. Returns the process
-// exit code.
+// exit code. A non-empty `trace_base` arms per-process Chrome tracing
+// into "<trace_base>.<pid>.json" (the shard path travels back in the
+// result frame for the conductor's merge).
 int run_node_process(const std::string& scenario, std::uint64_t seed,
                      std::size_t rounds, std::size_t process_index,
-                     std::size_t processes, std::uint16_t control_port);
+                     std::size_t processes, std::uint16_t control_port,
+                     const std::string& trace_base = {});
 
 }  // namespace pvr::scenario

@@ -349,6 +349,15 @@ ScenarioReport run_scenario(const ScenarioSpec& spec,
     }
   }
 
+  // Distributed-parity baseline (DESIGN.md §14): everything from here to the
+  // end of scoring is the work the multiprocess deployment shards across the
+  // conductor and its children. The delta's SIM-domain fingerprint is the
+  // single-process reference merged_obs must reproduce; world planning and
+  // key generation above run identically in EVERY process, so the delta
+  // excludes them on both sides.
+  const obs::MetricsSnapshot obs_baseline =
+      obs::MetricsRegistry::global().snapshot();
+
   const double t_sim = now_ms();
   {
     const obs::TraceSpan sim_span("scenario.sim_run", "scenario");
@@ -447,6 +456,11 @@ ScenarioReport run_scenario(const ScenarioSpec& spec,
       report.wall_ms <= 0.0 ? 0.0
                             : static_cast<double>(report.rounds_started) /
                                   (report.wall_ms / 1000.0);
+
+  report.obs_sim_fingerprint =
+      obs::MetricsSnapshot::delta(obs::MetricsRegistry::global().snapshot(),
+                                  obs_baseline)
+          .sim_fingerprint();
   return report;
 }
 

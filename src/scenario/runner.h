@@ -169,6 +169,15 @@ struct ScenarioReport {
   double rounds_per_sec = 0;
   std::size_t hw_threads = 0;  // std::thread::hardware_concurrency()
 
+  // The SIM-domain metrics fingerprint of this run's global-registry DELTA
+  // (baseline right before the simulation, final read after scoring) —
+  // the single-process reference the multiprocess conductor's merged
+  // shards must reproduce byte-for-byte (DESIGN.md §14). Empty-valued
+  // ("name=0|...") under -DPVR_OBS=OFF in BOTH deployments, so the parity
+  // gate holds in both build flavors. Excluded from fingerprint() and
+  // to_json_line(): it is itself a fingerprint, compared directly.
+  std::string obs_sim_fingerprint;
+
   // Every deterministic field, one canonical string. Two runs of the same
   // spec — at ANY worker count — must produce identical fingerprints.
   [[nodiscard]] std::string fingerprint() const;

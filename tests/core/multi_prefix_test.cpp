@@ -62,14 +62,14 @@ struct TwoPrefixRun {
     for (std::size_t i = 0; i < world.providers.size(); ++i) {
       const bgp::AsNumber provider = world.providers[i];
       world.node(provider).provide_input(
-          world.sim, 1, run.handles.prefix,
+          world.sim.transport(), 1, run.handles.prefix,
           route_len(lengths_a[i], provider, run.handles.prefix));
       world.node(provider).provide_input(
-          world.sim, 1, run.prefix_b,
+          world.sim.transport(), 1, run.prefix_b,
           route_len(lengths_b[i], provider, run.prefix_b));
     }
-    world.node(world.prover).start_round(world.sim, 1, run.handles.prefix);
-    world.node(world.prover).start_round(world.sim, 1, run.prefix_b);
+    world.node(world.prover).start_round(world.sim.transport(), 1, run.handles.prefix);
+    world.node(world.prover).start_round(world.sim.transport(), 1, run.prefix_b);
   });
   world.sim.run();
   return run;
@@ -161,11 +161,11 @@ TEST(MultiPrefixTest, TwoProversSameEpochSamePrefixThroughOneEngine) {
     world.sim.schedule(0, [&world, &handles, lengths] {
       for (std::size_t i = 0; i < world.providers.size(); ++i) {
         world.node(world.providers[i])
-            .provide_input(world.sim, 1, handles.prefix,
+            .provide_input(world.sim.transport(), 1, handles.prefix,
                            route_len(lengths[i], world.providers[i],
                                      handles.prefix));
       }
-      world.node(world.prover).start_round(world.sim, 1, handles.prefix);
+      world.node(world.prover).start_round(world.sim.transport(), 1, handles.prefix);
     });
     world.sim.run();
   };
@@ -236,19 +236,19 @@ TEST(MultiPrefixTest, HonestTwoWindowEpochDoesNotEscalate) {
   world.sim.schedule(0, [&world, &handles] {
     for (std::size_t i = 0; i < world.providers.size(); ++i) {
       world.node(world.providers[i])
-          .provide_input(world.sim, 1, handles.prefix,
+          .provide_input(world.sim.transport(), 1, handles.prefix,
                          route_len(3 + i, world.providers[i], handles.prefix));
     }
-    world.node(world.prover).start_round(world.sim, 1, handles.prefix);
+    world.node(world.prover).start_round(world.sim.transport(), 1, handles.prefix);
   });
   // Second window: starts well after the first 10 ms window closed.
   world.sim.schedule(50'000, [&world, &prefix_b] {
     for (std::size_t i = 0; i < world.providers.size(); ++i) {
       world.node(world.providers[i])
-          .provide_input(world.sim, 1, prefix_b,
+          .provide_input(world.sim.transport(), 1, prefix_b,
                          route_len(2 + i, world.providers[i], prefix_b));
     }
-    world.node(world.prover).start_round(world.sim, 1, prefix_b);
+    world.node(world.prover).start_round(world.sim.transport(), 1, prefix_b);
   });
   world.sim.run();
 
@@ -360,11 +360,11 @@ TEST(MultiPrefixTest, ForgedBundleCannotPoisonHonestRound) {
     const std::vector<std::size_t> lengths = {4, 2, 6};
     for (std::size_t i = 0; i < world.providers.size(); ++i) {
       world.node(world.providers[i])
-          .provide_input(world.sim, 1, handles.prefix,
+          .provide_input(world.sim.transport(), 1, handles.prefix,
                          route_len(lengths[i], world.providers[i],
                                    handles.prefix));
     }
-    world.node(world.prover).start_round(world.sim, 1, handles.prefix);
+    world.node(world.prover).start_round(world.sim.transport(), 1, handles.prefix);
   });
   world.sim.run();
 
@@ -433,11 +433,11 @@ TEST(MultiPrefixTest, OrphanedRoundStillProvesGossipedRootConflict) {
     const std::vector<std::size_t> lengths = {3, 4, 5, 6};
     for (std::size_t i = 0; i < world.providers.size(); ++i) {
       world.node(world.providers[i])
-          .provide_input(world.sim, 1, handles.prefix,
+          .provide_input(world.sim.transport(), 1, handles.prefix,
                          route_len(lengths[i], world.providers[i],
                                    handles.prefix));
     }
-    world.node(world.prover).start_round(world.sim, 1, handles.prefix);
+    world.node(world.prover).start_round(world.sim.transport(), 1, handles.prefix);
   });
 
   // Cut the prover->providers[3] link before the prover's window closes,

@@ -49,9 +49,9 @@ struct RoundOutcome {
           (i < lengths.size() && lengths[i] > 0)
               ? std::optional(route_len(lengths[i], provider, handles.prefix))
               : std::nullopt;
-      world.node(provider).provide_input(world.sim, 1, handles.prefix, route);
+      world.node(provider).provide_input(world.sim.transport(), 1, handles.prefix, route);
     }
-    world.node(world.prover).start_round(world.sim, 1, handles.prefix);
+    world.node(world.prover).start_round(world.sim.transport(), 1, handles.prefix);
   });
   world.sim.run();
 
@@ -126,10 +126,10 @@ TEST_P(PvrDetectionTest, MisbehaviorDetectedOverTheWire) {
     const std::vector<std::size_t> lengths = {4, 2, 6};
     for (std::size_t i = 0; i < world.providers.size(); ++i) {
       world.node(world.providers[i])
-          .provide_input(world.sim, 1, handles.prefix,
+          .provide_input(world.sim.transport(), 1, handles.prefix,
                          route_len(lengths[i], world.providers[i], handles.prefix));
     }
-    world.node(world.prover).start_round(world.sim, 1, handles.prefix);
+    world.node(world.prover).start_round(world.sim.transport(), 1, handles.prefix);
   });
   world.sim.run();
 
@@ -188,10 +188,10 @@ TEST(PvrNodeTest, RecipientRejectsRouteOnDetectedViolation) {
       const std::vector<std::size_t> lengths = {4, 2, 6};
       for (std::size_t i = 0; i < world.providers.size(); ++i) {
         world.node(world.providers[i])
-            .provide_input(world.sim, 1, handles.prefix,
+            .provide_input(world.sim.transport(), 1, handles.prefix,
                            route_len(lengths[i], world.providers[i], handles.prefix));
       }
-      world.node(world.prover).start_round(world.sim, 1, handles.prefix);
+      world.node(world.prover).start_round(world.sim.transport(), 1, handles.prefix);
     });
     world.sim.run();
     RoundOutcome out;
@@ -225,10 +225,10 @@ TEST(PvrNodeTest, NoCrossNeighborLeakage) {
     const std::vector<std::size_t> lengths = {4, 2, 6};
     for (std::size_t i = 0; i < world.providers.size(); ++i) {
       world.node(world.providers[i])
-          .provide_input(world.sim, 1, handles.prefix,
+          .provide_input(world.sim.transport(), 1, handles.prefix,
                          route_len(lengths[i], world.providers[i], handles.prefix));
     }
-    world.node(world.prover).start_round(world.sim, 1, handles.prefix);
+    world.node(world.prover).start_round(world.sim.transport(), 1, handles.prefix);
   });
   world.sim.run();
   for (const bgp::AsNumber provider : world.providers) {
@@ -249,10 +249,10 @@ TEST(PvrNodeTest, MultipleSequentialEpochs) {
       const std::vector<std::size_t> lengths = {4 + epoch % 2, 2, 6};
       for (std::size_t i = 0; i < world.providers.size(); ++i) {
         world.node(world.providers[i])
-            .provide_input(world.sim, epoch, handles.prefix,
+            .provide_input(world.sim.transport(), epoch, handles.prefix,
                            route_len(lengths[i], world.providers[i], handles.prefix));
       }
-      world.node(world.prover).start_round(world.sim, epoch, handles.prefix);
+      world.node(world.prover).start_round(world.sim.transport(), epoch, handles.prefix);
     });
     world.sim.run();
   }
@@ -268,10 +268,10 @@ TEST(PvrNodeTest, RoleValidation) {
   Figure1Setup setup{.seed = 10};
   Figure1Handles handles = make_figure1_world(setup);
   Figure1World& world = *handles.world;
-  EXPECT_THROW(world.node(world.recipient).start_round(world.sim, 1, handles.prefix),
+  EXPECT_THROW(world.node(world.recipient).start_round(world.sim.transport(), 1, handles.prefix),
                std::logic_error);
   EXPECT_THROW(world.node(world.prover)
-                   .provide_input(world.sim, 1, handles.prefix, std::nullopt),
+                   .provide_input(world.sim.transport(), 1, handles.prefix, std::nullopt),
                std::logic_error);
 }
 

@@ -53,7 +53,7 @@ struct RootConflictWorld {
   // Open rounds are created by explicit "I provide nothing" bookkeeping —
   // no signatures, so opening thousands stays cheap.
   for (std::size_t i = 0; i < kOpenRounds; ++i) {
-    world.node(observer).provide_input(world.sim, 1, open_prefix(i),
+    world.node(observer).provide_input(world.sim.transport(), 1, open_prefix(i),
                                        std::nullopt);
   }
 

@@ -57,11 +57,11 @@ using core::ViolationKind;
     const std::vector<std::size_t> lengths = {3, 4, 5, 6};
     for (std::size_t i = 0; i < world.providers.size(); ++i) {
       world.node(world.providers[i])
-          .provide_input(world.sim, 1, handles.prefix,
+          .provide_input(world.sim.transport(), 1, handles.prefix,
                          route_len(lengths[i], world.providers[i],
                                    handles.prefix));
     }
-    world.node(world.prover).start_round(world.sim, 1, handles.prefix);
+    world.node(world.prover).start_round(world.sim.transport(), 1, handles.prefix);
   });
   world.sim.run();
   return handles;
@@ -129,11 +129,11 @@ TEST(EngineIntegrationTest, TotalLossYieldsOnlyLivenessFindings) {
     const std::vector<std::size_t> lengths = {4, 2, 6};
     for (std::size_t i = 0; i < world.providers.size(); ++i) {
       world.node(world.providers[i])
-          .provide_input(world.sim, 1, handles.prefix,
+          .provide_input(world.sim.transport(), 1, handles.prefix,
                          route_len(lengths[i], world.providers[i],
                                    handles.prefix));
     }
-    world.node(world.prover).start_round(world.sim, 1, handles.prefix);
+    world.node(world.prover).start_round(world.sim.transport(), 1, handles.prefix);
   });
   world.sim.schedule(5'000, [&world] {
     for (const bgp::AsNumber provider : world.providers) {
@@ -206,10 +206,10 @@ TEST(EngineIntegrationTest, DeferFinalizeIsIdempotent) {
   world.sim.schedule(0, [&world, &handles] {
     for (std::size_t i = 0; i < world.providers.size(); ++i) {
       world.node(world.providers[i])
-          .provide_input(world.sim, 1, handles.prefix,
+          .provide_input(world.sim.transport(), 1, handles.prefix,
                          route_len(2 + i, world.providers[i], handles.prefix));
     }
-    world.node(world.prover).start_round(world.sim, 1, handles.prefix);
+    world.node(world.prover).start_round(world.sim.transport(), 1, handles.prefix);
   });
   world.sim.run();
 

@@ -52,13 +52,13 @@ using core::ProtocolId;
     for (std::size_t i = 0; i < world.providers.size(); ++i) {
       const bgp::AsNumber provider = world.providers[i];
       world.node(provider).provide_input(
-          world.sim, 1, handles.prefix,
+          world.sim.transport(), 1, handles.prefix,
           route_len(lengths_a[i], provider, handles.prefix));
       world.node(provider).provide_input(
-          world.sim, 1, prefix_b, route_len(lengths_b[i], provider, prefix_b));
+          world.sim.transport(), 1, prefix_b, route_len(lengths_b[i], provider, prefix_b));
     }
-    world.node(world.prover).start_round(world.sim, 1, handles.prefix);
-    world.node(world.prover).start_round(world.sim, 1, prefix_b);
+    world.node(world.prover).start_round(world.sim.transport(), 1, handles.prefix);
+    world.node(world.prover).start_round(world.sim.transport(), 1, prefix_b);
   });
   world.sim.run();
   return handles;
@@ -219,10 +219,10 @@ TEST(MultiPrefixParityTest, ChunkedPairChecksBoundTasksAndFoldIdentically) {
     world.sim.schedule(0, [&world, &handles] {
       for (std::size_t i = 0; i < world.providers.size(); ++i) {
         world.node(world.providers[i])
-            .provide_input(world.sim, 1, handles.prefix,
+            .provide_input(world.sim.transport(), 1, handles.prefix,
                            route_len(3 + i, world.providers[i], handles.prefix));
       }
-      world.node(world.prover).start_round(world.sim, 1, handles.prefix);
+      world.node(world.prover).start_round(world.sim.transport(), 1, handles.prefix);
     });
     world.sim.run();
     inject_variants(handles, handles.round_id(1));

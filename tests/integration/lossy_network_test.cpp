@@ -45,10 +45,10 @@ TEST(LossyNetworkTest, TotalLossYieldsOnlyLivenessFindings) {
     const std::vector<std::size_t> lengths = {4, 2, 6};
     for (std::size_t i = 0; i < world.providers.size(); ++i) {
       world.node(world.providers[i])
-          .provide_input(world.sim, 1, handles.prefix,
+          .provide_input(world.sim.transport(), 1, handles.prefix,
                          route_len(lengths[i], world.providers[i], handles.prefix));
     }
-    world.node(world.prover).start_round(world.sim, 1, handles.prefix);
+    world.node(world.prover).start_round(world.sim.transport(), 1, handles.prefix);
   });
   world.sim.schedule(5'000, [&] {  // after inputs (1 ms) but before the
                                    // prover's 10 ms collection window ends
@@ -103,10 +103,10 @@ TEST(LossyNetworkTest, GossipStillCatchesEquivocationWithPartialMesh) {
     const std::vector<std::size_t> lengths = {3, 4, 5, 6};
     for (std::size_t i = 0; i < world.providers.size(); ++i) {
       world.node(world.providers[i])
-          .provide_input(world.sim, 1, handles.prefix,
+          .provide_input(world.sim.transport(), 1, handles.prefix,
                          route_len(lengths[i], world.providers[i], handles.prefix));
     }
-    world.node(world.prover).start_round(world.sim, 1, handles.prefix);
+    world.node(world.prover).start_round(world.sim.transport(), 1, handles.prefix);
   });
   world.sim.run();
 
@@ -134,10 +134,10 @@ TEST(LossyNetworkTest, HonestRoundSurvivesDuplicateDelivery) {
   world.sim.schedule(0, [&] {
     for (std::size_t i = 0; i < world.providers.size(); ++i) {
       world.node(world.providers[i])
-          .provide_input(world.sim, 1, handles.prefix,
+          .provide_input(world.sim.transport(), 1, handles.prefix,
                          route_len(2 + i, world.providers[i], handles.prefix));
     }
-    world.node(world.prover).start_round(world.sim, 1, handles.prefix);
+    world.node(world.prover).start_round(world.sim.transport(), 1, handles.prefix);
   });
   world.sim.run();
 

@@ -1,0 +1,68 @@
+// TraceWriter fork safety (DESIGN.md §14): a child inheriting an armed
+// writer must not rewrite its parent's trace file. Its first record (or
+// close) in the new pid drops the inherited buffer and retargets the
+// capture to `<base>.<pid>.json` — the per-process shard contract
+// merge_traces() builds on.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+
+namespace pvr::obs {
+namespace {
+
+[[nodiscard]] std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return {};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(TraceForkTest, ChildRetargetsShardAndDropsInheritedEvents) {
+  if constexpr (!kCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  const std::string base = ::testing::TempDir() + "fork_trace.json";
+  TraceWriter& writer = TraceWriter::global();
+  ASSERT_TRUE(writer.open(base));
+  // Buffered before the fork: the child inherits it and must NOT write it.
+  writer.sim_instant("parent.marker", 0, 1);
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // In the child: the writer is still armed with the parent's path and
+    // buffer. One record + close must land in the pid-suffixed shard.
+    writer.sim_instant("child.marker", 0, 2);
+    ::_exit(writer.close() ? 0 : 1);
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  // The parent's capture is untouched by the child's close.
+  ASSERT_TRUE(writer.active());
+  EXPECT_TRUE(writer.close());
+
+  const std::string parent_json = read_file(base);
+  EXPECT_NE(parent_json.find("parent.marker"), std::string::npos);
+  EXPECT_EQ(parent_json.find("child.marker"), std::string::npos);
+
+  const std::string child_path = ::testing::TempDir() + "fork_trace." +
+                                 std::to_string(child) + ".json";
+  const std::string child_json = read_file(child_path);
+  ASSERT_FALSE(child_json.empty()) << "child shard missing: " << child_path;
+  EXPECT_NE(child_json.find("child.marker"), std::string::npos);
+  EXPECT_EQ(child_json.find("parent.marker"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pvr::obs
