@@ -336,43 +336,98 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
-  // --- 3. BatchVerifier vs per-message verification -------------------------
+  // --- 3. Stateless vs shared-context vs batched verification ---------------
+  //
+  // Three measurements over the same signed reveals:
+  //   stateless — crypto::rsa_verify, which rebuilds the per-key Montgomery
+  //               context on EVERY call (the pre-context cost model);
+  //   shared    — core::verify_message through the directory's
+  //               VerifyContext (per-key precompute built once) — this is
+  //               what engine workers and nodes actually pay, and the
+  //               verifies_per_sec the regression gate tracks;
+  //   batched   — engine::BatchVerifier over the shared context, messages
+  //               grouped by signer per drain batch.
+  // batch_speedup = batched / stateless: the honest end-to-end win of the
+  // amortized path over per-call setup. Before the shared context, the
+  // "batched" loop redid the same per-call work and the ratio pinned at
+  // ~1.0 — the no-op batching this section now exists to catch.
   std::vector<core::SignedMessage> reveals;
   for (const Round& round : w.rounds) {
     for (const auto& [provider, reveal] : round.result.provider_reveals) {
       reveals.push_back(reveal);
     }
   }
-  const double t_single = now_seconds();
-  std::size_t valid_single = 0;
-  for (const core::SignedMessage& message : reveals) {
-    if (core::verify_message(w.keys.directory, message)) valid_single += 1;
-  }
-  const double single_elapsed = now_seconds() - t_single;
+  // Repeat each loop until the sample is large enough for a stable rate,
+  // and take the best of several interleaved passes per mode: on a shared
+  // host one unlucky scheduling quantum otherwise dominates a single pass
+  // and the inter-mode ratio swings by tens of percent run to run.
+  const std::size_t reps =
+      reveals.empty() ? 0 : (2000 + reveals.size() - 1) / reveals.size();
+  constexpr std::size_t kPasses = 3;
 
-  engine::BatchVerifier batch_verifier(&w.keys.directory);
-  const double t_batch = now_seconds();
-  const std::vector<bool> batch_results = batch_verifier.verify(reveals);
-  const double batch_elapsed = now_seconds() - t_batch;
+  double stateless_vps = 0;
+  double shared_vps = 0;
+  double batched_vps = 0;
+  std::size_t valid_stateless = 0;
+  std::size_t valid_single = 0;
   std::size_t valid_batch = 0;
-  for (const bool ok : batch_results) valid_batch += ok ? 1 : 0;
-  std::printf("batch verifier: %zu same-signer reveals  per-message %.0f/s  "
-              "batched %.0f/s  (results %s)\n\n",
-              reveals.size(), reveals.size() / single_elapsed,
-              reveals.size() / batch_elapsed,
-              valid_single == valid_batch ? "identical" : "DIVERGED!");
+  engine::BatchVerifier batch_verifier(&w.keys.directory);
+  const double per_pass = static_cast<double>(reveals.size()) * reps;
+  for (std::size_t pass = 0; pass < kPasses; ++pass) {
+    const double t_stateless = now_seconds();
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      for (const core::SignedMessage& message : reveals) {
+        const crypto::RsaPublicKey* key = w.keys.directory.find(message.signer);
+        if (key != nullptr &&
+            crypto::rsa_verify(*key,
+                               core::message_signing_input(message.signer,
+                                                           message.payload),
+                               message.signature)) {
+          valid_stateless += 1;
+        }
+      }
+    }
+    stateless_vps =
+        std::max(stateless_vps, per_pass / (now_seconds() - t_stateless));
+
+    const double t_single = now_seconds();
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      for (const core::SignedMessage& message : reveals) {
+        if (core::verify_message(w.keys.directory, message)) valid_single += 1;
+      }
+    }
+    shared_vps = std::max(shared_vps, per_pass / (now_seconds() - t_single));
+
+    const double t_batch = now_seconds();
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      const std::vector<bool> batch_results = batch_verifier.verify(reveals);
+      for (const bool ok : batch_results) valid_batch += ok ? 1 : 0;
+    }
+    batched_vps = std::max(batched_vps, per_pass / (now_seconds() - t_batch));
+  }
+
+  const double batch_speedup = batched_vps / stateless_vps;
+  const bool verdicts_agree =
+      valid_single == valid_batch && valid_stateless == valid_single;
+  std::printf("batch verifier: %zu reveals x%zu x%zu passes  stateless %.0f/s  "
+              "shared-ctx %.0f/s  batched %.0f/s  batch_speedup %.2f  "
+              "(results %s)\n\n",
+              reveals.size(), reps, kPasses, stateless_vps, shared_vps,
+              batched_vps, batch_speedup,
+              verdicts_agree ? "identical" : "DIVERGED!");
 
   // Crypto profile row (ROADMAP item 3: profile before accelerating).
-  // verifies_per_sec is wall-clock measured over the per-message loop above
+  // verifies_per_sec is wall-clock measured over the shared-context loop
   // so it stays meaningful under -DPVR_OBS=OFF; the quantiles come from the
   // crypto.* wall histograms and read 0 in that flavor.
   const obs::HotMetrics& hot = obs::MetricsRegistry::global().hot;
   std::printf("{\"bench\":\"crypto_profile\",\"seed\":%llu,"
               "\"verifies_per_sec\":%.1f,\"batched_verifies_per_sec\":%.1f,"
+              "\"stateless_verifies_per_sec\":%.1f,\"batch_speedup\":%.2f,"
               "\"rsa_verify_p50_us\":%llu,\"rsa_verify_p99_us\":%llu,"
               "\"mulmod_p99_us\":%llu,\"hw_threads\":%u}\n",
               static_cast<unsigned long long>(args.seed),
-              reveals.size() / single_elapsed, reveals.size() / batch_elapsed,
+              shared_vps, batched_vps, stateless_vps, batch_speedup,
               static_cast<unsigned long long>(
                   hot.crypto_rsa_verify_us.quantile(0.5)),
               static_cast<unsigned long long>(
@@ -395,5 +450,5 @@ int main(int argc, char** argv) {
               deterministic ? "true" : "false", agg_aps_best / naive_aps,
               std::thread::hardware_concurrency());
   pvr::bench::emit_obs_snapshot("engine_throughput");
-  return deterministic && valid_single == valid_batch ? 0 : 1;
+  return deterministic && verdicts_agree ? 0 : 1;
 }

@@ -45,10 +45,22 @@ Rules (exit 1 on any violation):
      wall_ms must undercut sim_ms + verify_ms (the true-parallelism
      inequality: pipelining hid verification time behind the simulation);
   9. whenever the fresh run has an engine_throughput row it must also carry
-     the crypto_profile row with a verifies_per_sec field (ROADMAP item
-     3's profile-first gate — a missing row means the crypto profile fell
-     out of the bench), and when the baseline carries one too the fresh
-     verifies_per_sec must not drop more than --max-regression;
+     the crypto_profile row with BOTH a verifies_per_sec and a
+     batch_speedup field (ROADMAP item 3's profile-first gate — a missing
+     row or field means the crypto profile, or the batched-vs-stateless
+     comparison that keeps batching honest, fell out of the bench). The
+     batch_speedup ratio (batched throughput / per-call-context-rebuild
+     throughput, best-of-passes so it is noise-robust) must be at least
+     --min-batch-speedup (default 0.9): it is host-relative, so the gate
+     only demands that the grouped batch path not PESSIMIZE verification —
+     the regression that motivated the field was a batch loop quietly
+     redoing per-call work. verifies_per_sec is then gated against the
+     baseline: when the baseline's crypto_profile predates batch_speedup
+     (i.e. predates the Montgomery refactor), the fresh value must clear a
+     STEP gate of --min-vps-step x baseline (default 2.0 — the refactor's
+     promised speedup, not a mere no-regression bound); once the baseline
+     itself carries batch_speedup the ordinary (1 - --max-regression)
+     floor applies;
   10. whenever the fresh run has a scenarios sweep it must carry the
      multiprocess deployment row ({"bench": "scenarios_mp"}), and that row
      must report fingerprint_parity == true AND
@@ -105,6 +117,13 @@ def main():
     parser.add_argument("baseline", help="committed BENCH_pr*.json baseline")
     parser.add_argument("--max-regression", type=float, default=0.25,
                         help="max allowed fractional throughput drop")
+    parser.add_argument("--min-batch-speedup", type=float, default=0.9,
+                        help="floor for crypto_profile.batch_speedup "
+                             "(batched vs per-call-rebuild verification)")
+    parser.add_argument("--min-vps-step", type=float, default=2.0,
+                        help="required verifies_per_sec multiple over a "
+                             "baseline whose crypto_profile predates "
+                             "batch_speedup (the Montgomery step gate)")
     args = parser.parse_args()
 
     fresh = load_rows(args.fresh)
@@ -291,9 +310,10 @@ def main():
                   f"(hw_threads == {row.get('hw_threads')!r}); "
                   f"overlap ratio {ratio:.4f} gated instead")
 
-    # 9. Crypto profile: verifies_per_sec must ride along with every
-    # engine_throughput run, and is regression-bounded like the other
-    # wall-clock throughput floors once the baseline carries it.
+    # 9. Crypto profile: verifies_per_sec AND batch_speedup must ride along
+    # with every engine_throughput run. batch_speedup is gated by an
+    # absolute host-relative floor; verifies_per_sec is step-gated against
+    # pre-Montgomery baselines and regression-bounded afterwards.
     if fresh_engine is not None:
         fresh_profile = find_bench(fresh, "crypto_profile")
         if fresh_profile is None or "verifies_per_sec" not in fresh_profile:
@@ -302,19 +322,51 @@ def main():
                 "row with verifies_per_sec — the crypto profile fell out of "
                 "the bench (ROADMAP item 3)")
         else:
+            speedup = fresh_profile.get("batch_speedup")
+            if speedup is None:
+                failures.append(
+                    "crypto_profile carries no batch_speedup field — the "
+                    "batched-vs-stateless comparison that keeps batching "
+                    "honest fell out of the bench")
+            else:
+                verdict = ("ok" if speedup >= args.min_batch_speedup
+                           else "REGRESSION")
+                print(f"batch_speedup: fresh {speedup:.2f} "
+                      f"(floor {args.min_batch_speedup:.2f}) {verdict}")
+                if speedup < args.min_batch_speedup:
+                    failures.append(
+                        f"batch_speedup {speedup:.2f} < floor "
+                        f"{args.min_batch_speedup:.2f} — the grouped batch "
+                        "path is slower than rebuilding the per-key context "
+                        "on every call")
             baseline_profile = find_bench(baseline, "crypto_profile")
             base_vps = (baseline_profile or {}).get("verifies_per_sec")
             if base_vps:
                 new_vps = fresh_profile["verifies_per_sec"]
-                floor = base_vps * (1.0 - args.max_regression)
-                verdict = "ok" if new_vps >= floor else "REGRESSION"
-                print(f"verifies_per_sec: baseline {base_vps:.1f} -> fresh "
-                      f"{new_vps:.1f} (floor {floor:.1f}) {verdict}")
-                if new_vps < floor:
-                    failures.append(
-                        f"verifies_per_sec regressed "
-                        f">{args.max_regression:.0%}: "
-                        f"{base_vps:.1f} -> {new_vps:.1f}")
+                if "batch_speedup" not in (baseline_profile or {}):
+                    # Pre-Montgomery baseline: this is the refactor's step
+                    # gate, not a no-regression bound.
+                    floor = base_vps * args.min_vps_step
+                    verdict = "ok" if new_vps >= floor else "REGRESSION"
+                    print(f"verifies_per_sec: baseline {base_vps:.1f} -> "
+                          f"fresh {new_vps:.1f} (step floor {floor:.1f} = "
+                          f"{args.min_vps_step:.1f}x) {verdict}")
+                    if new_vps < floor:
+                        failures.append(
+                            f"verifies_per_sec {new_vps:.1f} did not clear "
+                            f"the {args.min_vps_step:.1f}x step gate over "
+                            f"the pre-Montgomery baseline {base_vps:.1f}")
+                else:
+                    floor = base_vps * (1.0 - args.max_regression)
+                    verdict = "ok" if new_vps >= floor else "REGRESSION"
+                    print(f"verifies_per_sec: baseline {base_vps:.1f} -> "
+                          f"fresh {new_vps:.1f} (floor {floor:.1f}) "
+                          f"{verdict}")
+                    if new_vps < floor:
+                        failures.append(
+                            f"verifies_per_sec regressed "
+                            f">{args.max_regression:.0%}: "
+                            f"{base_vps:.1f} -> {new_vps:.1f}")
 
     # 10. Multiprocess deployment parity: the scenarios_mp row must be
     # present alongside any scenarios sweep, and both parities must hold.

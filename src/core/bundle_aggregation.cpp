@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "core/verify_context.h"
+
 namespace pvr::core {
 
 namespace {
@@ -114,10 +116,10 @@ namespace {
 
 }  // namespace
 
-bool verify_aggregated_opening(const KeyDirectory& directory,
+bool verify_aggregated_opening(const VerifyContext& ctx,
                                const SignedMessage& signed_root,
                                const AggregatedOpening& opening) {
-  if (!verify_message(directory, signed_root)) return false;
+  if (!ctx.verify(signed_root)) return false;
   AggregatedBundle root;
   try {
     root = AggregatedBundle::decode(signed_root.payload);
@@ -127,11 +129,18 @@ bool verify_aggregated_opening(const KeyDirectory& directory,
   return check_opening_against_root(root, signed_root.signer, opening);
 }
 
+bool verify_aggregated_opening(const KeyDirectory& directory,
+                               const SignedMessage& signed_root,
+                               const AggregatedOpening& opening) {
+  return verify_aggregated_opening(directory.verify_context(), signed_root,
+                                   opening);
+}
+
 std::vector<bool> verify_aggregated_openings(
-    const KeyDirectory& directory, const SignedMessage& signed_root,
+    const VerifyContext& ctx, const SignedMessage& signed_root,
     std::span<const AggregatedOpening> openings) {
   std::vector<bool> out(openings.size(), false);
-  if (!verify_message(directory, signed_root)) return out;
+  if (!ctx.verify(signed_root)) return out;
   AggregatedBundle root;
   try {
     root = AggregatedBundle::decode(signed_root.payload);
@@ -142,6 +151,13 @@ std::vector<bool> verify_aggregated_openings(
     out[i] = check_opening_against_root(root, signed_root.signer, openings[i]);
   }
   return out;
+}
+
+std::vector<bool> verify_aggregated_openings(
+    const KeyDirectory& directory, const SignedMessage& signed_root,
+    std::span<const AggregatedOpening> openings) {
+  return verify_aggregated_openings(directory.verify_context(), signed_root,
+                                    openings);
 }
 
 // ---- Envelope-level wire aggregation ----
@@ -242,11 +258,11 @@ bool roots_conflict(const AggregatedBundle& a, const AggregatedBundle& b) {
                      [&](const bgp::Ipv4Prefix& prefix) { return b.covers(prefix); });
 }
 
-std::optional<Evidence> check_root_equivocation(const KeyDirectory& directory,
+std::optional<Evidence> check_root_equivocation(const VerifyContext& ctx,
                                                 bgp::AsNumber reporter,
                                                 const SignedMessage& first,
                                                 const SignedMessage& second) {
-  if (!verify_message(directory, first) || !verify_message(directory, second)) {
+  if (!ctx.verify(first) || !ctx.verify(second)) {
     return std::nullopt;
   }
   if (first.signer != second.signer) return std::nullopt;
@@ -269,6 +285,14 @@ std::optional<Evidence> check_root_equivocation(const KeyDirectory& directory,
       .detail = a.batch == b.batch
                     ? "two conflicting signed bundle roots for one aggregation window"
                     : "two aggregation windows claim the same round"};
+}
+
+std::optional<Evidence> check_root_equivocation(const KeyDirectory& directory,
+                                                bgp::AsNumber reporter,
+                                                const SignedMessage& first,
+                                                const SignedMessage& second) {
+  return check_root_equivocation(directory.verify_context(), reporter, first,
+                                 second);
 }
 
 }  // namespace pvr::core

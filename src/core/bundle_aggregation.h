@@ -141,4 +141,18 @@ struct AggregatedBundleMessage {
     const KeyDirectory& directory, bgp::AsNumber reporter,
     const SignedMessage& first, const SignedMessage& second);
 
+// VerifyContext flavors (the engine / world-shared path, see
+// core/verify_context.h): identical verdicts, amortized root-signature
+// verification. The KeyDirectory versions forward to
+// directory.verify_context().
+[[nodiscard]] bool verify_aggregated_opening(const VerifyContext& ctx,
+                                             const SignedMessage& signed_root,
+                                             const AggregatedOpening& opening);
+[[nodiscard]] std::vector<bool> verify_aggregated_openings(
+    const VerifyContext& ctx, const SignedMessage& signed_root,
+    std::span<const AggregatedOpening> openings);
+[[nodiscard]] std::optional<Evidence> check_root_equivocation(
+    const VerifyContext& ctx, bgp::AsNumber reporter,
+    const SignedMessage& first, const SignedMessage& second);
+
 }  // namespace pvr::core

@@ -7,8 +7,11 @@
 // directory), as in S-BGP.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -17,17 +20,41 @@
 
 namespace pvr::core {
 
+class VerifyContext;
+
 // Public keys of all participating ASes.
 class KeyDirectory {
  public:
+  KeyDirectory();
+  ~KeyDirectory();
+  // Copies and moves transfer the key map only; the lazily-built default
+  // VerifyContext holds a back-pointer to its directory, so the target
+  // starts fresh and rebuilds on first use.
+  KeyDirectory(const KeyDirectory& other);
+  KeyDirectory(KeyDirectory&& other) noexcept;
+  KeyDirectory& operator=(const KeyDirectory& other);
+  KeyDirectory& operator=(KeyDirectory&& other) noexcept;
+
   void add(bgp::AsNumber asn, crypto::RsaPublicKey key);
   [[nodiscard]] const crypto::RsaPublicKey* find(bgp::AsNumber asn) const;
   [[nodiscard]] bool contains(bgp::AsNumber asn) const;
   [[nodiscard]] std::size_t size() const noexcept { return keys_.size(); }
   [[nodiscard]] std::vector<bgp::AsNumber> members() const;
 
+  // The directory's shared default verification context (verify_context.h):
+  // per-key Montgomery precompute, verdict cache OFF. Built lazily on first
+  // use and reused by every verify_message(directory, ...) call site, so
+  // legacy callers amortize the per-key precompute without any plumbing.
+  // Thread-safe; the reference stays valid for the directory's lifetime.
+  [[nodiscard]] const VerifyContext& verify_context() const;
+
  private:
   std::map<bgp::AsNumber, crypto::RsaPublicKey> keys_;
+  // Double-checked lazy init: the atomic pointer is the fast path, the
+  // mutex serializes the one-time construction.
+  mutable std::mutex ctx_mu_;
+  mutable std::unique_ptr<VerifyContext> ctx_;
+  mutable std::atomic<const VerifyContext*> ctx_ptr_{nullptr};
 };
 
 struct SignedMessage {

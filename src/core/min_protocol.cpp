@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/verify_context.h"
+
 namespace pvr::core {
 
 // ---- ProtocolId ----
@@ -392,9 +394,9 @@ namespace {
 // Decodes and sanity-checks the bundle; appends evidence and returns
 // nullopt on failure.
 [[nodiscard]] std::optional<CommitmentBundle> checked_bundle(
-    const KeyDirectory& directory, bgp::AsNumber reporter,
+    const VerifyContext& ctx, bgp::AsNumber reporter,
     const SignedMessage& signed_bundle, std::vector<Evidence>& out) {
-  if (!verify_message(directory, signed_bundle)) {
+  if (!ctx.verify(signed_bundle)) {
     out.push_back(make_evidence(ViolationKind::kBadSignature,
                                 signed_bundle.signer, reporter,
                                 "commitment bundle signature invalid"));
@@ -424,11 +426,11 @@ namespace {
 }  // namespace
 
 std::vector<Evidence> verify_as_provider(
-    const KeyDirectory& directory, bgp::AsNumber self,
+    const VerifyContext& ctx, bgp::AsNumber self,
     const std::optional<InputAnnouncement>& own_input,
     const SignedMessage& signed_bundle, const SignedMessage* reveal) {
   std::vector<Evidence> out;
-  const auto bundle = checked_bundle(directory, self, signed_bundle, out);
+  const auto bundle = checked_bundle(ctx, self, signed_bundle, out);
   if (!bundle) return out;
   const bgp::AsNumber prover = bundle->id.prover;
 
@@ -447,7 +449,7 @@ std::vector<Evidence> verify_as_provider(
                                 "no reveal received for provided route"));
     return out;
   }
-  if (!verify_message(directory, *reveal) || reveal->signer != prover) {
+  if (!ctx.verify(*reveal) || reveal->signer != prover) {
     out.push_back(make_evidence(ViolationKind::kBadSignature, prover, self,
                                 "provider reveal signature invalid"));
     return out;
@@ -484,13 +486,13 @@ std::vector<Evidence> verify_as_provider(
   return out;
 }
 
-std::vector<Evidence> verify_as_recipient(const KeyDirectory& directory,
+std::vector<Evidence> verify_as_recipient(const VerifyContext& ctx,
                                           bgp::AsNumber self,
                                           const SignedMessage& signed_bundle,
                                           const SignedMessage* recipient_reveal,
                                           const SignedMessage* export_statement) {
   std::vector<Evidence> out;
-  const auto bundle = checked_bundle(directory, self, signed_bundle, out);
+  const auto bundle = checked_bundle(ctx, self, signed_bundle, out);
   if (!bundle) return out;
   const bgp::AsNumber prover = bundle->id.prover;
 
@@ -500,7 +502,7 @@ std::vector<Evidence> verify_as_recipient(const KeyDirectory& directory,
     return out;
   }
   for (const SignedMessage* message : {recipient_reveal, export_statement}) {
-    if (!verify_message(directory, *message) || message->signer != prover) {
+    if (!ctx.verify(*message) || message->signer != prover) {
       out.push_back(make_evidence(ViolationKind::kBadSignature, prover, self,
                                   "recipient-side message signature invalid"));
       return out;
@@ -562,7 +564,7 @@ std::vector<Evidence> verify_as_recipient(const KeyDirectory& directory,
     // via the provenance signature chain.
     const auto provenance_valid = [&]() -> std::optional<std::size_t> {
       if (!statement.provenance.has_value()) return std::nullopt;
-      if (!verify_message(directory, *statement.provenance)) return std::nullopt;
+      if (!ctx.verify(*statement.provenance)) return std::nullopt;
       InputAnnouncement input;
       try {
         input = InputAnnouncement::decode(statement.provenance->payload);
@@ -614,11 +616,11 @@ std::vector<Evidence> verify_as_recipient(const KeyDirectory& directory,
   return out;
 }
 
-std::optional<Evidence> check_equivocation(const KeyDirectory& directory,
+std::optional<Evidence> check_equivocation(const VerifyContext& ctx,
                                            bgp::AsNumber reporter,
                                            const SignedMessage& first,
                                            const SignedMessage& second) {
-  if (!verify_message(directory, first) || !verify_message(directory, second)) {
+  if (!ctx.verify(first) || !ctx.verify(second)) {
     return std::nullopt;
   }
   if (first.signer != second.signer) return std::nullopt;
@@ -635,6 +637,33 @@ std::optional<Evidence> check_equivocation(const KeyDirectory& directory,
   return make_evidence(ViolationKind::kEquivocation, first.signer, reporter,
                        "two conflicting signed bundles for one round",
                        {first, second});
+}
+
+// ---- KeyDirectory convenience wrappers ----
+
+std::vector<Evidence> verify_as_provider(
+    const KeyDirectory& directory, bgp::AsNumber self,
+    const std::optional<InputAnnouncement>& own_input,
+    const SignedMessage& signed_bundle, const SignedMessage* reveal) {
+  return verify_as_provider(directory.verify_context(), self, own_input,
+                            signed_bundle, reveal);
+}
+
+std::vector<Evidence> verify_as_recipient(const KeyDirectory& directory,
+                                          bgp::AsNumber self,
+                                          const SignedMessage& signed_bundle,
+                                          const SignedMessage* recipient_reveal,
+                                          const SignedMessage* export_statement) {
+  return verify_as_recipient(directory.verify_context(), self, signed_bundle,
+                             recipient_reveal, export_statement);
+}
+
+std::optional<Evidence> check_equivocation(const KeyDirectory& directory,
+                                           bgp::AsNumber reporter,
+                                           const SignedMessage& first,
+                                           const SignedMessage& second) {
+  return check_equivocation(directory.verify_context(), reporter, first,
+                            second);
 }
 
 }  // namespace pvr::core

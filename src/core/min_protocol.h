@@ -161,10 +161,19 @@ struct ProverResult {
     crypto::Drbg& rng, const ProverMisbehavior& misbehavior = {});
 
 // ---- Verifiers (each returns the violations it detected) ----
+//
+// Each check exists in two flavors: the VerifyContext one (the engine /
+// world-shared path, amortized per-key precompute plus the optional
+// verdict cache) and a KeyDirectory convenience wrapper that forwards to
+// directory.verify_context(). Verdicts are identical by construction.
 
 // Ni-side checks (§3.2 condition 2 / §3.3 condition 3). `own_input` is what
 // the provider actually sent this round; `reveal` is the signed
 // RevealToProvider received from the prover (nullptr if none arrived).
+[[nodiscard]] std::vector<Evidence> verify_as_provider(
+    const VerifyContext& ctx, bgp::AsNumber self,
+    const std::optional<InputAnnouncement>& own_input,
+    const SignedMessage& signed_bundle, const SignedMessage* reveal);
 [[nodiscard]] std::vector<Evidence> verify_as_provider(
     const KeyDirectory& directory, bgp::AsNumber self,
     const std::optional<InputAnnouncement>& own_input,
@@ -172,12 +181,19 @@ struct ProverResult {
 
 // B-side checks (§3.2 condition 1 plus the §3.3 bit-vector checks).
 [[nodiscard]] std::vector<Evidence> verify_as_recipient(
+    const VerifyContext& ctx, bgp::AsNumber self,
+    const SignedMessage& signed_bundle, const SignedMessage* recipient_reveal,
+    const SignedMessage* export_statement);
+[[nodiscard]] std::vector<Evidence> verify_as_recipient(
     const KeyDirectory& directory, bgp::AsNumber self,
     const SignedMessage& signed_bundle, const SignedMessage* recipient_reveal,
     const SignedMessage* export_statement);
 
 // Gossip-side check: two signed bundles for the same round with different
 // contents prove equivocation.
+[[nodiscard]] std::optional<Evidence> check_equivocation(
+    const VerifyContext& ctx, bgp::AsNumber reporter,
+    const SignedMessage& first, const SignedMessage& second);
 [[nodiscard]] std::optional<Evidence> check_equivocation(
     const KeyDirectory& directory, bgp::AsNumber reporter,
     const SignedMessage& first, const SignedMessage& second);

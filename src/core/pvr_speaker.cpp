@@ -4,6 +4,7 @@
 #include <iterator>
 #include <stdexcept>
 
+#include "core/verify_context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -306,7 +307,7 @@ void PvrNode::observe_bundle(net::Transport& sim, const SignedMessage& bundle,
   // A forged bundle (claimed signer, garbage signature) must never claim
   // the first-seen slot — that would unaccountably poison verification of
   // the honest bundle arriving later — nor be relayed onward.
-  if (!verify_message(*config_.directory, bundle)) return;
+  if (!config_.verify_context().verify(bundle)) return;
   RoundState& round = round_state(decoded.id);
   round.observed_bundles.push_back(bundle);
   if (!round.bundle.has_value()) round.bundle = bundle;
@@ -353,7 +354,7 @@ void PvrNode::observe_root(net::Transport& sim, const SignedMessage& signed_root
     PVR_OBS_COUNT(crypto_sig_cache_hits, 1);
     return;
   }
-  if (!verify_message(*config_.directory, signed_root)) return;
+  if (!config_.verify_context().verify(signed_root)) return;
   if (seen_roots_[key].insert(digest).second) {
     seen_root_digests_ += 1;
     peak_seen_root_digests_ =
@@ -420,7 +421,7 @@ void PvrNode::open_aggregated(net::Transport& sim,
     return;
   }
   if (root.prover != config_.prover) return;
-  if (!verify_message(*config_.directory, message.signed_root)) return;
+  if (!config_.verify_context().verify(message.signed_root)) return;
   for (const SignedBundleOpening& opening : message.openings) {
     // Only proofs that bind the bundle to the signed root are usable — an
     // unprovable bundle could not support evidence later.
@@ -456,7 +457,7 @@ void PvrNode::on_message(net::Transport& sim, const net::Message& message) {
     } catch (const std::out_of_range&) {
       return;
     }
-    if (!verify_message(*config_.directory, envelope) ||
+    if (!config_.verify_context().verify(envelope) ||
         envelope.signer != message.from) {
       return;  // unauthenticated input: ignored
     }
@@ -573,7 +574,7 @@ RoundFindings PvrNode::run_round_check(const PvrConfig& config,
   if (part.kind == RoundCheckPart::Kind::kBundlePair) {
     // Equivocation check over one pair of gossip-delivered bundles.
     findings.signatures_verified += 2;
-    if (auto conflict = check_equivocation(*config.directory, config.asn,
+    if (auto conflict = check_equivocation(config.verify_context(), config.asn,
                                            round.observed_bundles[part.i],
                                            round.observed_bundles[part.j])) {
       findings.evidence.push_back(std::move(*conflict));
@@ -585,7 +586,7 @@ RoundFindings PvrNode::run_round_check(const PvrConfig& config,
     // aggregation window are equivocation too (root gossip carries no
     // bundles, so this is how the conflict surfaces).
     findings.signatures_verified += 2;
-    if (auto conflict = check_root_equivocation(*config.directory, config.asn,
+    if (auto conflict = check_root_equivocation(config.verify_context(), config.asn,
                                                 round.observed_roots[part.i],
                                                 round.observed_roots[part.j])) {
       findings.evidence.push_back(std::move(*conflict));
@@ -611,7 +612,7 @@ RoundFindings PvrNode::run_round_check(const PvrConfig& config,
   if (config.role == PvrRole::kProvider) {
     findings.signatures_verified += round.provider_reveal.has_value() ? 2 : 1;
     auto found = verify_as_provider(
-        *config.directory, config.asn, round.own_input, *round.bundle,
+        config.verify_context(), config.asn, round.own_input, *round.bundle,
         round.provider_reveal.has_value() ? &*round.provider_reveal : nullptr);
     findings.evidence.insert(findings.evidence.end(), found.begin(), found.end());
   } else if (config.role == PvrRole::kRecipient) {
@@ -619,7 +620,7 @@ RoundFindings PvrNode::run_round_check(const PvrConfig& config,
         1 + (round.recipient_reveal.has_value() ? 1 : 0) +
         (round.export_statement.has_value() ? 1 : 0);
     auto found = verify_as_recipient(
-        *config.directory, config.asn, *round.bundle,
+        config.verify_context(), config.asn, *round.bundle,
         round.recipient_reveal.has_value() ? &*round.recipient_reveal : nullptr,
         round.export_statement.has_value() ? &*round.export_statement : nullptr);
     findings.evidence.insert(findings.evidence.end(), found.begin(), found.end());

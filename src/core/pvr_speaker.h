@@ -58,6 +58,15 @@ struct PvrConfig {
   bgp::AsNumber asn = 0;
   PvrRole role = PvrRole::kProvider;
   const KeyDirectory* directory = nullptr;        // not owned
+  // Shared verification context (engine workers + every node of a world,
+  // see core/verify_context.h). nullptr = fall back to the directory's own
+  // cache-off context; verdicts are identical either way.
+  const VerifyContext* verify_ctx = nullptr;      // not owned
+
+  // The context every verification in this node goes through.
+  [[nodiscard]] const VerifyContext& verify_context() const {
+    return verify_ctx != nullptr ? *verify_ctx : directory->verify_context();
+  }
   const crypto::RsaPrivateKey* private_key = nullptr;  // not owned
   OperatorKind op = OperatorKind::kMinimum;
   std::uint32_t max_len = 16;

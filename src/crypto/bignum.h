@@ -71,9 +71,17 @@ class Bignum {
 
   // (*this * rhs) mod m.
   [[nodiscard]] Bignum mulmod(const Bignum& rhs, const Bignum& m) const;
-  // (*this ^ exponent) mod m, 4-bit fixed-window square-and-multiply.
-  // Throws std::domain_error if m is zero.
+  // (*this ^ exponent) mod m. Odd moduli (every RSA modulus) run the whole
+  // ladder in Montgomery domain (crypto/montgomery.h): one conversion in,
+  // one out, no per-step division. Even or extreme moduli fall back to
+  // powmod_reference. Throws std::domain_error if m is zero.
   [[nodiscard]] Bignum powmod(const Bignum& exponent, const Bignum& m) const;
+  // The schoolbook 4-bit fixed-window ladder (every step a mulmod, i.e. a
+  // full multiply + Knuth division). Kept as the differential-test
+  // reference for the Montgomery path and as the even-modulus fallback —
+  // bit-identical results to powmod by construction.
+  [[nodiscard]] Bignum powmod_reference(const Bignum& exponent,
+                                        const Bignum& m) const;
 
   [[nodiscard]] static Bignum gcd(Bignum a, Bignum b);
   // Modular inverse of *this mod m; returns zero when no inverse exists.

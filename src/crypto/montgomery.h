@@ -1,0 +1,66 @@
+// Montgomery-form modular arithmetic for a fixed odd modulus.
+//
+// This is the fast kernel behind Bignum::powmod and the per-public-key
+// verification contexts (rsa.h RsaVerifyKey, core/verify_context.h): all
+// per-modulus work — n' = -n^{-1} mod 2^64, R^2 mod n, the fixed limb
+// width — is done once in the constructor, after which every modular
+// multiplication is one CIOS pass (Koç–Acar–Kaliski) with no division at
+// all. A full exponentiation converts into Montgomery domain once, runs
+// its whole ladder on CIOS multiplies, and converts out once.
+//
+// The schoolbook path (Bignum::mulmod / Bignum::powmod_reference) is kept
+// as the differential-test reference; tests/crypto/montgomery_test.cpp
+// fuzzes the two against each other over random operands and edge moduli.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/bignum.h"
+
+namespace pvr::crypto {
+
+// Widest modulus the stack-buffer CIOS kernel accepts: 64 limbs = 4096
+// bits, comfortably past any RSA modulus this repo generates. Callers
+// (Bignum::powmod) fall back to the schoolbook ladder beyond it.
+inline constexpr std::size_t kMaxMontgomeryLimbs = 64;
+
+class MontgomeryCtx {
+ public:
+  // Precomputes n', R^2 mod m, and the fixed limb width. Throws
+  // std::invalid_argument unless m is odd, > 1, and at most
+  // kMaxMontgomeryLimbs limbs wide.
+  explicit MontgomeryCtx(const Bignum& m);
+
+  [[nodiscard]] const Bignum& modulus() const noexcept { return m_; }
+  [[nodiscard]] std::size_t width() const noexcept { return n_.size(); }
+
+  // (a * b) mod m via to-Montgomery / CIOS / from-Montgomery. Exposed for
+  // the differential tests; powmod() stays in Montgomery domain throughout
+  // and does NOT route through this.
+  [[nodiscard]] Bignum mulmod(const Bignum& a, const Bignum& b) const;
+
+  // (base ^ exponent) mod m. One conversion in, one conversion out, every
+  // ladder step a CIOS multiply. Small exponents (e.g. the RSA verify
+  // e = 65537) take a plain square-and-multiply ladder; larger ones a
+  // 4-bit fixed window. Matches Bignum::powmod_reference bit for bit.
+  [[nodiscard]] Bignum powmod(const Bignum& base, const Bignum& exponent) const;
+
+ private:
+  // CIOS Montgomery multiplication: out = a * b * R^{-1} mod m, where a, b,
+  // out are `width()` limbs little-endian, a/b < m. out may alias a or b.
+  void mont_mul(const std::uint64_t* a, const std::uint64_t* b,
+                std::uint64_t* out) const;
+
+  // Widens `x` (which must be < m) to width() limbs.
+  [[nodiscard]] std::vector<std::uint64_t> to_limbs(const Bignum& x) const;
+  [[nodiscard]] static Bignum from_limbs_trimmed(
+      const std::vector<std::uint64_t>& limbs);
+
+  Bignum m_;
+  std::vector<std::uint64_t> n_;   // modulus limbs, fixed width
+  std::vector<std::uint64_t> rr_;  // R^2 mod m, R = 2^(64*width)
+  std::uint64_t n0inv_ = 0;        // -m^{-1} mod 2^64
+};
+
+}  // namespace pvr::crypto

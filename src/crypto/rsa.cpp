@@ -181,27 +181,64 @@ bool rsa_verify(const RsaPublicKey& key, std::span<const std::uint8_t> message,
 
 std::vector<bool> rsa_verify_batch(const RsaPublicKey& key,
                                    std::span<const RsaBatchItem> items) {
+  // One RsaVerifyKey for the whole batch: the Montgomery precompute (R^2
+  // division, n') is paid once instead of once per member.
+  return RsaVerifyKey(key).verify_batch(items);
+}
+
+RsaVerifyKey::RsaVerifyKey(RsaPublicKey key) : key_(std::move(key)) {
+  if (key_.n.is_odd() && key_.n.limbs().size() <= kMaxMontgomeryLimbs &&
+      !key_.n.is_one()) {
+    mont_.emplace(key_.n);
+  }
+}
+
+std::optional<RsaVerifyKey::Prepared> RsaVerifyKey::prepare(
+    std::span<const std::uint8_t> message,
+    std::span<const std::uint8_t> signature) const {
+  const std::size_t k = key_.modulus_bytes();
+  if (signature.size() != k) return std::nullopt;
+  Bignum s = Bignum::from_bytes_be(signature);
+  if (s >= key_.n) return std::nullopt;
+  try {
+    return Prepared{.s = std::move(s),
+                    .encoded = Bignum::from_bytes_be(emsa_pkcs1_v15(message, k))};
+  } catch (const std::length_error&) {
+    return std::nullopt;
+  }
+}
+
+bool RsaVerifyKey::finish(const Prepared& prepared) const {
+  PVR_OBS_COUNT(crypto_rsa_verifies, 1);
+  const std::uint64_t t0 = obs::wall_clock_us();
+  const bool ok = public_apply(prepared.s) == prepared.encoded;
+  PVR_OBS_RECORD(crypto_rsa_verify_us, obs::wall_clock_us() - t0);
+  return ok;
+}
+
+bool RsaVerifyKey::verify(std::span<const std::uint8_t> message,
+                          std::span<const std::uint8_t> signature) const {
+  const std::optional<Prepared> prepared = prepare(message, signature);
+  return prepared.has_value() && finish(*prepared);
+}
+
+std::vector<bool> RsaVerifyKey::verify_batch(
+    std::span<const RsaBatchItem> items) const {
   std::vector<bool> out(items.size(), false);
   PVR_OBS_COUNT(crypto_rsa_batched, items.size());
-  const std::size_t k = key.modulus_bytes();
   // Structural screening first; members failing it cannot verify and need
   // no exponentiation at all.
   for (std::size_t i = 0; i < items.size(); ++i) {
-    if (items[i].signature.size() != k) continue;
-    const Bignum s = Bignum::from_bytes_be(items[i].signature);
-    if (s >= key.n) continue;
-    Bignum encoded;
-    try {
-      encoded = Bignum::from_bytes_be(emsa_pkcs1_v15(items[i].message, k));
-    } catch (const std::length_error&) {
-      continue;
-    }
-    PVR_OBS_COUNT(crypto_rsa_verifies, 1);
-    const std::uint64_t t0 = obs::wall_clock_us();
-    out[i] = rsa_public_apply(key, s) == encoded;
-    PVR_OBS_RECORD(crypto_rsa_verify_us, obs::wall_clock_us() - t0);
+    const std::optional<Prepared> prepared =
+        prepare(items[i].message, items[i].signature);
+    if (prepared.has_value()) out[i] = finish(*prepared);
   }
   return out;
+}
+
+Bignum RsaVerifyKey::public_apply(const Bignum& x) const {
+  if (mont_.has_value()) return mont_->powmod(x, key_.e);
+  return x.powmod(key_.e, key_.n);
 }
 
 }  // namespace pvr::crypto

@@ -13,6 +13,7 @@
 
 #include "crypto/bignum.h"
 #include "crypto/drbg.h"
+#include "crypto/montgomery.h"
 #include "crypto/sha256.h"
 
 namespace pvr::crypto {
@@ -91,5 +92,51 @@ struct RsaBatchItem {
 // Raw RSA trapdoor permutation (used by the ring-signature scheme).
 [[nodiscard]] Bignum rsa_public_apply(const RsaPublicKey& key, const Bignum& x);
 [[nodiscard]] Bignum rsa_private_apply(const RsaPrivateKey& key, const Bignum& y);
+
+// A public key with its Montgomery context built once and reused across
+// every verification — the per-key precompute that rsa_verify otherwise
+// redoes per call (one R^2 division each time). Thread-safe after
+// construction: all members are immutable and verify() is const with no
+// internal state. core::VerifyContext owns one of these per directory key.
+//
+// verify() returns EXACTLY what rsa_verify returns for every input; the
+// two-step prepare()/finish() split exists so a verdict cache can sit
+// between the cheap structural/encoding work and the expensive
+// exponentiation without changing any verdict.
+class RsaVerifyKey {
+ public:
+  explicit RsaVerifyKey(RsaPublicKey key);
+
+  [[nodiscard]] const RsaPublicKey& key() const noexcept { return key_; }
+
+  // Structural screening + EMSA-PKCS1-v1_5 encoding. nullopt means the
+  // signature cannot possibly verify (wrong length, s >= n, modulus too
+  // small) — the exact inputs rsa_verify rejects before exponentiating.
+  struct Prepared {
+    Bignum s;        // the signature as an integer, < n
+    Bignum encoded;  // the expected EMSA-PKCS1-v1_5 encoding of message
+  };
+  [[nodiscard]] std::optional<Prepared> prepare(
+      std::span<const std::uint8_t> message,
+      std::span<const std::uint8_t> signature) const;
+
+  // The e-exponentiation and comparison (counts crypto.rsa_verifies).
+  [[nodiscard]] bool finish(const Prepared& prepared) const;
+
+  [[nodiscard]] bool verify(std::span<const std::uint8_t> message,
+                            std::span<const std::uint8_t> signature) const;
+
+  // Same contract as rsa_verify_batch, with the per-key precompute shared
+  // across the whole batch.
+  [[nodiscard]] std::vector<bool> verify_batch(
+      std::span<const RsaBatchItem> items) const;
+
+  // s^e mod n through the shared Montgomery context.
+  [[nodiscard]] Bignum public_apply(const Bignum& x) const;
+
+ private:
+  RsaPublicKey key_;
+  std::optional<MontgomeryCtx> mont_;  // absent for even/oversized moduli
+};
 
 }  // namespace pvr::crypto

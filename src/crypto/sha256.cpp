@@ -80,7 +80,7 @@ void Sha256::process_block(const std::uint8_t* block) noexcept {
 }
 
 void Sha256::update(std::span<const std::uint8_t> data) noexcept {
-  PVR_OBS_COUNT(crypto_bytes_hashed, data.size());
+  if (counted_) PVR_OBS_COUNT(crypto_bytes_hashed, data.size());
   total_len_ += data.size();
   std::size_t offset = 0;
   if (buffer_len_ > 0) {
@@ -140,6 +140,13 @@ Digest sha256(std::span<const std::uint8_t> data) noexcept {
 
 Digest sha256(std::string_view data) noexcept {
   Sha256 hasher;
+  hasher.update(data);
+  return hasher.finalize();
+}
+
+Digest sha256_uncounted(std::span<const std::uint8_t> data) noexcept {
+  Sha256 hasher;
+  hasher.counted_ = false;
   hasher.update(data);
   return hasher.finalize();
 }

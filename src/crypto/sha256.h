@@ -29,8 +29,11 @@ class Sha256 {
   [[nodiscard]] Digest finalize() noexcept;
 
  private:
+  friend Digest sha256_uncounted(std::span<const std::uint8_t> data) noexcept;
+
   void process_block(const std::uint8_t* block) noexcept;
 
+  bool counted_ = true;  // false = exempt from crypto.bytes_hashed
   std::array<std::uint32_t, 8> state_;
   std::array<std::uint8_t, 64> buffer_;
   std::size_t buffer_len_ = 0;
@@ -40,6 +43,13 @@ class Sha256 {
 // One-shot helpers.
 [[nodiscard]] Digest sha256(std::span<const std::uint8_t> data) noexcept;
 [[nodiscard]] Digest sha256(std::string_view data) noexcept;
+
+// One-shot digest EXEMPT from the crypto.bytes_hashed counter — for
+// internal bookkeeping hashes (the verify-context verdict-cache key) that
+// are an implementation detail of a cache, not protocol hash work. Using
+// it keeps the kSim metrics fingerprint byte-identical whether the cache
+// is on or off.
+[[nodiscard]] Digest sha256_uncounted(std::span<const std::uint8_t> data) noexcept;
 
 // Lowercase hex of a digest (for logs and test vectors).
 [[nodiscard]] std::string digest_hex(const Digest& digest);

@@ -2,26 +2,29 @@
 
 #include <map>
 
+#include "core/verify_context.h"
 #include "crypto/rsa.h"
 
 namespace pvr::engine {
 
+BatchVerifier::BatchVerifier(const core::VerifyContext* ctx) : ctx_(ctx) {}
+
 BatchVerifier::BatchVerifier(const core::KeyDirectory* directory)
-    : directory_(directory) {}
+    : ctx_(&directory->verify_context()) {}
 
 std::vector<bool> BatchVerifier::verify(
     std::span<const core::SignedMessage* const> messages) {
   std::vector<bool> out(messages.size(), false);
   stats_.messages += messages.size();
 
-  // Group by signer; each group shares one public key.
+  // Group by signer; each group shares one prepared verification key.
   std::map<bgp::AsNumber, std::vector<std::size_t>> by_signer;
   for (std::size_t i = 0; i < messages.size(); ++i) {
     by_signer[messages[i]->signer].push_back(i);
   }
 
   for (const auto& [signer, indices] : by_signer) {
-    const crypto::RsaPublicKey* key = directory_->find(signer);
+    const crypto::RsaVerifyKey* key = ctx_->verify_key(signer);
     if (key == nullptr) continue;  // unknown signer: all false, as unbatched
 
     // The signing input must outlive the span batch items point into.
@@ -34,7 +37,7 @@ std::vector<bool> BatchVerifier::verify(
       items.push_back(crypto::RsaBatchItem{.message = inputs.back(),
                                            .signature = messages[i]->signature});
     }
-    const std::vector<bool> results = crypto::rsa_verify_batch(*key, items);
+    const std::vector<bool> results = key->verify_batch(items);
     for (std::size_t j = 0; j < indices.size(); ++j) out[indices[j]] = results[j];
 
     stats_.batches += 1;

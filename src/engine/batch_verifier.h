@@ -38,11 +38,17 @@ struct BatchVerifyStats {
   std::uint64_t singletons = 0;     // groups of size 1 (no amortization)
 };
 
-// Batch-checks signed messages against a key directory. Not thread-safe;
-// engine workers each construct their own (construction is free — it only
-// borrows the directory).
+// Batch-checks signed messages through a shared core::VerifyContext. The
+// per-key Montgomery precompute lives in the context, so workers that share
+// one context amortize it across every batch they drain. The verifier
+// itself only accumulates stats; construction is free. Stats are NOT
+// synchronized — engine workers each construct their own verifier over the
+// shared context.
 class BatchVerifier {
  public:
+  // Borrows `ctx` (must outlive the verifier).
+  explicit BatchVerifier(const core::VerifyContext* ctx);
+  // Compatibility: uses the directory's shared cache-off context.
   explicit BatchVerifier(const core::KeyDirectory* directory);
 
   // result[i] == core::verify_message(directory, *messages[i]), always.
@@ -52,9 +58,12 @@ class BatchVerifier {
       std::span<const core::SignedMessage> messages);
 
   [[nodiscard]] const BatchVerifyStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const core::VerifyContext& context() const noexcept {
+    return *ctx_;
+  }
 
  private:
-  const core::KeyDirectory* directory_;  // not owned
+  const core::VerifyContext* ctx_;  // not owned
   BatchVerifyStats stats_;
 };
 

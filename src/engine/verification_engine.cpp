@@ -4,6 +4,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "core/verify_context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -20,12 +21,20 @@ namespace {
 }  // namespace
 
 VerificationEngine::VerificationEngine(EngineConfig config,
-                                       const core::KeyDirectory* directory)
-    : directory_(directory),
+                                       const core::VerifyContext* ctx)
+    : ctx_(ctx),
       intra_round_checks_(config.intra_round_checks),
       scheduler_(SchedulerConfig{.workers = config.workers,
                                  .shards = config.shards,
                                  .salt_shards = config.salt_shards}) {}
+
+VerificationEngine::VerificationEngine(EngineConfig config,
+                                       const core::KeyDirectory* directory)
+    : VerificationEngine(config, &directory->verify_context()) {}
+
+const core::KeyDirectory& VerificationEngine::directory() const noexcept {
+  return ctx_->directory();
+}
 
 bool VerificationEngine::submit_node_round(core::PvrNode& node,
                                            const core::ProtocolId& id) {
@@ -125,8 +134,13 @@ void VerificationEngine::begin_drain() {
     {
       const std::lock_guard<std::mutex> lock(done_mutex_);
       done_ = std::move(batch);
+      // Notify while still holding the mutex: the waiter in collect()
+      // may destroy this engine the moment it returns, and it cannot
+      // reacquire the mutex (and so cannot return) until this worker has
+      // finished touching done_cv_. Notifying after unlock races the
+      // broadcast against ~VerificationEngine's pthread_cond_destroy.
+      done_cv_.notify_all();
     }
-    done_cv_.notify_all();
   });
 }
 

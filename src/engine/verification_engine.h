@@ -90,6 +90,11 @@ struct EngineReport {
 
 class VerificationEngine {
  public:
+  // Shares `ctx` (not owned, must outlive the engine) across all workers —
+  // the per-key Montgomery precompute and, when the context caches
+  // verdicts, the world-level verified-signature cache.
+  VerificationEngine(EngineConfig config, const core::VerifyContext* ctx);
+  // Compatibility: uses the directory's shared cache-off context.
   VerificationEngine(EngineConfig config, const core::KeyDirectory* directory);
 
   // Packages node's deferred finalize for round `id` (no-op if already
@@ -134,8 +139,9 @@ class VerificationEngine {
   [[nodiscard]] bool has_pending() const noexcept { return pending_; }
 
   [[nodiscard]] EvidenceSink& sink() noexcept { return sink_; }
-  [[nodiscard]] const core::KeyDirectory& directory() const noexcept {
-    return *directory_;
+  [[nodiscard]] const core::KeyDirectory& directory() const noexcept;
+  [[nodiscard]] const core::VerifyContext& verify_context() const noexcept {
+    return *ctx_;
   }
   [[nodiscard]] std::size_t worker_count() const noexcept {
     return scheduler_.worker_count();
@@ -165,7 +171,7 @@ class VerificationEngine {
     double done_ms = 0;   // wall clock when the fold finished
   };
 
-  const core::KeyDirectory* directory_;  // not owned
+  const core::VerifyContext* ctx_;  // not owned
   bool intra_round_checks_;
   RoundScheduler scheduler_;
   EvidenceSink sink_;

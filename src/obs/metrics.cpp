@@ -98,11 +98,22 @@ struct HotHist {
 
 constexpr HotScalar kHotScalars[] = {
     {"crypto.bytes_hashed", Domain::kSim, &HotMetrics::crypto_bytes_hashed},
+    // kSched: Montgomery ladders run wherever the verify landed, and the
+    // world verdict cache (core/verify_context.h) elides whole
+    // exponentiations depending on which thread or process verified a
+    // digest first — so exponentiation COUNTS are schedule-shaped even
+    // though every verdict is deterministic.
+    {"crypto.mont_powmods", Domain::kSched, &HotMetrics::crypto_mont_powmods},
     {"crypto.mulmod_calls", Domain::kSim, &HotMetrics::crypto_mulmod_calls},
     {"crypto.rsa_batched", Domain::kSim, &HotMetrics::crypto_rsa_batched},
     {"crypto.rsa_signs", Domain::kSim, &HotMetrics::crypto_rsa_signs},
-    {"crypto.rsa_verifies", Domain::kSim, &HotMetrics::crypto_rsa_verifies},
+    // kSched since the world verdict cache: a cache hit skips the RSA
+    // exponentiation entirely, and WHICH lookup hits depends on the
+    // execution schedule (the verdicts do not).
+    {"crypto.rsa_verifies", Domain::kSched, &HotMetrics::crypto_rsa_verifies},
     {"crypto.sig_cache_hits", Domain::kSim, &HotMetrics::crypto_sig_cache_hits},
+    {"crypto.world_cache_hits", Domain::kSched,
+     &HotMetrics::crypto_world_cache_hits},
     // kSched: one drain per offline run, but one per child process in a
     // multiprocess deployment — schedule-shaped, so fingerprint-exempt.
     {"engine.drains", Domain::kSched, &HotMetrics::engine_drains},

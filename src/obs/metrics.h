@@ -205,7 +205,9 @@ struct HotMetrics {
   Counter crypto_rsa_signs;       // RSA signatures produced
   Counter crypto_rsa_batched;     // verify members screened via a batch call
   Counter crypto_sig_cache_hits;  // verified-root dedup hits (RSA skipped)
+  Counter crypto_world_cache_hits;  // world verdict-cache hits (RSA skipped)
   Counter crypto_mulmod_calls;    // Bignum::mulmod invocations
+  Counter crypto_mont_powmods;    // Montgomery-ladder exponentiations
   Counter crypto_bytes_hashed;    // bytes fed through SHA-256 update()
   Histogram crypto_rsa_verify_us;  // WALL: per-verify exponentiation time
   Histogram crypto_mulmod_us;      // WALL: per-mulmod time (item 3 profile)

@@ -20,6 +20,7 @@
 
 #include "core/evidence.h"
 #include "core/pvr_speaker.h"
+#include "core/verify_context.h"
 #include "crypto/encoding.h"
 #include "engine/verification_engine.h"
 #include "net/frame.h"
@@ -301,6 +302,10 @@ int run_node_process(const std::string& scenario, std::uint64_t seed,
 
   // Local shard of the world: every participant this process owns.
   LockstepTransport transport(plan, process_index, processes);
+  // Shard-local world context (each process builds its own; the shared
+  // precompute amortizes within the shard, verdicts are identical).
+  const core::VerifyContext world_ctx(&plan.keys.directory,
+                                      spec.world_sig_cache);
   std::vector<std::unique_ptr<core::PvrNode>> owned;
   std::map<net::NodeId, core::PvrNode*> local_nodes;
   std::vector<LocalVerifier> local_verifiers;
@@ -310,8 +315,9 @@ int run_node_process(const std::string& scenario, std::uint64_t seed,
     const auto adopt = [&](bgp::AsNumber asn,
                            core::PvrRole role) -> core::PvrNode* {
       if (owner_of(plan, asn, processes) != process_index) return nullptr;
-      owned.push_back(std::make_unique<core::PvrNode>(
-          plan.node_config(spec, h, asn, role)));
+      core::PvrConfig cfg = plan.node_config(spec, h, asn, role);
+      cfg.verify_ctx = &world_ctx;
+      owned.push_back(std::make_unique<core::PvrNode>(std::move(cfg)));
       core::PvrNode* raw = owned.back().get();
       local_nodes.emplace(asn, raw);
       return raw;
@@ -487,8 +493,7 @@ int run_node_process(const std::string& scenario, std::uint64_t seed,
   // Offline verification of the local verifier shard, exactly the runner's
   // loop restricted to locally-owned nodes. Evidence is engine-order
   // deterministic, so shards concatenate into the monolithic logs.
-  engine::VerificationEngine engine({.workers = spec.workers},
-                                    &plan.keys.directory);
+  engine::VerificationEngine engine({.workers = spec.workers}, &world_ctx);
   engine::EngineReport drained;
   {
     const obs::TraceSpan verify_span("node.verify_shard", "scenario");

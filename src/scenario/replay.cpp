@@ -10,6 +10,7 @@
 
 #include "core/evidence.h"
 #include "core/pvr_speaker.h"
+#include "core/verify_context.h"
 #include "engine/verification_engine.h"
 #include "net/simulator.h"
 #include "scenario/world.h"
@@ -100,12 +101,17 @@ ScenarioReport replay_trace(const ScenarioSpec& spec,
   std::vector<std::unique_ptr<core::PvrNode>> owned;
   std::map<net::NodeId, core::PvrNode*> by_id;
   std::vector<ReplayHood> hood_nodes(plan.hoods.size());
+  // Same world-shared verification context as the live runner, so the
+  // replay's verdicts (and fingerprint) come from the identical path.
+  const core::VerifyContext world_ctx(&plan.keys.directory,
+                                      spec.world_sig_cache);
   for (std::size_t h = 0; h < plan.hoods.size(); ++h) {
     const Neighborhood& hood = plan.hoods[h];
     const auto add_node = [&](bgp::AsNumber asn,
                               core::PvrRole role) -> core::PvrNode* {
-      owned.push_back(std::make_unique<core::PvrNode>(
-          plan.node_config(spec, h, asn, role)));
+      core::PvrConfig cfg = plan.node_config(spec, h, asn, role);
+      cfg.verify_ctx = &world_ctx;
+      owned.push_back(std::make_unique<core::PvrNode>(std::move(cfg)));
       core::PvrNode* raw = owned.back().get();
       by_id.emplace(asn, raw);
       return raw;
@@ -162,8 +168,7 @@ ScenarioReport replay_trace(const ScenarioSpec& spec,
 
   // Offline verification over the planned rounds at the requested worker
   // count — the engine's evidence is byte-identical at any (DESIGN.md §9).
-  engine::VerificationEngine engine({.workers = workers},
-                                    &plan.keys.directory);
+  engine::VerificationEngine engine({.workers = workers}, &world_ctx);
   for (const RoundArrival& arrival : plan.arrivals) {
     const core::ProtocolId id{
         .prover = plan.hoods[arrival.neighborhood].prover,

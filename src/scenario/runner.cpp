@@ -14,6 +14,7 @@
 
 #include "core/evidence.h"
 #include "core/pvr_speaker.h"
+#include "core/verify_context.h"
 #include "engine/verification_engine.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -76,6 +77,7 @@ std::string ScenarioReport::to_json_line() const {
       ",\"peak_open_rounds\":%" PRIu64 ",\"drain_batches\":%" PRIu64
       ",\"p50_settle_us\":%" PRIu64 ",\"p99_settle_us\":%" PRIu64
       ",\"rsa_verifies\":%" PRIu64 ",\"sig_cache_hits\":%" PRIu64
+      ",\"world_cache_hits\":%" PRIu64
       ",\"bytes_total\":%" PRIu64 ",\"bytes_gossip\":%" PRIu64
       ",\"gossip_messages\":%" PRIu64 ",\"peak_root_digests\":%" PRIu64
       ",\"hw_threads\":%zu,\"sim_ms\":%.1f,\"verify_ms\":%.1f"
@@ -86,7 +88,8 @@ std::string ScenarioReport::to_json_line() const {
       attacked_rounds, detected_rounds, detection_rate, evidence_total,
       false_evidence, audit_failures, verify_failures,
       online ? "true" : "false", peak_open_rounds, drain_batches,
-      p50_settle_us, p99_settle_us, rsa_verifies, sig_cache_hits, bytes_total,
+      p50_settle_us, p99_settle_us, rsa_verifies, sig_cache_hits,
+      world_cache_hits, bytes_total,
       bytes_gossip, gossip_messages, peak_root_digests, hw_threads, sim_ms,
       verify_ms, wall_ms, pipeline_overlap_ratio, rounds_per_sec);
   return buffer;
@@ -111,6 +114,7 @@ ScenarioReport run_scenario(const ScenarioSpec& spec,
   const obs::HotMetrics& hot = obs::MetricsRegistry::global().hot;
   const std::uint64_t rsa_verifies_before = hot.crypto_rsa_verifies.value();
   const std::uint64_t cache_hits_before = hot.crypto_sig_cache_hits.value();
+  const std::uint64_t world_hits_before = hot.crypto_world_cache_hits.value();
   // Settle latencies aggregate through a local histogram so the report
   // carries them in BOTH obs build flavors (the global scenario.settle_us
   // histogram additionally feeds obs snapshots when hooks are compiled in).
@@ -133,13 +137,20 @@ ScenarioReport run_scenario(const ScenarioSpec& spec,
   net::Simulator sim(spec.seed);
   net::Transport& transport = sim.transport();
   if (record != nullptr) sim.set_trace(record);
+  // The world-shared verification context: every node and engine worker
+  // verifies through it, sharing per-key Montgomery precompute and (when
+  // spec.world_sig_cache) the verified-signature cache. Verdicts match the
+  // per-directory context exactly, so the fingerprint cannot see it.
+  const core::VerifyContext world_ctx(&plan.keys.directory,
+                                      spec.world_sig_cache);
   std::vector<HoodNodes> hood_nodes(hoods.size());
   for (std::size_t h = 0; h < hoods.size(); ++h) {
     const Neighborhood& hood = hoods[h];
     const auto add_node = [&](bgp::AsNumber asn,
                               core::PvrRole role) -> core::PvrNode* {
-      auto node = std::make_unique<core::PvrNode>(
-          plan.node_config(spec, h, asn, role));
+      core::PvrConfig cfg = plan.node_config(spec, h, asn, role);
+      cfg.verify_ctx = &world_ctx;
+      auto node = std::make_unique<core::PvrNode>(std::move(cfg));
       core::PvrNode* raw = node.get();
       sim.add_node(asn, std::move(node));
       return raw;
@@ -190,8 +201,7 @@ ScenarioReport run_scenario(const ScenarioSpec& spec,
   // is COUNTED (report.verify_failures, gated nonzero-fatal by the bench
   // and CI) instead of silently discarded like the pre-PR-5
   // `(void)engine.drain()` — or, worse, aborting the whole trace.
-  engine::VerificationEngine engine({.workers = spec.workers},
-                                    &plan.keys.directory);
+  engine::VerificationEngine engine({.workers = spec.workers}, &world_ctx);
   const bool pipelined = spec.online && spec.pipelined;
   double verify_blocked_ms = 0;  // sim-thread wall time spent on verification
   double overlapped_ms = 0;      // fold time that overlapped the simulation
@@ -447,6 +457,8 @@ ScenarioReport run_scenario(const ScenarioSpec& spec,
   report.rsa_verifies = hot.crypto_rsa_verifies.value() - rsa_verifies_before;
   report.sig_cache_hits =
       hot.crypto_sig_cache_hits.value() - cache_hits_before;
+  report.world_cache_hits =
+      hot.crypto_world_cache_hits.value() - world_hits_before;
 
   // Throughput over MEASURED elapsed time: with pipelining, wall_ms can be
   // less than sim_ms + verify_ms (the overlapped share is counted in both),

@@ -75,6 +75,15 @@ struct ScenarioSpec {
   // ceiling, gossip hop budget, neighborhood size, and the adversary's
   // declared wire slack. Only consulted in online mode.
   net::SimTime settle_horizon_us = 0;
+  // World-level verified-signature cache (core::VerifyContext with
+  // cache_verdicts = true, shared by every node and engine worker): a
+  // (signing input, signature) pair already verified anywhere in the world
+  // skips the RSA exponentiation on re-verification — gossip re-delivers
+  // the same signed bundles to many verifiers. Verdicts, and therefore the
+  // report fingerprint and evidence_digest, are byte-identical with the
+  // cache off (the parity test's matrix); only wall time and the kSched
+  // exponentiation counters change.
+  bool world_sig_cache = true;
 };
 
 struct ScenarioReport {
@@ -146,6 +155,11 @@ struct ScenarioReport {
   // one. Zero under -DPVR_OBS=OFF, so excluded from fingerprint().
   std::uint64_t rsa_verifies = 0;
   std::uint64_t sig_cache_hits = 0;
+  // World verdict-cache hits (crypto.world_cache_hits delta): verifications
+  // answered from the shared VerifyContext without an exponentiation.
+  // Schedule-dependent (which duplicate arrives first is a race between
+  // workers), so excluded from fingerprint() like the other crypto deltas.
+  std::uint64_t world_cache_hits = 0;
   // SHA-256 (hex) over every node's evidence log in node order — a strict
   // superset of the fingerprint's evidence COUNT: it pins the APPLICATION
   // ORDER, which the two-slot pipeline must preserve batch by batch.

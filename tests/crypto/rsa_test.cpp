@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string_view>
 #include <vector>
 
 namespace pvr::crypto {
@@ -139,6 +140,104 @@ TEST_F(RsaTest, CrossKeyVerificationFails) {
   const std::vector<std::uint8_t> message = {'y'};
   const auto signature = rsa_sign(key().priv, message);
   EXPECT_FALSE(rsa_verify(other.pub, message, signature));
+}
+
+// Known-answer vectors computed by an independent RSASSA-PKCS1-v1_5 +
+// SHA-256 implementation (pure-Python pow() over a fixed 1024-bit key).
+// They pin the whole verify path — EMSA encoding, byte order, and the
+// Montgomery exponentiation — to an outside reference, so a kernel bug
+// that the self-consistent differential tests could share is caught here.
+struct RsaKat {
+  const char* message;
+  const char* signature_hex;
+};
+
+TEST(RsaKnownAnswer, PinnedVectorsVerify) {
+  RsaPublicKey pub;
+  pub.n = Bignum::from_hex(
+      "e4f68f1e47b8d1dfae93906e15aad518129eaa462fc9bb55329484f0618fcafe"
+      "b3c95c8c135e452058c631c0110513f8137dbef3c9b0d1382a918e267fe81b77"
+      "13492fb813d58bc8a495101a1772658ffbd510c0dcb13ff7838786514589e427"
+      "eb702a3d2ff0bf2757889eff9bda47ce883d9ea3f88d3229f97931b9af09269f");
+  pub.e = Bignum(65537);
+  const RsaKat kats[] = {
+      {"pvr montgomery known answer one",
+       "cf555cb4af8dc6a549876ebd6ba5ed2a2033423f08f1b7b7fe65b677da79cf32"
+       "fe698eee191fa689028497357e5baf1a000e09f20039e5489b1530350440ff13"
+       "de55ba4454b620f7873d998d2a0c799ac0edbc3242c3e43d0eb9f0604a467479"
+       "dd4e761ef150eb17289985cc88d7993bc603063ca75f72c80af42c936833142d"},
+      {"",
+       "90cd86aecf221d70022c1342f630d8066b46613de10e790ef04293fac947a041"
+       "8fd916537c42f7895a5cb66aa2bdeab8559cfbeaff9b3d88f55b1ece3640ac0c"
+       "6cfd6e0fb9d33d496c33e7dad7dd2f1a17a86d293680423a16a8ebf0a4e9245a"
+       "6c656efba33f0d6ad75ff153c143bc24b38a839046838a60c2a4a7c55f979d67"},
+      {"The quick brown fox jumps over the lazy dog",
+       "9065822ea9a77979209689f1ab547adcc493618a876f586eda6dacf18fea57bd"
+       "d447d23b3b01c66cd370312eb9099039a19e00b300561f3c8158dbc6861aa3ee"
+       "bb2f55094939daac4ee80c28b0650f579af66d134ee06e3b52a44a0bb35a31e0"
+       "25341495243ab2466e45b3f39165df593125d05f9b1a1a350122e710ba111069"},
+  };
+  const RsaVerifyKey prepared(pub);
+  for (const RsaKat& kat : kats) {
+    const std::string_view text = kat.message;
+    const std::vector<std::uint8_t> message(text.begin(), text.end());
+    const std::vector<std::uint8_t> signature =
+        Bignum::from_hex(kat.signature_hex).to_bytes_be(128);
+    EXPECT_TRUE(rsa_verify(pub, message, signature)) << kat.message;
+    EXPECT_TRUE(prepared.verify(message, signature)) << kat.message;
+
+    // Any corruption must flip the verdict on both paths.
+    std::vector<std::uint8_t> bad_sig = signature;
+    bad_sig[17] ^= 0x20;
+    EXPECT_FALSE(rsa_verify(pub, message, bad_sig)) << kat.message;
+    EXPECT_FALSE(prepared.verify(message, bad_sig)) << kat.message;
+    std::vector<std::uint8_t> bad_msg = message;
+    bad_msg.push_back('!');
+    EXPECT_FALSE(prepared.verify(bad_msg, signature)) << kat.message;
+  }
+}
+
+// The stateless free function and the prepared-key class are the same
+// verifier: equal verdicts over matched and mismatched pairs.
+TEST_F(RsaTest, PreparedKeyAgreesWithStatelessVerify) {
+  const RsaVerifyKey prepared(key().pub);
+  Drbg rng(7, "rsa-prepared-agree");
+  for (int i = 0; i < 8; ++i) {
+    const std::vector<std::uint8_t> message = rng.bytes(1 + i * 13);
+    auto signature = rsa_sign(key().priv, message);
+    EXPECT_EQ(rsa_verify(key().pub, message, signature),
+              prepared.verify(message, signature));
+    signature[0] ^= 1;
+    EXPECT_EQ(rsa_verify(key().pub, message, signature),
+              prepared.verify(message, signature));
+    // Structurally invalid: wrong length and s >= n.
+    EXPECT_FALSE(prepared.verify(message, rng.bytes(17)));
+    const auto too_big =
+        key().pub.n.to_bytes_be((key().pub.n.bit_length() + 7) / 8);
+    EXPECT_FALSE(prepared.verify(message, too_big));
+  }
+}
+
+TEST_F(RsaTest, PreparedKeyBatchMatchesSingles) {
+  const RsaVerifyKey prepared(key().pub);
+  std::vector<std::vector<std::uint8_t>> messages;
+  std::vector<std::vector<std::uint8_t>> signatures;
+  for (int i = 0; i < 5; ++i) {
+    messages.push_back({static_cast<std::uint8_t>('a' + i)});
+    signatures.push_back(rsa_sign(key().priv, messages.back()));
+  }
+  signatures[3][9] ^= 0x40;  // one forgery in the batch
+  std::vector<RsaBatchItem> items;
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    items.push_back(RsaBatchItem{.message = messages[i],
+                                 .signature = signatures[i]});
+  }
+  const std::vector<bool> verdicts = prepared.verify_batch(items);
+  ASSERT_EQ(verdicts.size(), messages.size());
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    EXPECT_EQ(verdicts[i], prepared.verify(messages[i], signatures[i])) << i;
+    EXPECT_EQ(verdicts[i], i != 3) << i;
+  }
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/verify_context.h"
 #include "crypto/rsa.h"
 
 namespace pvr::engine {
@@ -72,6 +73,29 @@ TEST(BatchVerifierTest, EmptyAndTruncatedSignatures) {
   world.messages[2].signature.resize(17);
   BatchVerifier verifier(&world.keys.directory);
   EXPECT_EQ(verifier.verify(world.messages), reference_results(world));
+}
+
+// The VerifyContext constructor is the engine's path: same verdicts as the
+// directory-compat constructor, shared context across verifiers.
+TEST(BatchVerifierTest, SharedContextCtorMatchesDirectoryCtor) {
+  BatchWorld world = make_world(3, 3);
+  world.messages[4].signature[5] ^= 0x10;
+  const core::VerifyContext ctx(&world.keys.directory,
+                                /*cache_verdicts=*/false);
+  BatchVerifier shared_a(&ctx);
+  BatchVerifier shared_b(&ctx);
+  BatchVerifier compat(&world.keys.directory);
+  const std::vector<bool> expected = reference_results(world);
+  EXPECT_EQ(shared_a.verify(world.messages), expected);
+  EXPECT_EQ(shared_b.verify(world.messages), expected);
+  EXPECT_EQ(compat.verify(world.messages), expected);
+  EXPECT_EQ(&shared_a.context(), &ctx);
+  EXPECT_EQ(&shared_b.context(), &ctx);
+  EXPECT_EQ(&compat.context(), &world.keys.directory.verify_context());
+  // Stats stay per-verifier even over a shared context.
+  EXPECT_EQ(shared_a.stats().messages, 9u);
+  EXPECT_EQ(shared_b.stats().messages, 9u);
+  EXPECT_EQ(shared_a.stats().batches, 3u);
 }
 
 // A large-e key (the case a product-test accept would have targeted before

@@ -74,9 +74,10 @@ TEST(ObsDeterminismTest, SimMetricsIdenticalAcrossWorkerCounts) {
       if (obs::kCompiledIn) {
         // Sanity that the fingerprint is live, not a vacuous all-zeros
         // match: the run must have counted RSA work and settle latencies.
-        EXPECT_NE(sim_metrics.find("crypto.rsa_verifies="),
-                  std::string::npos);
-        EXPECT_EQ(sim_metrics.find("crypto.rsa_verifies=0|"),
+        // (rsa_signs, not rsa_verifies: verify exponentiations are kSched
+        // since the world verdict cache made their count schedule-shaped.)
+        EXPECT_NE(sim_metrics.find("crypto.rsa_signs="), std::string::npos);
+        EXPECT_EQ(sim_metrics.find("crypto.rsa_signs=0|"),
                   std::string::npos);
         EXPECT_EQ(sim_metrics.find("scenario.settle_us=[]"),
                   std::string::npos);

@@ -109,14 +109,18 @@ TEST(RegistryTest, NamedLookupsReturnStableReferences) {
 
 TEST(RegistryTest, SimFingerprintCoversSimSectionOnly) {
   MetricsRegistry registry;
-  registry.hot.crypto_rsa_verifies.add(7);
+  registry.hot.crypto_rsa_signs.add(7);
   registry.hot.scenario_settle_us.record(100);
   const std::string base = registry.snapshot().sim_fingerprint();
-  EXPECT_NE(base.find("crypto.rsa_verifies=7"), std::string::npos);
+  EXPECT_NE(base.find("crypto.rsa_signs=7"), std::string::npos);
   EXPECT_NE(base.find("scenario.settle_us="), std::string::npos);
   EXPECT_EQ(base.find("engine.task_us"), std::string::npos);  // WALL domain
 
-  // Wall-domain recordings must not move the deterministic fingerprint.
+  // Sched-domain counts (rsa_verifies went kSched with the world verdict
+  // cache — WHICH duplicate hits is a worker race) and wall-domain
+  // recordings must not move the deterministic fingerprint.
+  registry.hot.crypto_rsa_verifies.add(7);
+  registry.hot.crypto_world_cache_hits.add(3);
   registry.hot.engine_task_us.record(12345);
   EXPECT_EQ(registry.snapshot().sim_fingerprint(), base);
 }
